@@ -1,0 +1,72 @@
+"""E10 (Table): schema-free keyword search (SLCA) latency and answer shape.
+
+The extension feature for users who type nothing but words: latency of
+SLCA computation + ranking across corpus sizes and term counts, plus a
+sanity profile of the answers (SLCAs are never nested — asserted).
+
+Expected shape: latency scales with the rarest term's posting list (not
+the corpus), staying interactive throughout; more terms = fewer, larger
+answers.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import print_table, time_call
+from repro.keyword.slca import find_slcas
+
+from conftest import DBLP_SIZES
+
+QUERIES = [
+    ("1 term", "xml"),
+    ("2 terms", "xml twig"),
+    ("3 terms", "xml twig join"),
+    ("rare+common", "holistic lu"),
+]
+
+
+def test_e10_keyword_search(dblp_dbs, benchmark, capsys):
+    rows = []
+    for size in DBLP_SIZES:
+        db = dblp_dbs[size]
+        for label, query in QUERIES:
+            response = db.keyword_search(query, k=10)
+            elapsed = time_call(lambda: db.keyword_search(query, k=10))
+
+            # SLCA invariant: answers are never nested.
+            slcas = find_slcas(db.labeled, db.term_index, response.terms)
+            for first in slcas:
+                for second in slcas:
+                    if first is not second:
+                        assert not first.region.is_ancestor_of(second.region)
+
+            average_depth = (
+                sum(hit.element.level for hit in response) / len(response)
+                if len(response)
+                else 0.0
+            )
+            rows.append(
+                [
+                    size,
+                    label,
+                    response.total_slcas,
+                    round(average_depth, 1),
+                    elapsed * 1000,
+                ]
+            )
+
+    db = dblp_dbs[DBLP_SIZES[-1]]
+    benchmark(lambda: db.keyword_search("xml twig", k=10))
+
+    with capsys.disabled():
+        print_table(
+            ["publications", "query", "slcas", "avg_depth", "latency_ms"],
+            rows,
+            title="\nE10: SLCA keyword search (DBLP-like)",
+        )
+
+    # Shape checks: interactive latency everywhere; conjunctive semantics
+    # shrink the answer set as terms are added.
+    assert all(row[4] < 200 for row in rows)
+    for size in DBLP_SIZES:
+        by_label = {row[1]: row[2] for row in rows if row[0] == size}
+        assert by_label["3 terms"] <= by_label["2 terms"] <= by_label["1 term"]

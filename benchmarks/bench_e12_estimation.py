@@ -1,0 +1,97 @@
+"""E12 (Table): twig cardinality-estimation accuracy (q-error).
+
+The DataGuide-based estimator (`repro.twig.estimate`) predicts result
+sizes without evaluation.  We measure q-error = max(est/true, true/est)
+over structural and predicate workloads on DBLP-like and XMark-like
+corpora.
+
+Expected shape: structure-only twigs estimate near-exactly (fanout ratios
+are exact; independence rarely bites on schema-shaped data), equality
+predicates stay tight thanks to position-local populations, and
+contains/range/negation predicates degrade gracefully — the classical
+selectivity-estimation picture.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.harness import print_table, time_call
+from repro.twig.estimate import estimate_cardinality, q_error
+
+#: (corpus, class, query)
+WORKLOAD = [
+    ("dblp", "structural", "//article/author"),
+    ("dblp", "structural", "//dblp//author"),
+    ("dblp", "structural", "//inproceedings[./author][./booktitle]"),
+    ("dblp", "structural", "//book/editor"),
+    ("dblp", "equality", '//article[./journal="tods"]/title'),
+    ("dblp", "equality", '//inproceedings[./booktitle="icde"]/author'),
+    ("dblp", "contains", '//article[./title~"twig"]'),
+    ("dblp", "contains", '//article[./title~"xml holistic"]/author'),
+    ("dblp", "range", "//article[./year[.>=2005]]/title"),
+    ("dblp", "negation", "//article[not(./pages)]"),
+    ("xmark", "structural", "//item/name"),
+    ("xmark", "structural", "//person[./address/city][./profile]"),
+    ("xmark", "structural", "//open_auction[.//bidder/increase]//date"),
+    ("xmark", "equality", '//item[./location="china"]/name'),
+    ("xmark", "range", "//open_auction[./current[.>=250]]"),
+]
+
+
+def test_e12_estimation_accuracy(dblp_db, xmark_db, benchmark, capsys):
+    rows = []
+    errors_by_class: dict[str, list[float]] = {}
+    for corpus, query_class, query in WORKLOAD:
+        db = dblp_db if corpus == "dblp" else xmark_db
+        pattern = db.parse_query(query)
+        estimate = estimate_cardinality(pattern, db.guide, db.term_index)
+        actual = len(db.matches(pattern))
+        error = q_error(estimate, actual)
+        errors_by_class.setdefault(query_class, []).append(error)
+        rows.append(
+            [corpus, query_class, query[:42], round(estimate, 1), actual, error]
+        )
+
+    pattern = dblp_db.parse_query("//inproceedings[./author][./booktitle]")
+    benchmark(
+        lambda: estimate_cardinality(pattern, dblp_db.guide, dblp_db.term_index)
+    )
+
+    summary = [
+        [query_class, round(statistics.median(errors), 2), round(max(errors), 2)]
+        for query_class, errors in sorted(errors_by_class.items())
+    ]
+
+    with capsys.disabled():
+        print_table(
+            ["corpus", "class", "query", "estimate", "actual", "q_error"],
+            rows,
+            title="\nE12: cardinality estimation accuracy",
+        )
+        print_table(
+            ["class", "median_q_error", "max_q_error"],
+            summary,
+            title="per-class summary",
+        )
+
+    # Shape checks.
+    structural = errors_by_class["structural"]
+    assert statistics.median(structural) < 1.2
+    assert statistics.median(errors_by_class["equality"]) < 2.0
+    # Everything stays within two orders of magnitude — usable for
+    # planning even on the hard classes.
+    assert max(max(errors) for errors in errors_by_class.values()) < 100
+
+    # Estimation is orders of magnitude cheaper than evaluation.
+    estimate_time = time_call(
+        lambda: estimate_cardinality(pattern, dblp_db.guide, dblp_db.term_index)
+    )
+    evaluate_time = time_call(
+        lambda: dblp_db.matches(pattern, stats=None, prune_streams=False)
+    )
+    with capsys.disabled():
+        print(
+            f"\nestimate {estimate_time*1000:.3f} ms vs first evaluation"
+            f" ~{evaluate_time*1000:.3f} ms (cached thereafter)"
+        )

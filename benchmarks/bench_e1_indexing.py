@@ -1,0 +1,96 @@
+"""E1 (Table): index construction time and index sizes vs document size.
+
+Regenerates the feasibility table in EXPERIMENTS.md: for each corpus size,
+the wall-clock cost of each build stage (parse, label, term index,
+completion index) and the resulting structure sizes.  The expected shape:
+every stage scales roughly linearly with element count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import print_table
+from repro.datasets import generate_dblp_xml
+from repro.index.completion_index import CompletionIndex
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.xmlio.builder import parse_string
+
+from conftest import DBLP_SIZES
+
+
+def _build_stages(xml_text: str) -> dict[str, float]:
+    timings: dict[str, float] = {}
+    started = time.perf_counter()
+    document = parse_string(xml_text)
+    timings["parse_s"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    labeled = label_document(document)
+    timings["label_s"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    term_index = TermIndex(labeled)
+    timings["terms_s"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    CompletionIndex(labeled, term_index)
+    timings["completion_s"] = time.perf_counter() - started
+
+    timings["elements"] = len(labeled)
+    timings["paths"] = len(labeled.guide)
+    timings["terms"] = sum(1 for _ in term_index.vocabulary())
+    return timings
+
+
+def test_e1_index_construction_table(benchmark, capsys):
+    """Full build timed per stage across corpus sizes."""
+    xml_by_size = {
+        size: generate_dblp_xml(publications=size, seed=42) for size in DBLP_SIZES
+    }
+
+    rows = []
+    for size in DBLP_SIZES:
+        stages = _build_stages(xml_by_size[size])
+        total = sum(
+            stages[key] for key in ("parse_s", "label_s", "terms_s", "completion_s")
+        )
+        rows.append(
+            [
+                size,
+                stages["elements"],
+                stages["parse_s"],
+                stages["label_s"],
+                stages["terms_s"],
+                stages["completion_s"],
+                total,
+                stages["paths"],
+                stages["terms"],
+            ]
+        )
+
+    # pytest-benchmark timing on the mid-size corpus.
+    benchmark(_build_stages, xml_by_size[DBLP_SIZES[1]])
+
+    with capsys.disabled():
+        print_table(
+            [
+                "publications",
+                "elements",
+                "parse_s",
+                "label_s",
+                "terms_s",
+                "completion_s",
+                "total_s",
+                "distinct_paths",
+                "distinct_terms",
+            ],
+            rows,
+            title="\nE1: index construction vs corpus size (DBLP-like)",
+        )
+
+    # Shape check: build time grows roughly linearly, not quadratically.
+    small_total, large_total = rows[0][6], rows[-1][6]
+    size_ratio = rows[-1][1] / rows[0][1]
+    assert large_total / max(small_total, 1e-9) < size_ratio * 4

@@ -1,0 +1,74 @@
+"""E2 (Figure): autocompletion latency vs prefix length and corpus size.
+
+Regenerates the "on-the-fly" figure: one series per corpus size, median
+completion latency (tag and value) as the typed prefix grows.  Expected
+shape: sub-millisecond-to-few-ms latencies that *drop* (or stay flat) as
+the prefix lengthens — longer prefixes reach smaller trie subtrees.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from repro.bench.harness import print_table
+from repro.twig.parse import parse_twig
+
+from conftest import DBLP_SIZES
+
+PREFIX_LENGTHS = (0, 1, 2, 3, 4)
+PROBES_PER_POINT = 30
+
+
+def _value_prefixes(db, rng: random.Random, length: int) -> list[str]:
+    values = [value for value in db.term_index.values() if len(value) >= length]
+    picks = rng.sample(values, min(PROBES_PER_POINT, len(values)))
+    return [value[:length] for value in picks]
+
+
+def _median_latency(fn, inputs) -> float:
+    samples = []
+    for value in inputs:
+        started = time.perf_counter()
+        fn(value)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples) if samples else 0.0
+
+
+def test_e2_completion_latency_series(dblp_dbs, benchmark, capsys):
+    rng = random.Random(13)
+    rows = []
+    for size in DBLP_SIZES:
+        db = dblp_dbs[size]
+        pattern = parse_twig("//article/author")
+        author_node = pattern.root.children[0]
+        for length in PREFIX_LENGTHS:
+            prefixes = _value_prefixes(db, rng, length)
+            value_latency = _median_latency(
+                lambda p: db.complete_value(pattern, author_node, p, k=10),
+                prefixes,
+            )
+            tag_latency = _median_latency(
+                lambda p: db.complete_tag(pattern, pattern.root, p[:length], k=10),
+                prefixes,
+            )
+            rows.append(
+                [size, length, value_latency * 1000, tag_latency * 1000]
+            )
+
+    db = dblp_dbs[DBLP_SIZES[-1]]
+    pattern = parse_twig("//article/author")
+    benchmark(
+        lambda: db.complete_value(pattern, pattern.root.children[0], "jo", k=10)
+    )
+
+    with capsys.disabled():
+        print_table(
+            ["publications", "prefix_len", "value_ms", "tag_ms"],
+            rows,
+            title="\nE2: completion latency vs prefix length (series per size)",
+        )
+
+    # Shape check: every completion is interactive (well under 100 ms).
+    assert all(row[2] < 100 and row[3] < 100 for row in rows)

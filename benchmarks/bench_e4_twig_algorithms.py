@@ -1,0 +1,105 @@
+"""E4 (Figure): twig matching time across algorithms and query classes.
+
+Regenerates the algorithm-comparison figure: evaluation time of the naive
+tree-search baseline, binary structural joins, PathStack (paths only), and
+holistic TwigStack, per query class (path / flat twig / deep twig), on the
+XMark-like corpus, across corpus sizes.
+
+Expected shape (see the honest-findings note in EXPERIMENTS.md): the
+label-based algorithms beat naive tree navigation consistently — binary
+structural joins by a wide margin — while TwigStack pays a Python-level
+per-element overhead for its bounded intermediate results; *that* benefit
+is measured directly in E5.  All algorithms must agree on every answer.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import print_table, time_call
+from repro.bench.workloads import XMARK_QUERIES
+from repro.twig.algorithms.common import build_streams
+from repro.twig.algorithms.naive import naive_match
+from repro.twig.algorithms.path_stack import path_stack_match
+from repro.twig.algorithms.structural_join import structural_join_match
+from repro.twig.algorithms.twig_stack import twig_stack_match
+
+from conftest import XMARK_SIZES
+
+#: Naive re-walks subtrees per query node; cap where it still finishes fast.
+NAIVE_SIZE_CAP = XMARK_SIZES[-1]
+
+
+def _times_for(db, query, include_naive):
+    pattern = query.pattern()
+    streams = build_streams(pattern, db.streams)
+    times = {
+        "join": time_call(lambda: structural_join_match(pattern, streams)),
+        "twig": time_call(lambda: twig_stack_match(pattern, streams)),
+    }
+    counts = {
+        "join": len(structural_join_match(pattern, streams)),
+        "twig": len(twig_stack_match(pattern, streams)),
+    }
+    if pattern.is_path():
+        times["path"] = time_call(lambda: path_stack_match(pattern, streams))
+        counts["path"] = len(path_stack_match(pattern, streams))
+    if include_naive:
+        times["naive"] = time_call(
+            lambda: naive_match(pattern, db.labeled, db.term_index), repeats=1
+        )
+        counts["naive"] = len(naive_match(pattern, db.labeled, db.term_index))
+    assert len(set(counts.values())) == 1, f"algorithms disagree on {query.name}"
+    return times, counts["twig"]
+
+
+def test_e4_algorithm_comparison(xmark_dbs, benchmark, capsys):
+    rows = []
+    for size in XMARK_SIZES:
+        db = xmark_dbs[size]
+        for query in XMARK_QUERIES:
+            include_naive = size <= NAIVE_SIZE_CAP
+            times, match_count = _times_for(db, query, include_naive)
+            rows.append(
+                [
+                    size,
+                    query.name,
+                    query.query_class,
+                    match_count,
+                    times.get("naive", float("nan")) * 1000,
+                    times["join"] * 1000,
+                    times.get("path", float("nan")) * 1000,
+                    times["twig"] * 1000,
+                ]
+            )
+
+    db = xmark_dbs[XMARK_SIZES[-1]]
+    deep = next(q for q in XMARK_QUERIES if q.query_class == "deep-twig")
+    pattern = deep.pattern()
+    streams = build_streams(pattern, db.streams)
+    benchmark(lambda: twig_stack_match(pattern, streams))
+
+    with capsys.disabled():
+        print_table(
+            [
+                "items",
+                "query",
+                "class",
+                "matches",
+                "naive_ms",
+                "join_ms",
+                "pathstack_ms",
+                "twigstack_ms",
+            ],
+            rows,
+            title="\nE4: matching time per algorithm (nan = not applicable)",
+        )
+
+    # Shape checks on the largest corpus.
+    large_rows = [row for row in rows if row[0] == XMARK_SIZES[-1]]
+    # Binary structural joins over labeled streams beat naive navigation
+    # decisively, in aggregate and on (almost) every query.
+    naive_total = sum(row[4] for row in large_rows)
+    join_total = sum(row[5] for row in large_rows)
+    assert join_total * 3 < naive_total
+    assert sum(1 for row in large_rows if row[5] < row[4]) >= len(large_rows) - 1
+    # Every algorithm stays interactive on every workload query.
+    assert all(max(row[5], row[7]) < 1000 for row in large_rows)

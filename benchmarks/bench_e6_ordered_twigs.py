@@ -1,0 +1,78 @@
+"""E6 (Table): order-sensitive twig queries — correctness and overhead.
+
+The abstract claims support for "order sensitive queries".  For each
+workload twig we evaluate the unordered and the ordered variant and report
+match counts and evaluation-time overhead.  Expected shape: ordered
+matching returns a subset of the unordered answers at single-digit-percent
+to low-multiple overhead (the order check prunes during the merge phase).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import print_table, time_call
+from repro.bench.workloads import ORDERED_QUERIES
+from repro.twig.algorithms.common import build_streams
+from repro.twig.algorithms.twig_stack import twig_stack_match
+from repro.twig.match import satisfies_order
+
+
+def test_e6_ordered_overhead(dblp_db, benchmark, capsys):
+    rows = []
+    for query in ORDERED_QUERIES:
+        unordered = query.pattern()
+        ordered = query.pattern()
+        ordered.ordered = True
+
+        unordered_streams = build_streams(unordered, dblp_db.streams)
+        ordered_streams = build_streams(ordered, dblp_db.streams)
+
+        unordered_matches = twig_stack_match(unordered, unordered_streams)
+        ordered_matches = twig_stack_match(ordered, ordered_streams)
+
+        # Correctness: the ordered answer is exactly the order-satisfying
+        # subset of the unordered answer.
+        expected = [
+            match for match in unordered_matches if satisfies_order(ordered, match)
+        ]
+        assert sorted(m.key() for m in ordered_matches) == sorted(
+            m.key() for m in expected
+        )
+
+        unordered_time = time_call(
+            lambda: twig_stack_match(unordered, unordered_streams)
+        )
+        ordered_time = time_call(lambda: twig_stack_match(ordered, ordered_streams))
+        overhead = (ordered_time - unordered_time) / unordered_time * 100
+        rows.append(
+            [
+                query.name,
+                len(unordered_matches),
+                len(ordered_matches),
+                unordered_time * 1000,
+                ordered_time * 1000,
+                f"{overhead:+.0f}%",
+            ]
+        )
+
+    pattern = ORDERED_QUERIES[0].pattern()
+    pattern.ordered = True
+    streams = build_streams(pattern, dblp_db.streams)
+    benchmark(lambda: twig_stack_match(pattern, streams))
+
+    with capsys.disabled():
+        print_table(
+            [
+                "query",
+                "unordered_matches",
+                "ordered_matches",
+                "unordered_ms",
+                "ordered_ms",
+                "overhead",
+            ],
+            rows,
+            title="\nE6: order-sensitive twig queries (DBLP-like corpus)",
+        )
+
+    # Shape checks: ordering only filters, and never explodes cost.
+    assert all(row[2] <= row[1] for row in rows)
+    assert all(row[4] < row[3] * 3 for row in rows)

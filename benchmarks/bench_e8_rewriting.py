@@ -1,0 +1,99 @@
+"""E8 (Table): query rewriting effectiveness on broken queries.
+
+Takes working DBLP-like queries and *breaks* them the way users do —
+wrong tag names, wrong axis assumptions, misspelled values — then measures
+how often the rewrite engine recovers answers, at what penalty, and how
+many candidate rewrites it had to evaluate.
+
+Expected shape: high recovery rate (most breakages are one cheap
+relaxation away), penalties concentrated at 1–3, small evaluation counts.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import print_table, time_call
+
+#: (name, broken query, what's wrong with it)
+BROKEN_QUERIES = [
+    ("wrong-tag", "//article/writer", "'writer' should be 'author'"),
+    ("wrong-tag-2", "//inproceedings/conference", "'conference' should be 'booktitle'"),
+    ("wrong-axis", "//dblp/author", "authors are nested one record level deeper"),
+    ("wrong-root", "//paper/title", "'paper' is not a DBLP record tag"),
+    (
+        "bad-value",
+        '//article[./journal="journal of nothing"]/title',
+        "no such journal value",
+    ),
+    (
+        "impossible-combo",
+        "//article[./booktitle]/title",
+        "articles have journals, not booktitles",
+    ),
+    (
+        "overconstrained",
+        '//article[./year[.>=2011]][./journal="tods"][./title~"nonexistentword"]',
+        "one predicate can never hold",
+    ),
+]
+
+
+def test_e8_rewriting_recovery(dblp_db, benchmark, capsys):
+    rows = []
+    recovered = 0
+    for name, query, _ in BROKEN_QUERIES:
+        pattern = dblp_db.parse_query(query)
+        assert dblp_db.matches(pattern) == [], f"{name} should start broken"
+
+        outcome = dblp_db.rewriter.search_with_rewrites(
+            pattern, lambda p: dblp_db.matches(p)
+        )
+        elapsed = time_call(
+            lambda: dblp_db.rewriter.search_with_rewrites(
+                pattern, lambda p: dblp_db.matches(p)
+            ),
+            repeats=1,
+        )
+        if outcome.found_any:
+            recovered += 1
+            candidate, matches = outcome.best()
+            rows.append(
+                [
+                    name,
+                    "yes",
+                    candidate.penalty,
+                    len(candidate.steps),
+                    len(matches),
+                    outcome.evaluated,
+                    elapsed * 1000,
+                ]
+            )
+        else:
+            rows.append(
+                [name, "no", "-", "-", 0, outcome.evaluated, elapsed * 1000]
+            )
+
+    pattern = dblp_db.parse_query(BROKEN_QUERIES[0][1])
+    benchmark(
+        lambda: dblp_db.rewriter.search_with_rewrites(
+            pattern, lambda p: dblp_db.matches(p)
+        )
+    )
+
+    with capsys.disabled():
+        print_table(
+            [
+                "breakage",
+                "recovered",
+                "penalty",
+                "steps",
+                "answers",
+                "patterns_evaluated",
+                "latency_ms",
+            ],
+            rows,
+            title="\nE8: rewrite recovery on broken DBLP queries",
+        )
+        print(f"recovery rate: {recovered}/{len(BROKEN_QUERIES)}")
+
+    # Shape check: the engine recovers the large majority of breakages.
+    assert recovered >= len(BROKEN_QUERIES) - 1

@@ -1,0 +1,45 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Corpora are built once per session.  Sizes are chosen so the whole bench
+suite runs in a few minutes on a laptop while still showing the asymptotic
+shapes (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dblp, generate_xmark
+from repro.engine.database import LotusXDatabase
+
+#: Publication counts for DBLP-like scaling experiments.
+DBLP_SIZES = (200, 500, 1000, 2000)
+
+#: Item counts for XMark-like scaling experiments.
+XMARK_SIZES = (50, 100, 200)
+
+
+@pytest.fixture(scope="session")
+def dblp_dbs() -> dict[int, LotusXDatabase]:
+    return {
+        size: LotusXDatabase(generate_dblp(publications=size, seed=42))
+        for size in DBLP_SIZES
+    }
+
+
+@pytest.fixture(scope="session")
+def xmark_dbs() -> dict[int, LotusXDatabase]:
+    return {
+        size: LotusXDatabase(generate_xmark(items=size, seed=7))
+        for size in XMARK_SIZES
+    }
+
+
+@pytest.fixture(scope="session")
+def dblp_db(dblp_dbs) -> LotusXDatabase:
+    return dblp_dbs[1000]
+
+
+@pytest.fixture(scope="session")
+def xmark_db(xmark_dbs) -> LotusXDatabase:
+    return xmark_dbs[100]

@@ -1,0 +1,72 @@
+"""The LotusX demo flow, scripted: build a twig node by node with
+position-aware candidates at every step.
+
+This is exactly what the GUI does behind the canvas — every gesture is a
+:class:`repro.engine.session.QueryBuilderSession` method.
+
+Run with::
+
+    python examples/autocomplete_session.py
+"""
+
+from repro import LotusXDatabase, QueryBuilderSession
+from repro.datasets import generate_dblp
+
+
+def show(step: str, candidates) -> None:
+    print(f"\n{step}")
+    for candidate in candidates[:6]:
+        paths = f"  e.g. {candidate.sample_paths[0]}" if candidate.sample_paths else ""
+        print(f"   {candidate.text:22} x{candidate.count}{paths}")
+
+
+def main() -> None:
+    database = LotusXDatabase(generate_dblp(publications=500, seed=42))
+    session = QueryBuilderSession(database)
+
+    # The user drops the first node and types "in..."
+    show(
+        'user types "in" for the first node:',
+        session.suggest_tags(prefix="in"),
+    )
+    record = session.add_node("inproceedings")
+
+    # Attaching a child — only tags that occur under inproceedings appear.
+    show(
+        "user opens a child edge under <inproceedings>:",
+        session.suggest_tags(parent_id=record),
+    )
+    venue = session.add_node("booktitle", parent_id=record)
+
+    # Typing a value — candidates come from booktitle values only.
+    show(
+        'user types "i" into the booktitle node:',
+        session.suggest_values(venue, "i"),
+    )
+    session.set_predicate(venue, "=", "icde")
+
+    # Another branch; the live counter updates after every gesture.
+    author = session.add_node("author", parent_id=record)
+    session.set_output(author)
+    print("\ncurrent twig:", session.query_text())
+    print("equivalent XPath:", session.to_xpath())
+    print("live result counter:", session.preview_count())
+
+    # Narrow by author-name prefix using value completion.
+    show(
+        'user types "j" into the author node:',
+        session.suggest_values(author, "j"),
+    )
+    candidates = session.suggest_values(author, "j")
+    if candidates:
+        session.set_predicate(author, "~", candidates[0].text.split()[0])
+
+    print("\nfinal twig:", session.query_text())
+    response = session.run(k=5)
+    print(f"{response.total_matches} results:")
+    for hit in response:
+        print(f"  {hit.xpath}: {hit.snippet}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Schema-free keyword search (SLCA semantics).
+
+The complement to twig search: the user types nothing but words, and the
+engine returns the *smallest* elements whose subtree contains all of them
+— so "jiaheng twig" meets at a publication record, not at the whole
+bibliography.
+
+Run with::
+
+    python examples/keyword_search.py
+"""
+
+from repro import LotusXDatabase
+from repro.datasets import generate_dblp
+
+
+def main() -> None:
+    database = LotusXDatabase(generate_dblp(publications=800, seed=42))
+    print("Indexed:", database)
+
+    for query in [
+        "holistic twig",
+        "xml ranking lu",
+        "icde position aware",
+        "dewey labeling 2005",
+    ]:
+        response = database.keyword_search(query, k=5)
+        print(f"\n=== keywords: {query!r}  (terms used: {list(response.terms)})")
+        print(f"    {response.total_slcas} smallest answers")
+        for rank, hit in enumerate(response, start=1):
+            data = hit.as_dict()
+            print(
+                f"    {rank}. [{data['score']:.3f}] <{data['tag']}>"
+                f" {data['xpath']}"
+            )
+            print(f"       {data['snippet'][:90]}")
+
+    # Conjunctive semantics: adding terms shrinks and *raises* answers.
+    print("\n=== conjunctive semantics ===")
+    for query in ["twig", "twig holistic", "twig holistic ranking"]:
+        response = database.keyword_search(query, k=3)
+        depths = [hit.element.level for hit in response]
+        print(
+            f"  {query!r:32} -> {response.total_slcas:4} answers,"
+            f" depths {depths}"
+        )
+
+
+if __name__ == "__main__":
+    main()

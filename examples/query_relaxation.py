@@ -1,0 +1,52 @@
+"""Query rewriting: how LotusX recovers answers for broken queries.
+
+Users guess wrong tag names, wrong nesting, and values that don't exist.
+This example breaks queries in each of those ways and shows the rewrite
+engine's repairs, penalties, and the effect on result ranking.
+
+Run with::
+
+    python examples/query_relaxation.py
+"""
+
+from repro import LotusXDatabase
+from repro.datasets import generate_dblp
+
+BROKEN = [
+    ("//article/writer", "wrong tag: 'writer' is not in the schema"),
+    ("//dblp/author", "wrong nesting: authors live one level deeper"),
+    ('//article[./journal="journal of dreams"]/title', "value doesn't occur"),
+    ("//article[./booktitle]/title", "field from the wrong record type"),
+]
+
+
+def main() -> None:
+    database = LotusXDatabase(generate_dblp(publications=500, seed=42))
+
+    for query, why in BROKEN:
+        print(f"\n=== {query}")
+        print(f"    ({why})")
+        exact = database.search(query, rewrite=False)
+        print(f"    without rewriting: {exact.total_matches} matches")
+
+        response = database.search(query, k=3)
+        print(
+            f"    with rewriting:    {response.total_matches} matches"
+            f" after trying {response.rewrites_tried} rewrites"
+        )
+        for hit in response:
+            print(f"      [{hit.score.combined:.3f}] {hit.xpath}")
+            print(f"        repaired query: {hit.source_query}")
+            for step in hit.rewrite_steps:
+                print(f"        - {step}")
+
+    # The raw rewrite machinery is also available directly.
+    print("\n=== raw rewrite candidates for //article/writer (cheapest first)")
+    pattern = database.parse_query("//article/writer")
+    for candidate in database.rewriter.candidates(pattern)[:8]:
+        print(f"  penalty {candidate.penalty:>4}: {candidate.pattern}")
+        print(f"    via {candidate.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: index a corpus, search it, and peek at every major feature.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import LotusXDatabase
+from repro.datasets import generate_books
+
+
+def main() -> None:
+    # 1. Build a database from any XML document.  Here we use the bundled
+    #    bookstore generator; LotusXDatabase.from_file works on your files.
+    database = LotusXDatabase(generate_books(books=60, seed=3))
+    print("Indexed:", database)
+    print("Statistics:", database.statistics().as_dict())
+
+    # 2. Ranked search with the textual twig syntax.
+    print("\n--- search: fantasy books about xml ---")
+    response = database.search('//book[./genre="fantasy"][./title~"xml"]')
+    for rank, hit in enumerate(response, start=1):
+        print(f"{rank}. [{hit.score.combined:.3f}] {hit.xpath}")
+        print(f"   {hit.snippet}")
+
+    # 3. If a query has no answers, LotusX rewrites it automatically.
+    print("\n--- search with an impossible predicate (watch the rewrite) ---")
+    response = database.search('//book[./genre="steampunk"]/title')
+    print(
+        f"found {response.total_matches} matches,"
+        f" rewrites used: {response.used_rewrites}"
+    )
+    for hit in response.results[:3]:
+        print(f"  {hit.xpath}  via: {'; '.join(hit.rewrite_steps)}")
+
+    # 4. Position-aware autocompletion: what can occur under <book>?
+    print("\n--- tag candidates under //book ---")
+    pattern = database.parse_query("//book")
+    for candidate in database.complete_tag(pattern, pattern.root, prefix=""):
+        print(f"  {candidate.text:15} x{candidate.count}")
+
+    # 5. Value completion at a position.
+    print("\n--- genre values starting with 's' ---")
+    genre_pattern = database.parse_query("//book/genre")
+    genre_node = genre_pattern.root.children[0]
+    for candidate in database.complete_value(genre_pattern, genre_node, "s"):
+        print(f"  {candidate.text:20} x{candidate.count}")
+
+    # 6. Export the query for external engines.
+    query = '//book[./price[.<20]][./genre="poetry"]/title'
+    print("\n--- translation ---")
+    print("twig:  ", query)
+    print("xpath: ", database.to_xpath(query))
+    print("xquery:", database.to_xquery(query).replace("\n", " | "))
+
+
+if __name__ == "__main__":
+    main()

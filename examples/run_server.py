@@ -1,0 +1,31 @@
+"""Launch the LotusX web GUI on a generated corpus.
+
+Run with::
+
+    python examples/run_server.py [port]
+
+then open http://127.0.0.1:8080/ — type a twig query, press Ctrl+Space
+for position-aware completion, Enter to search.
+"""
+
+import sys
+
+from repro import LotusXDatabase
+from repro.datasets import generate_dblp
+from repro.server.app import serve
+
+
+def main() -> None:
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 8080
+    print("Generating and indexing a 1000-publication DBLP-like corpus...")
+    database = LotusXDatabase(generate_dblp(publications=1000, seed=42))
+    print("Ready:", database.statistics().as_dict())
+    print(f"Serving http://127.0.0.1:{port}/  (Ctrl-C to stop)")
+    try:
+        serve(database, port=port)
+    except KeyboardInterrupt:
+        print("\nbye")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline.
+
+The environment has setuptools but no `wheel` package, so PEP 517 editable
+installs (which build a wheel) fail.  All real metadata lives in
+pyproject.toml; this file only exists for the legacy develop-mode path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Position-aware autocompletion: query-context analysis, candidate
+generation, and candidate scoring."""
+
+from repro.autocomplete.candidates import Candidate, CandidateKind
+from repro.autocomplete.context import candidate_positions, is_satisfiable
+from repro.autocomplete.engine import AutocompleteEngine
+from repro.autocomplete.examples import ExampleQuery, suggest_example_queries
+from repro.autocomplete.scoring import candidate_score
+
+__all__ = [
+    "AutocompleteEngine",
+    "Candidate",
+    "ExampleQuery",
+    "CandidateKind",
+    "candidate_positions",
+    "candidate_score",
+    "is_satisfiable",
+    "suggest_example_queries",
+]

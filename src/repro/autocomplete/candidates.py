@@ -1,0 +1,39 @@
+"""Candidate objects returned by the autocompletion engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CandidateKind(enum.Enum):
+    """What a completion candidate proposes."""
+
+    TAG = "tag"
+    VALUE = "value"
+    TERM = "term"
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One ranked completion candidate.
+
+    ``count`` is the number of occurrences at the *valid positions* of the
+    query context (so it doubles as a result-cardinality preview), and
+    ``score`` is the engine's ranking score.
+    """
+
+    text: str
+    kind: CandidateKind
+    count: int
+    score: float
+    sample_paths: tuple[str, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict:
+        return {
+            "text": self.text,
+            "kind": self.kind.value,
+            "count": self.count,
+            "score": round(self.score, 4),
+            "sample_paths": list(self.sample_paths),
+        }

@@ -1,0 +1,155 @@
+"""Query-context analysis: where in the document can a twig node match?
+
+Position-awareness starts here.  Given a (partial) twig pattern, every
+query node is mapped to the set of DataGuide path nodes it can possibly
+bind, taking the whole pattern into account:
+
+* **top-down**: a node's positions must extend its parent's positions
+  along the node's axis and tag;
+* **bottom-up**: a position is only kept if *every* child query node has
+  at least one position beneath it.
+
+The fixpoint of the two propagations is exact *with respect to the
+DataGuide*: a path node survives iff some embedding of the pattern into
+the guide maps the query node there.  Because the guide aggregates every
+element sharing a path, this is an **upper bound** on real matches — two
+requirements can each be satisfied at a path without any single element
+satisfying both (the classical path-summary co-occurrence loss).  The
+bound is one-sided: every element a real match binds always sits at a
+surviving position, so completion never hides a valid candidate.
+"""
+
+from __future__ import annotations
+
+from repro.summary.dataguide import DataGuide, PathNode
+from repro.twig.pattern import Axis, QueryNode, TwigPattern
+
+
+def candidate_positions(
+    pattern: TwigPattern, guide: DataGuide, prune: bool = True
+) -> dict[int, set[PathNode]]:
+    """Possible DataGuide positions for every query node of ``pattern``.
+
+    Value predicates are ignored (they constrain values, not positions);
+    an empty set for any node means the pattern is structurally
+    unsatisfiable in this corpus.
+
+    With ``prune=False`` only the top-down propagation runs: a node's set
+    then reflects its own path feasibility, ignoring whether its children
+    can be satisfied below it.  The rewrite engine uses this to locate the
+    *highest broken node* — with full pruning, one impossible leaf empties
+    every set in the pattern.
+    """
+    positions: dict[int, set[PathNode]] = {}
+
+    def tag_ok(node: QueryNode, path_node: PathNode) -> bool:
+        return node.tag is None or node.tag == path_node.tag
+
+    # ------------------------------------------------------------------
+    # Top-down assignment
+    # ------------------------------------------------------------------
+
+    def assign(node: QueryNode) -> None:
+        if node.is_root:
+            if node.axis is Axis.CHILD:
+                pool = list(guide.root_nodes)
+            else:
+                pool = list(guide.iter_nodes())
+            positions[node.node_id] = {p for p in pool if tag_ok(node, p)}
+        else:
+            parent_positions = positions[node.parent.node_id]  # type: ignore[union-attr]
+            found: set[PathNode] = set()
+            for parent_position in parent_positions:
+                if node.axis is Axis.CHILD:
+                    candidates = parent_position.children.values()
+                else:
+                    candidates = (
+                        p
+                        for p in parent_position.iter_subtree()
+                        if p is not parent_position
+                    )
+                found.update(p for p in candidates if tag_ok(node, p))
+            positions[node.node_id] = found
+        for child in node.children:
+            assign(child)
+
+    # ------------------------------------------------------------------
+    # Bottom-up pruning
+    # ------------------------------------------------------------------
+
+    def supported(parent_position: PathNode, child: QueryNode) -> bool:
+        """Does any of the child's positions lie under ``parent_position``
+        along the child's axis?"""
+        child_positions = positions[child.node_id]
+        if child.axis is Axis.CHILD:
+            return any(p.parent is parent_position for p in child_positions)
+        return any(_is_guide_ancestor(parent_position, p) for p in child_positions)
+
+    def prune_up(node: QueryNode) -> bool:
+        """Post-order prune; returns True if anything changed."""
+        changed = False
+        for child in node.children:
+            changed |= prune_up(child)
+        if node.children:
+            kept = {
+                p
+                for p in positions[node.node_id]
+                if all(supported(p, child) for child in node.children)
+            }
+            if kept != positions[node.node_id]:
+                positions[node.node_id] = kept
+                changed = True
+        return changed
+
+    def restrict_down(node: QueryNode) -> bool:
+        """Pre-order: re-restrict children to pruned parent positions."""
+        changed = False
+        for child in node.children:
+            parent_positions = positions[node.node_id]
+            if child.axis is Axis.CHILD:
+                allowed = {
+                    p
+                    for p in positions[child.node_id]
+                    if p.parent in parent_positions
+                }
+            else:
+                allowed = {
+                    p
+                    for p in positions[child.node_id]
+                    if any(_is_guide_ancestor(a, p) for a in parent_positions)
+                }
+            if allowed != positions[child.node_id]:
+                positions[child.node_id] = allowed
+                changed = True
+            changed |= restrict_down(child)
+        return changed
+
+    assign(pattern.root)
+    if prune:
+        # Alternate pruning directions until stable; converges quickly
+        # because sets only shrink.
+        while prune_up(pattern.root) | restrict_down(pattern.root):
+            pass
+    return positions
+
+
+def _is_guide_ancestor(ancestor: PathNode, node: PathNode) -> bool:
+    current = node.parent
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+def is_satisfiable(pattern: TwigPattern, guide: DataGuide) -> bool:
+    """Can the pattern structurally match, as far as the guide can tell?
+
+    A *necessary* condition: False means the pattern definitely has no
+    match; True means no per-path evidence rules it out (the guide cannot
+    see co-occurrence within single elements, so rare guide-satisfiable
+    patterns still return zero matches — the rewrite engine handles those
+    through evaluation, not through this test).
+    """
+    positions = candidate_positions(pattern, guide)
+    return all(positions[node.node_id] for node in pattern.nodes())

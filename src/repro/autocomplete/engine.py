@@ -1,0 +1,199 @@
+"""The position-aware autocompletion engine.
+
+Answers the two questions the LotusX GUI asks while a user builds a twig:
+
+* *tag completion* — "the user is attaching a new node under query node Q
+  with axis A and has typed ``prefix``: which element tags can occur
+  there?"  (:meth:`AutocompleteEngine.complete_tag`)
+* *value completion* — "the user is typing a value into query node Q:
+  which values/terms occur at Q's possible positions?"
+  (:meth:`AutocompleteEngine.complete_value`)
+
+Both are *position-aware*: the candidate pool is first restricted to the
+DataGuide positions consistent with the entire partial twig
+(:func:`~repro.autocomplete.context.candidate_positions`), then ranked.
+The position-blind variants (global tries only) are exposed for the E3
+comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.autocomplete.candidates import Candidate, CandidateKind
+from repro.autocomplete.context import candidate_positions
+from repro.autocomplete.scoring import candidate_score
+from repro.index.completion_index import CompletionIndex
+from repro.summary.dataguide import DataGuide, PathNode
+from repro.summary.paths import format_path
+from repro.twig.pattern import Axis, QueryNode, TwigPattern
+
+#: How many example paths to attach to each candidate.
+_SAMPLE_PATHS = 3
+
+
+class AutocompleteEngine:
+    """Position-aware tag and value completion over one indexed corpus."""
+
+    def __init__(self, guide: DataGuide, completion_index: CompletionIndex) -> None:
+        self._guide = guide
+        self._completions = completion_index
+
+    # ------------------------------------------------------------------
+    # Tag completion
+    # ------------------------------------------------------------------
+
+    def complete_tag(
+        self,
+        pattern: TwigPattern | None,
+        anchor: QueryNode | None,
+        prefix: str = "",
+        axis: Axis = Axis.CHILD,
+        k: int = 10,
+    ) -> list[Candidate]:
+        """Tags valid for a new node attached under ``anchor`` via ``axis``.
+
+        With no pattern (the user is placing the twig's first node), every
+        tag in the corpus is a candidate.  Otherwise the anchor's valid
+        positions are computed from the whole partial pattern and only
+        tags occurring below them (children for ``/``, any descendant for
+        ``//``) are proposed.
+        """
+        normalized = prefix.strip().lower()
+        if pattern is None or anchor is None:
+            pool = {
+                tag: self._guide.tag_count(tag)
+                for tag in self._guide.all_tags()
+                if tag.lower().startswith(normalized)
+            }
+            return self._rank_tags(pool, normalized, k)
+        positions = candidate_positions(pattern, self._guide)
+        anchor_positions = positions.get(anchor.node_id, set())
+        if axis is Axis.CHILD:
+            pool_counts = self._guide.child_tags_of(anchor_positions)
+        else:
+            pool_counts = self._guide.descendant_tags_of(anchor_positions)
+        pool = {
+            tag: count
+            for tag, count in pool_counts.items()
+            if tag.lower().startswith(normalized)
+        }
+        return self._rank_tags(pool, normalized, k, anchor_positions, axis)
+
+    def complete_tag_global(self, prefix: str = "", k: int = 10) -> list[Candidate]:
+        """Position-blind tag completion (baseline for experiment E3)."""
+        normalized = prefix.strip().lower()
+        ranked = self._completions.complete_tag(normalized, k)
+        return [
+            Candidate(
+                text=tag,
+                kind=CandidateKind.TAG,
+                count=count,
+                score=candidate_score(count, normalized, tag),
+            )
+            for tag, count in ranked
+        ]
+
+    def _rank_tags(
+        self,
+        pool: dict[str, int],
+        prefix: str,
+        k: int,
+        anchor_positions: set[PathNode] | None = None,
+        axis: Axis = Axis.CHILD,
+    ) -> list[Candidate]:
+        candidates = []
+        for tag, count in pool.items():
+            samples = self._sample_paths_for_tag(tag, anchor_positions, axis)
+            candidates.append(
+                Candidate(
+                    text=tag,
+                    kind=CandidateKind.TAG,
+                    count=count,
+                    score=candidate_score(count, prefix, tag),
+                    sample_paths=samples,
+                )
+            )
+        candidates.sort(key=lambda c: (-c.score, c.text))
+        return candidates[:k]
+
+    def _sample_paths_for_tag(
+        self,
+        tag: str,
+        anchor_positions: set[PathNode] | None,
+        axis: Axis,
+    ) -> tuple[str, ...]:
+        if anchor_positions is None:
+            nodes = self._guide.nodes_with_tag(tag)
+        else:
+            nodes = []
+            for anchor_position in anchor_positions:
+                if axis is Axis.CHILD:
+                    child = anchor_position.children.get(tag)
+                    if child is not None:
+                        nodes.append(child)
+                else:
+                    nodes.extend(
+                        node
+                        for node in anchor_position.iter_subtree()
+                        if node is not anchor_position and node.tag == tag
+                    )
+        paths = sorted({format_path(node.path) for node in nodes})
+        return tuple(paths[:_SAMPLE_PATHS])
+
+    # ------------------------------------------------------------------
+    # Value completion
+    # ------------------------------------------------------------------
+
+    def complete_value(
+        self,
+        pattern: TwigPattern,
+        node: QueryNode,
+        prefix: str,
+        k: int = 10,
+        whole_values: bool = True,
+    ) -> list[Candidate]:
+        """Values (or single terms) occurring at ``node``'s positions.
+
+        ``whole_values=True`` proposes complete element values (e.g. author
+        names); ``False`` proposes individual text tokens, which is the
+        right mode for long prose fields.
+        """
+        normalized = prefix.strip().lower()
+        positions = candidate_positions(pattern, self._guide)
+        node_positions = positions.get(node.node_id, set())
+        path_ids = [p.node_id for p in node_positions]
+        if whole_values:
+            ranked = self._completions.complete_value_at(path_ids, normalized, k)
+            kind = CandidateKind.VALUE
+        else:
+            ranked = self._completions.complete_token_at(path_ids, normalized, k)
+            kind = CandidateKind.TERM
+        return [
+            Candidate(
+                text=value,
+                kind=kind,
+                count=count,
+                score=candidate_score(count, normalized, value),
+            )
+            for value, count in ranked
+        ]
+
+    def complete_value_global(
+        self, prefix: str, k: int = 10, whole_values: bool = True
+    ) -> list[Candidate]:
+        """Position-blind value completion (baseline for experiment E3)."""
+        normalized = prefix.strip().lower()
+        if whole_values:
+            ranked = self._completions.complete_value_global(normalized, k)
+            kind = CandidateKind.VALUE
+        else:
+            ranked = self._completions.complete_token_global(normalized, k)
+            kind = CandidateKind.TERM
+        return [
+            Candidate(
+                text=value,
+                kind=kind,
+                count=count,
+                score=candidate_score(count, normalized, value),
+            )
+            for value, count in ranked
+        ]

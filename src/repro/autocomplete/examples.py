@@ -1,0 +1,86 @@
+"""Example-query suggestion: the GUI's "try one of these" list.
+
+New users face an empty canvas; the demo seeded it with canned queries.
+We generate them from the corpus itself: frequent text-bearing paths
+become path queries, and their most frequent values become predicate
+examples — every suggestion verified non-empty before it is offered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.completion_index import CompletionIndex
+from repro.summary.dataguide import DataGuide
+
+
+@dataclass(frozen=True, slots=True)
+class ExampleQuery:
+    """One suggested starter query."""
+
+    query: str
+    description: str
+
+    def as_dict(self) -> dict:
+        return {"query": self.query, "description": self.description}
+
+
+def suggest_example_queries(
+    guide: DataGuide,
+    completion_index: CompletionIndex,
+    k: int = 5,
+) -> list[ExampleQuery]:
+    """Up to ``k`` starter queries, most common structures first.
+
+    Deterministic for a given corpus.  Suggestions alternate between a
+    plain path query and a value-predicate variant of the same position,
+    covering distinct record types before repeating one.
+    """
+    text_nodes = [
+        node
+        for node in guide.iter_nodes()
+        if node.text_count > 0 and node.depth >= 2
+    ]
+    text_nodes.sort(key=lambda node: (-node.count, node.path))
+
+    suggestions: list[ExampleQuery] = []
+    seen_queries: set[str] = set()
+    seen_parents: set[tuple[str, ...]] = set()
+
+    def offer(query: str, description: str) -> None:
+        if query not in seen_queries and len(suggestions) < k:
+            seen_queries.add(query)
+            suggestions.append(ExampleQuery(query, description))
+
+    # First pass: one suggestion per distinct parent path (diversity).
+    for node in text_nodes:
+        parent_path = node.path[:-1]
+        if parent_path in seen_parents:
+            continue
+        seen_parents.add(parent_path)
+        parent_tag, tag = node.path[-2], node.tag
+        offer(
+            f"//{parent_tag}/{tag}",
+            f"all {tag} fields of {parent_tag} records ({node.count} results)",
+        )
+        values = completion_index.complete_value_at([node.node_id], "", 1)
+        if values:
+            value, count = values[0]
+            offer(
+                f'//{parent_tag}[./{tag}="{value}"]',
+                f'{parent_tag} records whose {tag} is "{value}"'
+                f" ({count} results)",
+            )
+        if len(suggestions) >= k:
+            break
+
+    # Second pass if the corpus is too uniform to fill k: plain paths.
+    for node in text_nodes:
+        if len(suggestions) >= k:
+            break
+        parent_tag, tag = node.path[-2], node.tag
+        offer(
+            f"//{parent_tag}/{tag}",
+            f"all {tag} fields of {parent_tag} records ({node.count} results)",
+        )
+    return suggestions

@@ -1,0 +1,24 @@
+"""Candidate scoring for autocompletion.
+
+LotusX ranks on-the-fly candidates so the most useful ones surface first.
+The score combines:
+
+* **frequency** — how often the candidate occurs at the valid positions
+  (log-damped so one giant tag doesn't drown everything);
+* **prefix affinity** — how much of the candidate the user has already
+  typed (longer typed prefixes relative to candidate length rank exact
+  and near-exact continuations higher).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def candidate_score(count: int, prefix: str, candidate: str) -> float:
+    """Score one completion candidate; higher is better."""
+    if count <= 0:
+        return 0.0
+    frequency = math.log1p(count)
+    affinity = len(prefix) / len(candidate) if candidate else 0.0
+    return frequency * (1.0 + affinity)

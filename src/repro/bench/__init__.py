@@ -1,0 +1,24 @@
+"""Benchmark support: timing/reporting helpers and canned workloads."""
+
+from repro.bench.harness import format_table, print_table, speedup, time_call
+from repro.bench.workloads import (
+    BLOWUP_QUERIES,
+    DBLP_QUERIES,
+    ORDERED_QUERIES,
+    XMARK_QUERIES,
+    WorkloadQuery,
+    queries_by_class,
+)
+
+__all__ = [
+    "BLOWUP_QUERIES",
+    "DBLP_QUERIES",
+    "ORDERED_QUERIES",
+    "WorkloadQuery",
+    "XMARK_QUERIES",
+    "format_table",
+    "print_table",
+    "queries_by_class",
+    "speedup",
+    "time_call",
+]

@@ -1,0 +1,66 @@
+"""Measurement and reporting helpers shared by all benchmarks.
+
+Each experiment bench prints the table rows / figure series it
+regenerates (see the per-experiment index in DESIGN.md); these helpers
+keep the output format consistent so EXPERIMENTS.md can quote it
+verbatim.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable, Iterable, Sequence
+
+
+def time_call(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    samples: list[float] = []
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table (the benches print these)."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def speedup(baseline: float, improved: float) -> str:
+    """Human-readable speedup factor string (``"12.3x"``)."""
+    if improved <= 0:
+        return "inf"
+    return f"{baseline / improved:.1f}x"

@@ -1,0 +1,86 @@
+"""Canned query workloads per dataset for the experiment benches.
+
+Query classes follow the twig-join literature: linear *paths*, shallow
+*flat twigs* (one branch point), and *deep twigs* (branch points at
+several levels, ancestor-descendant heavy).  Each workload entry names
+the query so tables in EXPERIMENTS.md can reference it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.twig.parse import parse_twig
+from repro.twig.pattern import TwigPattern
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadQuery:
+    """A named benchmark query."""
+
+    name: str
+    text: str
+    query_class: str  # "path" | "flat-twig" | "deep-twig"
+
+    def pattern(self) -> TwigPattern:
+        return parse_twig(self.text)
+
+
+#: Queries over the DBLP-like corpus.
+DBLP_QUERIES: tuple[WorkloadQuery, ...] = (
+    WorkloadQuery("D-P1", "//article/author", "path"),
+    WorkloadQuery("D-P2", "//dblp//author", "path"),
+    WorkloadQuery("D-P3", "//book/editor", "path"),
+    WorkloadQuery("D-T1", "//article[./author][./year]", "flat-twig"),
+    WorkloadQuery("D-T2", "//inproceedings[./booktitle][./author]/title", "flat-twig"),
+    WorkloadQuery(
+        "D-T3", '//article[./title~"xml"][year>=2005]/author', "flat-twig"
+    ),
+    WorkloadQuery(
+        "D-D1", "//dblp[.//article[./author][./year]][.//book/publisher]", "deep-twig"
+    ),
+    WorkloadQuery(
+        "D-D2", "//*[./title][./author][./year]", "deep-twig"
+    ),
+)
+
+#: Queries over the XMark-like corpus (deeper structure).
+XMARK_QUERIES: tuple[WorkloadQuery, ...] = (
+    WorkloadQuery("X-P1", "//item/name", "path"),
+    WorkloadQuery("X-P2", "//regions//item//text", "path"),
+    WorkloadQuery("X-P3", "//person/profile/interest", "path"),
+    WorkloadQuery("X-T1", "//item[./location][./quantity]/name", "flat-twig"),
+    WorkloadQuery("X-T2", "//person[./address/city][./profile]", "flat-twig"),
+    WorkloadQuery(
+        "X-D1", "//open_auction[.//bidder/increase][.//seller]//date", "deep-twig"
+    ),
+    WorkloadQuery(
+        "X-D2",
+        "//item[./description//text][./quantity[.>=5]]/name",
+        "deep-twig",
+    ),
+    WorkloadQuery("X-D3", "//item[.//listitem//text]/name", "deep-twig"),
+)
+
+#: AD-heavy twigs where binary joins produce large intermediate results
+#: (experiment E5).
+BLOWUP_QUERIES: tuple[WorkloadQuery, ...] = (
+    WorkloadQuery("B-1", "//site//item[.//text]", "deep-twig"),
+    WorkloadQuery("B-2", "//regions//item//description//text", "path"),
+    WorkloadQuery("B-3", "//open_auction[.//date][.//increase]", "flat-twig"),
+    WorkloadQuery("B-4", "//site[.//name][.//date]", "flat-twig"),
+)
+
+#: Ordered variants for experiment E6 (unordered text, ordered flag added
+#: by the bench).
+ORDERED_QUERIES: tuple[WorkloadQuery, ...] = (
+    WorkloadQuery("O-1", "//article[./title][./author][./year]", "flat-twig"),
+    WorkloadQuery("O-2", "//inproceedings[./author][./booktitle]", "flat-twig"),
+    WorkloadQuery("O-3", "//book[./title][./year]", "flat-twig"),
+)
+
+
+def queries_by_class(
+    queries: tuple[WorkloadQuery, ...], query_class: str
+) -> list[WorkloadQuery]:
+    return [query for query in queries if query.query_class == query_class]

@@ -1,0 +1,304 @@
+"""The ``lotusx`` command-line interface.
+
+Subcommands::
+
+    lotusx generate dblp --size 1000 --seed 42 -o dblp.xml
+    lotusx stats dblp.xml
+    lotusx search dblp.xml '//article[./title~"twig"]/author' -k 5
+    lotusx complete dblp.xml --query '//article' --prefix t
+    lotusx keyword dblp.xml 'jiaheng twig' --semantics elca
+    lotusx examples dblp.xml
+    lotusx samples dblp.xml --count 10
+    lotusx explain dblp.xml '//article/author'
+    lotusx profile dblp.xml '//article[./author][./year]'
+    lotusx schema dblp.xml
+    lotusx save dblp.xml ./dblp.store
+    lotusx serve dblp.xml --port 8080
+
+Global flag: ``--expand-attributes`` indexes attributes as queryable
+``@name`` nodes for every corpus-reading subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.engine.database import LotusXDatabase
+from repro.twig.parse import TwigSyntaxError
+from repro.twig.planner import Algorithm
+from repro.xmlio.errors import XMLError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lotusx",
+        description="LotusX: position-aware XML twig search with auto-completion",
+    )
+    parser.add_argument(
+        "--expand-attributes",
+        action="store_true",
+        help="index attributes as queryable @name nodes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("dataset", choices=["dblp", "xmark", "books", "treebank"])
+    generate.add_argument("--size", type=int, default=1000, help="record count")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("-o", "--output", default="-", help="file or - for stdout")
+
+    stats = sub.add_parser("stats", help="print corpus statistics")
+    stats.add_argument("corpus", help="XML file to index")
+
+    search = sub.add_parser("search", help="ranked twig search")
+    search.add_argument("corpus")
+    search.add_argument("query", help="twig query text")
+    search.add_argument("-k", type=int, default=10, help="results to show")
+    search.add_argument(
+        "--algorithm",
+        choices=[algorithm.value for algorithm in Algorithm],
+        default=Algorithm.AUTO.value,
+    )
+    search.add_argument(
+        "--no-rewrite", action="store_true", help="disable query rewriting"
+    )
+    search.add_argument("--json", action="store_true", help="JSON output")
+
+    complete = sub.add_parser("complete", help="autocompletion candidates")
+    complete.add_argument("corpus")
+    complete.add_argument(
+        "--query", default="", help="partial twig (empty = first node)"
+    )
+    complete.add_argument("--node", type=int, default=None, help="anchor node index")
+    complete.add_argument("--prefix", default="", help="typed prefix")
+    complete.add_argument(
+        "--values", action="store_true", help="complete values instead of tags"
+    )
+    complete.add_argument(
+        "--axis", choices=["/", "//"], default="/", help="edge type for new tag"
+    )
+    complete.add_argument("-k", type=int, default=10)
+
+    keyword = sub.add_parser("keyword", help="schema-free SLCA keyword search")
+    keyword.add_argument("corpus")
+    keyword.add_argument("query", help="keywords, e.g. 'jiaheng twig'")
+    keyword.add_argument("-k", type=int, default=10)
+    keyword.add_argument(
+        "--semantics", choices=["slca", "elca"], default="slca"
+    )
+
+    explain = sub.add_parser("explain", help="show the evaluation plan")
+    explain.add_argument("corpus")
+    explain.add_argument("query")
+
+    profile = sub.add_parser(
+        "profile", help="time the query under every applicable algorithm"
+    )
+    profile.add_argument("corpus")
+    profile.add_argument("query")
+    profile.add_argument("--repeats", type=int, default=3)
+
+    examples = sub.add_parser(
+        "examples", help="suggest verified starter queries for a corpus"
+    )
+    examples.add_argument("corpus")
+    examples.add_argument("-k", type=int, default=5)
+
+    samples = sub.add_parser(
+        "samples", help="sample random satisfiable twig queries (workloads)"
+    )
+    samples.add_argument("corpus")
+    samples.add_argument("--count", type=int, default=10)
+    samples.add_argument("--seed", type=int, default=42)
+    samples.add_argument("--max-nodes", type=int, default=5)
+
+    schema = sub.add_parser("schema", help="print the inferred DTD-like schema")
+    schema.add_argument("corpus")
+
+    save = sub.add_parser("save", help="persist an indexed corpus to a directory")
+    save.add_argument("corpus")
+    save.add_argument("directory")
+
+    serve = sub.add_parser("serve", help="run the web GUI / JSON API")
+    serve.add_argument("corpus")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (TwigSyntaxError, XMLError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "generate":
+        return _cmd_generate(args)
+    database = LotusXDatabase.from_file(
+        args.corpus, expand_attributes=args.expand_attributes
+    )
+    if args.command == "stats":
+        return _cmd_stats(database)
+    if args.command == "search":
+        return _cmd_search(database, args)
+    if args.command == "complete":
+        return _cmd_complete(database, args)
+    if args.command == "keyword":
+        return _cmd_keyword(database, args)
+    if args.command == "explain":
+        print(json.dumps(database.explain(args.query), indent=2))
+        return 0
+    if args.command == "examples":
+        for example in database.example_queries(k=args.k):
+            print(f"{example.query:50} -- {example.description}")
+        return 0
+    if args.command == "samples":
+        from repro.twig.sample import sample_workload
+
+        for pattern in sample_workload(
+            database.labeled, args.seed, args.count, max_nodes=args.max_nodes
+        ):
+            print(f"{str(pattern):60} # {len(database.matches(pattern))} matches")
+        return 0
+    if args.command == "profile":
+        data = database.profile(args.query, repeats=args.repeats)
+        print(f"query:     {data['query']}")
+        print(f"planner:   {data['algorithm']}")
+        print(f"xpath:     {data['xpath']}")
+        header = f"{'algorithm':18} {'median_ms':>10} {'scanned':>9} {'interm':>8} {'matches':>8}"
+        print(header)
+        print("-" * len(header))
+        for profile_row in data["profiles"]:
+            print(
+                f"{profile_row['algorithm']:18}"
+                f" {profile_row['median_ms']:>10}"
+                f" {profile_row['elements_scanned']:>9}"
+                f" {profile_row['intermediate_results']:>8}"
+                f" {profile_row['matches']:>8}"
+            )
+        return 0
+    if args.command == "schema":
+        from repro.summary.schema import infer_schema
+
+        print(infer_schema(database.document).to_dtd())
+        return 0
+    if args.command == "save":
+        from repro.engine.store import save_database
+
+        save_database(database, args.directory)
+        print(f"saved to {args.directory}")
+        return 0
+    if args.command == "serve":
+        return _cmd_serve(database, args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        generate_books_xml,
+        generate_dblp_xml,
+        generate_treebank_xml,
+        generate_xmark_xml,
+    )
+
+    generators = {
+        "dblp": generate_dblp_xml,
+        "xmark": generate_xmark_xml,
+        "books": generate_books_xml,
+        "treebank": generate_treebank_xml,
+    }
+    xml_text = generators[args.dataset](args.size, args.seed)
+    if args.output == "-":
+        print(xml_text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(xml_text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(database: LotusXDatabase) -> int:
+    for key, value in database.statistics().as_dict().items():
+        print(f"{key:22} {value}")
+    return 0
+
+
+def _cmd_search(database: LotusXDatabase, args: argparse.Namespace) -> int:
+    response = database.search(
+        args.query,
+        k=args.k,
+        algorithm=Algorithm(args.algorithm),
+        rewrite=not args.no_rewrite,
+    )
+    if args.json:
+        print(json.dumps(response.as_dict(), indent=2))
+        return 0
+    print(
+        f"{response.total_matches} matches"
+        f" ({response.elapsed_seconds * 1000:.1f} ms"
+        + (", rewritten" if response.used_rewrites else "")
+        + ")"
+    )
+    for rank, hit in enumerate(response, start=1):
+        print(f"{rank:2}. [{hit.score.combined:.3f}] {hit.xpath}")
+        if hit.snippet:
+            print(f"      {hit.snippet}")
+        if hit.rewrite_steps:
+            print(f"      (rewritten: {'; '.join(hit.rewrite_steps)})")
+    return 0
+
+
+def _cmd_complete(database: LotusXDatabase, args: argparse.Namespace) -> int:
+    from repro.server.api import handle_complete
+
+    payload = {
+        "kind": "value" if args.values else "tag",
+        "prefix": args.prefix,
+        "k": args.k,
+        "query": args.query,
+        "node": args.node,
+        "axis": args.axis,
+    }
+    if not args.query:
+        payload.pop("query")
+        payload.pop("node")
+    for candidate in handle_complete(database, payload)["candidates"]:
+        paths = f"  ({', '.join(candidate['sample_paths'])})" if candidate["sample_paths"] else ""
+        print(f"{candidate['text']:30} x{candidate['count']}{paths}")
+    return 0
+
+
+def _cmd_keyword(database: LotusXDatabase, args: argparse.Namespace) -> int:
+    response = database.keyword_search(
+        args.query, k=args.k, semantics=args.semantics
+    )
+    print(f"{response.total_slcas} answers for terms {list(response.terms)}")
+    for rank, hit in enumerate(response, start=1):
+        data = hit.as_dict()
+        print(f"{rank:2}. [{data['score']:.3f}] <{data['tag']}> {data['xpath']}")
+        if data["snippet"]:
+            print(f"      {data['snippet']}")
+    return 0
+
+
+def _cmd_serve(database: LotusXDatabase, args: argparse.Namespace) -> int:
+    from repro.server.app import serve
+
+    print(f"LotusX serving http://{args.host}:{args.port}/  (Ctrl-C to stop)")
+    try:
+        serve(database, args.host, args.port)
+    except KeyboardInterrupt:
+        print("\nbye")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

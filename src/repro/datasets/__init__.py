@@ -1,0 +1,21 @@
+"""Seeded synthetic dataset generators (DBLP-like, XMark-like, bookstore).
+
+Substitutes for the paper's real corpora — see the substitution table in
+DESIGN.md.  Everything is deterministic in ``(size, seed)``.
+"""
+
+from repro.datasets.books import generate_books, generate_books_xml
+from repro.datasets.dblp import generate_dblp, generate_dblp_xml
+from repro.datasets.treebank import generate_treebank, generate_treebank_xml
+from repro.datasets.xmark import generate_xmark, generate_xmark_xml
+
+__all__ = [
+    "generate_books",
+    "generate_books_xml",
+    "generate_dblp",
+    "generate_dblp_xml",
+    "generate_treebank",
+    "generate_treebank_xml",
+    "generate_xmark",
+    "generate_xmark_xml",
+]

@@ -1,0 +1,36 @@
+"""A small bookstore corpus for quickstarts, docs, and unit tests."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.words import GENRES, person_name, sentence, title_phrase
+from repro.xmlio.tree import Document, Element
+
+
+def generate_books(books: int = 50, seed: int = 3) -> Document:
+    """A ``catalog`` of ``books`` book records, deterministic in the seed."""
+    if books < 0:
+        raise ValueError("books must be non-negative")
+    rng = random.Random(seed)
+    author_pool = [person_name(rng) for _ in range(max(5, books // 4))]
+    root = Element("catalog")
+    for index in range(books):
+        book = root.make_child("book", {"id": f"bk{index:03d}"})
+        book.make_child("title").append_text(title_phrase(rng, 2, 5))
+        for _ in range(rng.randint(1, 3)):
+            book.make_child("author").append_text(rng.choice(author_pool))
+        book.make_child("genre").append_text(rng.choice(GENRES))
+        book.make_child("price").append_text(f"{rng.uniform(5, 80):.2f}")
+        book.make_child("publish_date").append_text(
+            f"{rng.randint(1995, 2012)}-{rng.randint(1, 12):02d}-01"
+        )
+        book.make_child("description").append_text(sentence(rng))
+    return Document(root, source_name=f"synthetic-books-{books}-{seed}")
+
+
+def generate_books_xml(books: int = 50, seed: int = 3) -> str:
+    """Like :func:`generate_books` but rendered to XML text."""
+    from repro.xmlio.serializer import serialize
+
+    return serialize(generate_books(books, seed))

@@ -1,0 +1,93 @@
+"""Synthetic DBLP-like bibliography generator.
+
+The paper's demo indexes DBLP; this generator produces a corpus with the
+same schema shape — a flat ``<dblp>`` root holding ``article`` /
+``inproceedings`` / ``book`` / ``phdthesis`` records with the familiar
+child fields — at any requested size, deterministically from a seed.
+
+Completion/matching/ranking behaviour depends on schema shape and term
+distributions, both of which this generator mimics (names are Zipf-ish:
+a small author pool reused across records, so value completion has
+meaningful frequencies).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.words import (
+    CONFERENCES,
+    JOURNALS,
+    PUBLISHERS,
+    SCHOOLS,
+    person_name,
+    title_phrase,
+)
+from repro.xmlio.tree import Document, Element
+
+#: Relative frequency of each publication type (mirrors DBLP's skew).
+_TYPE_WEIGHTS = [
+    ("article", 45),
+    ("inproceedings", 40),
+    ("book", 8),
+    ("phdthesis", 7),
+]
+
+
+def generate_dblp(publications: int = 1000, seed: int = 42) -> Document:
+    """A DBLP-like document with ``publications`` records.
+
+    Deterministic in ``(publications, seed)``.  The resulting element
+    count is roughly ``7 × publications``.
+    """
+    if publications < 0:
+        raise ValueError("publications must be non-negative")
+    rng = random.Random(seed)
+    # A bounded author pool so names repeat across publications.
+    pool_size = max(10, publications // 3)
+    author_pool = [person_name(rng) for _ in range(pool_size)]
+
+    root = Element("dblp")
+    types = [name for name, weight in _TYPE_WEIGHTS for _ in range(weight)]
+    for index in range(publications):
+        kind = rng.choice(types)
+        record = root.make_child(kind, {"key": f"{kind}/{index}"})
+        _fill_record(record, kind, rng, author_pool)
+    return Document(root, source_name=f"synthetic-dblp-{publications}-{seed}")
+
+
+def generate_dblp_xml(publications: int = 1000, seed: int = 42) -> str:
+    """Like :func:`generate_dblp` but rendered to XML text."""
+    from repro.xmlio.serializer import serialize
+
+    return serialize(generate_dblp(publications, seed))
+
+
+def _fill_record(
+    record: Element, kind: str, rng: random.Random, author_pool: list[str]
+) -> None:
+    record.make_child("title").append_text(title_phrase(rng))
+    for _ in range(rng.randint(1, 4)):
+        field = "editor" if kind == "book" and rng.random() < 0.3 else "author"
+        record.make_child(field).append_text(rng.choice(author_pool))
+    record.make_child("year").append_text(str(rng.randint(1990, 2012)))
+    if kind == "article":
+        record.make_child("journal").append_text(rng.choice(JOURNALS))
+        record.make_child("volume").append_text(str(rng.randint(1, 40)))
+        _maybe_pages(record, rng)
+    elif kind == "inproceedings":
+        record.make_child("booktitle").append_text(rng.choice(CONFERENCES))
+        _maybe_pages(record, rng)
+    elif kind == "book":
+        record.make_child("publisher").append_text(rng.choice(PUBLISHERS))
+        record.make_child("isbn").append_text(
+            "-".join(str(rng.randint(100, 999)) for _ in range(3))
+        )
+    elif kind == "phdthesis":
+        record.make_child("school").append_text(rng.choice(SCHOOLS))
+
+
+def _maybe_pages(record: Element, rng: random.Random) -> None:
+    if rng.random() < 0.8:
+        start = rng.randint(1, 400)
+        record.make_child("pages").append_text(f"{start}-{start + rng.randint(5, 30)}")

@@ -1,0 +1,84 @@
+"""Synthetic Treebank-like generator: deep, recursive parse trees.
+
+Treebank is the classical *deep recursion* XML benchmark: the same tags
+(``NP`` inside ``NP`` inside ``VP`` …) nest to large depths, which is
+exactly where stack-based twig algorithms earn their keep and where
+DataGuides grow large.  This generator produces parse-tree-shaped
+documents from a small phrase grammar, deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlio.tree import Document, Element
+
+#: Phrase grammar: tag -> possible child-tag sequences (weights implicit
+#: in repetition).  "WORD" is a terminal producing leaf text.
+_GRAMMAR: dict[str, list[list[str]]] = {
+    "S": [["NP", "VP"], ["S", "CC", "S"], ["VP"], ["NP", "VP", "PP"]],
+    "NP": [["DT", "NN"], ["NP", "PP"], ["DT", "JJ", "NN"], ["NN"], ["NP", "CC", "NP"]],
+    "VP": [["VB", "NP"], ["VB"], ["VP", "PP"], ["VB", "NP", "PP"]],
+    "PP": [["IN", "NP"]],
+}
+
+_TERMINALS: dict[str, list[str]] = {
+    "DT": ["the", "a", "every", "some"],
+    "NN": ["parser", "tree", "query", "label", "stack", "index", "pattern"],
+    "JJ": ["deep", "holistic", "recursive", "small", "ordered"],
+    "VB": ["matches", "builds", "scans", "joins", "ranks"],
+    "IN": ["of", "over", "under", "with"],
+    "CC": ["and", "or"],
+}
+
+
+def generate_treebank(
+    sentences: int = 50, seed: int = 17, max_depth: int = 12
+) -> Document:
+    """A ``<treebank>`` of ``sentences`` parse trees.
+
+    ``max_depth`` bounds recursion (beyond it, only terminal expansions
+    are chosen).  Deterministic in ``(sentences, seed, max_depth)``.
+    """
+    if sentences < 0:
+        raise ValueError("sentences must be non-negative")
+    rng = random.Random(seed)
+    root = Element("treebank")
+    for index in range(sentences):
+        sentence = root.make_child("sentence", {"id": f"s{index}"})
+        _expand(sentence.make_child("S"), rng, depth=1, max_depth=max_depth)
+    return Document(
+        root, source_name=f"synthetic-treebank-{sentences}-{seed}"
+    )
+
+
+def generate_treebank_xml(
+    sentences: int = 50, seed: int = 17, max_depth: int = 12
+) -> str:
+    """Like :func:`generate_treebank` but rendered to XML text."""
+    from repro.xmlio.serializer import serialize
+
+    return serialize(generate_treebank(sentences, seed, max_depth))
+
+
+def _expand(
+    node: Element, rng: random.Random, depth: int, max_depth: int
+) -> None:
+    tag = node.tag
+    if tag in _TERMINALS:
+        node.append_text(rng.choice(_TERMINALS[tag]))
+        return
+    productions = _GRAMMAR[tag]
+    if depth >= max_depth:
+        # Prefer the shallowest production: the one with the fewest
+        # non-terminal children.
+        productions = [
+            min(
+                productions,
+                key=lambda production: sum(
+                    1 for child in production if child in _GRAMMAR
+                ),
+            )
+        ]
+    for child_tag in rng.choice(productions):
+        _expand(node.make_child(child_tag), rng, depth + 1, max_depth)

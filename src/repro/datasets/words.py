@@ -1,0 +1,114 @@
+"""Deterministic word pools for the synthetic dataset generators.
+
+The pools are fixed lists (no randomness here); generators draw from them
+with seeded RNGs so every dataset is reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "wei", "jing", "ana", "maria", "john", "david", "yuki", "sofia", "ivan",
+    "elena", "omar", "fatima", "liam", "noah", "emma", "olivia", "lucas",
+    "mia", "arjun", "priya", "chen", "hana", "kofi", "amara", "diego",
+    "lucia", "marco", "nina", "pavel", "tanya", "erik", "astrid", "jean",
+    "claire", "hugo", "ines", "tom", "kate", "sam", "ruth",
+]
+
+LAST_NAMES = [
+    "lu", "lin", "ling", "cautis", "smith", "johnson", "garcia", "müller",
+    "tanaka", "kim", "chen", "wang", "silva", "kumar", "patel", "ivanov",
+    "novak", "kowalski", "haddad", "okafor", "nguyen", "tran", "hansen",
+    "berg", "dubois", "moreau", "rossi", "ferrari", "lopez", "diaz",
+    "brown", "wilson", "taylor", "white", "martin", "hall", "young",
+    "walker", "wright", "scott",
+]
+
+TOPIC_WORDS = [
+    "xml", "twig", "query", "holistic", "join", "pattern", "matching",
+    "index", "labeling", "dewey", "region", "keyword", "search", "ranking",
+    "completion", "graphical", "interface", "streaming", "database",
+    "schema", "dataguide", "semantics", "optimization", "algorithm",
+    "structural", "relaxation", "rewriting", "position", "aware",
+    "efficient", "scalable", "adaptive", "distributed", "probabilistic",
+    "temporal", "spatial", "graph", "tree", "path", "document",
+]
+
+FILLER_WORDS = [
+    "system", "approach", "framework", "study", "analysis", "evaluation",
+    "model", "method", "technique", "survey", "processing", "management",
+    "integration", "exploration", "discovery", "estimation", "selection",
+    "generation", "compression", "summarization",
+]
+
+JOURNALS = [
+    "tods", "vldbj", "tkde", "sigmod record", "information systems",
+    "jacm", "dke", "is journal", "acm computing surveys", "pvldb",
+]
+
+CONFERENCES = [
+    "icde", "sigmod", "vldb", "edbt", "cikm", "www", "kdd", "sigir",
+    "dasfaa", "xsym",
+]
+
+PUBLISHERS = [
+    "springer", "acm press", "morgan kaufmann", "ieee press", "elsevier",
+    "mit press", "cambridge", "oxford", "wiley", "oreilly",
+]
+
+SCHOOLS = [
+    "renmin university", "national university of singapore", "mit",
+    "stanford", "tsinghua", "eth zurich", "cmu", "berkeley", "oxford",
+    "waterloo",
+]
+
+CITIES = [
+    "beijing", "singapore", "paris", "berlin", "tokyo", "seoul", "madrid",
+    "rome", "london", "boston", "seattle", "sydney", "toronto", "mumbai",
+    "lagos", "cairo", "lima", "oslo", "prague", "vienna",
+]
+
+COUNTRIES = [
+    "china", "singapore", "france", "germany", "japan", "korea", "spain",
+    "italy", "uk", "usa", "australia", "canada", "india", "nigeria",
+    "egypt", "peru", "norway", "czechia", "austria", "brazil",
+]
+
+STREETS = [
+    "main st", "oak ave", "maple rd", "pine ln", "cedar blvd", "elm dr",
+    "river way", "hill ct", "lake view", "park pl",
+]
+
+CATEGORY_NAMES = [
+    "books", "electronics", "music", "art", "antiques", "sports", "toys",
+    "garden", "jewelry", "stamps", "coins", "maps", "instruments",
+    "photography", "furniture",
+]
+
+INTERESTS = CATEGORY_NAMES
+
+GENRES = [
+    "fantasy", "mystery", "romance", "science fiction", "history",
+    "biography", "poetry", "thriller", "horror", "travel",
+]
+
+
+def person_name(rng: random.Random) -> str:
+    """A full name like ``"jiaheng lu"``."""
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def title_phrase(rng: random.Random, min_words: int = 3, max_words: int = 7) -> str:
+    """A publication-title-like phrase from topic + filler words."""
+    length = rng.randint(min_words, max_words)
+    words = [rng.choice(TOPIC_WORDS) for _ in range(max(1, length - 1))]
+    words.append(rng.choice(FILLER_WORDS))
+    return " ".join(words)
+
+
+def sentence(rng: random.Random, min_words: int = 6, max_words: int = 18) -> str:
+    """A prose-like sentence (for descriptions and abstracts)."""
+    length = rng.randint(min_words, max_words)
+    pool = TOPIC_WORDS + FILLER_WORDS
+    return " ".join(rng.choice(pool) for _ in range(length))

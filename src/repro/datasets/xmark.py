@@ -1,0 +1,156 @@
+"""Synthetic XMark-like auction-site generator.
+
+XMark is the standard deep/recursive XML benchmark; the twig-algorithm
+experiments (E4/E5) need its nesting — regions → items, people with
+nested profiles, auctions with repeated bidders — because deep
+ancestor-descendant twigs are where holistic joins shine.
+
+The generator follows the XMark schema skeleton (site / regions / people /
+open_auctions / closed_auctions / categories) scaled by an ``items``
+parameter, deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.words import (
+    CATEGORY_NAMES,
+    CITIES,
+    COUNTRIES,
+    INTERESTS,
+    STREETS,
+    person_name,
+    sentence,
+    title_phrase,
+)
+from repro.xmlio.tree import Document, Element
+
+_REGIONS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+
+
+def generate_xmark(items: int = 100, seed: int = 7) -> Document:
+    """An XMark-like document with ``items`` items.
+
+    People scale at ``items // 2 + 5``, open auctions at ``items // 2``,
+    closed auctions at ``items // 4``.  The resulting element count is
+    roughly ``18 × items``.
+    """
+    if items < 0:
+        raise ValueError("items must be non-negative")
+    rng = random.Random(seed)
+    root = Element("site")
+
+    people_count = items // 2 + 5
+    open_count = items // 2
+    closed_count = items // 4
+
+    regions = root.make_child("regions")
+    region_elements = {name: regions.make_child(name) for name in _REGIONS}
+    for index in range(items):
+        region = region_elements[rng.choice(_REGIONS)]
+        _make_item(region, index, rng)
+
+    people = root.make_child("people")
+    for index in range(people_count):
+        _make_person(people, index, rng)
+
+    open_auctions = root.make_child("open_auctions")
+    for index in range(open_count):
+        _make_open_auction(open_auctions, index, items, people_count, rng)
+
+    closed_auctions = root.make_child("closed_auctions")
+    for index in range(closed_count):
+        _make_closed_auction(closed_auctions, index, items, people_count, rng)
+
+    categories = root.make_child("categories")
+    for index, name in enumerate(CATEGORY_NAMES):
+        category = categories.make_child("category", {"id": f"category{index}"})
+        category.make_child("name").append_text(name)
+        description = category.make_child("description")
+        description.make_child("text").append_text(sentence(rng))
+
+    return Document(root, source_name=f"synthetic-xmark-{items}-{seed}")
+
+
+def generate_xmark_xml(items: int = 100, seed: int = 7) -> str:
+    """Like :func:`generate_xmark` but rendered to XML text."""
+    from repro.xmlio.serializer import serialize
+
+    return serialize(generate_xmark(items, seed))
+
+
+def _make_item(region: Element, index: int, rng: random.Random) -> None:
+    item = region.make_child("item", {"id": f"item{index}"})
+    item.make_child("location").append_text(rng.choice(COUNTRIES))
+    item.make_child("name").append_text(title_phrase(rng, 2, 4))
+    item.make_child("quantity").append_text(str(rng.randint(1, 10)))
+    payment = item.make_child("payment")
+    payment.append_text(rng.choice(["cash", "creditcard", "money order"]))
+    description = item.make_child("description")
+    description.make_child("text").append_text(sentence(rng))
+    if rng.random() < 0.4:
+        # Nested parlist gives the deep recursive structure twig
+        # experiments rely on.
+        parlist = description.make_child("parlist")
+        for _ in range(rng.randint(1, 3)):
+            listitem = parlist.make_child("listitem")
+            listitem.make_child("text").append_text(sentence(rng, 3, 8))
+    item.make_child("incategory", {"category": f"category{rng.randrange(len(CATEGORY_NAMES))}"})
+
+
+def _make_person(people: Element, index: int, rng: random.Random) -> None:
+    person = people.make_child("person", {"id": f"person{index}"})
+    person.make_child("name").append_text(person_name(rng))
+    person.make_child("emailaddress").append_text(f"mailto:user{index}@example.org")
+    if rng.random() < 0.7:
+        address = person.make_child("address")
+        address.make_child("street").append_text(
+            f"{rng.randint(1, 99)} {rng.choice(STREETS)}"
+        )
+        address.make_child("city").append_text(rng.choice(CITIES))
+        address.make_child("country").append_text(rng.choice(COUNTRIES))
+    if rng.random() < 0.6:
+        profile = person.make_child("profile")
+        profile.make_child("education").append_text(
+            rng.choice(["high school", "college", "graduate school"])
+        )
+        profile.make_child("business").append_text(rng.choice(["yes", "no"]))
+        for _ in range(rng.randint(0, 3)):
+            profile.make_child(
+                "interest", {"category": rng.choice(INTERESTS)}
+            )
+
+
+def _make_open_auction(
+    auctions: Element, index: int, items: int, people: int, rng: random.Random
+) -> None:
+    auction = auctions.make_child("open_auction", {"id": f"open_auction{index}"})
+    auction.make_child("initial").append_text(f"{rng.uniform(1, 200):.2f}")
+    for _ in range(rng.randint(0, 4)):
+        bidder = auction.make_child("bidder")
+        bidder.make_child("date").append_text(_date(rng))
+        bidder.make_child("personref", {"person": f"person{rng.randrange(max(1, people))}"})
+        bidder.make_child("increase").append_text(f"{rng.uniform(1, 50):.2f}")
+    auction.make_child("current").append_text(f"{rng.uniform(1, 500):.2f}")
+    auction.make_child("itemref", {"item": f"item{rng.randrange(max(1, items))}"})
+    auction.make_child("seller", {"person": f"person{rng.randrange(max(1, people))}"})
+    annotation = auction.make_child("annotation")
+    annotation.make_child("description").make_child("text").append_text(
+        sentence(rng, 4, 10)
+    )
+
+
+def _make_closed_auction(
+    auctions: Element, index: int, items: int, people: int, rng: random.Random
+) -> None:
+    auction = auctions.make_child("closed_auction")
+    auction.make_child("seller", {"person": f"person{rng.randrange(max(1, people))}"})
+    auction.make_child("buyer", {"person": f"person{rng.randrange(max(1, people))}"})
+    auction.make_child("itemref", {"item": f"item{rng.randrange(max(1, items))}"})
+    auction.make_child("price").append_text(f"{rng.uniform(1, 500):.2f}")
+    auction.make_child("date").append_text(_date(rng))
+
+
+def _date(rng: random.Random) -> str:
+    return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1998, 2012)}"

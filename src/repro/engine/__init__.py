@@ -1,0 +1,24 @@
+"""Engine facade: the database object, search results, the GUI session
+model, and query translation."""
+
+from repro.engine.database import LotusXDatabase
+from repro.engine.results import (
+    SearchResponse,
+    SearchResult,
+    element_xpath,
+    make_snippet,
+)
+from repro.engine.session import QueryBuilderSession, SessionError
+from repro.engine.translate import to_xpath, to_xquery
+
+__all__ = [
+    "LotusXDatabase",
+    "QueryBuilderSession",
+    "SearchResponse",
+    "SearchResult",
+    "SessionError",
+    "element_xpath",
+    "make_snippet",
+    "to_xpath",
+    "to_xquery",
+]

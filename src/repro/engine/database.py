@@ -1,0 +1,429 @@
+"""The LotusX database facade.
+
+:class:`LotusXDatabase` owns one indexed document and exposes the full
+feature set from the abstract behind a small API:
+
+* ``complete_tag`` / ``complete_value`` — position-aware autocompletion;
+* ``matches`` — raw twig evaluation with a selectable algorithm;
+* ``search`` — ranked search with automatic query rewriting;
+* ``to_xpath`` / ``to_xquery`` — query translation;
+* ``statistics`` / ``explain`` — introspection.
+
+Typical use::
+
+    from repro import LotusXDatabase
+
+    db = LotusXDatabase.from_file("dblp.xml")
+    response = db.search('//article[./title~"twig"]/author')
+    for hit in response:
+        print(hit.xpath, hit.snippet, hit.score.combined)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from collections.abc import Sequence
+
+from repro.autocomplete.candidates import Candidate
+from repro.autocomplete.engine import AutocompleteEngine
+from repro.index.completion_index import CompletionIndex
+from repro.index.element_index import StreamFactory
+from repro.index.statistics import CorpusStatistics, compute_statistics
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import LabeledDocument, label_document
+from repro.ranking.scorer import LotusXScorer
+from repro.rewrite.engine import QueryRewriter
+from repro.rewrite.rules import default_rules
+from repro.engine.results import SearchResponse, SearchResult
+from repro.engine.translate import to_xpath, to_xquery
+from repro.twig.algorithms.common import AlgorithmStats
+from repro.twig.match import Match, sort_matches
+from repro.twig.parse import parse_twig
+from repro.twig.pattern import Axis, QueryNode, TwigPattern
+from repro.twig.planner import Algorithm, evaluate
+from repro.xmlio.builder import parse_file, parse_string
+from repro.xmlio.tree import Document, Element
+
+
+class LotusXDatabase:
+    """One indexed XML document plus every query-time component."""
+
+    def __init__(
+        self,
+        document: Document,
+        scorer: LotusXScorer | None = None,
+        synonyms: dict[str, tuple[str, ...]] | None = None,
+        expand_attributes: bool = False,
+    ) -> None:
+        self.document = document
+        #: Whether attributes were expanded into @name nodes for indexing
+        #: (persisted by the store so loads rebuild the same index).
+        self.expanded_attributes = expand_attributes
+        if expand_attributes:
+            # Attributes become queryable "@name" twig nodes; the indexed
+            # tree is a shadow copy, the caller's document stays pristine.
+            from repro.xmlio.transform import expand_attributes as expand
+
+            indexed_document = expand(document)
+        else:
+            indexed_document = document
+        self.labeled: LabeledDocument = label_document(indexed_document)
+        self.term_index = TermIndex(self.labeled)
+        self.completion_index = CompletionIndex(self.labeled, self.term_index)
+        self.streams = StreamFactory(self.labeled, self.term_index)
+        self.autocomplete = AutocompleteEngine(
+            self.labeled.guide, self.completion_index
+        )
+        self.scorer = scorer or LotusXScorer()
+        self.rewriter = QueryRewriter(default_rules(self.labeled.guide, synonyms))
+        self._match_cache: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, xml_text: str, **kwargs) -> LotusXDatabase:
+        """Index an XML document given as a string."""
+        return cls(parse_string(xml_text), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike[str], **kwargs) -> LotusXDatabase:
+        """Index the XML document at ``path``."""
+        return cls(parse_file(path), **kwargs)
+
+    @classmethod
+    def from_files(
+        cls,
+        paths: Sequence[str | os.PathLike[str]],
+        collection_tag: str = "collection",
+        annotate_source: bool = True,
+        **kwargs,
+    ) -> LotusXDatabase:
+        """Index several XML files as one collection.
+
+        Each file's root becomes a child of a synthetic
+        ``<collection_tag>`` root, so twigs and completion span the whole
+        collection (query a single file's subtree by pinning the root:
+        ``/collection/dblp/...``).  With ``annotate_source`` each
+        document root gets a ``source`` attribute carrying its file name
+        — combine with ``expand_attributes=True`` to filter results by
+        file: ``//dblp[./@source="a.xml"]//author``.
+
+        Raises
+        ------
+        ValueError
+            If ``paths`` is empty.
+        """
+        if not paths:
+            raise ValueError("from_files needs at least one path")
+        root = Element(collection_tag)
+        for path in paths:
+            document = parse_file(path)
+            if annotate_source:
+                document.root.attributes.setdefault(
+                    "source", os.path.basename(os.fspath(path))
+                )
+            root.append(document.root)
+        combined = Document(
+            root, source_name=f"collection of {len(paths)} documents"
+        )
+        return cls(combined, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def guide(self):
+        """The DataGuide structural summary."""
+        return self.labeled.guide
+
+    def statistics(self) -> CorpusStatistics:
+        return compute_statistics(self.labeled, self.term_index)
+
+    def parse_query(self, text: str) -> TwigPattern:
+        """Parse the textual twig syntax."""
+        return parse_twig(text)
+
+    def to_xpath(self, query: str | TwigPattern) -> str:
+        return to_xpath(self._as_pattern(query))
+
+    def to_xquery(self, query: str | TwigPattern) -> str:
+        return to_xquery(self._as_pattern(query))
+
+    def explain(self, query: str | TwigPattern) -> dict:
+        """Evaluation plan and per-node stream sizes for ``query``."""
+        from repro.autocomplete.context import candidate_positions
+        from repro.twig.algorithms.common import build_streams
+        from repro.twig.planner import choose_algorithm
+
+        from repro.twig.estimate import estimate_cardinality
+
+        pattern = self._as_pattern(query)
+        streams = build_streams(pattern, self.streams)
+        positions = candidate_positions(pattern, self.guide)
+        return {
+            "query": str(pattern),
+            "algorithm": choose_algorithm(pattern).value,
+            "estimated_matches": round(
+                estimate_cardinality(pattern, self.guide, self.term_index), 1
+            ),
+            "xpath": to_xpath(pattern),
+            "nodes": [
+                {
+                    "node_id": node.node_id,
+                    "tag": node.display_tag,
+                    "axis": str(node.axis),
+                    "stream_size": len(streams[node.node_id]),
+                    "positions": sorted(
+                        "/" + "/".join(p.path) for p in positions[node.node_id]
+                    ),
+                }
+                for node in pattern.nodes()
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Autocompletion
+    # ------------------------------------------------------------------
+
+    def complete_tag(
+        self,
+        pattern: TwigPattern | None = None,
+        anchor: QueryNode | None = None,
+        prefix: str = "",
+        axis: Axis = Axis.CHILD,
+        k: int = 10,
+    ) -> list[Candidate]:
+        """Position-aware tag completion (see
+        :meth:`repro.autocomplete.engine.AutocompleteEngine.complete_tag`)."""
+        return self.autocomplete.complete_tag(pattern, anchor, prefix, axis, k)
+
+    def complete_value(
+        self,
+        pattern: TwigPattern,
+        node: QueryNode,
+        prefix: str,
+        k: int = 10,
+        whole_values: bool = True,
+    ) -> list[Candidate]:
+        """Position-aware value completion."""
+        return self.autocomplete.complete_value(pattern, node, prefix, k, whole_values)
+
+    # ------------------------------------------------------------------
+    # Matching and search
+    # ------------------------------------------------------------------
+
+    #: Entries kept in the per-database match cache.
+    MATCH_CACHE_SIZE = 128
+
+    def matches(
+        self,
+        query: str | TwigPattern,
+        algorithm: Algorithm = Algorithm.AUTO,
+        stats: AlgorithmStats | None = None,
+        prune_streams: bool = False,
+    ) -> list[Match]:
+        """Raw twig matches, document order, no ranking or rewriting.
+
+        ``prune_streams`` enables DataGuide stream pruning (E11).
+
+        Results are LRU-cached by pattern signature (the corpus is
+        immutable), which keeps the GUI's live result counter free while
+        the user toggles gestures back and forth.  Calls that want
+        algorithm statistics bypass the cache.
+        """
+        pattern = self._as_pattern(query)
+        if stats is not None:
+            return sort_matches(
+                evaluate(
+                    pattern,
+                    self.labeled,
+                    self.streams,
+                    algorithm,
+                    stats,
+                    prune_streams,
+                )
+            )
+        key = (pattern.signature(), algorithm, prune_streams)
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            self._match_cache.move_to_end(key)
+            return list(cached)
+        result = sort_matches(
+            evaluate(
+                pattern, self.labeled, self.streams, algorithm, None, prune_streams
+            )
+        )
+        self._match_cache[key] = result
+        if len(self._match_cache) > self.MATCH_CACHE_SIZE:
+            self._match_cache.popitem(last=False)
+        return list(result)
+
+    def search(
+        self,
+        query: str | TwigPattern,
+        k: int = 10,
+        algorithm: Algorithm = Algorithm.AUTO,
+        rewrite: bool = True,
+        min_results: int = 1,
+    ) -> SearchResponse:
+        """Ranked search with automatic rewriting.
+
+        If the query yields fewer than ``min_results`` matches and
+        ``rewrite`` is enabled, relaxed versions of the query are tried
+        (cheapest relaxation first) and their results are merged in with
+        rewrite penalties applied to their scores.
+        """
+        pattern = self._as_pattern(query)
+        started = time.perf_counter()
+
+        def evaluator(candidate_pattern: TwigPattern) -> list[Match]:
+            return evaluate(candidate_pattern, self.labeled, self.streams, algorithm)
+
+        if rewrite:
+            outcome = self.rewriter.search_with_rewrites(
+                pattern, evaluator, min_results=min_results
+            )
+            productive = outcome.productive
+            rewrites_tried = outcome.evaluated - 1
+            used_rewrites = any(candidate.steps for candidate, _ in productive)
+        else:
+            matches = evaluator(pattern)
+            from repro.rewrite.engine import RewriteCandidate
+
+            productive = (
+                [(RewriteCandidate(pattern, 0.0, ()), matches)] if matches else []
+            )
+            rewrites_tried = 0
+            used_rewrites = False
+
+        results = self._rank_productive(productive, k)
+        response = SearchResponse(
+            query=str(pattern),
+            results=results[:k],
+            total_matches=sum(len(matches) for _, matches in productive),
+            used_rewrites=used_rewrites,
+            rewrites_tried=rewrites_tried,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return response
+
+    def _rank_productive(self, productive, k: int) -> list[SearchResult]:
+        """Score all matches of all productive (rewritten) patterns and
+        keep the best result per distinct output binding."""
+        best: dict[tuple[int, ...], SearchResult] = {}
+        for candidate, matches in productive:
+            candidate_pattern = candidate.pattern
+            for match in matches:
+                score = self.scorer.score_match(
+                    candidate_pattern, match, self.term_index, candidate.penalty
+                )
+                outputs = tuple(match.output_elements(candidate_pattern))
+                key = tuple(element.order for element in outputs)
+                current = best.get(key)
+                if current is None or score.combined > current.score.combined:
+                    best[key] = SearchResult(
+                        outputs=outputs,
+                        score=score,
+                        match=match,
+                        source_query=str(candidate_pattern),
+                        rewrite_steps=candidate.steps,
+                        terms=candidate_pattern.all_terms(),
+                    )
+        ranked = sorted(
+            best.values(),
+            key=lambda result: (
+                -result.score.combined,
+                tuple(element.order for element in result.outputs),
+            ),
+        )
+        return ranked
+
+    def profile(self, query: str | TwigPattern, repeats: int = 3) -> dict:
+        """EXPLAIN ANALYZE: run ``query`` under every applicable algorithm
+        and report per-algorithm timing and work counters.
+
+        Returns the evaluation plan (as in :meth:`explain`) plus a
+        ``profiles`` list with, per algorithm: median milliseconds,
+        elements scanned, intermediate results, and the match count.
+        All algorithms are asserted to agree.
+        """
+        import statistics as statistics_module
+
+        pattern = self._as_pattern(query)
+        plan = self.explain(pattern)
+        algorithms = [Algorithm.STRUCTURAL_JOIN, Algorithm.TWIG_STACK, Algorithm.TJFAST]
+        if pattern.is_path():
+            algorithms.insert(0, Algorithm.PATH_STACK)
+        profiles = []
+        counts = set()
+        for algorithm in algorithms:
+            samples = []
+            stats = AlgorithmStats()
+            for index in range(max(1, repeats)):
+                run_stats = AlgorithmStats()
+                started = time.perf_counter()
+                matches = self.matches(pattern, algorithm, stats=run_stats)
+                samples.append(time.perf_counter() - started)
+                if index == 0:
+                    stats = run_stats
+                    counts.add(len(matches))
+            profiles.append(
+                {
+                    "algorithm": algorithm.value,
+                    "median_ms": round(
+                        statistics_module.median(samples) * 1000, 3
+                    ),
+                    "elements_scanned": stats.elements_scanned,
+                    "intermediate_results": stats.intermediate_results,
+                    "matches": stats.matches,
+                }
+            )
+        if len(counts) > 1:
+            raise AssertionError(f"algorithms disagree on {pattern}: {counts}")
+        plan["profiles"] = profiles
+        return plan
+
+    def example_queries(self, k: int = 5):
+        """Verified starter queries for an empty canvas (GUI "try these").
+
+        See :func:`repro.autocomplete.examples.suggest_example_queries`;
+        each suggestion is checked to return at least one match.
+        """
+        from repro.autocomplete.examples import suggest_example_queries
+
+        suggestions = suggest_example_queries(self.guide, self.completion_index, k * 2)
+        verified = [s for s in suggestions if self.matches(s.query)]
+        return verified[:k]
+
+    # ------------------------------------------------------------------
+    # Keyword search (schema-free)
+    # ------------------------------------------------------------------
+
+    def keyword_search(self, query: str, k: int = 10, semantics: str = "slca"):
+        """Schema-free keyword search, ranked.
+
+        ``semantics="slca"`` returns the smallest elements containing all
+        terms; ``"elca"`` additionally returns ancestors with their own
+        keyword evidence (see :mod:`repro.keyword`).
+        """
+        from repro.keyword.search import keyword_search
+
+        return keyword_search(self.labeled, self.term_index, query, k, semantics)
+
+    # ------------------------------------------------------------------
+
+    def _as_pattern(self, query: str | TwigPattern) -> TwigPattern:
+        if isinstance(query, TwigPattern):
+            return query
+        return parse_twig(query)
+
+    def __repr__(self) -> str:
+        return (
+            f"LotusXDatabase(elements={len(self.labeled)},"
+            f" paths={len(self.guide)})"
+        )

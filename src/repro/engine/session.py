@@ -1,0 +1,259 @@
+"""Headless model of the LotusX graphical query builder.
+
+Every gesture the GUI offers is a method here, so the full interactive
+experience — draw a node, get candidates while typing, accept one, type a
+value, run — is scriptable and testable.  The web front-end in
+:mod:`repro.server` drives exactly this class.
+
+A session owns one evolving :class:`~repro.twig.pattern.TwigPattern`::
+
+    session = QueryBuilderSession(db)
+    session.suggest_tags(prefix="ar")          # position-aware candidates
+    article = session.add_node("article")      # the twig's first node
+    title = session.add_node("title", parent_id=article)
+    session.suggest_values(title, "twi")       # values occurring at //article/title
+    session.set_predicate(title, "~", "twig")
+    session.set_output(article)
+    response = session.run(k=5)
+"""
+
+from __future__ import annotations
+
+from repro.autocomplete.candidates import Candidate
+from repro.engine.database import LotusXDatabase
+from repro.engine.results import SearchResponse
+from repro.twig.parse import build_predicate
+from repro.twig.pattern import Axis, ComparisonOp, QueryNode, TwigPattern
+
+
+class SessionError(RuntimeError):
+    """An invalid gesture for the session's current state."""
+
+
+class QueryBuilderSession:
+    """Stateful twig construction with autocompletion at every step."""
+
+    #: History depth kept for undo.
+    HISTORY_LIMIT = 50
+
+    def __init__(self, database: LotusXDatabase) -> None:
+        self._db = database
+        self._pattern: TwigPattern | None = None
+        self._undo_stack: list[TwigPattern | None] = []
+        self._redo_stack: list[TwigPattern | None] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def pattern(self) -> TwigPattern | None:
+        """The twig built so far (None before the first node)."""
+        return self._pattern
+
+    def query_text(self) -> str:
+        """The textual form of the current twig."""
+        self._require_pattern()
+        return str(self._pattern)
+
+    def reset(self) -> None:
+        """Clear the canvas."""
+        self._checkpoint()
+        self._pattern = None
+
+    def _require_pattern(self) -> TwigPattern:
+        if self._pattern is None:
+            raise SessionError("the query canvas is empty — add a node first")
+        return self._pattern
+
+    def _checkpoint(self) -> None:
+        """Snapshot the canvas before a mutating gesture."""
+        snapshot = self._pattern.copy() if self._pattern is not None else None
+        self._undo_stack.append(snapshot)
+        if len(self._undo_stack) > self.HISTORY_LIMIT:
+            self._undo_stack.pop(0)
+        self._redo_stack.clear()
+
+    def undo(self) -> None:
+        """Revert the last mutating gesture.
+
+        Raises
+        ------
+        SessionError
+            If there is nothing to undo.
+        """
+        if not self._undo_stack:
+            raise SessionError("nothing to undo")
+        current = self._pattern.copy() if self._pattern is not None else None
+        self._redo_stack.append(current)
+        self._pattern = self._undo_stack.pop()
+
+    def redo(self) -> None:
+        """Re-apply the last undone gesture.
+
+        Raises
+        ------
+        SessionError
+            If there is nothing to redo.
+        """
+        if not self._redo_stack:
+            raise SessionError("nothing to redo")
+        current = self._pattern.copy() if self._pattern is not None else None
+        self._undo_stack.append(current)
+        self._pattern = self._redo_stack.pop()
+
+    def _node(self, node_id: int) -> QueryNode:
+        node = self._require_pattern().find_node(node_id)
+        if node is None:
+            raise SessionError(f"no query node with id {node_id}")
+        return node
+
+    # ------------------------------------------------------------------
+    # Autocompletion gestures
+    # ------------------------------------------------------------------
+
+    def suggest_tags(
+        self,
+        parent_id: int | None = None,
+        prefix: str = "",
+        axis: Axis = Axis.CHILD,
+        k: int = 10,
+    ) -> list[Candidate]:
+        """Candidates for the tag the user is typing.
+
+        With ``parent_id=None`` (placing the twig's first node) every tag
+        in the corpus competes; otherwise only tags valid under the parent
+        node's possible positions are proposed.
+        """
+        if parent_id is None:
+            return self._db.complete_tag(None, None, prefix, axis, k)
+        return self._db.complete_tag(
+            self._require_pattern(), self._node(parent_id), prefix, axis, k
+        )
+
+    def suggest_values(
+        self, node_id: int, prefix: str = "", k: int = 10, whole_values: bool = True
+    ) -> list[Candidate]:
+        """Candidates for the value the user is typing into a node."""
+        return self._db.complete_value(
+            self._require_pattern(), self._node(node_id), prefix, k, whole_values
+        )
+
+    # ------------------------------------------------------------------
+    # Editing gestures
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        tag: str | None,
+        parent_id: int | None = None,
+        axis: Axis = Axis.CHILD,
+    ) -> int:
+        """Place a node (``tag=None`` draws a wildcard); returns its id."""
+        self._checkpoint()
+        if parent_id is None:
+            if self._pattern is not None:
+                raise SessionError(
+                    "the canvas already has a root — pass parent_id to attach"
+                )
+            self._pattern = TwigPattern(tag)
+            return self._pattern.root.node_id
+        parent = self._node(parent_id)
+        node = self._require_pattern().add_child(parent, tag, axis)
+        return node.node_id
+
+    def set_axis(self, node_id: int, axis: Axis) -> None:
+        """Toggle the edge above a node between ``/`` and ``//``."""
+        node = self._node(node_id)
+        if node.is_root:
+            raise SessionError("the root node has no incoming edge")
+        self._checkpoint()
+        # Re-resolve in the snapshot-independent live pattern.
+        self._node(node_id).axis = axis
+
+    def set_predicate(self, node_id: int, op: str, value: str) -> None:
+        """Attach a value predicate (op is one of ``= != < <= > >= ~ !~``)."""
+        node = self._node(node_id)
+        self._checkpoint()
+        node.predicate = build_predicate(ComparisonOp(op), value)
+
+    def clear_predicate(self, node_id: int) -> None:
+        node = self._node(node_id)
+        self._checkpoint()
+        node.predicate = None
+
+    def set_output(self, node_id: int, is_output: bool = True) -> None:
+        """Mark/unmark a node as a result (return) node."""
+        node = self._node(node_id)
+        self._checkpoint()
+        node.is_output = is_output
+
+    def set_optional(self, node_id: int, optional: bool = True) -> None:
+        """Make a branch optional (left outer join) or required again."""
+        node = self._node(node_id)
+        if node.is_root:
+            raise SessionError("the root node cannot be optional")
+        self._checkpoint()
+        node.optional = optional
+
+    def set_absent_branch(self, node_id: int, tag: str, axis: Axis = Axis.CHILD) -> None:
+        """Require that the node has *no* child/descendant with ``tag``."""
+        from repro.twig.pattern import AbsentBranchPredicate
+
+        node = self._node(node_id)
+        self._checkpoint()
+        node.predicate = AbsentBranchPredicate(tag, axis)
+
+    def set_ordered(self, ordered: bool) -> None:
+        """Make the whole twig order-sensitive."""
+        pattern = self._require_pattern()
+        self._checkpoint()
+        pattern.ordered = ordered
+
+    def add_order_constraint(self, before_id: int, after_id: int) -> None:
+        pattern = self._require_pattern()
+        before, after = self._node(before_id), self._node(after_id)
+        self._checkpoint()
+        pattern.add_order_constraint(before, after)
+
+    def remove_node(self, node_id: int) -> None:
+        """Delete a node and its subtree (the root clears the canvas)."""
+        node = self._node(node_id)
+        self._checkpoint()
+        if node.is_root:
+            self._pattern = None
+            return
+        assert node.parent is not None
+        node.parent.children.remove(node)
+        node.parent = None
+
+    # ------------------------------------------------------------------
+    # Execution gestures
+    # ------------------------------------------------------------------
+
+    def preview_count(self) -> int:
+        """Number of matches of the current twig (no ranking/rewriting) —
+        the live result counter the GUI shows while building."""
+        return len(self._db.matches(self._require_pattern()))
+
+    def is_satisfiable(self) -> bool:
+        """Structural feasibility hint for the GUI.
+
+        False means the twig definitely has no match (the GUI colors it
+        red immediately); True means the DataGuide sees no problem — a
+        necessary condition, see
+        :func:`repro.autocomplete.context.is_satisfiable`.
+        """
+        from repro.autocomplete.context import is_satisfiable
+
+        return is_satisfiable(self._require_pattern(), self._db.guide)
+
+    def run(self, k: int = 10, rewrite: bool = True) -> SearchResponse:
+        """Execute the current twig: ranked search with rewriting."""
+        return self._db.search(self._require_pattern(), k=k, rewrite=rewrite)
+
+    def to_xpath(self) -> str:
+        return self._db.to_xpath(self._require_pattern())
+
+    def to_xquery(self) -> str:
+        return self._db.to_xquery(self._require_pattern())

@@ -1,0 +1,145 @@
+"""On-disk persistence for LotusX databases.
+
+A saved database is a directory::
+
+    <dir>/
+      manifest.json     format version, checksums, statistics
+      document.xml      canonical serialization of the corpus
+      dataguide.json    the structural summary (paths + counts)
+      child_table.json  CT(t) tables (extended-Dewey decode tables)
+
+Labels and inverted indexes are *derived* deterministically from the
+document, so loading re-runs the (fast, single-pass) index build and then
+**verifies** the rebuilt DataGuide and child tables against the stored
+ones — corruption or version skew is detected, never silently accepted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.engine.database import LotusXDatabase
+from repro.index.statistics import compute_statistics
+from repro.summary.paths import format_path
+from repro.xmlio.builder import parse_string
+from repro.xmlio.serializer import serialize
+
+FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_DOCUMENT = "document.xml"
+_DATAGUIDE = "dataguide.json"
+_CHILD_TABLE = "child_table.json"
+
+
+class StoreError(RuntimeError):
+    """A saved database directory is missing, corrupt, or incompatible."""
+
+
+def save_database(database: LotusXDatabase, directory: str | os.PathLike[str]) -> None:
+    """Write ``database`` to ``directory`` (created if needed)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    xml_text = serialize(database.document, xml_declaration=True)
+    (path / _DOCUMENT).write_text(xml_text, encoding="utf-8")
+
+    guide_entries = [
+        {
+            "path": format_path(node.path),
+            "count": node.count,
+            "text_count": node.text_count,
+        }
+        for node in database.guide.iter_nodes()
+    ]
+    _write_json(path / _DATAGUIDE, guide_entries)
+
+    child_entries = [
+        {"tag": tag, "children": list(children)}
+        for tag, children in database.labeled.child_table.items()
+    ]
+    _write_json(path / _CHILD_TABLE, child_entries)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "document_sha256": hashlib.sha256(xml_text.encode("utf-8")).hexdigest(),
+        "expand_attributes": database.expanded_attributes,
+        "element_count": len(database.labeled),
+        "path_count": len(database.guide),
+        "statistics": compute_statistics(
+            database.labeled, database.term_index
+        ).as_dict(),
+    }
+    _write_json(path / _MANIFEST, manifest)
+
+
+def load_database(directory: str | os.PathLike[str], **kwargs) -> LotusXDatabase:
+    """Load a database saved with :func:`save_database`.
+
+    Raises
+    ------
+    StoreError
+        On a missing/incompatible manifest, checksum mismatch, or any
+        inconsistency between stored and rebuilt summaries.
+    """
+    path = Path(directory)
+    manifest = _read_json(path / _MANIFEST)
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported store format {version!r} (expected {FORMAT_VERSION})"
+        )
+
+    try:
+        xml_text = (path / _DOCUMENT).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise StoreError(f"cannot read {_DOCUMENT}: {exc}") from exc
+    digest = hashlib.sha256(xml_text.encode("utf-8")).hexdigest()
+    if digest != manifest.get("document_sha256"):
+        raise StoreError("document checksum mismatch — the store is corrupt")
+
+    kwargs.setdefault(
+        "expand_attributes", bool(manifest.get("expand_attributes", False))
+    )
+    database = LotusXDatabase(parse_string(xml_text, source_name=str(path)), **kwargs)
+
+    if len(database.labeled) != manifest.get("element_count"):
+        raise StoreError("element count mismatch after rebuild")
+    _verify_dataguide(database, _read_json(path / _DATAGUIDE))
+    _verify_child_table(database, _read_json(path / _CHILD_TABLE))
+    return database
+
+
+def _verify_dataguide(database: LotusXDatabase, entries: list[dict]) -> None:
+    stored = {
+        entry["path"]: (entry["count"], entry["text_count"]) for entry in entries
+    }
+    rebuilt = {
+        format_path(node.path): (node.count, node.text_count)
+        for node in database.guide.iter_nodes()
+    }
+    if stored != rebuilt:
+        raise StoreError("DataGuide mismatch after rebuild — the store is corrupt")
+
+
+def _verify_child_table(database: LotusXDatabase, entries: list[dict]) -> None:
+    stored = {entry["tag"]: tuple(entry["children"]) for entry in entries}
+    rebuilt = dict(database.labeled.child_table.items())
+    if stored != rebuilt:
+        raise StoreError("child-table mismatch after rebuild — the store is corrupt")
+
+
+def _write_json(path: Path, payload) -> None:
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8")
+
+
+def _read_json(path: Path):
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise StoreError(f"cannot read {path.name}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"corrupt JSON in {path.name}: {exc}") from exc

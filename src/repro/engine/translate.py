@@ -1,0 +1,146 @@
+"""Translate twig patterns to XPath and XQuery.
+
+LotusX users never write query text, but the system shows (and can
+export) the equivalent XPath/XQuery for the twig they drew — useful for
+learning and for running the same query on external engines.
+"""
+
+from __future__ import annotations
+
+from repro.twig.pattern import (
+    AbsentBranchPredicate,
+    Axis,
+    ComparisonOp,
+    ContainsPredicate,
+    EqualsPredicate,
+    NotPredicate,
+    Predicate,
+    QueryNode,
+    RangePredicate,
+    TwigPattern,
+)
+
+
+def predicate_to_xpath(predicate: Predicate) -> str:
+    """Render a value predicate as an XPath boolean expression on ``.``."""
+    if isinstance(predicate, ContainsPredicate):
+        clauses = [f'contains(., "{term}")' for term in predicate.terms()]
+        return " and ".join(clauses)
+    if isinstance(predicate, EqualsPredicate):
+        return f'. = "{predicate.value}"'
+    if isinstance(predicate, RangePredicate):
+        op = predicate.op
+        symbol = "=" if op is ComparisonOp.EQ else op.value
+        bound = (
+            int(predicate.bound) if predicate.bound.is_integer() else predicate.bound
+        )
+        return f"number(.) {symbol} {bound}"
+    if isinstance(predicate, NotPredicate):
+        inner = predicate_to_xpath(predicate.inner)
+        return f"not({inner})"
+    if isinstance(predicate, AbsentBranchPredicate):
+        step = (
+            predicate.tag
+            if predicate.axis is Axis.CHILD
+            else ".//" + predicate.tag
+        )
+        return f"not({step})"
+    raise TypeError(f"unknown predicate type: {predicate!r}")
+
+
+def _node_step(node: QueryNode, is_root: bool = False) -> str:
+    axis = str(node.axis)
+    step = axis + node.display_tag
+    if node.predicate is not None:
+        step += f"[{predicate_to_xpath(node.predicate)}]"
+    return step
+
+
+def to_xpath(pattern: TwigPattern) -> str:
+    """The XPath 1.0 expression equivalent to ``pattern``.
+
+    The expression selects the pattern's primary output node; side
+    branches become predicates.  Order constraints have no direct XPath
+    1.0 equivalent and are noted in a trailing comment.
+    """
+    output = pattern.output_nodes()[0]
+    spine: list[QueryNode] = []
+    node: QueryNode | None = output
+    while node is not None:
+        spine.append(node)
+        node = node.parent
+    spine.reverse()
+    spine_ids = {n.node_id for n in spine}
+
+    def branch_predicate(node: QueryNode) -> str:
+        expression = node.display_tag if node.axis is Axis.CHILD else (
+            ".//" + node.display_tag
+        )
+        inner: list[str] = []
+        if node.predicate is not None:
+            inner.append(predicate_to_xpath(node.predicate))
+        for child in node.children:
+            inner.append(branch_predicate(child))
+        if inner:
+            joined = " and ".join(
+                part if " and " not in part else f"({part})" for part in inner
+            )
+            return f"{expression}[{joined}]"
+        return expression
+
+    parts: list[str] = []
+    for spine_node in spine:
+        step = _node_step(spine_node)
+        branches = [
+            branch_predicate(child)
+            for child in spine_node.children
+            if child.node_id not in spine_ids and not child.optional
+        ]
+        for branch in branches:
+            step += f"[{branch}]"
+        parts.append(step)
+    xpath = "".join(parts)
+    if pattern.has_optional():
+        xpath += "  (: optional branches omitted — XPath has no outer join :)"
+    if pattern.ordered or pattern.order_constraints:
+        xpath += "  (: order-sensitive; order constraints checked by LotusX :)"
+    return xpath
+
+
+def to_xquery(pattern: TwigPattern) -> str:
+    """A FLWOR expression equivalent to ``pattern``.
+
+    Binds one variable per output node so multi-output twigs return
+    element tuples.
+    """
+    outputs = pattern.output_nodes()
+    root_xpath_pattern = pattern.copy()
+    # The FLWOR iterates matches of the pattern root.
+    for node in root_xpath_pattern.nodes():
+        node.is_output = node.is_root
+    root_path = to_xpath(root_xpath_pattern).split("  (:")[0]
+
+    lines = [f"for $m in doc($input){root_path}"]
+    let_lines: list[str] = []
+    returns: list[str] = []
+    for index, output in enumerate(outputs, start=1):
+        if output.is_root:
+            returns.append("{$m}")
+            continue
+        relative = _relative_path(pattern, output)
+        let_lines.append(f"let $o{index} := $m{relative}")
+        returns.append(f"{{$o{index}}}")
+    lines.extend(let_lines)
+    body = "".join(returns)
+    lines.append(f"return <hit>{body}</hit>")
+    return "\n".join(lines)
+
+
+def _relative_path(pattern: TwigPattern, node: QueryNode) -> str:
+    steps: list[str] = []
+    current: QueryNode | None = node
+    while current is not None and not current.is_root:
+        steps.append(_node_step(current))
+        current = current.parent
+    steps.reverse()
+    return "".join(steps)

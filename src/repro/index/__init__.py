@@ -1,0 +1,35 @@
+"""Index layer: tries, inverted term index, tag streams, completion tries.
+
+Everything the query-time components (autocompletion, twig matching,
+ranking) read is built here, in one pass over a labeled document.
+"""
+
+from repro.index.completion_index import CompletionIndex
+from repro.index.element_index import ElementFilter, StreamCursor, StreamFactory
+from repro.index.statistics import CorpusStatistics, compute_statistics
+from repro.index.term_index import Posting, TermIndex
+from repro.index.text import (
+    MAX_VALUE_LENGTH,
+    STOPWORDS,
+    completion_value,
+    normalize,
+    tokenize,
+)
+from repro.index.trie import Trie
+
+__all__ = [
+    "MAX_VALUE_LENGTH",
+    "STOPWORDS",
+    "CompletionIndex",
+    "CorpusStatistics",
+    "ElementFilter",
+    "Posting",
+    "StreamCursor",
+    "StreamFactory",
+    "TermIndex",
+    "Trie",
+    "completion_value",
+    "compute_statistics",
+    "normalize",
+    "tokenize",
+]

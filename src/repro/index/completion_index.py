@@ -1,0 +1,119 @@
+"""Completion indexes: the data structures behind LotusX auto-completion.
+
+Two families of tries are maintained:
+
+* **tag completion** — one global trie of tag names weighted by element
+  count.  Position-awareness for tags comes from the DataGuide (the
+  candidate *set* is restricted first, then weighted), so no per-path tag
+  tries are needed.
+* **value completion** — per DataGuide path node, a trie of tokens and a
+  trie of whole (normalized) values occurring in elements *at that path*.
+  This is the position-aware side: when the user types a value into a twig
+  node, only values that actually occur at the node's possible positions
+  are proposed.  A global token/value trie pair is kept as the
+  position-blind baseline (experiment E3) and as a fallback for wildcard
+  nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.index.term_index import TermIndex
+from repro.index.text import completion_value, tokenize
+from repro.index.trie import Trie
+from repro.labeling.assign import LabeledDocument
+
+
+class CompletionIndex:
+    """All completion tries for one labeled document."""
+
+    def __init__(self, labeled: LabeledDocument, term_index: TermIndex) -> None:
+        self._labeled = labeled
+        self._term_index = term_index
+        self.tag_trie = Trie()
+        self.global_token_trie = Trie()
+        self.global_value_trie = Trie()
+        self._path_token_tries: dict[int, Trie] = {}
+        self._path_value_tries: dict[int, Trie] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for path_node in self._labeled.guide.iter_nodes():
+            self.tag_trie.add(path_node.tag, path_node.count)
+        for labeled_element in self._labeled.elements:
+            text = labeled_element.element.direct_text
+            if not text.strip():
+                continue
+            path_id = labeled_element.path_node.node_id
+            tokens = tokenize(text)
+            if tokens:
+                token_trie = self._path_token_tries.setdefault(path_id, Trie())
+                for token in tokens:
+                    token_trie.add(token)
+                    self.global_token_trie.add(token)
+            value = completion_value(text)
+            if value is not None:
+                self._path_value_tries.setdefault(path_id, Trie()).add(value)
+                self.global_value_trie.add(value)
+
+    # ------------------------------------------------------------------
+    # Tag completion
+    # ------------------------------------------------------------------
+
+    def complete_tag(self, prefix: str, k: int = 10) -> list[tuple[str, int]]:
+        """Top-k tag names by element count (position-blind)."""
+        return self.tag_trie.complete(prefix.lower(), k)
+
+    # ------------------------------------------------------------------
+    # Value completion
+    # ------------------------------------------------------------------
+
+    def complete_value_at(
+        self, path_ids: Iterable[int], prefix: str, k: int = 10
+    ) -> list[tuple[str, int]]:
+        """Top-k whole values with ``prefix`` occurring at any of the given
+        DataGuide path nodes (position-aware)."""
+        return _merge_completions(
+            (self._path_value_tries.get(pid) for pid in path_ids), prefix, k
+        )
+
+    def complete_token_at(
+        self, path_ids: Iterable[int], prefix: str, k: int = 10
+    ) -> list[tuple[str, int]]:
+        """Top-k text tokens with ``prefix`` at the given path nodes."""
+        return _merge_completions(
+            (self._path_token_tries.get(pid) for pid in path_ids), prefix, k
+        )
+
+    def complete_value_global(self, prefix: str, k: int = 10) -> list[tuple[str, int]]:
+        """Position-blind whole-value completion (baseline)."""
+        return self.global_value_trie.complete(prefix.lower(), k)
+
+    def complete_token_global(self, prefix: str, k: int = 10) -> list[tuple[str, int]]:
+        """Position-blind token completion (baseline)."""
+        return self.global_token_trie.complete(prefix.lower(), k)
+
+    def path_has_values(self, path_id: int) -> bool:
+        """True if any completable value occurs at this path node."""
+        return path_id in self._path_value_tries or path_id in self._path_token_tries
+
+
+def _merge_completions(
+    tries: Iterable[Trie | None], prefix: str, k: int
+) -> list[tuple[str, int]]:
+    """Union per-trie top-k lists, summing weights for shared keys.
+
+    Each contributing trie yields its own top-k; summing over at most
+    ``len(tries) * k`` entries keeps the merge cheap while remaining exact
+    for any key whose total weight places it in the merged top-k.
+    """
+    merged: dict[str, int] = {}
+    normalized = prefix.lower()
+    for trie in tries:
+        if trie is None:
+            continue
+        for key, weight in trie.complete(normalized, k):
+            merged[key] = merged.get(key, 0) + weight
+    ranked = sorted(merged.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]

@@ -1,0 +1,81 @@
+"""Tag streams and stream cursors for the twig-join algorithms.
+
+A *stream* is the document-ordered list of labeled elements for one query
+node: all elements with the node's tag (or every element, for a wildcard),
+optionally pre-filtered by the node's value predicate.  The holistic
+algorithms consume streams through :class:`StreamCursor`, which exposes the
+``head`` / ``advance`` / ``eof`` interface TwigStack and PathStack are
+written against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import LabeledDocument, LabeledElement
+
+#: Filters applied to a tag stream (value predicates compile to these).
+ElementFilter = Callable[[LabeledElement], bool]
+
+
+class StreamCursor:
+    """Forward-only cursor over a document-ordered element stream."""
+
+    __slots__ = ("_items", "_pos")
+
+    def __init__(self, items: Sequence[LabeledElement]) -> None:
+        self._items = items
+        self._pos = 0
+
+    def eof(self) -> bool:
+        return self._pos >= len(self._items)
+
+    def head(self) -> LabeledElement:
+        """Current element; undefined behaviour after eof (raises)."""
+        return self._items[self._pos]
+
+    def advance(self) -> None:
+        self._pos += 1
+
+    def remaining(self) -> int:
+        return len(self._items) - self._pos
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def __repr__(self) -> str:
+        state = "eof" if self.eof() else repr(self.head())
+        return f"StreamCursor(pos={self._pos}, head={state})"
+
+
+class StreamFactory:
+    """Builds (optionally filtered) streams over a labeled document."""
+
+    def __init__(self, labeled: LabeledDocument, term_index: TermIndex) -> None:
+        self._labeled = labeled
+        self._term_index = term_index
+
+    @property
+    def term_index(self) -> TermIndex:
+        return self._term_index
+
+    def stream(self, tag: str | None) -> list[LabeledElement]:
+        """Document-ordered elements with ``tag`` (None = wildcard: all)."""
+        if tag is None:
+            return self._labeled.elements
+        return self._labeled.stream(tag)
+
+    def filtered_stream(
+        self, tag: str | None, element_filter: ElementFilter | None = None
+    ) -> list[LabeledElement]:
+        """Stream for ``tag`` with ``element_filter`` applied."""
+        base = self.stream(tag)
+        if element_filter is None:
+            return base
+        return [element for element in base if element_filter(element)]
+
+    def cursor(
+        self, tag: str | None, element_filter: ElementFilter | None = None
+    ) -> StreamCursor:
+        return StreamCursor(self.filtered_stream(tag, element_filter))

@@ -1,0 +1,54 @@
+"""Corpus statistics: a compact summary of an indexed document."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import LabeledDocument
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusStatistics:
+    """Summary figures for one labeled, indexed document."""
+
+    element_count: int
+    distinct_tags: int
+    distinct_paths: int
+    max_depth: int
+    average_depth: float
+    text_element_count: int
+    distinct_terms: int
+    total_tokens: int
+    distinct_values: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "element_count": self.element_count,
+            "distinct_tags": self.distinct_tags,
+            "distinct_paths": self.distinct_paths,
+            "max_depth": self.max_depth,
+            "average_depth": round(self.average_depth, 2),
+            "text_element_count": self.text_element_count,
+            "distinct_terms": self.distinct_terms,
+            "total_tokens": self.total_tokens,
+            "distinct_values": self.distinct_values,
+        }
+
+
+def compute_statistics(
+    labeled: LabeledDocument, term_index: TermIndex
+) -> CorpusStatistics:
+    """Compute :class:`CorpusStatistics` for an indexed document."""
+    depths = [element.level + 1 for element in labeled.elements]
+    return CorpusStatistics(
+        element_count=len(labeled),
+        distinct_tags=len(labeled.tags()),
+        distinct_paths=len(labeled.guide),
+        max_depth=max(depths, default=0),
+        average_depth=sum(depths) / len(depths) if depths else 0.0,
+        text_element_count=term_index.text_element_count,
+        distinct_terms=sum(1 for _ in term_index.vocabulary()),
+        total_tokens=term_index.total_tokens,
+        distinct_values=sum(1 for _ in term_index.values()),
+    )

@@ -1,0 +1,48 @@
+"""Text normalization and tokenization for value indexing.
+
+One tokenizer is shared by the term index, the completion indexes, and the
+query side, so a term always normalizes the same way everywhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_PATTERN = re.compile(r"[0-9A-Za-z]+(?:['\-][0-9A-Za-z]+)*")
+
+#: Words too common to be useful as search terms or completions.
+STOPWORDS = frozenset(
+    "a an and are as at be by for from has in is it of on or the to with".split()
+)
+
+#: Longest value string kept verbatim in value-completion tries.
+MAX_VALUE_LENGTH = 64
+
+
+def normalize(text: str) -> str:
+    """Case-fold and collapse whitespace."""
+    return " ".join(text.lower().split())
+
+
+def tokenize(text: str, drop_stopwords: bool = False) -> list[str]:
+    """Split ``text`` into normalized tokens.
+
+    Tokens are maximal alphanumeric runs (apostrophes and hyphens joining
+    two runs are kept, so ``"O'Neil"`` and ``"twig-join"`` stay whole).
+    """
+    tokens = [match.group(0).lower() for match in _TOKEN_PATTERN.finditer(text)]
+    if drop_stopwords:
+        tokens = [token for token in tokens if token not in STOPWORDS]
+    return tokens
+
+
+def completion_value(text: str) -> str | None:
+    """Normalize ``text`` for the value-completion trie.
+
+    Returns None for values that are empty or too long to be useful
+    completions (long prose paragraphs are completed token-wise instead).
+    """
+    value = normalize(text)
+    if not value or len(value) > MAX_VALUE_LENGTH:
+        return None
+    return value

@@ -1,0 +1,121 @@
+"""A weighted trie with top-k prefix completion.
+
+Every inserted key carries a non-negative weight (occurrence count).  Each
+trie node caches the *maximum* weight in its subtree, which lets
+:meth:`Trie.complete` run a best-first search that touches only the
+branches that can still contribute to the top-k — the property that keeps
+LotusX completions "on-the-fly" even on large vocabularies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterator
+
+
+class _TrieNode:
+    __slots__ = ("children", "weight", "best")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.weight = 0  # weight of the key ending here (0 = no key)
+        self.best = 0  # max key weight in this subtree (incl. self)
+
+
+class Trie:
+    """Weighted string trie supporting add, exact lookup, and top-k
+    completion."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def add(self, key: str, weight: int = 1) -> None:
+        """Add ``weight`` to ``key``'s weight (inserting it if new)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive: {weight}")
+        node = self._root
+        path = [node]
+        for ch in key:
+            node = node.children.setdefault(ch, _TrieNode())
+            path.append(node)
+        if node.weight == 0:
+            self._size += 1
+        node.weight += weight
+        for visited in path:
+            if node.weight > visited.best:
+                visited.best = node.weight
+
+    def weight(self, key: str) -> int:
+        """Weight of ``key``, or 0 if absent."""
+        node = self._find(key)
+        return node.weight if node else 0
+
+    def __contains__(self, key: str) -> bool:
+        return self.weight(key) > 0
+
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return self._size
+
+    def _find(self, prefix: str) -> _TrieNode | None:
+        node = self._root
+        for ch in prefix:
+            node = node.children.get(ch)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def complete(self, prefix: str, k: int = 10) -> list[tuple[str, int]]:
+        """Top-``k`` keys starting with ``prefix``, by descending weight.
+
+        Ties break alphabetically.  Runs best-first over subtree-max
+        weights, so the cost is O(|prefix| + k · branch) rather than the
+        size of the matching subtree.
+        """
+        start = self._find(prefix)
+        if start is None or k <= 0:
+            return []
+        results: list[tuple[str, int]] = []
+        counter = itertools.count()
+        # Max-heap over two entry kinds:
+        #   node entries, keyed by the subtree's best key weight (an upper
+        #   bound on every key below), and
+        #   key entries, keyed by the key's own weight.
+        # A popped *key* entry is final: nothing still in the heap can beat
+        # it.  Ties break lexicographically via the key in the sort key.
+        heap: list[tuple[int, str, int, _TrieNode | None]] = [
+            (-start.best, prefix, next(counter), start)
+        ]
+        while heap and len(results) < k:
+            negative_weight, key, _, node = heapq.heappop(heap)
+            if node is None:
+                results.append((key, -negative_weight))
+                continue
+            if node.weight > 0:
+                heapq.heappush(heap, (-node.weight, key, next(counter), None))
+            for ch, child in node.children.items():
+                heapq.heappush(heap, (-child.best, key + ch, next(counter), child))
+        return results
+
+    def iter_prefix(self, prefix: str) -> Iterator[tuple[str, int]]:
+        """All keys with ``prefix`` (lexicographic order), with weights."""
+        start = self._find(prefix)
+        if start is None:
+            return
+        stack: list[tuple[str, _TrieNode]] = [(prefix, start)]
+        while stack:
+            key, node = stack.pop()
+            if node.weight > 0:
+                yield key, node.weight
+            for ch in sorted(node.children, reverse=True):
+                stack.append((key + ch, node.children[ch]))
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        """All keys with weights, lexicographic order."""
+        return self.iter_prefix("")

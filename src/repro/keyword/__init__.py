@@ -1,0 +1,7 @@
+"""Schema-free keyword search: SLCA semantics with combined ranking."""
+
+from repro.keyword.search import KeywordHit, KeywordResponse, keyword_search
+from repro.keyword.elca import find_elcas
+from repro.keyword.slca import find_slcas
+
+__all__ = ["KeywordHit", "KeywordResponse", "find_elcas", "find_slcas", "keyword_search"]

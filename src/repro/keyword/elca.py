@@ -1,0 +1,75 @@
+"""Exclusive Lowest Common Ancestor (ELCA) computation.
+
+ELCA is the other classical keyword-search semantics (Guo et al., XRANK):
+an element ``v`` is an ELCA if, after *excluding* the subtrees of
+qualifying elements below it, ``v`` still witnesses every keyword — i.e.
+each keyword has an occurrence under ``v`` that no qualifying proper
+descendant of ``v`` claims.  Every SLCA is an ELCA; ELCA additionally
+returns ancestors that contribute their own keyword evidence (a section
+that mentions every keyword itself, even though one paragraph inside
+already does too).
+
+Computation uses a compact exact characterization: let ``q(o)`` be the
+*lowest qualifying ancestor-or-self* of keyword occurrence ``o`` (the
+qualifying set is the ancestor closure of the SLCAs).  ``v`` witnesses
+term ``t`` exclusively iff some occurrence ``o`` of ``t`` has
+``q(o) == v``.  Hence::
+
+    ELCA(terms) = ∩_t { q(o) : o an occurrence of t }
+
+one ancestor walk per occurrence, membership-checked against the
+qualifying set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.index.term_index import TermIndex
+from repro.keyword.slca import find_slcas
+from repro.labeling.assign import LabeledDocument, LabeledElement
+
+
+def find_elcas(
+    labeled: LabeledDocument,
+    term_index: TermIndex,
+    terms: Sequence[str],
+) -> list[LabeledElement]:
+    """The ELCA elements for ``terms``, in document order.
+
+    Returns [] when any term is absent (conjunctive) or ``terms`` is
+    empty.  Always a superset of the SLCAs for the same terms.
+    """
+    normalized = sorted({term.lower() for term in terms if term})
+    if not normalized:
+        return []
+    slcas = find_slcas(labeled, term_index, normalized)
+    if not slcas:
+        return []
+
+    # Qualifying set: ancestor-or-self closure of the SLCAs.
+    qualifying: set[int] = set()
+    for slca in slcas:
+        current: LabeledElement | None = slca
+        while current is not None and current.order not in qualifying:
+            qualifying.add(current.order)
+            current = current.parent
+
+    def lowest_qualifying(element: LabeledElement) -> int:
+        current: LabeledElement | None = element
+        while current is not None:
+            if current.order in qualifying:
+                return current.order
+            current = current.parent
+        raise AssertionError("the root qualifies whenever SLCAs exist")
+
+    witness_sets: list[set[int]] = []
+    for term in normalized:
+        witnesses = {
+            lowest_qualifying(labeled.elements[posting.order])
+            for posting in term_index.postings(term)
+        }
+        witness_sets.append(witnesses)
+
+    elca_orders = set.intersection(*witness_sets)
+    return [labeled.elements[order] for order in sorted(elca_orders)]

@@ -1,0 +1,122 @@
+"""Ranked keyword search over SLCA results.
+
+Wraps :func:`~repro.keyword.slca.find_slcas` with query tokenization and
+the LotusX-style combined ranking: text relevance (idf-weighted,
+saturation-damped term frequencies inside the SLCA's subtree) blended
+with structural specificity (deeper, smaller answers first).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.index.term_index import TermIndex
+from repro.index.text import tokenize
+from repro.keyword.elca import find_elcas
+from repro.keyword.slca import find_slcas
+from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.ranking.tfidf import TF_SATURATION
+
+#: Weight of the textual signal vs structural specificity.
+TEXT_WEIGHT = 0.7
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordHit:
+    """One ranked SLCA answer."""
+
+    element: LabeledElement
+    score: float
+    text_score: float
+    specificity: float
+
+    def as_dict(self) -> dict:
+        from repro.engine.results import element_xpath, make_snippet
+
+        return {
+            "xpath": element_xpath(self.element),
+            "tag": self.element.tag,
+            "snippet": make_snippet(self.element),
+            "score": round(self.score, 4),
+            "text_score": round(self.text_score, 4),
+            "specificity": round(self.specificity, 4),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class KeywordResponse:
+    """Result of :func:`keyword_search`."""
+
+    terms: tuple[str, ...]
+    hits: tuple[KeywordHit, ...]
+    total_slcas: int
+    semantics: str = "slca"
+
+    def __iter__(self):
+        return iter(self.hits)
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def as_dict(self) -> dict:
+        return {
+            "terms": list(self.terms),
+            "semantics": self.semantics,
+            "total_slcas": self.total_slcas,
+            "hits": [hit.as_dict() for hit in self.hits],
+        }
+
+
+def keyword_search(
+    labeled: LabeledDocument,
+    term_index: TermIndex,
+    query: str,
+    k: int = 10,
+    semantics: str = "slca",
+) -> KeywordResponse:
+    """Keyword search for ``query``, ranked, top ``k``.
+
+    ``semantics`` selects the answer definition: ``"slca"`` (smallest
+    containers only) or ``"elca"`` (also ancestors contributing their own
+    keyword evidence).  Stopwords are dropped from the query unless that
+    would empty it.
+    """
+    if semantics not in ("slca", "elca"):
+        raise ValueError(f"unknown keyword semantics {semantics!r}")
+    terms = tuple(tokenize(query, drop_stopwords=True)) or tuple(tokenize(query))
+    if not terms:
+        return KeywordResponse((), (), 0, semantics)
+    finder = find_slcas if semantics == "slca" else find_elcas
+    slcas = finder(labeled, term_index, terms)
+    max_depth = max((element.level for element in labeled.elements), default=0)
+    hits = [
+        _score(element, terms, term_index, max_depth) for element in slcas
+    ]
+    hits.sort(key=lambda hit: (-hit.score, hit.element.order))
+    return KeywordResponse(terms, tuple(hits[:k]), len(slcas), semantics)
+
+
+def _score(
+    element: LabeledElement,
+    terms: tuple[str, ...],
+    term_index: TermIndex,
+    max_depth: int,
+) -> KeywordHit:
+    weighted = 0.0
+    total_idf = 0.0
+    for term in set(terms):
+        idf = term_index.idf(term)
+        tf = term_index.subtree_term_frequency(element, term)
+        total_idf += idf
+        weighted += idf * (tf / (tf + TF_SATURATION))
+    text_score = weighted / total_idf if total_idf else 0.0
+
+    # Specificity: deeper and smaller answers are more focused.
+    depth_ratio = element.level / max_depth if max_depth else 0.0
+    subtree_size = (element.region.end - element.region.start + 1) // 2
+    size_factor = 1.0 / (1.0 + math.log1p(subtree_size - 1))
+    specificity = 0.5 * depth_ratio + 0.5 * size_factor
+
+    score = TEXT_WEIGHT * text_score + (1.0 - TEXT_WEIGHT) * specificity
+    return KeywordHit(element, score, text_score, specificity)

@@ -1,0 +1,92 @@
+"""Smallest Lowest Common Ancestor (SLCA) computation.
+
+Keyword search over XML returns the *smallest* elements whose subtree
+contains every query term: elements that qualify while no proper
+descendant qualifies (Xu & Papakonstantinou, SIGMOD 2005).  This is the
+schema-free complement to twig search — the other way LotusX-era systems
+served users who knew nothing about the document.
+
+Algorithm (exact, label-based):
+
+1. take the query term with the fewest postings (the *rarest* term);
+2. for each of its occurrences, walk up the ancestor chain to the lowest
+   element whose subtree contains all the *other* terms too — one
+   O(depth · terms · log n) probe per occurrence via the term index's
+   preorder-range containment check;
+3. every SLCA is discovered this way (it must contain a rarest-term
+   occurrence, and it is the lowest qualifying ancestor of any occurrence
+   inside it), so the SLCA set is the candidates minus those with another
+   candidate strictly below them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import LabeledDocument, LabeledElement
+
+
+def find_slcas(
+    labeled: LabeledDocument,
+    term_index: TermIndex,
+    terms: Sequence[str],
+) -> list[LabeledElement]:
+    """The SLCA elements for ``terms``, in document order.
+
+    Returns [] when any term has no occurrence at all (conjunctive
+    semantics) or when ``terms`` is empty.
+    """
+    normalized = [term.lower() for term in terms if term]
+    if not normalized:
+        return []
+    postings_per_term = {
+        term: term_index.postings(term) for term in set(normalized)
+    }
+    if any(not postings for postings in postings_per_term.values()):
+        return []
+
+    rarest = min(postings_per_term, key=lambda term: len(postings_per_term[term]))
+    others = [term for term in postings_per_term if term != rarest]
+
+    candidates: dict[int, LabeledElement] = {}
+    for posting in postings_per_term[rarest]:
+        element = labeled.elements[posting.order]
+        anchor = _lowest_qualifying_ancestor(element, others, term_index)
+        if anchor is not None:
+            candidates[anchor.order] = anchor
+
+    return _remove_non_minimal(list(candidates.values()))
+
+
+def _lowest_qualifying_ancestor(
+    element: LabeledElement,
+    other_terms: list[str],
+    term_index: TermIndex,
+) -> LabeledElement | None:
+    """The lowest ancestor-or-self of ``element`` whose subtree contains
+    every other term (``element`` itself already contains the rarest)."""
+    current: LabeledElement | None = element
+    while current is not None:
+        if term_index.subtree_contains_all(current, other_terms):
+            return current
+        current = current.parent
+    return None
+
+
+def _remove_non_minimal(
+    candidates: list[LabeledElement],
+) -> list[LabeledElement]:
+    """Keep candidates with no other candidate strictly below them.
+
+    One pass over the document-ordered candidates: an element is an
+    ancestor of the next candidate iff it contains it, and ancestor
+    relations among qualifying elements are exactly the non-minimal ones.
+    """
+    ordered = sorted(candidates, key=lambda e: e.region)
+    keep: list[LabeledElement] = []
+    for candidate in ordered:
+        while keep and keep[-1].region.is_ancestor_of(candidate.region):
+            keep.pop()
+        keep.append(candidate)
+    return keep

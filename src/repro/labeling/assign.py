@@ -1,0 +1,201 @@
+"""Label assignment: one pass that attaches every label to every element.
+
+:func:`label_document` walks a parsed tree and produces a
+:class:`LabeledDocument` in which every element carries
+
+* a region label (``start``/``end``/``level``) — O(1) structural tests,
+* a Dewey label — ancestor paths and LCAs,
+* an extended Dewey label — tag-path decodable (TJFast-style),
+* its DataGuide path node — position identity for completion/validation.
+
+The DataGuide and child-tag tables are built in a first cheap pass (they
+are needed *before* extended Dewey components can be computed), then labels
+are assigned in a second preorder pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.labeling.dewey import Dewey
+from repro.labeling.extended_dewey import (
+    ExtendedDewey,
+    ExtendedDeweyDecoder,
+    ExtendedDeweyEncoder,
+)
+from repro.labeling.region import Region
+from repro.summary.child_table import ChildTagTable
+from repro.summary.dataguide import DataGuide, PathNode
+from repro.xmlio.tree import Document, Element
+
+
+class LabeledElement:
+    """An element plus every label the engine needs.
+
+    ``order`` is the element's preorder index (0-based, document order) and
+    doubles as a dense id for side tables.
+    """
+
+    __slots__ = ("element", "order", "region", "dewey", "xdewey", "path_node", "parent")
+
+    def __init__(
+        self,
+        element: Element,
+        order: int,
+        region: Region,
+        dewey: Dewey,
+        xdewey: ExtendedDewey,
+        path_node: PathNode,
+        parent: LabeledElement | None,
+    ) -> None:
+        self.element = element
+        self.order = order
+        self.region = region
+        self.dewey = dewey
+        self.xdewey = xdewey
+        self.path_node = path_node
+        self.parent = parent
+
+    @property
+    def tag(self) -> str:
+        return self.element.tag
+
+    @property
+    def level(self) -> int:
+        return self.region.level
+
+    def is_ancestor_of(self, other: LabeledElement) -> bool:
+        return self.region.is_ancestor_of(other.region)
+
+    def is_parent_of(self, other: LabeledElement) -> bool:
+        return self.region.is_parent_of(other.region)
+
+    def __repr__(self) -> str:
+        return f"LabeledElement({self.tag!r}, {self.region}, dewey={self.dewey})"
+
+
+class LabeledDocument:
+    """A document with labels assigned and per-tag streams materialized."""
+
+    def __init__(
+        self,
+        document: Document,
+        guide: DataGuide,
+        child_table: ChildTagTable,
+        elements: list[LabeledElement],
+    ) -> None:
+        self.document = document
+        self.guide = guide
+        self.child_table = child_table
+        #: All labeled elements in document (preorder) order.
+        self.elements = elements
+        self._by_element_id = {id(le.element): le for le in elements}
+        self._by_tag: dict[str, list[LabeledElement]] = {}
+        for labeled in elements:
+            self._by_tag.setdefault(labeled.tag, []).append(labeled)
+        self.decoder = ExtendedDeweyDecoder(child_table, document.root.tag)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def label_of(self, element: Element) -> LabeledElement:
+        """The labels of ``element`` (must belong to this document)."""
+        try:
+            return self._by_element_id[id(element)]
+        except KeyError:
+            raise KeyError(f"element {element!r} is not part of this document") from None
+
+    def stream(self, tag: str) -> list[LabeledElement]:
+        """All elements with ``tag``, in document order (shared list —
+        callers must not mutate)."""
+        return self._by_tag.get(tag, [])
+
+    def tags(self) -> set[str]:
+        return set(self._by_tag)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def iter_elements(self) -> Iterator[LabeledElement]:
+        return iter(self.elements)
+
+    def __repr__(self) -> str:
+        return f"LabeledDocument(elements={len(self.elements)}, paths={len(self.guide)})"
+
+
+def label_document(document: Document) -> LabeledDocument:
+    """Assign all labels to ``document`` and return the labeled view."""
+    guide = DataGuide.from_document(document)
+    child_table = ChildTagTable.from_dataguide(guide)
+    encoder = ExtendedDeweyEncoder(child_table)
+
+    elements: list[LabeledElement] = []
+    counter = 0  # shared start/end counter for region labels
+
+    root_path_node = guide.node_for_path((document.root.tag,))
+    assert root_path_node is not None  # the guide was built from this document
+
+    def walk(
+        element: Element,
+        level: int,
+        dewey: Dewey,
+        xdewey: ExtendedDewey,
+        path_node: PathNode,
+        parent: LabeledElement | None,
+    ) -> LabeledElement:
+        nonlocal counter
+        start = counter
+        counter += 1
+        order = len(elements)
+        # Region end is patched after the subtree is walked; reserve slot.
+        elements.append(None)  # type: ignore[arg-type]
+
+        previous_component = -1
+        children: list[LabeledElement] = []
+        placeholder_index = order
+        labeled: LabeledElement | None = None
+
+        child_ordinal = 0
+        pending: list[tuple[Element, Dewey, ExtendedDewey, PathNode]] = []
+        for child in element.child_elements():
+            child_ordinal += 1
+            component = encoder.component(element.tag, child.tag, previous_component)
+            previous_component = component
+            child_path = path_node.children[child.tag]
+            pending.append(
+                (
+                    child,
+                    dewey.child(child_ordinal),
+                    ExtendedDewey(xdewey.components + (component,)),
+                    child_path,
+                )
+            )
+
+        # Create this element's record first (children need it as parent),
+        # but its region end isn't known until the subtree completes; build
+        # the record after walking children, then patch the reserved slot.
+        for child, child_dewey, child_xdewey, child_path in pending:
+            # Children are recorded inside the recursive call.
+            children.append(
+                walk(child, level + 1, child_dewey, child_xdewey, child_path, None)
+            )
+
+        end = counter
+        counter += 1
+        labeled = LabeledElement(
+            element,
+            placeholder_index,
+            Region(start, end, level),
+            dewey,
+            xdewey,
+            path_node,
+            parent,
+        )
+        elements[placeholder_index] = labeled
+        for child_labeled in children:
+            child_labeled.parent = labeled
+        return labeled
+
+    walk(document.root, 0, Dewey(), ExtendedDewey(), root_path_node, None)
+    return LabeledDocument(document, guide, child_table, elements)

@@ -1,0 +1,118 @@
+"""Dewey (path) labels.
+
+A Dewey label is the sequence of 1-based child ordinals from the root to an
+element; the root's label is the empty sequence.  Unlike region labels,
+Dewey labels expose the *entire ancestor path*: the parent label is a
+prefix, the lowest common ancestor is the longest common prefix, and
+lexicographic comparison yields document order.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+
+@total_ordering
+class Dewey:
+    """An immutable Dewey label.
+
+    Components are 1-based ordinals among *element* siblings.  ``Dewey()``
+    is the root label.
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: tuple[int, ...] = ()) -> None:
+        if any(c < 1 for c in components):
+            raise ValueError(f"Dewey components must be >= 1: {components}")
+        object.__setattr__(self, "components", tuple(components))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Dewey labels are immutable")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> Dewey:
+        """Parse ``"1.3.2"`` (or ``""`` for the root) into a label."""
+        if not text:
+            return cls()
+        return cls(tuple(int(part) for part in text.split(".")))
+
+    def child(self, ordinal: int) -> Dewey:
+        """Label of this element's ``ordinal``-th (1-based) child."""
+        return Dewey(self.components + (ordinal,))
+
+    def parent(self) -> Dewey:
+        """Label of the parent element.
+
+        Raises
+        ------
+        ValueError
+            If this is the root label.
+        """
+        if not self.components:
+            raise ValueError("the root label has no parent")
+        return Dewey(self.components[:-1])
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Depth below the root (the root is level 0)."""
+        return len(self.components)
+
+    def is_ancestor_of(self, other: Dewey) -> bool:
+        """True if this label is a proper prefix of ``other``."""
+        n = len(self.components)
+        return n < len(other.components) and other.components[:n] == self.components
+
+    def is_parent_of(self, other: Dewey) -> bool:
+        return (
+            len(self.components) + 1 == len(other.components)
+            and other.components[:-1] == self.components
+        )
+
+    def is_descendant_of(self, other: Dewey) -> bool:
+        return other.is_ancestor_of(self)
+
+    def lca(self, other: Dewey) -> Dewey:
+        """Lowest common ancestor: the longest common prefix."""
+        prefix: list[int] = []
+        for mine, theirs in zip(self.components, other.components):
+            if mine != theirs:
+                break
+            prefix.append(mine)
+        return Dewey(tuple(prefix))
+
+    def sibling_ordinal(self) -> int:
+        """1-based position among element siblings (0 for the root)."""
+        if not self.components:
+            return 0
+        return self.components[-1]
+
+    # ------------------------------------------------------------------
+    # Ordering / identity
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dewey):
+            return NotImplemented
+        return self.components == other.components
+
+    def __lt__(self, other: Dewey) -> bool:
+        """Document order (an ancestor sorts before its descendants)."""
+        return self.components < other.components
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __repr__(self) -> str:
+        return f"Dewey({self.components!r})"
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self.components)

@@ -1,0 +1,143 @@
+"""Extended Dewey labels (the TJFast labeling scheme).
+
+An extended Dewey label is a Dewey-like component sequence in which each
+component *also encodes the element's tag*, so that the full root-to-node
+tag path can be recovered from the label plus the per-tag child tables —
+without touching the document.  This is what lets leaf-driven twig matching
+(TJFast) evaluate entire path constraints from leaf streams alone.
+
+Encoding (following Lu et al., "From Region Encoding to Extended Dewey"):
+let the parent element's tag be ``u`` with ``n = len(CT(u))`` distinct child
+tags, and let the child being labeled have the ``k``-th tag of ``CT(u)``.
+The child's final label component is the smallest integer ``x`` such that
+
+* ``x > previous sibling's component`` (preserving document order), and
+* ``x mod n == k`` (encoding the tag).
+
+Decoding walks the label from the root tag, mapping each component back to
+a tag via ``CT``.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+from repro.summary.child_table import ChildTagTable
+from repro.summary.paths import Path
+
+
+@total_ordering
+class ExtendedDewey:
+    """An immutable extended Dewey label (root label is empty)."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: tuple[int, ...] = ()) -> None:
+        if any(c < 0 for c in components):
+            raise ValueError(f"components must be non-negative: {components}")
+        object.__setattr__(self, "components", tuple(components))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ExtendedDewey labels are immutable")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        return len(self.components)
+
+    def parent(self) -> ExtendedDewey:
+        if not self.components:
+            raise ValueError("the root label has no parent")
+        return ExtendedDewey(self.components[:-1])
+
+    def is_ancestor_of(self, other: ExtendedDewey) -> bool:
+        n = len(self.components)
+        return n < len(other.components) and other.components[:n] == self.components
+
+    def is_parent_of(self, other: ExtendedDewey) -> bool:
+        return (
+            len(self.components) + 1 == len(other.components)
+            and other.components[:-1] == self.components
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedDewey):
+            return NotImplemented
+        return self.components == other.components
+
+    def __lt__(self, other: ExtendedDewey) -> bool:
+        """Document order — valid because components increase across
+        siblings by construction."""
+        return self.components < other.components
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    def __repr__(self) -> str:
+        return f"ExtendedDewey({self.components!r})"
+
+    def __str__(self) -> str:
+        return ".".join(str(c) for c in self.components)
+
+
+class ExtendedDeweyEncoder:
+    """Assigns extended Dewey components during a document traversal.
+
+    One encoder instance is used per document pass; it keeps, for the
+    element currently being labeled, only the previous sibling's component
+    (callers thread it through the traversal).
+    """
+
+    def __init__(self, child_table: ChildTagTable) -> None:
+        self._child_table = child_table
+
+    def component(self, parent_tag: str, child_tag: str, previous: int) -> int:
+        """Component for a child of ``parent_tag`` with tag ``child_tag``.
+
+        Parameters
+        ----------
+        previous:
+            The component assigned to the immediately preceding element
+            sibling, or ``-1`` for the first child.
+        """
+        n = self._child_table.fanout(parent_tag)
+        if n == 0:
+            raise KeyError(f"tag {parent_tag!r} has no child table entry")
+        k = self._child_table.tag_index(parent_tag, child_tag)
+        base = previous + 1
+        return base + ((k - base) % n)
+
+
+class ExtendedDeweyDecoder:
+    """Recovers tag paths from extended Dewey labels."""
+
+    def __init__(self, child_table: ChildTagTable, root_tag: str) -> None:
+        self._child_table = child_table
+        self._root_tag = root_tag
+
+    def decode(self, label: ExtendedDewey) -> Path:
+        """Return the root-to-node tag path encoded by ``label``.
+
+        Raises
+        ------
+        ValueError
+            If a component is inconsistent with the child tables.
+        """
+        tags = [self._root_tag]
+        current = self._root_tag
+        for component in label.components:
+            child_tags = self._child_table.child_tags(current)
+            if not child_tags:
+                raise ValueError(
+                    f"label {label} descends below leaf tag {current!r}"
+                )
+            current = child_tags[component % len(child_tags)]
+            tags.append(current)
+        return tuple(tags)
+
+    def tag_of(self, label: ExtendedDewey) -> str:
+        """The element's own tag (last step of the decoded path)."""
+        return self.decode(label)[-1]

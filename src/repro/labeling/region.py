@@ -1,0 +1,81 @@
+"""Region (containment) labels.
+
+Each element receives a triple ``(start, end, level)`` from a single
+preorder traversal: ``start`` is assigned when the element opens, ``end``
+when it closes, from one shared counter.  The classical properties follow:
+
+* ``a`` is an **ancestor** of ``d``  iff  ``a.start < d.start`` and
+  ``d.end < a.end``;
+* ``a`` is the **parent** of ``d``   iff  additionally
+  ``a.level == d.level - 1``;
+* ``a`` **precedes** ``b`` in document order  iff  ``a.start < b.start``;
+* ``a`` is **entirely before** ``b`` (no containment)  iff
+  ``a.end < b.start`` — the predicate order-sensitive twigs need.
+
+These labels let every structural-join and holistic twig algorithm decide
+element relationships in O(1) without touching the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Region:
+    """A containment label ``(start, end, level)``.
+
+    Ordering compares ``start`` first, so sorting a list of regions yields
+    document order.
+    """
+
+    start: int
+    end: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ValueError(f"region start must precede end: {self}")
+        if self.level < 0:
+            raise ValueError(f"region level must be non-negative: {self}")
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+
+    def is_ancestor_of(self, other: Region) -> bool:
+        """True if this element properly contains ``other``."""
+        return self.start < other.start and other.end < self.end
+
+    def is_parent_of(self, other: Region) -> bool:
+        """True if this element is the parent of ``other``."""
+        return self.is_ancestor_of(other) and self.level == other.level - 1
+
+    def is_descendant_of(self, other: Region) -> bool:
+        return other.is_ancestor_of(self)
+
+    def is_child_of(self, other: Region) -> bool:
+        return other.is_parent_of(self)
+
+    def contains(self, other: Region) -> bool:
+        """Reflexive containment: ancestor-or-self."""
+        return self == other or self.is_ancestor_of(other)
+
+    def precedes(self, other: Region) -> bool:
+        """True if this element starts before ``other`` in document order."""
+        return self.start < other.start
+
+    def entirely_before(self, other: Region) -> bool:
+        """True if this element closes before ``other`` opens.
+
+        This is the *following* relation: no ancestor/descendant overlap.
+        Order-sensitive twig matching uses it to check sibling order.
+        """
+        return self.end < other.start
+
+    def overlaps(self, other: Region) -> bool:
+        """True if one of the two regions contains the other."""
+        return self.contains(other) or other.contains(self)
+
+    def __str__(self) -> str:
+        return f"[{self.start},{self.end}]@{self.level}"

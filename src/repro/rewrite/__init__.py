@@ -1,0 +1,39 @@
+"""Query rewriting: relaxation rules + best-first rewrite search."""
+
+from repro.rewrite.engine import (
+    Evaluator,
+    QueryRewriter,
+    RewriteCandidate,
+    RewriteOutcome,
+)
+from repro.rewrite.rules import (
+    AxisGeneralization,
+    EqualsToContains,
+    LeafRemoval,
+    NodePromotion,
+    PredicateRemoval,
+    RequiredToOptional,
+    RewriteRule,
+    RewriteStep,
+    TagSubstitution,
+    TagToWildcard,
+    default_rules,
+)
+
+__all__ = [
+    "AxisGeneralization",
+    "EqualsToContains",
+    "Evaluator",
+    "LeafRemoval",
+    "NodePromotion",
+    "PredicateRemoval",
+    "QueryRewriter",
+    "RequiredToOptional",
+    "RewriteCandidate",
+    "RewriteOutcome",
+    "RewriteRule",
+    "RewriteStep",
+    "TagSubstitution",
+    "TagToWildcard",
+    "default_rules",
+]

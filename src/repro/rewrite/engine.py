@@ -1,0 +1,143 @@
+"""The rewrite engine: best-first search over relaxations.
+
+Starting from the user's pattern, rule applications are explored in
+cumulative-penalty order (uniform-cost search with structural
+deduplication), each candidate is evaluated against the corpus, and
+productive rewrites are returned with their penalties — the abstract's
+"query rewriting solution ... to rank and rewrite the query effectively".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.rewrite.rules import RewriteRule
+from repro.twig.match import Match
+from repro.twig.pattern import TwigPattern
+
+#: Evaluates a pattern and returns its matches.
+Evaluator = Callable[[TwigPattern], list[Match]]
+
+
+@dataclass(frozen=True, slots=True)
+class RewriteCandidate:
+    """A rewritten pattern with its relaxation history."""
+
+    pattern: TwigPattern
+    penalty: float
+    steps: tuple[str, ...]
+
+    def describe(self) -> str:
+        if not self.steps:
+            return "original query"
+        return "; ".join(self.steps)
+
+
+@dataclass
+class RewriteOutcome:
+    """Result of :meth:`QueryRewriter.search_with_rewrites`."""
+
+    #: Productive candidates (the original first if it had results).
+    productive: list[tuple[RewriteCandidate, list[Match]]] = field(
+        default_factory=list
+    )
+    #: How many candidate patterns were evaluated in total.
+    evaluated: int = 0
+    #: True when the original pattern already had results.
+    original_succeeded: bool = False
+
+    @property
+    def found_any(self) -> bool:
+        return bool(self.productive)
+
+    def best(self) -> tuple[RewriteCandidate, list[Match]] | None:
+        return self.productive[0] if self.productive else None
+
+
+class QueryRewriter:
+    """Uniform-cost exploration of the relaxation space."""
+
+    def __init__(
+        self,
+        rules: list[RewriteRule],
+        max_penalty: float = 6.0,
+        max_expansions: int = 200,
+    ) -> None:
+        self._rules = rules
+        self._max_penalty = max_penalty
+        self._max_expansions = max_expansions
+
+    def candidates(self, pattern: TwigPattern) -> list[RewriteCandidate]:
+        """All distinct rewrites within the penalty budget, cheapest first
+        (the original pattern itself is not included)."""
+        return list(self.iter_candidates(pattern))
+
+    def iter_candidates(self, pattern: TwigPattern):
+        """Lazily yield rewrites in non-decreasing penalty order."""
+        counter = itertools.count()
+        seen: set[tuple] = {pattern.signature()}
+        frontier: list[tuple[float, int, RewriteCandidate]] = []
+        heapq.heappush(
+            frontier, (0.0, next(counter), RewriteCandidate(pattern, 0.0, ()))
+        )
+        expansions = 0
+        while frontier and expansions < self._max_expansions:
+            penalty, _, candidate = heapq.heappop(frontier)
+            if candidate.steps:
+                yield candidate
+            expansions += 1
+            for rule in self._rules:
+                for step in rule.apply(candidate.pattern):
+                    total = penalty + step.penalty
+                    if total > self._max_penalty:
+                        continue
+                    signature = step.pattern.signature()
+                    if signature in seen:
+                        continue
+                    seen.add(signature)
+                    heapq.heappush(
+                        frontier,
+                        (
+                            total,
+                            next(counter),
+                            RewriteCandidate(
+                                step.pattern,
+                                total,
+                                candidate.steps + (step.description,),
+                            ),
+                        ),
+                    )
+
+    def search_with_rewrites(
+        self,
+        pattern: TwigPattern,
+        evaluator: Evaluator,
+        min_results: int = 1,
+        max_productive: int = 3,
+    ) -> RewriteOutcome:
+        """Evaluate ``pattern``; if it yields fewer than ``min_results``
+        matches, explore rewrites (cheapest first) until
+        ``max_productive`` rewritten queries have produced results or the
+        search budget runs out."""
+        outcome = RewriteOutcome()
+        original = RewriteCandidate(pattern, 0.0, ())
+        matches = evaluator(pattern)
+        outcome.evaluated = 1
+        if matches:
+            outcome.productive.append((original, matches))
+            outcome.original_succeeded = True
+        if len(matches) >= min_results:
+            return outcome
+        for candidate in self.iter_candidates(pattern):
+            rewritten_matches = evaluator(candidate.pattern)
+            outcome.evaluated += 1
+            if rewritten_matches:
+                outcome.productive.append((candidate, rewritten_matches))
+                if len(outcome.productive) >= max_productive + (
+                    1 if outcome.original_succeeded else 0
+                ):
+                    break
+        return outcome

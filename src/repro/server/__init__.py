@@ -1,0 +1,28 @@
+"""GUI substitute: a JSON HTTP API plus an embedded single-page twig
+builder (see the substitution table in DESIGN.md)."""
+
+from repro.server.api import (
+    ApiError,
+    handle_complete,
+    handle_dataguide,
+    handle_examples,
+    handle_explain,
+    handle_keyword,
+    handle_search,
+    handle_stats,
+)
+from repro.server.app import make_handler, make_server, serve
+
+__all__ = [
+    "ApiError",
+    "handle_complete",
+    "handle_dataguide",
+    "handle_examples",
+    "handle_explain",
+    "handle_keyword",
+    "handle_search",
+    "handle_stats",
+    "make_handler",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,136 @@
+"""JSON API handlers, independent of HTTP plumbing.
+
+Each public function takes plain dict payloads and returns plain dicts, so
+the same handlers serve the stdlib HTTP server and the tests (which call
+them directly, no sockets needed).
+
+Node addressing: clients identify a query node by its *preorder index* in
+the parsed pattern (0 = root), which is stable for a given query text.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import LotusXDatabase
+from repro.summary.paths import format_path
+from repro.twig.parse import TwigSyntaxError, parse_twig
+from repro.twig.pattern import Axis, QueryNode, TwigPattern
+
+
+class ApiError(ValueError):
+    """A client error (HTTP 400)."""
+
+
+def handle_stats(database: LotusXDatabase) -> dict:
+    """Corpus statistics."""
+    return {"statistics": database.statistics().as_dict()}
+
+
+def handle_dataguide(database: LotusXDatabase) -> dict:
+    """The DataGuide as a nested tree (drives the GUI's schema panel)."""
+
+    def node_dict(path_node) -> dict:
+        return {
+            "tag": path_node.tag,
+            "path": format_path(path_node.path),
+            "count": path_node.count,
+            "has_text": path_node.text_count > 0,
+            "children": [node_dict(child) for child in path_node.children.values()],
+        }
+
+    return {"roots": [node_dict(root) for root in database.guide.root_nodes]}
+
+
+def handle_examples(database: LotusXDatabase) -> dict:
+    """Verified starter queries for the GUI's empty state."""
+    return {
+        "examples": [example.as_dict() for example in database.example_queries()]
+    }
+
+
+def handle_complete(database: LotusXDatabase, payload: dict) -> dict:
+    """Autocompletion for tags or values.
+
+    Payload keys: ``kind`` ("tag"|"value"), ``prefix``, ``k``, and for
+    position-aware requests ``query`` (twig text) + ``node`` (preorder
+    index of the anchor/value node) + ``axis`` ("/"|"//", tags only).
+    """
+    kind = payload.get("kind", "tag")
+    prefix = str(payload.get("prefix", ""))
+    k = _int(payload.get("k", 10), "k")
+    query_text = payload.get("query") or ""
+    pattern, node = _resolve_node(query_text, payload.get("node"))
+
+    if kind == "tag":
+        axis = Axis.DESCENDANT if payload.get("axis") == "//" else Axis.CHILD
+        candidates = database.complete_tag(pattern, node, prefix, axis, k)
+    elif kind == "value":
+        if pattern is None or node is None:
+            raise ApiError("value completion requires 'query' and 'node'")
+        whole = bool(payload.get("whole_values", True))
+        candidates = database.complete_value(pattern, node, prefix, k, whole)
+    else:
+        raise ApiError(f"unknown completion kind {kind!r}")
+    return {"candidates": [candidate.as_dict() for candidate in candidates]}
+
+
+def handle_search(database: LotusXDatabase, payload: dict) -> dict:
+    """Ranked search; payload: ``query``, ``k``, ``rewrite``."""
+    query = payload.get("query")
+    if not query:
+        raise ApiError("missing 'query'")
+    k = _int(payload.get("k", 10), "k")
+    rewrite = bool(payload.get("rewrite", True))
+    try:
+        response = database.search(str(query), k=k, rewrite=rewrite)
+    except TwigSyntaxError as exc:
+        raise ApiError(f"bad twig query: {exc}") from exc
+    return response.as_dict()
+
+
+def handle_keyword(database: LotusXDatabase, payload: dict) -> dict:
+    """Keyword search; payload: ``query``, ``k``, ``semantics``."""
+    query = payload.get("query")
+    if not query:
+        raise ApiError("missing 'query'")
+    k = _int(payload.get("k", 10), "k")
+    semantics = str(payload.get("semantics", "slca"))
+    try:
+        return database.keyword_search(str(query), k=k, semantics=semantics).as_dict()
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+
+
+def handle_explain(database: LotusXDatabase, payload: dict) -> dict:
+    """Evaluation plan; payload: ``query``."""
+    query = payload.get("query")
+    if not query:
+        raise ApiError("missing 'query'")
+    try:
+        return database.explain(str(query))
+    except TwigSyntaxError as exc:
+        raise ApiError(f"bad twig query: {exc}") from exc
+
+
+def _resolve_node(
+    query_text: str, node_index
+) -> tuple[TwigPattern | None, QueryNode | None]:
+    if not query_text:
+        return None, None
+    try:
+        pattern = parse_twig(query_text)
+    except TwigSyntaxError as exc:
+        raise ApiError(f"bad twig query: {exc}") from exc
+    if node_index is None:
+        return pattern, pattern.root
+    index = _int(node_index, "node")
+    nodes = pattern.nodes()
+    if not 0 <= index < len(nodes):
+        raise ApiError(f"node index {index} out of range (pattern has {len(nodes)})")
+    return pattern, nodes[index]
+
+
+def _int(value, name: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ApiError(f"{name!r} must be an integer") from None

@@ -1,0 +1,125 @@
+"""Stdlib HTTP server wrapping the JSON API and the embedded GUI.
+
+Run with::
+
+    lotusx serve corpus.xml --port 8080
+
+and open ``http://localhost:8080/``.  Endpoints:
+
+=======================  ======  ========================================
+path                     method  handler
+=======================  ======  ========================================
+``/``                    GET     embedded GUI
+``/api/stats``           GET     corpus statistics
+``/api/dataguide``       GET     structural summary tree
+``/api/examples``        GET     verified starter queries
+``/api/complete``        POST    position-aware tag/value completion
+``/api/search``          POST    ranked search with rewriting
+``/api/explain``         POST    evaluation plan
+=======================  ======  ========================================
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine.database import LotusXDatabase
+from repro.server import api
+from repro.server.ui import INDEX_HTML
+
+_MAX_BODY = 1 << 20  # 1 MiB request bodies are plenty for queries
+
+
+def make_handler(database: LotusXDatabase) -> type[BaseHTTPRequestHandler]:
+    """Build a request-handler class bound to ``database``."""
+
+    class LotusXHandler(BaseHTTPRequestHandler):
+        server_version = "LotusX/0.1"
+
+        # ------------------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path in ("/", "/index.html"):
+                self._send(200, INDEX_HTML.encode("utf-8"), "text/html")
+            elif self.path == "/api/stats":
+                self._send_json(200, api.handle_stats(database))
+            elif self.path == "/api/dataguide":
+                self._send_json(200, api.handle_dataguide(database))
+            elif self.path == "/api/examples":
+                self._send_json(200, api.handle_examples(database))
+            else:
+                self._send_json(404, {"error": f"no such path: {self.path}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            handlers = {
+                "/api/complete": api.handle_complete,
+                "/api/search": api.handle_search,
+                "/api/keyword": api.handle_keyword,
+                "/api/explain": api.handle_explain,
+            }
+            handler = handlers.get(self.path)
+            if handler is None:
+                self._send_json(404, {"error": f"no such path: {self.path}"})
+                return
+            try:
+                payload = self._read_json()
+                self._send_json(200, handler(database, payload))
+            except api.ApiError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # pragma: no cover - last-resort guard
+                self._send_json(500, {"error": f"internal error: {exc}"})
+
+        # ------------------------------------------------------------------
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > _MAX_BODY:
+                raise api.ApiError("request body too large")
+            body = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(body or b"{}")
+            except json.JSONDecodeError as exc:
+                raise api.ApiError(f"bad JSON body: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise api.ApiError("JSON body must be an object")
+            return payload
+
+        def _send_json(self, status: int, payload: dict) -> None:
+            self._send(
+                status,
+                json.dumps(payload).encode("utf-8"),
+                "application/json",
+            )
+
+        def _send(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt: str, *args) -> None:
+            # Quiet by default; the CLI prints the serving banner.
+            pass
+
+    return LotusXHandler
+
+
+def serve(database: LotusXDatabase, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Serve ``database`` until interrupted (blocking)."""
+    server = ThreadingHTTPServer((host, port), make_handler(database))
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+
+
+def make_server(
+    database: LotusXDatabase, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Create (but don't start) a server — port 0 picks a free port.
+
+    Used by tests and by callers that manage the serving thread.
+    """
+    return ThreadingHTTPServer((host, port), make_handler(database))

@@ -1,0 +1,288 @@
+"""The embedded single-page GUI.
+
+A dependency-free HTML/JS twig builder served at ``/``: a schema panel
+(the DataGuide), a query box with live tag/value completion dropdowns, a
+result list with score breakdowns, and the XPath translation — the
+reproduction's stand-in for the LotusX web canvas.
+"""
+
+INDEX_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>LotusX — position-aware XML twig search</title>
+<style>
+  :root { --ink:#1c2430; --muted:#6b7686; --line:#d8dee8; --accent:#2d6cdf; }
+  * { box-sizing: border-box; }
+  body { font-family: system-ui, sans-serif; color: var(--ink); margin: 0;
+         background:#f5f7fa; }
+  header { background:#ffffff; border-bottom:1px solid var(--line);
+           padding:14px 22px; }
+  header h1 { margin:0; font-size:18px; }
+  header p { margin:4px 0 0; color:var(--muted); font-size:13px; }
+  main { display:grid; grid-template-columns: 280px 1fr; gap:18px;
+         padding:18px 22px; }
+  .panel { background:#fff; border:1px solid var(--line); border-radius:8px;
+           padding:14px; }
+  .panel h2 { font-size:13px; text-transform:uppercase; letter-spacing:.06em;
+              color:var(--muted); margin:0 0 10px; }
+  #guide { font-size:13px; max-height:70vh; overflow:auto; }
+  #guide ul { list-style:none; padding-left:16px; margin:2px 0; }
+  #guide .tag { cursor:pointer; color:var(--accent); }
+  #guide .count { color:var(--muted); font-size:11px; }
+  #query { width:100%; font:14px/1.4 ui-monospace, monospace; padding:9px;
+           border:1px solid var(--line); border-radius:6px; }
+  #suggest { position:relative; }
+  #dropdown { position:absolute; left:0; right:0; background:#fff;
+              border:1px solid var(--line); border-radius:6px; z-index:5;
+              max-height:220px; overflow:auto; display:none; }
+  #dropdown div { padding:6px 10px; cursor:pointer; font-size:13px; }
+  #dropdown div:hover { background:#eef3fc; }
+  #dropdown .meta { color:var(--muted); float:right; font-size:11px; }
+  .row { display:flex; gap:8px; margin-top:10px; align-items:center; }
+  button { background:var(--accent); color:#fff; border:0; border-radius:6px;
+           padding:8px 16px; font-size:13px; cursor:pointer; }
+  button.secondary { background:#e8edf5; color:var(--ink); }
+  .chip { background:#eef3fc; color:var(--accent); border:1px solid var(--line);
+          border-radius:12px; padding:3px 10px; font:12px ui-monospace, monospace;
+          cursor:pointer; }
+  #results { margin-top:14px; }
+  .hit { border:1px solid var(--line); border-radius:6px; padding:10px 12px;
+         margin-bottom:8px; background:#fff; }
+  .hit .xpath { font:12px ui-monospace, monospace; color:var(--accent); }
+  .hit .snippet { margin:4px 0; font-size:14px; }
+  .hit .score { color:var(--muted); font-size:12px; }
+  .hit .rewrite { color:#a05a00; font-size:12px; }
+  #xpath, #status { font:12px ui-monospace, monospace; color:var(--muted);
+                    margin-top:8px; white-space:pre-wrap; }
+</style>
+</head>
+<body>
+<header>
+  <h1>LotusX — position-aware XML twig search with auto-completion</h1>
+  <p>Type a twig query (or plain keywords for schema-free SLCA search);
+     press <b>Ctrl+Space</b> for position-aware candidates, <b>Enter</b>
+     to search. Twig syntax:
+     <code>//article[./title~"twig"][year&gt;=2005]/author</code></p>
+</header>
+<main>
+  <section class="panel">
+    <h2>DataGuide</h2>
+    <div id="guide">loading…</div>
+  </section>
+  <section class="panel">
+    <h2>Query</h2>
+    <div id="suggest">
+      <input id="query" autocomplete="off" spellcheck="false"
+             placeholder='//article[./title~"twig"]/author'>
+      <div id="dropdown"></div>
+    </div>
+    <div id="examples" class="row" style="flex-wrap:wrap"></div>
+    <div class="row">
+      <button id="go">Search</button>
+      <button id="explainBtn" class="secondary">Explain</button>
+      <label><input type="checkbox" id="rewrite" checked> rewrite empty
+        queries</label>
+    </div>
+    <div id="xpath"></div>
+    <div id="status"></div>
+    <div id="results"></div>
+  </section>
+</main>
+<script>
+const queryBox = document.getElementById('query');
+const dropdown = document.getElementById('dropdown');
+const statusBox = document.getElementById('status');
+
+async function api(path, payload) {
+  const options = payload
+    ? {method:'POST', headers:{'Content-Type':'application/json'},
+       body: JSON.stringify(payload)}
+    : undefined;
+  const response = await fetch(path, options);
+  const data = await response.json();
+  if (!response.ok) throw new Error(data.error || response.statusText);
+  return data;
+}
+
+function guideList(nodes) {
+  const ul = document.createElement('ul');
+  for (const node of nodes) {
+    const li = document.createElement('li');
+    const span = document.createElement('span');
+    span.className = 'tag';
+    span.textContent = node.tag;
+    span.title = node.path;
+    span.onclick = () => { queryBox.value += '/' + node.tag; queryBox.focus(); };
+    li.appendChild(span);
+    li.insertAdjacentHTML('beforeend',
+      ` <span class="count">×${node.count}</span>`);
+    if (node.children.length) li.appendChild(guideList(node.children));
+    ul.appendChild(li);
+  }
+  return ul;
+}
+
+api('/api/examples').then(data => {
+  const box = document.getElementById('examples');
+  for (const example of data.examples) {
+    const chip = document.createElement('span');
+    chip.className = 'chip';
+    chip.textContent = example.query;
+    chip.title = example.description;
+    chip.onclick = () => { queryBox.value = example.query; runSearch(); };
+    box.appendChild(chip);
+  }
+});
+
+api('/api/dataguide').then(data => {
+  const guide = document.getElementById('guide');
+  guide.textContent = '';
+  guide.appendChild(guideList(data.roots));
+});
+
+// ---- completion -----------------------------------------------------
+// Heuristic client-side context: find the token being typed and the
+// query prefix before it; the server resolves positions from the prefix.
+function completionContext() {
+  const text = queryBox.value.slice(0, queryBox.selectionStart);
+  const valueMatch = text.match(/([~=])\\s*"([^"]*)$/);
+  if (valueMatch) {
+    const stem = text.slice(0, valueMatch.index);
+    const nodeQuery = balancedPrefix(stem);
+    return {kind:'value', prefix: valueMatch[2], query: nodeQuery,
+            node: countNodes(nodeQuery) - 1, insertFrom: text.length - valueMatch[2].length};
+  }
+  const tagMatch = text.match(/(\\/\\/|\\/)(@?[A-Za-z0-9_.:-]*)$/);
+  if (tagMatch) {
+    const stem = text.slice(0, tagMatch.index);
+    const nodeQuery = balancedPrefix(stem);
+    return {kind:'tag', prefix: tagMatch[2], axis: tagMatch[1],
+            query: nodeQuery, node: nodeQuery ? countNodes(nodeQuery) - 1 : null,
+            insertFrom: text.length - tagMatch[2].length};
+  }
+  return null;
+}
+
+// Trim trailing unbalanced '[' fragments so the prefix parses.
+function balancedPrefix(stem) {
+  let cleaned = stem.replace(/\\[\\s*\\.?$/, '');
+  while (cleaned && !parsable(cleaned)) {
+    cleaned = cleaned.replace(/\\[[^\\[\\]]*$/, '');
+    if (!/[\\[\\]]/.test(cleaned) && !parsable(cleaned)) return '';
+  }
+  return cleaned;
+}
+function parsable(text) {
+  let depth = 0;
+  for (const ch of text) {
+    if (ch === '[') depth++;
+    if (ch === ']') depth--;
+  }
+  return depth >= 0 && /^(ordered:)?\\/\\/?[A-Za-z*]/.test(text) &&
+         depth === 0 && !/[\\/\\[~=<>!]$/.test(text);
+}
+function countNodes(query) {
+  return (query.match(/\\/[@A-Za-z*]/g) || []).length;
+}
+
+async function showCompletions() {
+  const ctx = completionContext();
+  if (!ctx) { dropdown.style.display = 'none'; return; }
+  try {
+    const data = await api('/api/complete', ctx);
+    dropdown.textContent = '';
+    for (const cand of data.candidates) {
+      const div = document.createElement('div');
+      div.innerHTML = `${cand.text}<span class="meta">×${cand.count}` +
+        (cand.sample_paths[0] ? ` · ${cand.sample_paths[0]}` : '') + '</span>';
+      div.onclick = () => {
+        const before = queryBox.value.slice(0, ctx.insertFrom);
+        const after = queryBox.value.slice(queryBox.selectionStart);
+        queryBox.value = before + cand.text + after;
+        dropdown.style.display = 'none';
+        queryBox.focus();
+      };
+      dropdown.appendChild(div);
+    }
+    dropdown.style.display = data.candidates.length ? 'block' : 'none';
+  } catch (err) {
+    dropdown.style.display = 'none';
+  }
+}
+
+let debounce;
+queryBox.addEventListener('input', () => {
+  clearTimeout(debounce);
+  debounce = setTimeout(showCompletions, 150);
+});
+queryBox.addEventListener('keydown', event => {
+  if (event.key === ' ' && event.ctrlKey) { event.preventDefault(); showCompletions(); }
+  if (event.key === 'Enter') { event.preventDefault(); runSearch(); }
+  if (event.key === 'Escape') dropdown.style.display = 'none';
+});
+
+// ---- search ---------------------------------------------------------
+async function runSearch() {
+  dropdown.style.display = 'none';
+  const results = document.getElementById('results');
+  statusBox.textContent = 'searching…';
+  results.textContent = '';
+  const text = queryBox.value.trim();
+  const isTwig = text.startsWith('/') || text.startsWith('ordered:');
+  try {
+    if (!isTwig) {  // plain words -> schema-free SLCA keyword search
+      const data = await api('/api/keyword', {query: text, k: 10});
+      statusBox.textContent =
+        `${data.total_slcas} keyword answers (SLCA) for ${data.terms.join(' ')}`;
+      for (const hit of data.hits) {
+        const div = document.createElement('div');
+        div.className = 'hit';
+        div.innerHTML = `<div class="xpath">${hit.xpath}</div>` +
+          `<div class="snippet">${hit.snippet || '<' + hit.tag + '/>'}</div>` +
+          `<div class="score">score ${hit.score}` +
+          ` (text ${hit.text_score}, specificity ${hit.specificity})</div>`;
+        results.appendChild(div);
+      }
+      return;
+    }
+    const data = await api('/api/search', {
+      query: queryBox.value, k: 10,
+      rewrite: document.getElementById('rewrite').checked,
+    });
+    statusBox.textContent =
+      `${data.total_matches} matches · ${data.results.length} shown · ` +
+      `${(data.elapsed_seconds * 1000).toFixed(1)} ms` +
+      (data.used_rewrites ? ` · rewritten (${data.rewrites_tried} tried)` : '');
+    for (const hit of data.results) {
+      const div = document.createElement('div');
+      div.className = 'hit';
+      div.innerHTML = `<div class="xpath">${hit.xpath}</div>` +
+        `<div class="snippet">${hit.snippet || '<' + hit.tag + '/>'}</div>` +
+        `<div class="score">score ${hit.score.combined}` +
+        ` (structural ${hit.score.structural}, text ${hit.score.textual})</div>` +
+        (hit.rewrite_steps.length
+          ? `<div class="rewrite">rewritten: ${hit.rewrite_steps.join('; ')}</div>`
+          : '');
+      results.appendChild(div);
+    }
+    const explain = await api('/api/explain', {query: queryBox.value});
+    document.getElementById('xpath').textContent =
+      'XPath: ' + explain.xpath + '   [' + explain.algorithm + ']';
+  } catch (err) {
+    statusBox.textContent = 'error: ' + err.message;
+  }
+}
+document.getElementById('go').onclick = runSearch;
+document.getElementById('explainBtn').onclick = async () => {
+  try {
+    const explain = await api('/api/explain', {query: queryBox.value});
+    statusBox.textContent = JSON.stringify(explain, null, 2);
+  } catch (err) {
+    statusBox.textContent = 'error: ' + err.message;
+  }
+};
+</script>
+</body>
+</html>
+"""

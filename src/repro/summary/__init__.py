@@ -1,0 +1,33 @@
+"""Structural summaries: DataGuide and child-tag tables.
+
+The DataGuide powers position-aware autocompletion (what can occur *here*)
+and query validation; the child-tag tables power extended Dewey labels
+(decode a label back to its tag path without touching the document).
+"""
+
+from repro.summary.child_table import ChildTagTable
+from repro.summary.dataguide import DataGuide, PathNode
+from repro.summary.schema import InferredSchema, TagProfile, infer_schema
+from repro.summary.paths import (
+    PATH_SEPARATOR,
+    Path,
+    contains_subsequence,
+    format_path,
+    is_prefix,
+    parse_path,
+)
+
+__all__ = [
+    "PATH_SEPARATOR",
+    "ChildTagTable",
+    "DataGuide",
+    "InferredSchema",
+    "TagProfile",
+    "infer_schema",
+    "Path",
+    "PathNode",
+    "contains_subsequence",
+    "format_path",
+    "is_prefix",
+    "parse_path",
+]

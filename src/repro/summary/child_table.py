@@ -1,0 +1,113 @@
+"""Child-tag tables ``CT(t)`` for extended Dewey labeling.
+
+For every element tag ``t``, ``CT(t)`` is the ordered list of distinct tag
+names that occur as children of ``t`` anywhere in the corpus (order of first
+appearance).  TJFast derives these tables from the DTD; we derive them from
+the documents themselves, which yields the same tables whenever the corpus
+exercises the schema.
+
+The table is what lets an extended Dewey label be *decoded* back to its
+full tag path: each label component ``x`` under a parent with tag ``u``
+satisfies ``x mod len(CT(u)) == index of the child's tag in CT(u)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.summary.dataguide import DataGuide
+from repro.xmlio.tree import Document
+
+
+class ChildTagTable:
+    """Ordered distinct child tags per parent tag."""
+
+    def __init__(self) -> None:
+        self._table: dict[str, list[str]] = {}
+        self._index: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_document(cls, document: Document) -> ChildTagTable:
+        table = cls()
+        table.add_document(document)
+        return table
+
+    @classmethod
+    def from_dataguide(cls, guide: DataGuide) -> ChildTagTable:
+        """Derive the table from a DataGuide (discovery order preserved)."""
+        table = cls()
+        for node in guide.iter_nodes():
+            table._ensure(node.tag)
+            for child_tag in node.children:
+                table.observe(node.tag, child_tag)
+        return table
+
+    def add_document(self, document: Document) -> None:
+        for element in document.iter():
+            self._ensure(element.tag)
+            for child in element.child_elements():
+                self.observe(element.tag, child.tag)
+
+    def observe(self, parent_tag: str, child_tag: str) -> int:
+        """Record that ``child_tag`` occurs under ``parent_tag``.
+
+        Returns the index of ``child_tag`` in ``CT(parent_tag)``.
+        """
+        index = self._index.setdefault(parent_tag, {})
+        if child_tag in index:
+            return index[child_tag]
+        tags = self._table.setdefault(parent_tag, [])
+        index[child_tag] = len(tags)
+        tags.append(child_tag)
+        return index[child_tag]
+
+    def _ensure(self, tag: str) -> None:
+        self._table.setdefault(tag, [])
+        self._index.setdefault(tag, {})
+
+    def load(self, entries: Iterable[tuple[str, list[str]]]) -> None:
+        """Bulk-load from ``(parent_tag, child_tags)`` pairs (store layer)."""
+        for parent_tag, child_tags in entries:
+            self._ensure(parent_tag)
+            for child_tag in child_tags:
+                self.observe(parent_tag, child_tag)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def child_tags(self, parent_tag: str) -> tuple[str, ...]:
+        """``CT(parent_tag)``; empty if the tag is a leaf or unknown."""
+        return tuple(self._table.get(parent_tag, ()))
+
+    def fanout(self, parent_tag: str) -> int:
+        """``len(CT(parent_tag))``."""
+        return len(self._table.get(parent_tag, ()))
+
+    def tag_index(self, parent_tag: str, child_tag: str) -> int:
+        """Index of ``child_tag`` in ``CT(parent_tag)``.
+
+        Raises
+        ------
+        KeyError
+            If the combination was never observed.
+        """
+        return self._index[parent_tag][child_tag]
+
+    def parent_tags(self) -> list[str]:
+        """All tags the table has entries for."""
+        return list(self._table)
+
+    def items(self) -> Iterable[tuple[str, tuple[str, ...]]]:
+        for parent_tag, child_tags in self._table.items():
+            yield parent_tag, tuple(child_tags)
+
+    def __contains__(self, parent_tag: str) -> bool:
+        return parent_tag in self._table
+
+    def __repr__(self) -> str:
+        return f"ChildTagTable(tags={len(self._table)})"

@@ -1,0 +1,41 @@
+"""Utilities for root-to-node tag paths.
+
+A *path* is a tuple of tag names from the document root to an element, e.g.
+``("dblp", "article", "title")``.  Paths are the keys of the DataGuide and
+the currency of position-aware autocompletion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+#: Separator used when rendering paths for humans and JSON APIs.
+PATH_SEPARATOR = "/"
+
+Path = tuple[str, ...]
+
+
+def format_path(path: Iterable[str]) -> str:
+    """Render a path as ``/dblp/article/title``."""
+    return PATH_SEPARATOR + PATH_SEPARATOR.join(path)
+
+
+def parse_path(text: str) -> Path:
+    """Parse ``/dblp/article/title`` (or ``dblp/article/title``) to a tuple."""
+    stripped = text.strip().strip(PATH_SEPARATOR)
+    if not stripped:
+        return ()
+    return tuple(part for part in stripped.split(PATH_SEPARATOR) if part)
+
+
+def is_prefix(prefix: Path, path: Path) -> bool:
+    """True if ``prefix`` is a (non-strict) prefix of ``path``."""
+    return len(prefix) <= len(path) and path[: len(prefix)] == prefix
+
+
+def contains_subsequence(path: Path, tags: Iterable[str]) -> bool:
+    """True if ``tags`` appear along ``path`` in order (not necessarily
+    contiguously) — the test for whether a path satisfies a chain of
+    descendant axes."""
+    iterator = iter(path)
+    return all(tag in iterator for tag in tags)

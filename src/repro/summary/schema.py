@@ -1,0 +1,114 @@
+"""DTD-like schema inference.
+
+LotusX's pitch is that users need not know the schema — but showing them
+an *inferred* one is still useful (the GUI's schema panel, exports, and
+debugging).  :func:`infer_schema` scans a document once and produces a
+DTD-style summary: per tag, the child tags in first-seen order with
+occurrence indicators derived from actual per-parent counts, plus text
+content.
+
+This is a summary, not a validator: it describes what the document does,
+with the tightest DTD multiplicity symbols consistent with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlio.tree import Document, Element
+
+
+@dataclass
+class TagProfile:
+    """Observed content model of one tag."""
+
+    tag: str
+    count: int = 0
+    has_text: bool = False
+    #: child tag -> (min occurrences per parent, max occurrences per parent)
+    children: dict[str, tuple[int, int]] = field(default_factory=dict)
+    child_order: list[str] = field(default_factory=list)
+
+    def occurrence_symbol(self, child_tag: str) -> str:
+        """The tightest DTD symbol for the observed occurrence range."""
+        minimum, maximum = self.children[child_tag]
+        if minimum >= 1 and maximum == 1:
+            return ""
+        if minimum == 0 and maximum == 1:
+            return "?"
+        if minimum >= 1:
+            return "+"
+        return "*"
+
+    def content_model(self) -> str:
+        parts = [
+            f"{child}{self.occurrence_symbol(child)}" for child in self.child_order
+        ]
+        if self.has_text and parts:
+            return "(#PCDATA | " + " | ".join(self.child_order) + ")*"
+        if self.has_text:
+            return "(#PCDATA)"
+        if parts:
+            return "(" + ", ".join(parts) + ")"
+        return "EMPTY"
+
+
+class InferredSchema:
+    """The inferred profiles for every tag, in first-seen order."""
+
+    def __init__(self, profiles: dict[str, TagProfile], root_tag: str) -> None:
+        self.profiles = profiles
+        self.root_tag = root_tag
+
+    def profile(self, tag: str) -> TagProfile:
+        return self.profiles[tag]
+
+    def tags(self) -> list[str]:
+        return list(self.profiles)
+
+    def to_dtd(self) -> str:
+        """Render as DTD-style element declarations."""
+        lines = [f"<!-- inferred schema; document root: {self.root_tag} -->"]
+        for profile in self.profiles.values():
+            lines.append(
+                f"<!ELEMENT {profile.tag} {profile.content_model()}>"
+                f"  <!-- x{profile.count} -->"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"InferredSchema(tags={len(self.profiles)}, root={self.root_tag!r})"
+
+
+def infer_schema(document: Document) -> InferredSchema:
+    """Scan ``document`` once and infer its :class:`InferredSchema`."""
+    profiles: dict[str, TagProfile] = {}
+
+    def profile_for(tag: str) -> TagProfile:
+        if tag not in profiles:
+            profiles[tag] = TagProfile(tag)
+        return profiles[tag]
+
+    def visit(element: Element) -> None:
+        profile = profile_for(element.tag)
+        profile.count += 1
+        if element.direct_text.strip():
+            profile.has_text = True
+        occurrences: dict[str, int] = {}
+        for child in element.child_elements():
+            occurrences[child.tag] = occurrences.get(child.tag, 0) + 1
+            if child.tag not in profile.children:
+                # First sighting anywhere under this tag; minimum starts
+                # at 0 if earlier instances of the tag lacked this child.
+                initial_min = 0 if profile.count > 1 else occurrences[child.tag]
+                profile.children[child.tag] = (initial_min, 0)
+                profile.child_order.append(child.tag)
+        for child_tag, (minimum, maximum) in profile.children.items():
+            seen = occurrences.get(child_tag, 0)
+            new_min = min(minimum, seen) if profile.count > 1 else seen
+            profile.children[child_tag] = (new_min, max(maximum, seen))
+        for child in element.child_elements():
+            visit(child)
+
+    visit(document.root)
+    return InferredSchema(profiles, document.root.tag)

@@ -1,0 +1,47 @@
+"""Twig queries: the pattern model, textual syntax, matching algorithms,
+and the planner."""
+
+from repro.twig.estimate import estimate_cardinality, q_error
+from repro.twig.match import Match, dedupe_output, satisfies_order, sort_matches
+from repro.twig.parse import TwigSyntaxError, build_predicate, parse_twig
+from repro.twig.pattern import (
+    AbsentBranchPredicate,
+    Axis,
+    ComparisonOp,
+    ContainsPredicate,
+    EqualsPredicate,
+    NotPredicate,
+    Predicate,
+    QueryNode,
+    RangePredicate,
+    TwigPattern,
+)
+from repro.twig.planner import Algorithm, choose_algorithm, evaluate
+from repro.twig.sample import sample_twig, sample_workload
+
+__all__ = [
+    "Algorithm",
+    "AbsentBranchPredicate",
+    "Axis",
+    "ComparisonOp",
+    "ContainsPredicate",
+    "EqualsPredicate",
+    "Match",
+    "NotPredicate",
+    "Predicate",
+    "QueryNode",
+    "RangePredicate",
+    "TwigPattern",
+    "TwigSyntaxError",
+    "build_predicate",
+    "choose_algorithm",
+    "dedupe_output",
+    "estimate_cardinality",
+    "evaluate",
+    "parse_twig",
+    "q_error",
+    "sample_twig",
+    "sample_workload",
+    "satisfies_order",
+    "sort_matches",
+]

@@ -1,0 +1,36 @@
+"""Twig-matching algorithms: naive oracle, binary structural joins, and
+the holistic PathStack / TwigStack family, plus order-constraint support."""
+
+from repro.twig.algorithms.common import (
+    AlgorithmStats,
+    build_streams,
+    edge_satisfied,
+    filter_ordered,
+)
+from repro.twig.algorithms.naive import naive_match
+from repro.twig.algorithms.ordered import (
+    build_partial_order_check,
+    order_constraint_pairs,
+)
+from repro.twig.algorithms.path_stack import path_stack_match
+from repro.twig.algorithms.tjfast import tjfast_match
+from repro.twig.algorithms.structural_join import (
+    structural_join_match,
+    structural_join_pairs,
+)
+from repro.twig.algorithms.twig_stack import twig_stack_match
+
+__all__ = [
+    "AlgorithmStats",
+    "build_partial_order_check",
+    "build_streams",
+    "edge_satisfied",
+    "filter_ordered",
+    "naive_match",
+    "order_constraint_pairs",
+    "path_stack_match",
+    "structural_join_match",
+    "structural_join_pairs",
+    "tjfast_match",
+    "twig_stack_match",
+]

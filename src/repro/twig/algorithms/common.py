@@ -1,0 +1,154 @@
+"""Shared plumbing for the twig-matching algorithms.
+
+Every algorithm takes the same inputs — a pattern and per-query-node
+element streams — and produces :class:`~repro.twig.match.Match` objects,
+so they are interchangeable and cross-checkable.  This module builds the
+streams (applying tag, predicate, and root-pinning filters) and defines the
+statistics counters the benchmarks read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.element_index import StreamFactory
+from repro.labeling.assign import LabeledElement
+from repro.twig.algorithms.ordered import PartialCheck
+from repro.twig.match import Match, satisfies_order
+from repro.twig.pattern import Axis, QueryNode, TwigPattern
+
+#: Virtual "start position" of an exhausted stream; larger than any label.
+INFINITY = float("inf")
+
+#: A root-to-leaf partial assignment (node id -> element).
+PathSolution = dict[int, LabeledElement]
+
+
+@dataclass
+class AlgorithmStats:
+    """Counters every algorithm fills in (benchmarks E4/E5 read these)."""
+
+    elements_scanned: int = 0
+    #: Binary-join pairs (structural join) or path solutions (holistic).
+    intermediate_results: int = 0
+    matches: int = 0
+    notes: dict[str, int] = field(default_factory=dict)
+
+
+def build_streams(
+    pattern: TwigPattern,
+    factory: StreamFactory,
+    guide=None,
+) -> dict[int, list[LabeledElement]]:
+    """Document-ordered candidate stream per query node.
+
+    Applies the node's tag, compiles its value predicate into a filter, and
+    pins the root stream to the document root element when the pattern's
+    root axis is CHILD.
+
+    With ``guide`` (a :class:`~repro.summary.dataguide.DataGuide`), streams
+    are additionally pruned to the node's *candidate positions* — the
+    DataGuide paths consistent with the whole pattern ("boosting holism
+    with structural indexes", Chen/Lu/Ling SIGMOD 2005).  Pruning is sound:
+    every element a match binds sits at a candidate position (property-
+    tested), so no answers are lost, while elements at impossible paths —
+    the ones that become useless path solutions under parent-child edges —
+    never enter the join.  Experiment E11 measures the effect.
+    """
+    term_index = factory.term_index
+    positions = None
+    if guide is not None:
+        from repro.autocomplete.context import candidate_positions
+
+        positions = candidate_positions(pattern, guide)
+    streams: dict[int, list[LabeledElement]] = {}
+    for node in pattern.nodes():
+        predicate = node.predicate
+        if predicate is None:
+            stream = factory.stream(node.tag)
+        else:
+            stream = factory.filtered_stream(
+                node.tag, lambda el, p=predicate: p.matches(el, term_index)
+            )
+        if node.is_root and node.axis is Axis.CHILD:
+            stream = [el for el in stream if el.level == 0]
+        if positions is not None:
+            allowed = {p.node_id for p in positions[node.node_id]}
+            stream = [el for el in stream if el.path_node.node_id in allowed]
+        streams[node.node_id] = stream
+    return streams
+
+
+def edge_satisfied(
+    ancestor: LabeledElement, descendant: LabeledElement, axis: Axis
+) -> bool:
+    """Does (ancestor, descendant) satisfy a query edge with ``axis``?"""
+    if axis is Axis.CHILD:
+        return ancestor.region.is_parent_of(descendant.region)
+    return ancestor.region.is_ancestor_of(descendant.region)
+
+
+def filter_ordered(pattern: TwigPattern, matches: list[Match]) -> list[Match]:
+    """Drop matches violating the pattern's order constraints."""
+    if not pattern.ordered and not pattern.order_constraints:
+        return matches
+    return [match for match in matches if satisfies_order(pattern, match)]
+
+
+def root_to_node_path(node: QueryNode) -> list[QueryNode]:
+    """Query nodes from the pattern root down to ``node`` inclusive."""
+    path = [node]
+    while path[-1].parent is not None:
+        path.append(path[-1].parent)
+    path.reverse()
+    return path
+
+
+def merge_path_solutions(
+    pattern: TwigPattern,
+    leaves: list[QueryNode],
+    path_solutions: dict[int, list[PathSolution]],
+    partial_check: PartialCheck | None = None,
+) -> list[Match]:
+    """Hash-join per-leaf path solutions on their shared pattern nodes.
+
+    ``partial_check`` (order constraints) prunes each grown partial
+    immediately, before it can multiply in later joins.
+    """
+    partials: list[PathSolution] | None = None
+    bound_ids: set[int] = set()
+    for leaf in leaves:
+        solutions = path_solutions[leaf.node_id]
+        leaf_ids = {node.node_id for node in root_to_node_path(leaf)}
+        if partials is None:
+            partials = [
+                dict(solution)
+                for solution in solutions
+                if partial_check is None or partial_check(solution)
+            ]
+            bound_ids = set(leaf_ids)
+            continue
+        shared = sorted(bound_ids & leaf_ids)
+        index: dict[tuple[int, ...], list[PathSolution]] = {}
+        for solution in solutions:
+            key = tuple(solution[node_id].order for node_id in shared)
+            index.setdefault(key, []).append(solution)
+        joined: list[PathSolution] = []
+        for partial in partials:
+            key = tuple(partial[node_id].order for node_id in shared)
+            for solution in index.get(key, ()):
+                grown = dict(partial)
+                grown.update(solution)
+                if partial_check is None or partial_check(grown):
+                    joined.append(grown)
+        partials = joined
+        bound_ids |= leaf_ids
+    if partials is None:  # pattern with no leaves cannot exist (root is one)
+        return []
+    # Deduplicate: distinct leaves can share interior nodes, and the join
+    # can produce the same full assignment through different orders.
+    unique: dict[tuple[tuple[int, int], ...], Match] = {}
+    for assignment in partials:
+        match = Match(assignment)
+        unique[match.key()] = match
+    return list(unique.values())

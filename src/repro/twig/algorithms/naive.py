@@ -1,0 +1,94 @@
+"""Naive twig matching by exhaustive tree search.
+
+The correctness oracle and the baseline for experiment E4: enumerate every
+embedding of the pattern by walking the document tree, with no labels and
+no indexes (beyond predicate evaluation, which is shared with all
+algorithms so that value semantics are identical).
+
+Exponential in the worst case; only run it on small documents.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.twig.algorithms.common import AlgorithmStats, filter_ordered
+from repro.twig.match import Match
+from repro.twig.pattern import Axis, QueryNode, TwigPattern
+
+
+def naive_match(
+    pattern: TwigPattern,
+    labeled: LabeledDocument,
+    term_index: TermIndex,
+    stats: AlgorithmStats | None = None,
+    limit: int | None = None,
+) -> list[Match]:
+    """All matches of ``pattern``, by exhaustive search.
+
+    ``limit`` caps the number of matches returned (pre-order-filter the
+    cap applies to raw embeddings, so use it only for existence checks).
+    """
+    stats = stats if stats is not None else AlgorithmStats()
+
+    def node_matches(qnode: QueryNode, element: LabeledElement) -> bool:
+        stats.elements_scanned += 1
+        if not qnode.accepts_tag(element.tag):
+            return False
+        if qnode.predicate is not None:
+            return qnode.predicate.matches(element, term_index)
+        return True
+
+    def candidates(qnode: QueryNode, anchor: LabeledElement) -> list[LabeledElement]:
+        """Elements under ``anchor`` that can bind ``qnode``."""
+        if qnode.axis is Axis.CHILD:
+            pool = [
+                labeled.label_of(child)
+                for child in anchor.element.child_elements()
+            ]
+        else:
+            pool = [
+                labeled.label_of(descendant)
+                for descendant in anchor.element.iter_descendants()
+            ]
+        return [element for element in pool if node_matches(qnode, element)]
+
+    def embeddings(qnode: QueryNode, element: LabeledElement) -> list[dict[int, LabeledElement]]:
+        """All assignments for the pattern subtree at ``qnode`` given that
+        ``qnode`` binds ``element``."""
+        partial_lists: list[list[dict[int, LabeledElement]]] = []
+        for child in qnode.children:
+            child_options: list[dict[int, LabeledElement]] = []
+            for candidate in candidates(child, element):
+                child_options.extend(embeddings(child, candidate))
+            if not child_options:
+                return []
+            partial_lists.append(child_options)
+        results: list[dict[int, LabeledElement]] = []
+        for combo in product(*partial_lists):
+            assignment: dict[int, LabeledElement] = {qnode.node_id: element}
+            for part in combo:
+                assignment.update(part)
+            results.append(assignment)
+        stats.intermediate_results += len(results)
+        return results
+
+    if pattern.root.axis is Axis.CHILD:
+        root_candidates = [labeled.elements[0]]
+    else:
+        root_candidates = labeled.elements
+    matches: list[Match] = []
+    for element in root_candidates:
+        if not node_matches(pattern.root, element):
+            continue
+        for assignment in embeddings(pattern.root, element):
+            matches.append(Match(assignment))
+            if limit is not None and len(matches) >= limit:
+                break
+        if limit is not None and len(matches) >= limit:
+            break
+    matches = filter_ordered(pattern, matches)
+    stats.matches = len(matches)
+    return matches

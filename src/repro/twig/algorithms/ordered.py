@@ -1,0 +1,64 @@
+"""Order-sensitive twig matching support.
+
+The abstract's "order sensitive queries": sibling query nodes (under the
+``ordered`` flag) and explicit ``order_constraints`` require their matched
+elements to appear in document order with disjoint subtrees.
+
+Two mechanisms implement this:
+
+* every algorithm applies :func:`~repro.twig.match.satisfies_order` as a
+  final filter (correctness), and
+* the holistic algorithms prune during their merge phase using
+  :func:`build_partial_order_check`, which validates a *partial* match as
+  soon as both endpoints of any constraint are bound — so violating
+  combinations never multiply (the overhead/benefit is experiment E6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.labeling.assign import LabeledElement
+from repro.twig.pattern import TwigPattern
+
+PartialCheck = Callable[[Mapping[int, LabeledElement]], bool]
+
+
+def order_constraint_pairs(pattern: TwigPattern) -> list[tuple[int, int]]:
+    """All (before_id, after_id) pairs the pattern requires.
+
+    With ``pattern.ordered``, every adjacent sibling pair contributes a
+    constraint (transitivity of *entirely-before* makes adjacent pairs
+    sufficient); explicit constraints are always included.
+    """
+    pairs: list[tuple[int, int]] = list(pattern.order_constraints)
+    if pattern.ordered:
+        for node in pattern.nodes():
+            for earlier, later in zip(node.children, node.children[1:]):
+                pairs.append((earlier.node_id, later.node_id))
+    return pairs
+
+
+def build_partial_order_check(pattern: TwigPattern) -> PartialCheck | None:
+    """A predicate validating partial matches against order constraints.
+
+    Returns None when the pattern has no order requirements (so callers
+    can skip the check entirely).  The returned predicate only evaluates
+    constraints whose two nodes are both bound, so it is safe to call on
+    any partial assignment.
+    """
+    pairs = order_constraint_pairs(pattern)
+    if not pairs:
+        return None
+
+    def check(assignment: Mapping[int, LabeledElement]) -> bool:
+        for before_id, after_id in pairs:
+            first = assignment.get(before_id)
+            second = assignment.get(after_id)
+            if first is None or second is None:
+                continue
+            if not first.region.entirely_before(second.region):
+                return False
+        return True
+
+    return check

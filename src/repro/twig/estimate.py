@@ -1,0 +1,170 @@
+"""Twig cardinality estimation from the DataGuide.
+
+Estimates how many embeddings a twig pattern has *without evaluating it*,
+using only the structural summary: per-position element counts give exact
+per-edge fanouts, combined under the classical attribute-value-
+independence assumption.  Value predicates contribute heuristic
+selectivities from the term index's document frequencies.
+
+The estimate drives nothing critical — `explain`/`profile` surface it and
+experiment E12 measures its q-error — but it is the standard first
+building block of a cost-based twig optimizer, so the repository ships
+it with its accuracy characterized rather than assumed.
+
+Model: for a query node ``q`` bound to a DataGuide position ``p``, the
+expected number of embeddings of ``q``'s subtree per single element at
+``p`` is::
+
+    per_element(q, p) = Π_{child c of q}  sel(c) ·
+        Σ_{feasible position p_c of c under p}
+            count(p_c) / count(p) · per_element(c, p_c)
+
+(the count ratio is the *exact* average fanout from ``p`` to ``p_c``;
+independence enters when the per-child factors are multiplied).  The
+total is ``Σ_p count(p) · sel(root) · per_element(root, p)`` over the
+root's candidate positions.  Optional branches contribute nothing (they
+never filter); order constraints are ignored (an over-estimate by
+design).
+"""
+
+from __future__ import annotations
+
+from repro.index.term_index import TermIndex
+from repro.summary.dataguide import DataGuide, PathNode
+from repro.twig.pattern import (
+    AbsentBranchPredicate,
+    Axis,
+    ContainsPredicate,
+    EqualsPredicate,
+    NotPredicate,
+    Predicate,
+    QueryNode,
+    RangePredicate,
+    TwigPattern,
+)
+
+#: Selectivity assumed for numeric range predicates (the classical guess).
+RANGE_SELECTIVITY = 1.0 / 3.0
+
+#: Selectivity floor — no predicate is estimated to kill everything.
+MIN_SELECTIVITY = 0.001
+
+
+def estimate_cardinality(
+    pattern: TwigPattern,
+    guide: DataGuide,
+    term_index: TermIndex | None = None,
+) -> float:
+    """Estimated number of embeddings of ``pattern``.
+
+    With ``term_index`` value predicates contribute selectivities; without
+    it they are ignored (structure-only estimate).
+    """
+    # Imported lazily: context imports the twig package, so a top-level
+    # import here would be circular.
+    from repro.autocomplete.context import candidate_positions
+
+    skeleton = pattern.required_skeleton() if pattern.has_optional() else pattern
+    positions = candidate_positions(skeleton, guide)
+    memo: dict[tuple[int, int], float] = {}
+
+    def feasible_below(child: QueryNode, parent_position: PathNode):
+        kept = positions[child.node_id]
+        if child.axis is Axis.CHILD:
+            return [p for p in kept if p.parent is parent_position]
+        return [
+            p
+            for p in kept
+            if p is not parent_position and _is_guide_descendant(p, parent_position)
+        ]
+
+    def node_population(node: QueryNode) -> int:
+        """Elements at the node's candidate positions — the population a
+        value predicate's document frequency is compared against."""
+        return sum(p.count for p in positions[node.node_id])
+
+    def per_element(node: QueryNode, position: PathNode) -> float:
+        key = (node.node_id, position.node_id)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = 1.0
+        for child in node.children:
+            expected = 0.0
+            for child_position in feasible_below(child, position):
+                fanout = child_position.count / max(1, position.count)
+                expected += fanout * per_element(child, child_position)
+            result *= expected * _selectivity(
+                child.predicate, term_index, node_population(child)
+            )
+        memo[key] = result
+        return result
+
+    total = 0.0
+    for position in positions[skeleton.root.node_id]:
+        total += position.count * per_element(skeleton.root, position)
+    return total * _selectivity(
+        skeleton.root.predicate, term_index, node_population(skeleton.root)
+    )
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """The symmetric ratio error, ≥ 1.0 (1.0 = exact).
+
+    Zeroes are smoothed to 1 so empty results compare sanely.
+    """
+    smoothed_estimate = max(estimate, 1.0)
+    smoothed_actual = max(float(actual), 1.0)
+    return max(
+        smoothed_estimate / smoothed_actual, smoothed_actual / smoothed_estimate
+    )
+
+
+def _selectivity(
+    predicate: Predicate | None,
+    term_index: TermIndex | None,
+    population: int,
+) -> float:
+    if predicate is None or term_index is None:
+        return 1.0
+    raw = _raw_selectivity(predicate, term_index, max(1, population))
+    return max(MIN_SELECTIVITY, min(1.0, raw))
+
+
+def _raw_selectivity(
+    predicate: Predicate, term_index: TermIndex, population: int
+) -> float:
+    """Estimated fraction of the node's *position-local* population that
+    satisfies the predicate.
+
+    Document frequencies are corpus-wide (the index keeps no per-path
+    frequencies), so a term concentrated at this node's positions gets an
+    accurate ratio while a term spread elsewhere over-estimates — the
+    honest failure mode E12 quantifies.
+    """
+    if isinstance(predicate, ContainsPredicate):
+        selectivity = 1.0
+        for term in predicate.terms():
+            selectivity *= min(
+                1.0, term_index.document_frequency(term) / population
+            )
+        return selectivity
+    if isinstance(predicate, EqualsPredicate):
+        return min(1.0, term_index.value_count(predicate.value) / population)
+    if isinstance(predicate, RangePredicate):
+        return RANGE_SELECTIVITY
+    if isinstance(predicate, NotPredicate):
+        return 1.0 - _raw_selectivity(predicate.inner, term_index, population)
+    if isinstance(predicate, AbsentBranchPredicate):
+        # Structure-only heuristic: treat as moderately selective.
+        return 0.5
+    return 1.0
+
+
+def _is_guide_descendant(node: PathNode, ancestor: PathNode) -> bool:
+    current = node.parent
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False

@@ -1,0 +1,117 @@
+"""Optional query nodes: left-outer-join twig semantics.
+
+A node marked optional (``?`` in the textual syntax) never eliminates a
+match: the required skeleton of the pattern is evaluated with any
+algorithm, and each match is then *extended* with bindings for the
+optional branches where the document provides them.
+
+Extension semantics (deterministic): for each top-level optional branch,
+the first (document-order) embedding under the match's anchor element
+that keeps the pattern's order constraints satisfied is bound; if none
+exists the branch stays unbound and the match survives without it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.twig.match import Match, satisfies_order
+from repro.twig.pattern import Axis, QueryNode, TwigPattern
+
+
+def validate_optional_pattern(pattern: TwigPattern) -> None:
+    """Reject patterns whose output depends on an optional subtree.
+
+    Raises
+    ------
+    ValueError
+        If any output node is optional or sits inside an optional branch.
+    """
+    optional_subtree_ids: set[int] = set()
+    for branch in pattern.optional_branches():
+        optional_subtree_ids.update(n.node_id for n in branch.iter_subtree())
+    for node in pattern.output_nodes():
+        if node.node_id in optional_subtree_ids:
+            raise ValueError(
+                f"output node {node.display_tag!r} is optional — an output"
+                " must always be bound"
+            )
+
+
+def anchored_embeddings(
+    qnode: QueryNode,
+    anchor: LabeledElement,
+    labeled: LabeledDocument,
+    term_index: TermIndex,
+) -> list[dict[int, LabeledElement]]:
+    """All embeddings of the subtree at ``qnode`` under ``anchor``.
+
+    ``qnode.axis`` positions it relative to ``anchor`` (child or
+    descendant); embeddings are produced in document order of the
+    ``qnode`` binding.
+    """
+
+    def node_matches(node: QueryNode, element: LabeledElement) -> bool:
+        if not node.accepts_tag(element.tag):
+            return False
+        if node.predicate is not None:
+            return node.predicate.matches(element, term_index)
+        return True
+
+    def candidates(node: QueryNode, base: LabeledElement) -> list[LabeledElement]:
+        if node.axis is Axis.CHILD:
+            pool = [labeled.label_of(c) for c in base.element.child_elements()]
+        else:
+            pool = [labeled.label_of(d) for d in base.element.iter_descendants()]
+        return [element for element in pool if node_matches(node, element)]
+
+    def embed(node: QueryNode, element: LabeledElement):
+        partial_lists = []
+        for child in node.children:
+            options = []
+            for candidate in candidates(child, element):
+                options.extend(embed(child, candidate))
+            if not options:
+                return []
+            partial_lists.append(options)
+        results = []
+        for combo in product(*partial_lists):
+            assignment = {node.node_id: element}
+            for part in combo:
+                assignment.update(part)
+            results.append(assignment)
+        return results
+
+    embeddings: list[dict[int, LabeledElement]] = []
+    for candidate in candidates(qnode, anchor):
+        embeddings.extend(embed(qnode, candidate))
+    return embeddings
+
+
+def extend_with_optionals(
+    pattern: TwigPattern,
+    matches: list[Match],
+    labeled: LabeledDocument,
+    term_index: TermIndex,
+) -> list[Match]:
+    """Bind the pattern's optional branches onto skeleton ``matches``."""
+    branches = pattern.optional_branches()
+    if not branches:
+        return matches
+    extended: list[Match] = []
+    for match in matches:
+        assignments = dict(match.assignments)
+        for branch in branches:
+            anchor_id = branch.parent.node_id  # type: ignore[union-attr]
+            anchor = assignments[anchor_id]
+            for embedding in anchored_embeddings(
+                branch, anchor, labeled, term_index
+            ):
+                candidate = Match({**assignments, **embedding})
+                if satisfies_order(pattern, candidate):
+                    assignments.update(embedding)
+                    break
+        extended.append(Match(assignments))
+    return extended

@@ -1,0 +1,295 @@
+"""Textual twig syntax.
+
+A compact XPath-like notation used by the CLI, the tests, and the examples
+(the GUI builds :class:`~repro.twig.pattern.TwigPattern` objects directly).
+
+Grammar::
+
+    query    := [ "ordered:" ] path
+    path     := step+
+    step     := axis tag predicate* [ "!" ] [ "?" ]
+    axis     := "//" | "/"
+    tag      := NAME | "*"
+    predicate:= "[" relpath [ op value ] "]"        # on a nested node
+              | "[" "." op value "]"                # on the current node
+              | "[" "not(" axis tag ")" "]"         # structural absence
+    relpath  := ( "./" | ".//" )? path
+    op       := "=" | "!=" | "<=" | "<" | ">=" | ">" | "~" | "!~"
+    value    := '"' chars '"' | "'" chars "'" | NUMBER
+
+Examples::
+
+    //article[./title ~ "twig"]/year
+    //book[author="jiaheng lu"][year>=2005]/title!
+    //article[not(./editor)][./title !~ "survey"]
+    ordered://proceedings[//title][//author]
+
+``!`` marks an output (return) node; when no node is marked the *last step
+of the main path* is returned.  ``?`` makes a branch optional
+(left-outer-join semantics, see :mod:`repro.twig.optional`).  ``ordered:``
+makes the pattern order-sensitive.
+"""
+
+from __future__ import annotations
+
+from repro.twig.pattern import (
+    AbsentBranchPredicate,
+    Axis,
+    ComparisonOp,
+    ContainsPredicate,
+    EqualsPredicate,
+    NotPredicate,
+    Predicate,
+    QueryNode,
+    RangePredicate,
+    TwigPattern,
+)
+
+
+class TwigSyntaxError(ValueError):
+    """Malformed twig query text."""
+
+    def __init__(self, message: str, position: int) -> None:
+        self.position = position
+        super().__init__(f"{message} (at offset {position})")
+
+
+# "@" admits synthetic attribute tags (see repro.xmlio.transform).
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.:@"
+)
+_OPS = ("<=", ">=", "!~", "!=", "<", ">", "=", "~")
+
+
+class _Scanner:
+    """Character scanner with position tracking."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def startswith(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def take(self, literal: str) -> bool:
+        if self.startswith(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise TwigSyntaxError(f"expected {literal!r}", self.pos)
+
+    def skip_space(self) -> None:
+        while not self.eof() and self.peek().isspace():
+            self.pos += 1
+
+    def error(self, message: str) -> TwigSyntaxError:
+        return TwigSyntaxError(message, self.pos)
+
+
+def parse_twig(text: str) -> TwigPattern:
+    """Parse twig query ``text`` into a :class:`TwigPattern`.
+
+    Raises
+    ------
+    TwigSyntaxError
+        On malformed input, with the offending offset.
+    """
+    scanner = _Scanner(text.strip())
+    ordered = scanner.take("ordered:")
+    scanner.skip_space()
+
+    pattern_holder: list[TwigPattern] = []
+
+    def parse_path(parent: QueryNode | None) -> QueryNode:
+        """Parse ``step+``; returns the *last* step's node."""
+        node = parse_step(parent)
+        while scanner.startswith("/"):
+            node = parse_step(node)
+        return node
+
+    def parse_step(parent: QueryNode | None) -> QueryNode:
+        scanner.skip_space()
+        if scanner.take("//"):
+            axis = Axis.DESCENDANT
+        elif scanner.take("/"):
+            axis = Axis.CHILD
+        else:
+            raise scanner.error("expected '/' or '//'")
+        tag = parse_tag()
+        if parent is None:
+            pattern = TwigPattern(tag, ordered=ordered)
+            pattern.root.axis = axis
+            pattern_holder.append(pattern)
+            node = pattern.root
+        else:
+            node = pattern_holder[0].add_child(parent, tag, axis)
+        parse_predicates(node)
+        if take_output_marker():
+            node.is_output = True
+            parse_predicates(node)
+        if scanner.take("?"):
+            node.optional = True
+            parse_predicates(node)
+        return node
+
+    def take_output_marker() -> bool:
+        # "!" marks an output node, but "!=" and "!~" are operators —
+        # never split those.
+        if scanner.peek() == "!" and scanner.peek(1) not in ("=", "~"):
+            scanner.pos += 1
+            return True
+        return False
+
+    def parse_tag() -> str | None:
+        scanner.skip_space()
+        if scanner.take("*"):
+            return None
+        start = scanner.pos
+        while not scanner.eof() and scanner.peek() in _NAME_CHARS:
+            scanner.pos += 1
+        if scanner.pos == start:
+            raise scanner.error("expected a tag name or '*'")
+        return scanner.text[start : scanner.pos]
+
+    def parse_predicates(node: QueryNode) -> None:
+        while True:
+            scanner.skip_space()
+            if not scanner.take("["):
+                return
+            scanner.skip_space()
+            if scanner.startswith("not("):
+                attach_absent_branch(node)
+            elif scanner.startswith(".") and not scanner.startswith("./"):
+                # "[. op value]" — predicate on the node itself.
+                scanner.expect(".")
+                op, value = parse_comparison()
+                attach_predicate(node, op, value)
+            else:
+                # Nested relative path, optionally compared to a value.
+                scanner.take(".")  # "./" and ".//" start with an ignorable dot
+                if scanner.startswith("/"):
+                    target = parse_path(node)
+                else:
+                    # Bare-name shorthand: "[title=...]" == "[./title=...]".
+                    tag = parse_tag()
+                    target = pattern_holder[0].add_child(node, tag, Axis.CHILD)
+                    parse_predicates(target)
+                    if take_output_marker():
+                        target.is_output = True
+                        parse_predicates(target)
+                    if scanner.take("?"):
+                        target.optional = True
+                        parse_predicates(target)
+                    while scanner.startswith("/"):
+                        target = parse_step(target)
+                scanner.skip_space()
+                if scanner.peek() and scanner.peek() in "<>=!~":
+                    op, value = parse_comparison()
+                    attach_predicate(target, op, value)
+            scanner.skip_space()
+            scanner.expect("]")
+
+    def attach_absent_branch(node: QueryNode) -> None:
+        """Parse "not( axis tag )" — structural absence on the node."""
+        scanner.expect("not(")
+        scanner.skip_space()
+        scanner.take(".")  # allow ./ and .//
+        if scanner.take("//"):
+            axis = Axis.DESCENDANT
+        elif scanner.take("/"):
+            axis = Axis.CHILD
+        else:
+            raise scanner.error("not(...) needs '/' or '//' before the tag")
+        tag = parse_tag()
+        if tag is None:
+            raise scanner.error("not(...) needs a concrete tag, not '*'")
+        scanner.skip_space()
+        scanner.expect(")")
+        if node.predicate is not None:
+            raise scanner.error(
+                f"node {node.display_tag!r} already has a predicate"
+            )
+        node.predicate = AbsentBranchPredicate(tag, axis)
+
+    def parse_comparison() -> tuple[ComparisonOp, str]:
+        scanner.skip_space()
+        for literal in _OPS:
+            if scanner.take(literal):
+                op = ComparisonOp(literal)
+                break
+        else:
+            raise scanner.error("expected a comparison operator")
+        scanner.skip_space()
+        return op, parse_value()
+
+    def parse_value() -> str:
+        quote = scanner.peek()
+        if quote in ("'", '"'):
+            scanner.pos += 1
+            start = scanner.pos
+            while not scanner.eof() and scanner.peek() != quote:
+                scanner.pos += 1
+            if scanner.eof():
+                raise scanner.error("unterminated string value")
+            value = scanner.text[start : scanner.pos]
+            scanner.pos += 1
+            return value
+        start = scanner.pos
+        while not scanner.eof() and (
+            scanner.peek().isdigit() or scanner.peek() in ".-+"
+        ):
+            scanner.pos += 1
+        if scanner.pos == start:
+            raise scanner.error("expected a quoted string or a number")
+        return scanner.text[start : scanner.pos]
+
+    def attach_predicate(node: QueryNode, op: ComparisonOp, raw: str) -> None:
+        if node.predicate is not None:
+            raise scanner.error(
+                f"node {node.display_tag!r} already has a predicate"
+            )
+        node.predicate = build_predicate(op, raw)
+
+    root = parse_path(None)
+    scanner.skip_space()
+    if not scanner.eof():
+        raise scanner.error(f"unexpected trailing input {scanner.text[scanner.pos:]!r}")
+    pattern = pattern_holder[0]
+    # Default output: the last step of the main path.
+    if not any(node.is_output for node in pattern.nodes()):
+        root.is_output = True
+    return pattern
+
+
+def build_predicate(op: ComparisonOp, raw: str) -> Predicate:
+    """Build the right predicate object for operator ``op`` and text
+    ``raw`` (numbers get numeric semantics, strings get text semantics)."""
+    if op is ComparisonOp.CONTAINS:
+        return ContainsPredicate(raw)
+    if op is ComparisonOp.NOT_CONTAINS:
+        return NotPredicate(ContainsPredicate(raw))
+    number = _try_number(raw)
+    if op is ComparisonOp.EQ:
+        if number is not None:
+            return RangePredicate(ComparisonOp.EQ, number)
+        return EqualsPredicate(raw)
+    if number is None:
+        raise ValueError(f"operator {op.value!r} requires a numeric value, got {raw!r}")
+    return RangePredicate(op, number)
+
+
+def _try_number(raw: str) -> float | None:
+    try:
+        return float(raw)
+    except ValueError:
+        return None

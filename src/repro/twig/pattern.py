@@ -1,0 +1,507 @@
+"""Twig pattern model.
+
+A *twig pattern* is the tree-shaped query LotusX users draw in the GUI:
+nodes carry a tag (or wildcard) and optionally a value predicate; edges are
+parent-child (``/``) or ancestor-descendant (``//``).  Patterns may be
+*order-sensitive*: sibling query nodes must then match elements in document
+order (the abstract's "order sensitive queries").
+
+Patterns are plain mutable trees with value semantics where it matters:
+:meth:`TwigPattern.signature` gives a hashable structural identity used by
+the rewrite engine to deduplicate candidate rewrites.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Callable, Iterator
+
+from repro.index.text import normalize, tokenize
+from repro.labeling.assign import LabeledElement
+
+
+class Axis(enum.Enum):
+    """Edge type between a query node and its parent."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ComparisonOp(enum.Enum):
+    """Operators for value predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    CONTAINS = "~"
+    NOT_CONTAINS = "!~"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Predicate:
+    """Base class for value predicates attached to query nodes."""
+
+    def matches(self, element: LabeledElement, term_index) -> bool:
+        raise NotImplementedError
+
+    def signature(self) -> tuple:
+        raise NotImplementedError
+
+    def terms(self) -> tuple[str, ...]:
+        """Search terms this predicate contributes (for ranking)."""
+        return ()
+
+
+class ContainsPredicate(Predicate):
+    """All given terms occur somewhere in the element's subtree text."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, text_or_terms: str | tuple[str, ...]) -> None:
+        if isinstance(text_or_terms, str):
+            self._terms = tuple(tokenize(text_or_terms))
+        else:
+            self._terms = tuple(term.lower() for term in text_or_terms)
+        if not self._terms:
+            raise ValueError("contains predicate needs at least one term")
+
+    def matches(self, element: LabeledElement, term_index) -> bool:
+        return term_index.subtree_contains_all(element, self._terms)
+
+    def terms(self) -> tuple[str, ...]:
+        return self._terms
+
+    def signature(self) -> tuple:
+        return ("contains", self._terms)
+
+    def __repr__(self) -> str:
+        return f"ContainsPredicate({self._terms!r})"
+
+    def __str__(self) -> str:
+        return f'~"{" ".join(self._terms)}"'
+
+
+class EqualsPredicate(Predicate):
+    """The element's normalized direct text equals the value exactly."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = normalize(value)
+
+    def matches(self, element: LabeledElement, term_index) -> bool:
+        return term_index.has_value(element, self.value)
+
+    def terms(self) -> tuple[str, ...]:
+        return tuple(tokenize(self.value))
+
+    def signature(self) -> tuple:
+        return ("equals", self.value)
+
+    def __repr__(self) -> str:
+        return f"EqualsPredicate({self.value!r})"
+
+    def __str__(self) -> str:
+        return f'="{self.value}"'
+
+
+class RangePredicate(Predicate):
+    """The element's direct text, read as a number, compares to a bound."""
+
+    __slots__ = ("op", "bound")
+
+    _CHECKS: dict[ComparisonOp, Callable[[float, float], bool]] = {
+        ComparisonOp.EQ: lambda v, b: v == b,
+        ComparisonOp.NE: lambda v, b: v != b,
+        ComparisonOp.LT: lambda v, b: v < b,
+        ComparisonOp.LE: lambda v, b: v <= b,
+        ComparisonOp.GT: lambda v, b: v > b,
+        ComparisonOp.GE: lambda v, b: v >= b,
+    }
+
+    def __init__(self, op: ComparisonOp, bound: float) -> None:
+        if op not in self._CHECKS:
+            raise ValueError(f"operator {op} is not a range operator")
+        self.op = op
+        self.bound = float(bound)
+
+    def matches(self, element: LabeledElement, term_index) -> bool:
+        value = term_index.numeric_value(element)
+        if value is None:
+            return False
+        return self._CHECKS[self.op](value, self.bound)
+
+    def signature(self) -> tuple:
+        return ("range", self.op.value, self.bound)
+
+    def __repr__(self) -> str:
+        return f"RangePredicate({self.op.value!r}, {self.bound})"
+
+    def __str__(self) -> str:
+        bound = int(self.bound) if self.bound.is_integer() else self.bound
+        return f"{self.op.value}{bound}"
+
+
+class NotPredicate(Predicate):
+    """Negation of a value predicate (e.g. ``!~`` = does-not-contain).
+
+    Contributes no search terms to ranking: absence is a filter, not a
+    relevance signal.
+    """
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Predicate) -> None:
+        if isinstance(inner, NotPredicate):
+            raise ValueError("double negation — drop both nots instead")
+        self.inner = inner
+
+    def matches(self, element: LabeledElement, term_index) -> bool:
+        return not self.inner.matches(element, term_index)
+
+    def signature(self) -> tuple:
+        return ("not", self.inner.signature())
+
+    def __repr__(self) -> str:
+        return f"NotPredicate({self.inner!r})"
+
+    def __str__(self) -> str:
+        inner_text = str(self.inner)
+        if inner_text.startswith("~"):
+            return "!" + inner_text
+        return f"not({inner_text})"
+
+
+class AbsentBranchPredicate(Predicate):
+    """Structural negation: the element has no child (``/``) or
+    descendant (``//``) with the given tag — ``[not(./editor)]``.
+
+    Evaluated as an element filter, so it composes with every matching
+    algorithm exactly like the value predicates do.
+    """
+
+    __slots__ = ("tag", "axis")
+
+    def __init__(self, tag: str, axis: "Axis") -> None:
+        self.tag = tag
+        self.axis = axis
+
+    def matches(self, element: LabeledElement, term_index) -> bool:
+        if self.axis is Axis.CHILD:
+            pool = element.element.child_elements()
+        else:
+            pool = element.element.iter_descendants()
+        return all(candidate.tag != self.tag for candidate in pool)
+
+    def signature(self) -> tuple:
+        return ("absent", self.axis.value, self.tag)
+
+    def __repr__(self) -> str:
+        return f"AbsentBranchPredicate({self.axis.value}{self.tag})"
+
+    def __str__(self) -> str:
+        return f"not({self.axis.value}{self.tag})"
+
+
+class QueryNode:
+    """One node of a twig pattern.
+
+    ``tag`` is the element tag to match, or None for a wildcard (``*``).
+    ``axis`` is the edge type to the parent (ignored on the root).
+    """
+
+    __slots__ = (
+        "node_id",
+        "tag",
+        "axis",
+        "predicate",
+        "parent",
+        "children",
+        "is_output",
+        "optional",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        tag: str | None,
+        axis: Axis = Axis.CHILD,
+        predicate: Predicate | None = None,
+        is_output: bool = False,
+        optional: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.tag = tag
+        self.axis = axis
+        self.predicate = predicate
+        self.parent: QueryNode | None = None
+        self.children: list[QueryNode] = []
+        self.is_output = is_output
+        #: Optional nodes (and their subtrees) bind when possible but
+        #: never eliminate a match — left-outer-join semantics.
+        self.optional = optional
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def display_tag(self) -> str:
+        return self.tag if self.tag is not None else "*"
+
+    def iter_subtree(self) -> Iterator[QueryNode]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def accepts_tag(self, tag: str) -> bool:
+        return self.tag is None or self.tag == tag
+
+    def __repr__(self) -> str:
+        marker = "!" if self.is_output else ""
+        return f"QueryNode(#{self.node_id} {self.axis}{self.display_tag}{marker})"
+
+
+class TwigPattern:
+    """A twig query: a rooted tree of :class:`QueryNode`.
+
+    Create the root via the constructor, grow the tree with
+    :meth:`add_child`, and mark result nodes with ``is_output`` (if none is
+    marked, the root is the result).
+
+    ``ordered=True`` makes the whole pattern order-sensitive: for every
+    pair of sibling query nodes, the matched elements must appear in the
+    siblings' order in the document (the earlier sibling's subtree must end
+    before the later one's begins).  Finer-grained constraints can be added
+    with :meth:`add_order_constraint`.
+    """
+
+    def __init__(
+        self,
+        root_tag: str | None,
+        predicate: Predicate | None = None,
+        ordered: bool = False,
+        is_output: bool = False,
+    ) -> None:
+        self._next_id = itertools.count(1)
+        # The root's axis positions the whole pattern: DESCENDANT (default)
+        # lets it match anywhere in the document; CHILD pins it to the
+        # document root element.
+        self.root = QueryNode(0, root_tag, Axis.DESCENDANT, predicate, is_output)
+        self.ordered = ordered
+        #: Explicit (before_id, after_id) document-order constraints.
+        self.order_constraints: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_child(
+        self,
+        parent: QueryNode,
+        tag: str | None,
+        axis: Axis = Axis.CHILD,
+        predicate: Predicate | None = None,
+        is_output: bool = False,
+        optional: bool = False,
+    ) -> QueryNode:
+        """Attach a new query node under ``parent`` and return it."""
+        if self.find_node(parent.node_id) is not parent:
+            raise ValueError("parent node does not belong to this pattern")
+        node = QueryNode(
+            next(self._next_id), tag, axis, predicate, is_output, optional
+        )
+        node.parent = parent
+        parent.children.append(node)
+        return node
+
+    def add_order_constraint(self, before: QueryNode, after: QueryNode) -> None:
+        """Require ``before``'s match to end before ``after``'s starts."""
+        for node in (before, after):
+            if self.find_node(node.node_id) is not node:
+                raise ValueError("constraint node does not belong to this pattern")
+        self.order_constraints.append((before.node_id, after.node_id))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[QueryNode]:
+        """All query nodes, preorder."""
+        return list(self.root.iter_subtree())
+
+    def leaves(self) -> list[QueryNode]:
+        return [node for node in self.nodes() if node.is_leaf]
+
+    def find_node(self, node_id: int) -> QueryNode | None:
+        for node in self.root.iter_subtree():
+            if node.node_id == node_id:
+                return node
+        return None
+
+    def output_nodes(self) -> list[QueryNode]:
+        """Marked output nodes, or the root if none are marked."""
+        marked = [node for node in self.nodes() if node.is_output]
+        return marked or [self.root]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes())
+
+    def is_path(self) -> bool:
+        """True if the pattern is a linear path (every node ≤ 1 child)."""
+        return all(len(node.children) <= 1 for node in self.nodes())
+
+    def has_wildcards(self) -> bool:
+        return any(node.tag is None for node in self.nodes())
+
+    def has_optional(self) -> bool:
+        return any(node.optional for node in self.nodes())
+
+    def optional_branches(self) -> list[QueryNode]:
+        """Top-level optional nodes (optional nodes whose ancestors are
+        all required)."""
+        branches: list[QueryNode] = []
+
+        def walk(node: QueryNode) -> None:
+            for child in node.children:
+                if child.optional:
+                    branches.append(child)
+                else:
+                    walk(child)
+
+        walk(self.root)
+        return branches
+
+    def required_skeleton(self) -> TwigPattern:
+        """A copy with every optional subtree removed (node ids kept)."""
+        skeleton = self.copy()
+        for node in skeleton.nodes():
+            node.children = [c for c in node.children if not c.optional]
+        return skeleton
+
+    def predicates(self) -> list[tuple[QueryNode, Predicate]]:
+        return [
+            (node, node.predicate)
+            for node in self.nodes()
+            if node.predicate is not None
+        ]
+
+    def all_terms(self) -> tuple[str, ...]:
+        """Every search term contributed by any predicate."""
+        terms: list[str] = []
+        for _, predicate in self.predicates():
+            terms.extend(predicate.terms())
+        return tuple(terms)
+
+    # ------------------------------------------------------------------
+    # Identity / copying
+    # ------------------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Hashable structural identity (used to deduplicate rewrites)."""
+
+        def node_signature(node: QueryNode) -> tuple:
+            predicate = node.predicate.signature() if node.predicate else None
+            return (
+                node.tag,
+                node.axis.value,
+                predicate,
+                node.is_output,
+                node.optional,
+                tuple(node_signature(child) for child in node.children),
+            )
+
+        return (
+            node_signature(self.root),
+            self.ordered,
+            tuple(sorted(self.order_constraints)),
+        )
+
+    def copy(self) -> TwigPattern:
+        """Deep copy preserving node ids (so constraints stay valid)."""
+        pattern = TwigPattern.__new__(TwigPattern)
+        pattern.ordered = self.ordered
+        pattern.order_constraints = list(self.order_constraints)
+        max_id = 0
+
+        def copy_node(node: QueryNode, parent: QueryNode | None) -> QueryNode:
+            nonlocal max_id
+            clone = QueryNode(
+                node.node_id,
+                node.tag,
+                node.axis,
+                node.predicate,
+                node.is_output,
+                node.optional,
+            )
+            clone.parent = parent
+            max_id = max(max_id, node.node_id)
+            for child in node.children:
+                clone.children.append(copy_node(child, clone))
+            return clone
+
+        pattern.root = copy_node(self.root, None)
+        pattern._next_id = itertools.count(max_id + 1)
+        return pattern
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        """Render in the textual twig syntax (parseable back)."""
+
+        def render(node: QueryNode) -> str:
+            text = str(node.axis) + node.display_tag
+            if isinstance(node.predicate, AbsentBranchPredicate):
+                text += f"[{node.predicate}]"
+            elif node.predicate is not None:
+                text += f"[.{node.predicate}]"
+            if node.is_output:
+                text += "!"
+            if node.optional:
+                text += "?"
+            for child in node.children:
+                text += f"[{render(child)}]"
+            return text
+
+        prefix = "ordered:" if self.ordered else ""
+        return prefix + render(self.root)
+
+    def pretty(self) -> str:
+        """Multi-line tree rendering for debugging and the CLI."""
+        lines: list[str] = []
+
+        def walk(node: QueryNode, depth: int) -> None:
+            axis = "" if node.is_root else str(node.axis)
+            predicate = f" [{node.predicate}]" if node.predicate else ""
+            marker = "  (output)" if node.is_output else ""
+            if node.optional:
+                marker += "  (optional)"
+            lines.append("  " * depth + f"{axis}{node.display_tag}{predicate}{marker}")
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        if self.ordered:
+            lines.append("(ordered)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"TwigPattern({self!s})"

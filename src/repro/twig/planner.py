@@ -1,0 +1,86 @@
+"""Algorithm selection for twig evaluation.
+
+A tiny rule-based planner: linear paths go to PathStack, everything else
+to TwigStack.  The naive matcher and binary structural joins are never
+chosen automatically — they exist as baselines — but can be forced, which
+the benchmarks and the cross-checking tests do.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.index.element_index import StreamFactory
+from repro.labeling.assign import LabeledDocument
+from repro.twig.algorithms.common import AlgorithmStats, build_streams
+from repro.twig.algorithms.naive import naive_match
+from repro.twig.algorithms.path_stack import path_stack_match
+from repro.twig.algorithms.structural_join import structural_join_match
+from repro.twig.algorithms.tjfast import tjfast_match
+from repro.twig.algorithms.twig_stack import twig_stack_match
+from repro.twig.match import Match
+from repro.twig.pattern import TwigPattern
+
+
+class Algorithm(enum.Enum):
+    """Selectable twig-matching algorithms."""
+
+    AUTO = "auto"
+    NAIVE = "naive"
+    STRUCTURAL_JOIN = "structural-join"
+    PATH_STACK = "path-stack"
+    TWIG_STACK = "twig-stack"
+    TJFAST = "tjfast"
+
+
+def choose_algorithm(pattern: TwigPattern) -> Algorithm:
+    """The planner's pick for ``pattern``."""
+    if pattern.is_path():
+        return Algorithm.PATH_STACK
+    return Algorithm.TWIG_STACK
+
+
+def evaluate(
+    pattern: TwigPattern,
+    labeled: LabeledDocument,
+    factory: StreamFactory,
+    algorithm: Algorithm = Algorithm.AUTO,
+    stats: AlgorithmStats | None = None,
+    prune_streams: bool = False,
+) -> list[Match]:
+    """Evaluate ``pattern`` with the chosen (or planned) algorithm.
+
+    ``prune_streams`` filters every node's stream by its DataGuide
+    candidate positions first (see
+    :func:`repro.twig.algorithms.common.build_streams`).
+    """
+    if algorithm is Algorithm.AUTO:
+        algorithm = choose_algorithm(pattern)
+    if pattern.has_optional():
+        from repro.twig.match import sort_matches
+        from repro.twig.optional import (
+            extend_with_optionals,
+            validate_optional_pattern,
+        )
+
+        validate_optional_pattern(pattern)
+        skeleton = pattern.required_skeleton()
+        skeleton_matches = evaluate(
+            skeleton, labeled, factory, algorithm, stats, prune_streams
+        )
+        return sort_matches(
+            extend_with_optionals(
+                pattern, skeleton_matches, labeled, factory.term_index
+            )
+        )
+    if algorithm is Algorithm.NAIVE:
+        return naive_match(pattern, labeled, factory.term_index, stats)
+    guide = labeled.guide if prune_streams else None
+    streams = build_streams(pattern, factory, guide)
+    if algorithm is Algorithm.PATH_STACK:
+        return path_stack_match(pattern, streams, stats)
+    if algorithm is Algorithm.STRUCTURAL_JOIN:
+        return structural_join_match(pattern, streams, stats)
+    if algorithm is Algorithm.TJFAST:
+        return tjfast_match(pattern, streams, factory.term_index, stats)
+    return twig_stack_match(pattern, streams, stats)

@@ -1,0 +1,104 @@
+"""Sampling satisfiable twig queries from a corpus.
+
+Workload generation for benchmarks, fuzzing, and demos: a pattern is
+derived from an *actual document element* — the root binds the element,
+branches bind a sample of its descendants, predicates quote its real
+values — so every sampled twig is guaranteed to have at least one match
+(the element it was carved from).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.index.text import completion_value, tokenize
+from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.twig.pattern import (
+    Axis,
+    ContainsPredicate,
+    EqualsPredicate,
+    QueryNode,
+    TwigPattern,
+)
+from repro.xmlio.tree import Element
+
+
+def sample_twig(
+    labeled: LabeledDocument,
+    rng: random.Random,
+    max_nodes: int = 5,
+    descendant_probability: float = 0.35,
+    predicate_probability: float = 0.3,
+) -> TwigPattern:
+    """A random twig pattern with at least one guaranteed match.
+
+    Parameters
+    ----------
+    labeled:
+        The corpus to carve patterns from.
+    rng:
+        Seeded RNG — sampling is deterministic given the corpus and seed.
+    max_nodes:
+        Upper bound on pattern size (at least 1).
+    descendant_probability:
+        Chance that a sampled edge is ``//`` instead of the exact
+        parent-child chain the witness element provides.
+    predicate_probability:
+        Chance that a text-carrying node gets a predicate quoting the
+        witness's actual value (equality for short values, containment
+        for a sampled token otherwise).
+    """
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be at least 1")
+    # Anchor on an element with some structure below it when possible.
+    candidates = [e for e in labeled.elements if e.element.child_elements()]
+    anchor = rng.choice(candidates or labeled.elements)
+
+    pattern = TwigPattern(anchor.tag)
+    _maybe_predicate(pattern.root, anchor.element, rng, predicate_probability)
+    bound: dict[int, Element] = {pattern.root.node_id: anchor.element}
+    open_nodes: list[QueryNode] = [pattern.root]
+
+    while len(pattern.nodes()) < max_nodes and open_nodes:
+        parent = rng.choice(open_nodes)
+        parent_element = bound[parent.node_id]
+        descendants = list(parent_element.iter_descendants())
+        if not descendants:
+            open_nodes.remove(parent)
+            continue
+        witness = rng.choice(descendants)
+        if witness.parent is parent_element and rng.random() >= (
+            descendant_probability
+        ):
+            axis = Axis.CHILD
+        else:
+            axis = Axis.DESCENDANT
+        node = pattern.add_child(parent, witness.tag, axis)
+        _maybe_predicate(node, witness, rng, predicate_probability)
+        bound[node.node_id] = witness
+        open_nodes.append(node)
+
+    return pattern
+
+
+def sample_workload(
+    labeled: LabeledDocument, seed: int, count: int, **kwargs
+) -> list[TwigPattern]:
+    """``count`` sampled twigs, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    return [sample_twig(labeled, rng, **kwargs) for _ in range(count)]
+
+
+def _maybe_predicate(
+    node: QueryNode, witness: Element, rng: random.Random, probability: float
+) -> None:
+    if node.predicate is not None or rng.random() >= probability:
+        return
+    text = witness.direct_text
+    value = completion_value(text)
+    if value and len(value) <= 24:
+        node.predicate = EqualsPredicate(value)
+        return
+    tokens = tokenize(text)
+    if tokens:
+        node.predicate = ContainsPredicate((rng.choice(tokens),))

@@ -1,0 +1,70 @@
+"""XML substrate: tokenizer, pull parser, tree model, serializer.
+
+Written from scratch (no stdlib ``xml`` use) so the labeling and indexing
+passes can hook directly into the event stream.
+
+Typical use::
+
+    from repro.xmlio import parse_string, serialize
+
+    doc = parse_string("<a><b>hi</b></a>")
+    print(doc.root.find("b").text)       # "hi"
+    print(serialize(doc))                 # "<a><b>hi</b></a>"
+"""
+
+from repro.xmlio.builder import TreeBuilder, parse_file, parse_string
+from repro.xmlio.errors import (
+    SerializationError,
+    XMLError,
+    XMLSyntaxError,
+    XMLWellFormednessError,
+)
+from repro.xmlio.events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlio.parser import PullParser, iter_events
+from repro.xmlio.serializer import node_to_string, serialize
+from repro.xmlio.tokenizer import Tokenizer
+from repro.xmlio.transform import (
+    attribute_tag,
+    expand_attributes,
+    is_attribute_tag,
+)
+from repro.xmlio.tree import Document, Element, Node, Text
+
+__all__ = [
+    "Characters",
+    "Comment",
+    "Document",
+    "Element",
+    "EndDocument",
+    "EndElement",
+    "Event",
+    "Node",
+    "ProcessingInstruction",
+    "PullParser",
+    "SerializationError",
+    "StartDocument",
+    "StartElement",
+    "Text",
+    "Tokenizer",
+    "TreeBuilder",
+    "XMLError",
+    "XMLSyntaxError",
+    "XMLWellFormednessError",
+    "attribute_tag",
+    "expand_attributes",
+    "is_attribute_tag",
+    "iter_events",
+    "node_to_string",
+    "parse_file",
+    "parse_string",
+    "serialize",
+]

@@ -1,0 +1,128 @@
+"""Build :class:`~repro.xmlio.tree.Document` trees from parse events."""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from repro.xmlio.errors import XMLWellFormednessError
+from repro.xmlio.events import (
+    Characters,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlio.parser import PullParser
+from repro.xmlio.tree import Document, Element
+
+
+class TreeBuilder:
+    """Accumulate parse events into a document tree.
+
+    Feed events via :meth:`feed` (or construct with an iterable) and call
+    :meth:`finish` to obtain the :class:`Document`.
+    """
+
+    def __init__(self, source_name: str = "<string>") -> None:
+        self._source_name = source_name
+        self._root: Element | None = None
+        self._stack: list[Element] = []
+        self._version = "1.0"
+        self._encoding: str | None = None
+
+    def feed(self, event: Event) -> None:
+        """Incorporate one parse event."""
+        if isinstance(event, StartDocument):
+            self._version = event.version
+            self._encoding = event.encoding
+        elif isinstance(event, StartElement):
+            element = Element(
+                event.tag, dict(event.attributes), event.line, event.column
+            )
+            if self._stack:
+                self._stack[-1].append(element)
+            elif self._root is None:
+                self._root = element
+            else:
+                raise XMLWellFormednessError(
+                    "multiple root elements", event.line, event.column
+                )
+            self._stack.append(element)
+        elif isinstance(event, EndElement):
+            if not self._stack:
+                raise XMLWellFormednessError(
+                    "unbalanced end tag", event.line, event.column
+                )
+            self._stack.pop()
+        elif isinstance(event, Characters):
+            if self._stack:
+                self._stack[-1].append_text(event.text)
+        # Comments, PIs, StartDocument/EndDocument carry no tree content.
+
+    def feed_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.feed(event)
+
+    def finish(self) -> Document:
+        """Return the built document.
+
+        Raises
+        ------
+        XMLWellFormednessError
+            If no root element was seen or elements remain open.
+        """
+        if self._root is None:
+            raise XMLWellFormednessError("document has no root element")
+        if self._stack:
+            raise XMLWellFormednessError(f"unclosed element <{self._stack[-1].tag}>")
+        return Document(self._root, self._version, self._encoding, self._source_name)
+
+
+def parse_string(text: str, source_name: str = "<string>") -> Document:
+    """Parse XML ``text`` into a :class:`Document`."""
+    builder = TreeBuilder(source_name)
+    builder.feed_all(PullParser(text))
+    return builder.finish()
+
+
+def parse_file(
+    path: str | os.PathLike[str], encoding: str | None = None
+) -> Document:
+    """Parse the XML file at ``path`` into a :class:`Document`.
+
+    With ``encoding=None`` (the default) the encoding is taken from the
+    file's XML declaration when present (a BOM also wins), falling back
+    to UTF-8 — so latin-1 exports that declare themselves parse without
+    any caller configuration.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if encoding is None:
+        encoding = _sniff_encoding(raw)
+    text = raw.decode(encoding)
+    if text.startswith("﻿"):
+        text = text[1:]
+    return parse_string(text, source_name=os.fspath(path))
+
+
+def _sniff_encoding(raw: bytes) -> str:
+    """Encoding from BOM or the XML declaration's ``encoding=`` pseudo-
+    attribute; UTF-8 otherwise."""
+    if raw.startswith(b"\xff\xfe"):
+        return "utf-16-le"
+    if raw.startswith(b"\xfe\xff"):
+        return "utf-16-be"
+    head = raw[:200]
+    if head.startswith(b"<?xml"):
+        end = head.find(b"?>")
+        declaration = head[: end if end != -1 else len(head)]
+        for quote in (b'"', b"'"):
+            marker = b"encoding=" + quote
+            start = declaration.find(marker)
+            if start != -1:
+                start += len(marker)
+                stop = declaration.find(quote, start)
+                if stop != -1:
+                    return declaration[start:stop].decode("ascii", "replace")
+    return "utf-8"

@@ -1,0 +1,81 @@
+"""Character classification for XML 1.0 names and text.
+
+Implements the pragmatic subset of the XML 1.0 (Fifth Edition) character
+productions that real-world documents use: ASCII letters, digits, ``_``,
+``-``, ``.``, ``:`` and the common Unicode letter ranges. The goal is to
+accept every document our dataset generators and typical DBLP/XMark corpora
+produce, and to reject obviously broken names with a precise error instead
+of silently mis-parsing.
+"""
+
+from __future__ import annotations
+
+# Characters (besides letters) allowed to start an XML name.
+_NAME_START_EXTRA = {"_", ":"}
+# Characters (besides letters/digits) allowed inside an XML name.
+_NAME_EXTRA = {"_", ":", "-", "."}
+
+# Unicode ranges from the NameStartChar production that cover practically all
+# natural-language tag names.  Each entry is an inclusive (lo, hi) pair.
+_NAME_START_RANGES = (
+    (0xC0, 0xD6),
+    (0xD8, 0xF6),
+    (0xF8, 0x2FF),
+    (0x370, 0x37D),
+    (0x37F, 0x1FFF),
+    (0x200C, 0x200D),
+    (0x2070, 0x218F),
+    (0x2C00, 0x2FEF),
+    (0x3001, 0xD7FF),
+    (0xF900, 0xFDCF),
+    (0xFDF0, 0xFFFD),
+)
+
+_NAME_EXTRA_RANGES = (
+    (0xB7, 0xB7),
+    (0x300, 0x36F),
+    (0x203F, 0x2040),
+)
+
+
+def _in_ranges(codepoint: int, ranges: tuple[tuple[int, int], ...]) -> bool:
+    return any(lo <= codepoint <= hi for lo, hi in ranges)
+
+
+def is_name_start_char(ch: str) -> bool:
+    """Return True if ``ch`` may begin an XML name (tag or attribute)."""
+    if ch.isascii():
+        return ch.isalpha() or ch in _NAME_START_EXTRA
+    return _in_ranges(ord(ch), _NAME_START_RANGES)
+
+
+def is_name_char(ch: str) -> bool:
+    """Return True if ``ch`` may appear inside an XML name."""
+    if ch.isascii():
+        return ch.isalnum() or ch in _NAME_EXTRA
+    return is_name_start_char(ch) or _in_ranges(ord(ch), _NAME_EXTRA_RANGES)
+
+
+def is_valid_name(name: str) -> bool:
+    """Return True if ``name`` is a well-formed XML name."""
+    if not name:
+        return False
+    if not is_name_start_char(name[0]):
+        return False
+    return all(is_name_char(ch) for ch in name[1:])
+
+
+def is_xml_whitespace(ch: str) -> bool:
+    """Return True for the four XML whitespace characters."""
+    return ch in " \t\r\n"
+
+
+def is_valid_char(ch: str) -> bool:
+    """Return True if ``ch`` is a legal XML 1.0 document character."""
+    cp = ord(ch)
+    return (
+        cp in (0x9, 0xA, 0xD)
+        or 0x20 <= cp <= 0xD7FF
+        or 0xE000 <= cp <= 0xFFFD
+        or 0x10000 <= cp <= 0x10FFFF
+    )

@@ -1,0 +1,42 @@
+"""Error types raised by the XML substrate.
+
+Every syntax problem detected while tokenizing or parsing raises
+:class:`XMLSyntaxError`, which carries the 1-based line and column of the
+offending character so callers can point users at the exact spot in their
+input.
+"""
+
+from __future__ import annotations
+
+
+class XMLError(Exception):
+    """Base class for all errors raised by :mod:`repro.xmlio`."""
+
+
+class XMLSyntaxError(XMLError):
+    """Malformed XML input.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based position of the offending character in the input text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+
+
+class XMLWellFormednessError(XMLSyntaxError):
+    """Structurally invalid XML (mismatched tags, multiple roots, ...)."""
+
+
+class SerializationError(XMLError):
+    """A tree cannot be rendered back to XML text (e.g. invalid tag name)."""

@@ -1,0 +1,94 @@
+"""Entity escaping and resolution for XML text and attribute values."""
+
+from __future__ import annotations
+
+from repro.xmlio.errors import XMLSyntaxError
+
+#: The five predefined XML entities.
+PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape ``value`` for use as XML character data."""
+    if not any(ch in value for ch in "&<>"):
+        return value
+    return "".join(_TEXT_ESCAPES.get(ch, ch) for ch in value)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape ``value`` for use inside a double-quoted attribute."""
+    if not any(ch in value for ch in '&<>"'):
+        return value
+    return "".join(_ATTR_ESCAPES.get(ch, ch) for ch in value)
+
+
+def resolve_entity(body: str, line: int = 0, column: int = 0) -> str:
+    """Resolve the body of an entity reference (text between ``&`` and ``;``).
+
+    Supports the five predefined entities plus decimal (``#65``) and
+    hexadecimal (``#x41``) character references.
+
+    Raises
+    ------
+    XMLSyntaxError
+        If the entity is unknown or the character reference is malformed.
+    """
+    if not body:
+        raise XMLSyntaxError("empty entity reference", line, column)
+    if body[0] == "#":
+        return _resolve_char_reference(body[1:], line, column)
+    if body in PREDEFINED_ENTITIES:
+        return PREDEFINED_ENTITIES[body]
+    raise XMLSyntaxError(f"unknown entity &{body};", line, column)
+
+
+def _resolve_char_reference(digits: str, line: int, column: int) -> str:
+    base = 10
+    if digits[:1] in ("x", "X"):
+        base = 16
+        digits = digits[1:]
+    try:
+        codepoint = int(digits, base)
+    except ValueError:
+        raise XMLSyntaxError(
+            f"malformed character reference &#{digits};", line, column
+        ) from None
+    try:
+        return chr(codepoint)
+    except (ValueError, OverflowError):
+        raise XMLSyntaxError(
+            f"character reference out of range: {codepoint}", line, column
+        ) from None
+
+
+def unescape(text: str) -> str:
+    """Resolve all entity references in ``text``.
+
+    Convenience for tests and small strings; the tokenizer resolves entities
+    inline during scanning instead of calling this.
+    """
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference")
+        out.append(resolve_entity(text[i + 1 : end]))
+        i = end + 1
+    return "".join(out)

@@ -1,0 +1,74 @@
+"""Parse events emitted by the pull parser.
+
+The event stream is the narrow waist of the XML substrate: the tree builder,
+the labeling pass, and the index builders all consume these events, so a
+document only has to be scanned once even when several structures are built
+from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class for parse events; carries the source position."""
+
+    line: int
+    column: int
+
+
+@dataclass(frozen=True, slots=True)
+class StartDocument(Event):
+    """Start of the document; carries the XML declaration if present."""
+
+    version: str = "1.0"
+    encoding: str | None = None
+    standalone: bool | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class EndDocument(Event):
+    """End of the document."""
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(Event):
+    """An opening (or self-closing) tag.
+
+    ``attributes`` preserves document order.  A self-closing tag emits a
+    ``StartElement`` immediately followed by an ``EndElement``.
+    """
+
+    tag: str = ""
+    attributes: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(Event):
+    """A closing tag (or the synthetic close of a self-closing tag)."""
+
+    tag: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Characters(Event):
+    """A run of character data (entities already resolved, CDATA included)."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Comment(Event):
+    """An XML comment (``<!-- ... -->``)."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessingInstruction(Event):
+    """A processing instruction (``<?target data?>``)."""
+
+    target: str = ""
+    data: str = ""

@@ -1,0 +1,102 @@
+"""Pull parser: a well-formedness-checking wrapper over the tokenizer.
+
+:class:`PullParser` consumes the raw token stream and enforces the document
+grammar — balanced tags, exactly one root element, no character data outside
+the root — emitting the same event objects plus a trailing
+:class:`~repro.xmlio.events.EndDocument`.
+
+This is the layer every higher component consumes: the tree builder, the
+labeling pass and the index builders all iterate a ``PullParser``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.xmlio.errors import XMLWellFormednessError
+from repro.xmlio.events import (
+    Characters,
+    Comment,
+    EndDocument,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlio.tokenizer import Tokenizer
+
+
+class PullParser:
+    """Iterate well-formedness-checked parse events for an XML string."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens: Iterable[Event] = Tokenizer(text)
+
+    def __iter__(self) -> Iterator[Event]:
+        return self.events()
+
+    def events(self) -> Iterator[Event]:
+        """Yield checked events, ending with :class:`EndDocument`.
+
+        Raises
+        ------
+        XMLWellFormednessError
+            On mismatched tags, multiple roots, text outside the root, or a
+            missing root element.
+        """
+        open_tags: list[StartElement] = []
+        saw_root = False
+        last_line, last_column = 1, 1
+        for event in self._tokens:
+            last_line, last_column = event.line, event.column
+            if isinstance(event, StartElement):
+                if not open_tags and saw_root:
+                    raise XMLWellFormednessError(
+                        f"multiple root elements: second root <{event.tag}>",
+                        event.line,
+                        event.column,
+                    )
+                saw_root = True
+                open_tags.append(event)
+            elif isinstance(event, EndElement):
+                if not open_tags:
+                    raise XMLWellFormednessError(
+                        f"closing tag </{event.tag}> with no open element",
+                        event.line,
+                        event.column,
+                    )
+                opener = open_tags.pop()
+                if opener.tag != event.tag:
+                    raise XMLWellFormednessError(
+                        f"mismatched closing tag </{event.tag}>,"
+                        f" expected </{opener.tag}>"
+                        f" (opened at line {opener.line})",
+                        event.line,
+                        event.column,
+                    )
+            elif isinstance(event, Characters):
+                if not open_tags and event.text.strip():
+                    raise XMLWellFormednessError(
+                        "character data outside the root element",
+                        event.line,
+                        event.column,
+                    )
+            elif isinstance(event, (Comment, ProcessingInstruction, StartDocument)):
+                pass
+            yield event
+        if open_tags:
+            opener = open_tags[-1]
+            raise XMLWellFormednessError(
+                f"unclosed element <{opener.tag}>", opener.line, opener.column
+            )
+        if not saw_root:
+            raise XMLWellFormednessError(
+                "document has no root element", last_line, last_column
+            )
+        yield EndDocument(last_line, last_column)
+
+
+def iter_events(text: str) -> Iterator[Event]:
+    """Convenience: iterate checked parse events for ``text``."""
+    return PullParser(text).events()

@@ -1,0 +1,84 @@
+"""Serialize tree nodes back to XML text."""
+
+from __future__ import annotations
+
+import io
+
+from repro.xmlio.chars import is_valid_name
+from repro.xmlio.errors import SerializationError
+from repro.xmlio.escape import escape_attribute, escape_text
+from repro.xmlio.tree import Document, Element, Node, Text
+
+
+def serialize(
+    node: Document | Element,
+    indent: str | None = None,
+    xml_declaration: bool = False,
+) -> str:
+    """Render ``node`` to XML text.
+
+    Parameters
+    ----------
+    node:
+        A :class:`Document` or :class:`Element`.
+    indent:
+        If given (e.g. ``"  "``), pretty-print with that indentation unit.
+        Pretty-printing only inserts whitespace around *element-only*
+        content; mixed content is left byte-exact so round-trips stay
+        lossless for text.
+    xml_declaration:
+        Emit ``<?xml version="1.0" encoding="utf-8"?>`` first.
+    """
+    out = io.StringIO()
+    if xml_declaration:
+        out.write('<?xml version="1.0" encoding="utf-8"?>')
+        if indent is not None:
+            out.write("\n")
+    root = node.root if isinstance(node, Document) else node
+    _write_element(out, root, indent, depth=0)
+    if indent is not None:
+        out.write("\n")
+    return out.getvalue()
+
+
+def _write_element(
+    out: io.StringIO, element: Element, indent: str | None, depth: int
+) -> None:
+    if not is_valid_name(element.tag):
+        raise SerializationError(f"invalid tag name {element.tag!r}")
+    out.write(f"<{element.tag}")
+    for name, value in element.attributes.items():
+        if not is_valid_name(name):
+            raise SerializationError(f"invalid attribute name {name!r}")
+        out.write(f' {name}="{escape_attribute(value)}"')
+    if not element.children:
+        out.write("/>")
+        return
+    out.write(">")
+    pretty = indent is not None and _is_element_only(element)
+    for child in element.children:
+        if pretty:
+            out.write("\n" + indent * (depth + 1))  # type: ignore[operator]
+        if isinstance(child, Text):
+            out.write(escape_text(child.value))
+        elif isinstance(child, Element):
+            _write_element(out, child, indent if pretty else None, depth + 1)
+        else:  # pragma: no cover - Node has no other subclasses
+            raise SerializationError(f"cannot serialize node {child!r}")
+    if pretty:
+        out.write("\n" + indent * depth)  # type: ignore[operator]
+    out.write(f"</{element.tag}>")
+
+
+def _is_element_only(element: Element) -> bool:
+    """True if the element's children are all elements (safe to indent)."""
+    return all(isinstance(child, Element) for child in element.children)
+
+
+def node_to_string(node: Node) -> str:
+    """Serialize any tree node, including bare text nodes."""
+    if isinstance(node, Text):
+        return escape_text(node.value)
+    if isinstance(node, Element):
+        return serialize(node)
+    raise SerializationError(f"cannot serialize node {node!r}")

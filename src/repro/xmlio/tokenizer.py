@@ -1,0 +1,313 @@
+"""Streaming XML tokenizer.
+
+Scans XML text into the event objects defined in :mod:`repro.xmlio.events`.
+The tokenizer is deliberately a *lexer only*: it checks local syntax (tag
+shapes, attribute quoting, entity references) and leaves well-formedness
+(tag balance, single root) to :class:`repro.xmlio.parser.PullParser`.
+
+Supported constructs: the XML declaration, elements with attributes,
+self-closing tags, character data with entity and character references,
+CDATA sections, comments, processing instructions, and an (ignored) DOCTYPE
+declaration with an optional internal subset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.xmlio import chars
+from repro.xmlio.errors import XMLSyntaxError
+from repro.xmlio.escape import resolve_entity
+from repro.xmlio.events import (
+    Characters,
+    Comment,
+    EndElement,
+    Event,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+
+
+class Tokenizer:
+    """Turn an XML string into a stream of :class:`~repro.xmlio.events.Event`.
+
+    Usage::
+
+        for event in Tokenizer(text):
+            ...
+
+    The tokenizer tracks 1-based line/column positions for error messages and
+    stamps each event with the position where the construct began.
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Event]:
+        return self.tokens()
+
+    def tokens(self) -> Iterator[Event]:
+        """Yield events until the input is exhausted."""
+        yield self._scan_prolog()
+        while self._pos < len(self._text):
+            if self._peek() == "<":
+                event = self._scan_markup()
+                if event is not None:
+                    yield event
+                    if isinstance(event, StartElement) and self._self_closed:
+                        yield EndElement(event.line, event.column, event.tag)
+            else:
+                event = self._scan_character_data()
+                if event is not None:
+                    yield event
+
+    # ------------------------------------------------------------------
+    # Low-level cursor helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> str:
+        """Consume ``count`` characters, maintaining line/column."""
+        consumed = self._text[self._pos : self._pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += len(consumed)
+        return consumed
+
+    def _error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, self._line, self._column)
+
+    def _expect(self, literal: str) -> None:
+        if not self._text.startswith(literal, self._pos):
+            raise self._error(f"expected {literal!r}")
+        self._advance(len(literal))
+
+    def _skip_whitespace(self) -> int:
+        start = self._pos
+        while self._pos < len(self._text) and chars.is_xml_whitespace(self._peek()):
+            self._advance()
+        return self._pos - start
+
+    def _scan_name(self) -> str:
+        start = self._pos
+        if not self._peek() or not chars.is_name_start_char(self._peek()):
+            raise self._error(f"expected a name, found {self._peek()!r}")
+        self._advance()
+        while self._peek() and chars.is_name_char(self._peek()):
+            self._advance()
+        return self._text[start : self._pos]
+
+    # ------------------------------------------------------------------
+    # Prolog
+    # ------------------------------------------------------------------
+
+    def _scan_prolog(self) -> StartDocument:
+        """Consume the optional XML declaration and return StartDocument."""
+        line, column = self._line, self._column
+        if self._text.startswith("<?xml", self._pos) and chars.is_xml_whitespace(
+            self._peek(5)
+        ):
+            return self._scan_xml_declaration()
+        return StartDocument(line, column)
+
+    def _scan_xml_declaration(self) -> StartDocument:
+        line, column = self._line, self._column
+        self._expect("<?xml")
+        attrs = dict(self._scan_attributes(until="?"))
+        self._expect("?>")
+        version = attrs.get("version", "1.0")
+        encoding = attrs.get("encoding")
+        standalone: bool | None = None
+        if "standalone" in attrs:
+            standalone = attrs["standalone"] == "yes"
+        return StartDocument(line, column, version, encoding, standalone)
+
+    # ------------------------------------------------------------------
+    # Markup dispatch
+    # ------------------------------------------------------------------
+
+    def _scan_markup(self) -> Event | None:
+        self._self_closed = False
+        if self._text.startswith("<!--", self._pos):
+            return self._scan_comment()
+        if self._text.startswith("<![CDATA[", self._pos):
+            return self._scan_cdata()
+        if self._text.startswith("<!DOCTYPE", self._pos):
+            self._scan_doctype()
+            return None
+        if self._text.startswith("<?", self._pos):
+            return self._scan_processing_instruction()
+        if self._text.startswith("</", self._pos):
+            return self._scan_end_tag()
+        return self._scan_start_tag()
+
+    def _scan_comment(self) -> Comment:
+        line, column = self._line, self._column
+        self._expect("<!--")
+        end = self._text.find("-->", self._pos)
+        if end == -1:
+            raise self._error("unterminated comment")
+        body = self._text[self._pos : end]
+        if "--" in body:
+            raise self._error("'--' is not allowed inside a comment")
+        self._advance(end - self._pos)
+        self._expect("-->")
+        return Comment(line, column, body)
+
+    def _scan_cdata(self) -> Characters:
+        line, column = self._line, self._column
+        self._expect("<![CDATA[")
+        end = self._text.find("]]>", self._pos)
+        if end == -1:
+            raise self._error("unterminated CDATA section")
+        body = self._text[self._pos : end]
+        self._advance(end - self._pos)
+        self._expect("]]>")
+        return Characters(line, column, body)
+
+    def _scan_doctype(self) -> None:
+        """Consume a DOCTYPE declaration, including an internal subset."""
+        self._expect("<!DOCTYPE")
+        depth = 0
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                self._advance()
+                return
+            self._advance()
+        raise self._error("unterminated DOCTYPE declaration")
+
+    def _scan_processing_instruction(self) -> ProcessingInstruction:
+        line, column = self._line, self._column
+        self._expect("<?")
+        target = self._scan_name()
+        if target.lower() == "xml":
+            raise self._error("XML declaration is only allowed at document start")
+        self._skip_whitespace()
+        end = self._text.find("?>", self._pos)
+        if end == -1:
+            raise self._error("unterminated processing instruction")
+        data = self._text[self._pos : end]
+        self._advance(end - self._pos)
+        self._expect("?>")
+        return ProcessingInstruction(line, column, target, data)
+
+    # ------------------------------------------------------------------
+    # Tags
+    # ------------------------------------------------------------------
+
+    def _scan_start_tag(self) -> StartElement:
+        line, column = self._line, self._column
+        self._expect("<")
+        tag = self._scan_name()
+        attributes = self._scan_attributes(until="/")
+        if self._peek() == "/":
+            self._advance()
+            self._self_closed = True
+        self._expect(">")
+        return StartElement(line, column, tag, tuple(attributes))
+
+    def _scan_end_tag(self) -> EndElement:
+        line, column = self._line, self._column
+        self._expect("</")
+        tag = self._scan_name()
+        self._skip_whitespace()
+        self._expect(">")
+        return EndElement(line, column, tag)
+
+    def _scan_attributes(self, until: str) -> list[tuple[str, str]]:
+        """Scan ``name="value"`` pairs until ``>`` or the ``until`` character.
+
+        Duplicate attribute names are a well-formedness violation and are
+        rejected here.
+        """
+        attributes: list[tuple[str, str]] = []
+        seen: set[str] = set()
+        while True:
+            skipped = self._skip_whitespace()
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated tag")
+            if ch == ">" or ch == until:
+                return attributes
+            if attributes and not skipped:
+                raise self._error("attributes must be separated by whitespace")
+            name = self._scan_name()
+            if name in seen:
+                raise self._error(f"duplicate attribute {name!r}")
+            seen.add(name)
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            attributes.append((name, self._scan_attribute_value()))
+
+    def _scan_attribute_value(self) -> str:
+        quote = self._peek()
+        if quote not in ("'", '"'):
+            raise self._error("attribute value must be quoted")
+        self._advance()
+        parts: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated attribute value")
+            if ch == quote:
+                self._advance()
+                return "".join(parts)
+            if ch == "<":
+                raise self._error("'<' is not allowed inside an attribute value")
+            if ch == "&":
+                parts.append(self._scan_entity())
+            else:
+                parts.append(self._advance())
+
+    # ------------------------------------------------------------------
+    # Character data
+    # ------------------------------------------------------------------
+
+    def _scan_character_data(self) -> Characters | None:
+        line, column = self._line, self._column
+        parts: list[str] = []
+        while self._pos < len(self._text) and self._peek() != "<":
+            ch = self._peek()
+            if ch == "&":
+                parts.append(self._scan_entity())
+            else:
+                if self._text.startswith("]]>", self._pos):
+                    raise self._error("']]>' is not allowed in character data")
+                parts.append(self._advance())
+        text = "".join(parts)
+        if not text:
+            return None
+        return Characters(line, column, text)
+
+    def _scan_entity(self) -> str:
+        line, column = self._line, self._column
+        self._expect("&")
+        end = self._text.find(";", self._pos)
+        if end == -1 or end - self._pos > 32:
+            raise XMLSyntaxError("unterminated entity reference", line, column)
+        body = self._text[self._pos : end]
+        self._advance(end - self._pos + 1)
+        return resolve_entity(body, line, column)

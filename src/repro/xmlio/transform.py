@@ -1,0 +1,63 @@
+"""Document transforms applied before indexing.
+
+:func:`expand_attributes` is the classic trick that makes attributes
+first-class citizens of twig matching: each attribute ``name="value"``
+becomes a synthetic child element ``<@name>value</@name>`` placed before
+the element's real children.  Every downstream component — labeling,
+DataGuide, term index, completion, all matching algorithms — then handles
+attributes with zero special cases: ``//item[./@id="item5"]`` is just a
+twig.
+
+The expanded tree is a *shadow copy* used for indexing; the caller's
+original document is never mutated (``@name`` is not a serializable XML
+tag, and the original must stay serializable).
+"""
+
+from __future__ import annotations
+
+from repro.xmlio.tree import Document, Element, Node, Text
+
+#: Prefix marking synthetic attribute elements.
+ATTRIBUTE_PREFIX = "@"
+
+
+def attribute_tag(name: str) -> str:
+    """The synthetic tag for attribute ``name``."""
+    return ATTRIBUTE_PREFIX + name
+
+
+def is_attribute_tag(tag: str) -> bool:
+    return tag.startswith(ATTRIBUTE_PREFIX)
+
+
+def expand_attributes(document: Document) -> Document:
+    """A deep copy of ``document`` with attributes materialized as
+    ``@name`` child elements (attributes keep living in ``attributes``
+    too, so provenance is preserved)."""
+
+    def clone(element: Element) -> Element:
+        copy = Element(
+            element.tag, dict(element.attributes), element.line, element.column
+        )
+        for name, value in element.attributes.items():
+            synthetic = copy.make_child(attribute_tag(name))
+            if value:
+                synthetic.append_text(value)
+        for child in element.children:
+            copy.append(_clone_node(child, clone))
+        return copy
+
+    return Document(
+        clone(document.root),
+        document.version,
+        document.encoding,
+        document.source_name,
+    )
+
+
+def _clone_node(node: Node, clone_element) -> Node:
+    if isinstance(node, Text):
+        return Text(node.value)
+    if isinstance(node, Element):
+        return clone_element(node)
+    raise TypeError(f"unexpected node type: {node!r}")

@@ -1,0 +1,191 @@
+"""In-memory XML tree model.
+
+The model keeps *mixed content* faithfully: an :class:`Element` owns an
+ordered list of children, each either another ``Element`` or a :class:`Text`
+node.  Convenience accessors (``text``, ``itertext``, ``find`` and friends)
+cover the common search-system access patterns.
+
+Every node knows its parent and its ordinal position among its siblings,
+which the labeling pass and the order-sensitive twig algorithms rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+class Node:
+    """Base class for tree nodes."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Element | None = None
+
+
+class Text(Node):
+    """A run of character data inside an element."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+    def __repr__(self) -> str:
+        preview = self.value if len(self.value) <= 30 else self.value[:27] + "..."
+        return f"Text({preview!r})"
+
+
+class Element(Node):
+    """An XML element with attributes and ordered mixed-content children."""
+
+    __slots__ = ("tag", "attributes", "children", "line", "column")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: dict[str, str] | None = None,
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
+        super().__init__()
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Node] = []
+        self.line = line
+        self.column = column
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Append ``child`` (adopting it) and return it."""
+        if child.parent is not None:
+            raise ValueError("node already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def append_text(self, value: str) -> Text:
+        """Append character data, merging with a trailing text node."""
+        if self.children and isinstance(self.children[-1], Text):
+            last = self.children[-1]
+            last.value += value
+            return last
+        node = Text(value)
+        return self.append(node)  # type: ignore[return-value]
+
+    def make_child(self, tag: str, attributes: dict[str, str] | None = None) -> Element:
+        """Create, append and return a new child element."""
+        child = Element(tag, attributes)
+        self.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def child_elements(self) -> list[Element]:
+        """Direct child elements, in document order."""
+        return [node for node in self.children if isinstance(node, Element)]
+
+    def iter(self) -> Iterator[Element]:
+        """Iterate this element and all descendant elements, preorder."""
+        stack: list[Element] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.child_elements()))
+
+    def iter_descendants(self) -> Iterator[Element]:
+        """Iterate descendant elements (excluding self), preorder."""
+        iterator = self.iter()
+        next(iterator)
+        return iterator
+
+    def itertext(self) -> Iterator[str]:
+        """Iterate all text runs under this element, in document order."""
+        for child in self.children:
+            if isinstance(child, Text):
+                yield child.value
+            elif isinstance(child, Element):
+                yield from child.itertext()
+
+    @property
+    def text(self) -> str:
+        """All character data under this element, concatenated."""
+        return "".join(self.itertext())
+
+    @property
+    def direct_text(self) -> str:
+        """Character data that is a *direct* child of this element."""
+        return "".join(
+            child.value for child in self.children if isinstance(child, Text)
+        )
+
+    def find(self, tag: str) -> Element | None:
+        """First direct child element with ``tag``, or None."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list[Element]:
+        """All direct child elements with ``tag``."""
+        return [c for c in self.child_elements() if c.tag == tag]
+
+    def ancestors(self) -> Iterator[Element]:
+        """Iterate ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path(self) -> tuple[str, ...]:
+        """Root-to-node tag path, e.g. ``('dblp', 'article', 'title')``."""
+        tags = [self.tag]
+        tags.extend(ancestor.tag for ancestor in self.ancestors())
+        return tuple(reversed(tags))
+
+    def sibling_index(self) -> int:
+        """0-based position among the parent's *element* children."""
+        if self.parent is None:
+            return 0
+        for index, sibling in enumerate(self.parent.child_elements()):
+            if sibling is self:
+                return index
+        raise RuntimeError("element not found among its parent's children")
+
+    def __repr__(self) -> str:
+        return f"Element({self.tag!r}, children={len(self.children)})"
+
+
+class Document:
+    """A parsed XML document: the root element plus prolog metadata."""
+
+    __slots__ = ("root", "version", "encoding", "source_name")
+
+    def __init__(
+        self,
+        root: Element,
+        version: str = "1.0",
+        encoding: str | None = None,
+        source_name: str = "<string>",
+    ) -> None:
+        self.root = root
+        self.version = version
+        self.encoding = encoding
+        self.source_name = source_name
+
+    def iter(self) -> Iterator[Element]:
+        """Iterate every element in the document, preorder."""
+        return self.root.iter()
+
+    def count_elements(self) -> int:
+        """Total number of elements in the document."""
+        return sum(1 for _ in self.iter())
+
+    def __repr__(self) -> str:
+        return f"Document(root={self.root.tag!r}, source={self.source_name!r})"

@@ -1,0 +1,60 @@
+"""Shared fixtures: a small hand-written bibliography corpus plus
+generated corpora, each indexed once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dblp, generate_xmark
+from repro.engine.database import LotusXDatabase
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.xmlio.builder import parse_string
+
+#: A compact corpus whose every answer can be checked by hand.
+SMALL_XML = """<dblp>
+<article key="a1"><title>holistic twig joins optimal xml pattern matching</title>\
+<author>nicolas bruno</author><author>divesh srivastava</author><year>2002</year>\
+<journal>sigmod record</journal></article>
+<article key="a2"><title>xml keyword search semantics</title>\
+<author>jiaheng lu</author><year>2011</year><journal>tods</journal></article>
+<inproceedings key="c1"><title>lotusx position aware xml graphical search</title>\
+<author>chunbin lin</author><author>jiaheng lu</author><author>tok wang ling</author>\
+<author>bogdan cautis</author><year>2012</year><booktitle>icde</booktitle></inproceedings>
+<inproceedings key="c2"><title>twig pattern relaxation</title>\
+<author>jiaheng lu</author><year>2006</year><booktitle>edbt</booktitle></inproceedings>
+<book key="b1"><title>xml data management</title><editor><author>jiaheng lu</author>\
+</editor><year>2009</year><publisher>springer</publisher></book>
+</dblp>"""
+
+
+@pytest.fixture(scope="session")
+def small_document():
+    return parse_string(SMALL_XML)
+
+
+@pytest.fixture(scope="session")
+def small_labeled(small_document):
+    return label_document(small_document)
+
+
+@pytest.fixture(scope="session")
+def small_term_index(small_labeled):
+    return TermIndex(small_labeled)
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    return LotusXDatabase.from_string(SMALL_XML)
+
+
+@pytest.fixture(scope="session")
+def dblp_db():
+    """A 150-publication DBLP-like corpus (about 1.1k elements)."""
+    return LotusXDatabase(generate_dblp(publications=150, seed=11))
+
+
+@pytest.fixture(scope="session")
+def xmark_db():
+    """A 40-item XMark-like corpus with deep nesting."""
+    return LotusXDatabase(generate_xmark(items=40, seed=5))

@@ -1,0 +1,92 @@
+"""Query-context analysis: candidate positions in the DataGuide."""
+
+import pytest
+
+from repro.autocomplete.context import candidate_positions, is_satisfiable
+from repro.summary.dataguide import DataGuide
+from repro.twig.parse import parse_twig
+from repro.xmlio.builder import parse_string
+
+
+@pytest.fixture(scope="module")
+def guide():
+    return DataGuide.from_document(
+        parse_string(
+            "<dblp>"
+            "<article><title>a</title><author>x</author></article>"
+            "<book><title>b</title><editor><author>y</author></editor></book>"
+            "<proceedings><editor><author>z</author></editor></proceedings>"
+            "</dblp>"
+        )
+    )
+
+
+def positions_paths(guide, query, tag=None):
+    pattern = parse_twig(query)
+    positions = candidate_positions(pattern, guide)
+    if tag is None:
+        node = pattern.root
+    else:
+        node = next(n for n in pattern.nodes() if n.tag == tag)
+    return {"/".join(p.path) for p in positions[node.node_id]}
+
+
+class TestTopDown:
+    def test_root_positions_by_tag(self, guide):
+        assert positions_paths(guide, "//author") == {
+            "dblp/article/author",
+            "dblp/book/editor/author",
+            "dblp/proceedings/editor/author",
+        }
+
+    def test_child_axis_restricts(self, guide):
+        assert positions_paths(guide, "//article/author", "author") == {
+            "dblp/article/author"
+        }
+
+    def test_descendant_axis_spans_levels(self, guide):
+        assert positions_paths(guide, "//book//author", "author") == {
+            "dblp/book/editor/author"
+        }
+
+    def test_wildcard_root(self, guide):
+        paths = positions_paths(guide, "//*/editor", "editor")
+        assert paths == {"dblp/book/editor", "dblp/proceedings/editor"}
+
+
+class TestBottomUpPruning:
+    def test_parent_pruned_without_child_support(self, guide):
+        # editor exists under book and proceedings, but only book has title.
+        paths = positions_paths(guide, "//*[./title][./editor]")
+        assert paths == {"dblp/book"}
+
+    def test_sibling_constraints_interact(self, guide):
+        # The author position must be reachable from the *same* parent
+        # positions that also support title: article only.
+        paths = positions_paths(guide, "//*[./title][./author]", "author")
+        assert paths == {"dblp/article/author"}
+
+    def test_deep_pruning_propagates(self, guide):
+        # //*[.//author]/title: parents with a descendant author are
+        # article, book, editor(×2), proceedings, dblp; of those, only
+        # article and book have a title child.
+        paths = positions_paths(guide, "//*[.//author]/title", "title")
+        assert paths == {"dblp/article/title", "dblp/book/title"}
+
+
+class TestSatisfiability:
+    def test_satisfiable(self, guide):
+        assert is_satisfiable(parse_twig("//book/editor/author"), guide)
+
+    def test_wrong_axis_unsatisfiable(self, guide):
+        assert not is_satisfiable(parse_twig("//book/author"), guide)
+
+    def test_unknown_tag_unsatisfiable(self, guide):
+        assert not is_satisfiable(parse_twig("//article/writer"), guide)
+
+    def test_impossible_combination_unsatisfiable(self, guide):
+        assert not is_satisfiable(parse_twig("//article[./editor]"), guide)
+
+    def test_root_child_axis(self, guide):
+        assert is_satisfiable(parse_twig("/dblp/article"), guide)
+        assert not is_satisfiable(parse_twig("/article"), guide)

@@ -1,0 +1,52 @@
+"""Example-query suggestion."""
+
+import pytest
+
+from repro.autocomplete.examples import suggest_example_queries
+
+
+class TestSuggestions:
+    def test_all_verified_non_empty(self, small_db):
+        for example in small_db.example_queries(k=5):
+            assert small_db.matches(example.query), example.query
+
+    def test_deterministic(self, small_db):
+        first = [e.query for e in small_db.example_queries()]
+        second = [e.query for e in small_db.example_queries()]
+        assert first == second
+
+    def test_k_respected(self, small_db):
+        assert len(small_db.example_queries(k=2)) == 2
+
+    def test_covers_distinct_record_types_first(self, dblp_db):
+        examples = dblp_db.example_queries(k=6)
+        parents = {e.query.split("/")[2].split("[")[0] for e in examples}
+        assert len(parents) >= 2  # not all from one record type
+
+    def test_value_predicate_examples_present(self, dblp_db):
+        examples = dblp_db.example_queries(k=6)
+        assert any("=" in e.query for e in examples)
+
+    def test_descriptions_human_readable(self, small_db):
+        for example in small_db.example_queries():
+            assert "results" in example.description
+
+    def test_raw_generator_suggests_parseable_queries(self, small_db):
+        suggestions = suggest_example_queries(
+            small_db.guide, small_db.completion_index, k=10
+        )
+        for suggestion in suggestions:
+            small_db.parse_query(suggestion.query)  # must not raise
+
+    def test_empty_ish_corpus(self):
+        from repro.engine.database import LotusXDatabase
+
+        db = LotusXDatabase.from_string("<r><a/></r>")  # no text anywhere
+        assert db.example_queries() == []
+
+    def test_api_endpoint(self, small_db):
+        from repro.server.api import handle_examples
+
+        data = handle_examples(small_db)
+        assert data["examples"]
+        assert {"query", "description"} <= set(data["examples"][0])

@@ -1,0 +1,103 @@
+"""Property-based tests linking completion context to actual matching.
+
+The contract of :func:`candidate_positions` is a one-sided bound (see its
+module docstring): every element a real match binds sits at a kept
+position (completeness — completion never hides a valid candidate), but
+kept positions may be unused because the DataGuide cannot see
+co-occurrence within single elements.  We verify the completeness
+direction, and the corresponding direction of :func:`is_satisfiable`,
+against the naive matcher on random documents and patterns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autocomplete.context import candidate_positions, is_satisfiable
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.twig.algorithms.naive import naive_match
+from repro.twig.pattern import Axis, TwigPattern
+from repro.xmlio.tree import Document, Element
+
+TAGS = ["a", "b", "c"]
+
+
+@st.composite
+def documents(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    size = draw(st.integers(1, 20))
+    root = Element("r")
+    pool = [root]
+    for _ in range(size):
+        parent = rng.choice(pool)
+        pool.append(parent.make_child(rng.choice(TAGS)))
+        if len(pool) > 5:
+            pool.pop(0)
+    return Document(root)
+
+
+@st.composite
+def patterns(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    pattern = TwigPattern(rng.choice(TAGS + ["r", None]))
+    nodes = [pattern.root]
+    for _ in range(draw(st.integers(0, 4))):
+        parent = rng.choice(nodes)
+        axis = Axis.CHILD if rng.random() < 0.5 else Axis.DESCENDANT
+        nodes.append(pattern.add_child(parent, rng.choice(TAGS + [None]), axis))
+    return pattern
+
+
+@given(documents(), patterns())
+@settings(max_examples=200, deadline=None)
+def test_positions_cover_every_match_binding(document, pattern):
+    labeled = label_document(document)
+    term_index = TermIndex(labeled)
+    matches = naive_match(pattern, labeled, term_index)
+    positions = candidate_positions(pattern, labeled.guide)
+
+    # Completeness: every element a real match binds sits at a kept
+    # position (kept ⊇ used); the reverse does not hold in general — the
+    # DataGuide over-approximates co-occurrence.
+    used: dict[int, set[int]] = {node.node_id: set() for node in pattern.nodes()}
+    for match in matches:
+        for node in pattern.nodes():
+            bound = match.element(node.node_id)
+            assert bound.path_node in positions[node.node_id]
+            used[node.node_id].add(bound.path_node.node_id)
+    for node in pattern.nodes():
+        kept = {p.node_id for p in positions[node.node_id]}
+        assert kept >= used[node.node_id]
+
+
+@given(documents(), patterns())
+@settings(max_examples=200, deadline=None)
+def test_positions_exact_for_path_patterns(document, pattern):
+    """On *linear* patterns the guide bound is exact: no branching means
+    no co-occurrence to lose, so every kept position is used."""
+    if not pattern.is_path():
+        return
+    labeled = label_document(document)
+    term_index = TermIndex(labeled)
+    matches = naive_match(pattern, labeled, term_index)
+    positions = candidate_positions(pattern, labeled.guide)
+    used: dict[int, set[int]] = {node.node_id: set() for node in pattern.nodes()}
+    for match in matches:
+        for node in pattern.nodes():
+            used[node.node_id].add(match.element(node.node_id).path_node.node_id)
+    for node in pattern.nodes():
+        kept = {p.node_id for p in positions[node.node_id]}
+        assert kept == used[node.node_id]
+
+
+@given(documents(), patterns())
+@settings(max_examples=150, deadline=None)
+def test_matches_imply_satisfiable(document, pattern):
+    labeled = label_document(document)
+    term_index = TermIndex(labeled)
+    if naive_match(pattern, labeled, term_index, limit=1):
+        assert is_satisfiable(pattern, labeled.guide)

@@ -1,0 +1,51 @@
+"""Benchmark support helpers."""
+
+from repro.bench.harness import format_table, speedup, time_call
+from repro.bench.workloads import (
+    BLOWUP_QUERIES,
+    DBLP_QUERIES,
+    ORDERED_QUERIES,
+    XMARK_QUERIES,
+    queries_by_class,
+)
+
+
+class TestHarness:
+    def test_time_call_measures(self):
+        elapsed = time_call(lambda: sum(range(1000)), repeats=3)
+        assert elapsed >= 0.0
+
+    def test_format_table_aligns(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["longer", 2.5]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to same width
+
+    def test_speedup_format(self):
+        assert speedup(10.0, 2.0) == "5.0x"
+        assert speedup(1.0, 0.0) == "inf"
+
+
+class TestWorkloads:
+    def test_all_queries_parse(self, dblp_db, xmark_db):
+        for query in DBLP_QUERIES + ORDERED_QUERIES:
+            assert query.pattern().size >= 1
+        for query in XMARK_QUERIES + BLOWUP_QUERIES:
+            assert query.pattern().size >= 1
+
+    def test_dblp_queries_have_answers(self, dblp_db):
+        for query in DBLP_QUERIES:
+            assert dblp_db.matches(query.text), query.name
+
+    def test_xmark_queries_have_answers(self, xmark_db):
+        for query in XMARK_QUERIES + BLOWUP_QUERIES:
+            assert xmark_db.matches(query.text), query.name
+
+    def test_query_classes_partition(self):
+        classes = {q.query_class for q in DBLP_QUERIES + XMARK_QUERIES}
+        assert classes == {"path", "flat-twig", "deep-twig"}
+        assert queries_by_class(DBLP_QUERIES, "path")

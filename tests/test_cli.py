@@ -1,0 +1,173 @@
+"""The lotusx command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.xml"
+    exit_code = main(
+        ["generate", "dblp", "--size", "30", "--seed", "4", "-o", str(path)]
+    )
+    assert exit_code == 0
+    return str(path)
+
+
+class TestGenerate:
+    def test_stdout_output(self, capsys):
+        assert main(["generate", "books", "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<catalog>")
+
+    def test_unknown_dataset_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "mystery"])
+
+
+class TestStats:
+    def test_prints_key_figures(self, corpus, capsys):
+        assert main(["stats", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "element_count" in out
+        assert "distinct_paths" in out
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["stats", "/nonexistent.xml"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSearch:
+    def test_human_output(self, corpus, capsys):
+        assert main(["search", corpus, "//article/author", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert "/dblp[1]/" in out
+
+    def test_json_output(self, corpus, capsys):
+        assert main(["search", corpus, "//article/title", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["results"]
+
+    def test_bad_query_is_error(self, corpus, capsys):
+        assert main(["search", corpus, "//a[["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_algorithm_flag(self, corpus, capsys):
+        assert (
+            main(["search", corpus, "//article/author", "--algorithm", "naive"]) == 0
+        )
+
+    def test_no_rewrite_flag(self, corpus, capsys):
+        assert main(["search", corpus, "//article/zzzz", "--no-rewrite"]) == 0
+        assert "0 matches" in capsys.readouterr().out
+
+
+class TestComplete:
+    def test_tag_completion(self, corpus, capsys):
+        assert main(["complete", corpus, "--query", "//article", "--prefix", "t"]) == 0
+        assert "title" in capsys.readouterr().out
+
+    def test_first_node_completion(self, corpus, capsys):
+        assert main(["complete", corpus, "--prefix", "a"]) == 0
+        assert "article" in capsys.readouterr().out
+
+    def test_value_completion(self, corpus, capsys):
+        assert (
+            main(
+                [
+                    "complete",
+                    corpus,
+                    "--query",
+                    "//article/year",
+                    "--node",
+                    "1",
+                    "--values",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.strip()  # some year values proposed
+
+
+class TestKeyword:
+    def test_keyword_search(self, corpus, capsys):
+        assert main(["keyword", corpus, "xml twig", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "answers for terms" in out
+
+    def test_keyword_elca_semantics(self, corpus, capsys):
+        assert (
+            main(["keyword", corpus, "xml", "--semantics", "elca", "-k", "2"]) == 0
+        )
+
+    def test_bad_semantics_rejected(self, corpus):
+        with pytest.raises(SystemExit):
+            main(["keyword", corpus, "xml", "--semantics", "bogus"])
+
+
+class TestSchemaAndProfile:
+    def test_schema_prints_dtd(self, corpus, capsys):
+        assert main(["schema", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "<!ELEMENT dblp" in out
+        assert "#PCDATA" in out
+
+    def test_profile_prints_all_algorithms(self, corpus, capsys):
+        assert main(["profile", corpus, "//article[./author]/title"]) == 0
+        out = capsys.readouterr().out
+        for name in ("structural-join", "twig-stack", "tjfast"):
+            assert name in out
+
+    def test_profile_path_query_includes_pathstack(self, corpus, capsys):
+        assert main(["profile", corpus, "//article/author"]) == 0
+        assert "path-stack" in capsys.readouterr().out
+
+
+class TestExamplesAndSamples:
+    def test_examples_lists_starter_queries(self, corpus, capsys):
+        assert main(["examples", corpus, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("--") >= 3
+        assert "//" in out
+
+    def test_samples_prints_match_counts(self, corpus, capsys):
+        assert main(["samples", corpus, "--count", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        assert all("matches" in line for line in out)
+
+    def test_samples_deterministic(self, corpus, capsys):
+        main(["samples", corpus, "--count", "2", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["samples", corpus, "--count", "2", "--seed", "5"])
+        assert capsys.readouterr().out == first
+
+
+class TestGlobalFlags:
+    def test_expand_attributes_flag(self, corpus, capsys):
+        assert (
+            main(["--expand-attributes", "search", corpus, "//article/@key", "-k", "2"])
+            == 0
+        )
+        assert "@key" in capsys.readouterr().out
+
+    def test_generate_treebank(self, capsys):
+        assert main(["generate", "treebank", "--size", "3"]) == 0
+        assert capsys.readouterr().out.startswith("<treebank>")
+
+
+class TestExplainAndSave:
+    def test_explain(self, corpus, capsys):
+        assert main(["explain", corpus, "//article/author"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["algorithm"] == "path-stack"
+
+    def test_save(self, corpus, capsys, tmp_path):
+        target = tmp_path / "store"
+        assert main(["save", corpus, str(target)]) == 0
+        assert (target / "manifest.json").exists()

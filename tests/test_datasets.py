@@ -1,0 +1,123 @@
+"""Synthetic dataset generators: determinism, schema shape, scaling."""
+
+import pytest
+
+from repro.datasets import (
+    generate_books,
+    generate_books_xml,
+    generate_dblp,
+    generate_dblp_xml,
+    generate_xmark,
+    generate_xmark_xml,
+)
+from repro.xmlio.builder import parse_string
+from repro.xmlio.serializer import serialize
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator", [generate_dblp_xml, generate_xmark_xml, generate_books_xml]
+    )
+    def test_same_seed_same_output(self, generator):
+        assert generator(30, seed=5) == generator(30, seed=5)
+
+    @pytest.mark.parametrize(
+        "generator", [generate_dblp_xml, generate_xmark_xml, generate_books_xml]
+    )
+    def test_different_seed_different_output(self, generator):
+        assert generator(30, seed=5) != generator(30, seed=6)
+
+
+class TestDblp:
+    def test_record_count(self):
+        doc = generate_dblp(publications=40, seed=1)
+        assert len(doc.root.child_elements()) == 40
+
+    def test_schema_shape(self):
+        doc = generate_dblp(publications=200, seed=1)
+        kinds = {child.tag for child in doc.root.child_elements()}
+        assert kinds == {"article", "inproceedings", "book", "phdthesis"}
+        for record in doc.root.child_elements():
+            assert record.find("title") is not None
+            assert record.find("year") is not None
+            assert "key" in record.attributes
+
+    def test_author_pool_reused(self):
+        doc = generate_dblp(publications=100, seed=1)
+        authors = [e.text for e in doc.iter() if e.tag == "author"]
+        assert len(set(authors)) < len(authors)  # names repeat
+
+    def test_parses_as_valid_xml(self):
+        xml = generate_dblp_xml(publications=25, seed=2)
+        assert parse_string(xml).root.tag == "dblp"
+
+    def test_zero_records(self):
+        assert generate_dblp(publications=0).count_elements() == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dblp(publications=-1)
+
+
+class TestXmark:
+    def test_schema_skeleton(self):
+        doc = generate_xmark(items=20, seed=1)
+        sections = [child.tag for child in doc.root.child_elements()]
+        assert sections == [
+            "regions",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+            "categories",
+        ]
+
+    def test_items_distributed_in_regions(self):
+        doc = generate_xmark(items=30, seed=1)
+        items = [e for e in doc.iter() if e.tag == "item"]
+        assert len(items) == 30
+        assert all(e.path()[1] == "regions" for e in items)
+
+    def test_deep_nesting_present(self):
+        doc = generate_xmark(items=60, seed=1)
+        depths = [len(e.path()) for e in doc.iter()]
+        assert max(depths) >= 6  # e.g. site/regions/asia/item/description/parlist/...
+
+    def test_auction_references_valid(self):
+        doc = generate_xmark(items=20, seed=3)
+        for e in doc.iter():
+            if e.tag == "itemref":
+                assert e.attributes["item"].startswith("item")
+
+    def test_parses_as_valid_xml(self):
+        xml = generate_xmark_xml(items=10, seed=2)
+        assert parse_string(xml).root.tag == "site"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_xmark(items=-5)
+
+
+class TestBooks:
+    def test_record_shape(self):
+        doc = generate_books(books=10, seed=1)
+        for book in doc.root.child_elements():
+            assert book.tag == "book"
+            assert book.find("title") is not None
+            assert book.find("price") is not None
+            float(book.find("price").text)  # numeric
+
+    def test_roundtrip(self):
+        doc = generate_books(books=5, seed=1)
+        assert serialize(parse_string(serialize(doc))) == serialize(doc)
+
+
+class TestScaling:
+    def test_dblp_element_count_scales_linearly(self):
+        small = generate_dblp(publications=50, seed=9).count_elements()
+        large = generate_dblp(publications=200, seed=9).count_elements()
+        assert 3.0 < large / small < 5.0
+
+    def test_xmark_element_count_scales_linearly(self):
+        small = generate_xmark(items=25, seed=9).count_elements()
+        large = generate_xmark(items=100, seed=9).count_elements()
+        assert 2.5 < large / small < 5.0

@@ -1,0 +1,68 @@
+"""The per-database match cache."""
+
+import time
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+from repro.twig.planner import Algorithm
+
+
+@pytest.fixture()
+def db(small_db):
+    # A fresh database per test so cache state is isolated.
+    from tests.conftest import SMALL_XML
+
+    return LotusXDatabase.from_string(SMALL_XML)
+
+
+class TestMatchCache:
+    def test_repeat_queries_hit_the_cache(self, db):
+        first = db.matches("//article/author")
+        assert len(db._match_cache) == 1
+        second = db.matches("//article/author")
+        assert first == second
+        assert len(db._match_cache) == 1
+
+    def test_cached_result_is_isolated(self, db):
+        first = db.matches("//article/author")
+        first.clear()  # caller mutates its copy
+        assert len(db.matches("//article/author")) == 3
+
+    def test_equivalent_text_and_pattern_share_entry(self, db):
+        db.matches("//article/author")
+        db.matches(db.parse_query("//article/author"))
+        assert len(db._match_cache) == 1
+
+    def test_algorithm_keyed_separately(self, db):
+        db.matches("//article/author", Algorithm.TWIG_STACK)
+        db.matches("//article/author", Algorithm.NAIVE)
+        assert len(db._match_cache) == 2
+
+    def test_stats_calls_bypass_cache(self, db):
+        from repro.twig.algorithms.common import AlgorithmStats
+
+        stats = AlgorithmStats()
+        db.matches("//article/author", stats=stats)
+        assert stats.matches == 3
+        assert len(db._match_cache) == 0
+
+    def test_eviction_respects_cap(self, db):
+        db.MATCH_CACHE_SIZE = 3
+        tags = ["article", "author", "title", "year", "journal"]
+        for tag in tags:
+            db.matches(f"//{tag}")
+        assert len(db._match_cache) == 3
+
+    def test_cache_speeds_up_repeats(self):
+        from repro.datasets import generate_dblp
+
+        big = LotusXDatabase(generate_dblp(publications=400, seed=8))
+        query = "//dblp//author"
+        started = time.perf_counter()
+        big.matches(query)
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        big.matches(query)
+        warm = time.perf_counter() - started
+        assert warm < cold

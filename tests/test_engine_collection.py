@@ -1,0 +1,59 @@
+"""Multi-document collections."""
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+
+
+@pytest.fixture(scope="module")
+def files(tmp_path_factory):
+    base = tmp_path_factory.mktemp("collection")
+    first = base / "journals.xml"
+    first.write_text(
+        "<dblp><article><title>twig joins</title><author>lu</author></article></dblp>",
+        encoding="utf-8",
+    )
+    second = base / "conferences.xml"
+    second.write_text(
+        "<dblp><inproceedings><title>lotusx</title><author>lin</author>"
+        "</inproceedings></dblp>",
+        encoding="utf-8",
+    )
+    return [first, second]
+
+
+class TestCollections:
+    def test_queries_span_all_files(self, files):
+        db = LotusXDatabase.from_files(files)
+        assert len(db.matches("//author")) == 2
+        assert db.document.root.tag == "collection"
+
+    def test_custom_collection_tag(self, files):
+        db = LotusXDatabase.from_files(files, collection_tag="library")
+        assert len(db.matches("/library/dblp")) == 2
+
+    def test_source_attribute_filtering(self, files):
+        db = LotusXDatabase.from_files(files, expand_attributes=True)
+        matches = db.matches('//dblp[./@source="journals.xml"]//author')
+        assert len(matches) == 1
+
+    def test_annotate_source_disabled(self, files):
+        db = LotusXDatabase.from_files(
+            files, annotate_source=False, expand_attributes=True
+        )
+        assert db.matches("//dblp/@source") == []
+
+    def test_completion_spans_collection(self, files):
+        db = LotusXDatabase.from_files(files)
+        pattern = db.parse_query("//dblp")
+        tags = {c.text for c in db.complete_tag(pattern, pattern.root, "")}
+        assert tags == {"article", "inproceedings"}
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(ValueError, match="at least one path"):
+            LotusXDatabase.from_files([])
+
+    def test_statistics_cover_collection(self, files):
+        db = LotusXDatabase.from_files(files)
+        # collection + 2 dblp + 2 records + 2 titles + 2 authors
+        assert db.statistics().element_count == 9

@@ -1,0 +1,135 @@
+"""The query-builder session (headless GUI model)."""
+
+import pytest
+
+from repro.engine.session import QueryBuilderSession, SessionError
+from repro.twig.pattern import Axis
+
+
+@pytest.fixture()
+def session(small_db):
+    return QueryBuilderSession(small_db)
+
+
+class TestCanvasLifecycle:
+    def test_empty_canvas_rejects_queries(self, session):
+        with pytest.raises(SessionError, match="empty"):
+            session.query_text()
+        with pytest.raises(SessionError):
+            session.run()
+
+    def test_first_node_creates_pattern(self, session):
+        node_id = session.add_node("article")
+        assert session.pattern is not None
+        assert session.pattern.root.node_id == node_id
+
+    def test_second_root_rejected(self, session):
+        session.add_node("article")
+        with pytest.raises(SessionError, match="already has a root"):
+            session.add_node("book")
+
+    def test_unknown_parent_rejected(self, session):
+        session.add_node("article")
+        with pytest.raises(SessionError, match="no query node"):
+            session.add_node("title", parent_id=999)
+
+    def test_reset(self, session):
+        session.add_node("article")
+        session.reset()
+        assert session.pattern is None
+
+    def test_remove_root_clears_canvas(self, session):
+        root = session.add_node("article")
+        session.remove_node(root)
+        assert session.pattern is None
+
+    def test_remove_subtree(self, session):
+        root = session.add_node("article")
+        title = session.add_node("title", parent_id=root)
+        session.add_node("author", parent_id=root)
+        session.remove_node(title)
+        assert session.pattern.size == 2
+
+
+class TestBuildAndRun:
+    def test_full_gui_flow(self, session):
+        # The canonical demo flow: suggestions -> nodes -> predicate -> run.
+        first_suggestions = session.suggest_tags(prefix="art")
+        assert first_suggestions[0].text == "article"
+
+        article = session.add_node("article")
+        tag_candidates = {c.text for c in session.suggest_tags(parent_id=article)}
+        assert "title" in tag_candidates and "booktitle" not in tag_candidates
+
+        title = session.add_node("title", parent_id=article)
+        value_candidates = session.suggest_values(title, "holistic")
+        assert value_candidates and "holistic" in value_candidates[0].text
+
+        session.set_predicate(title, "~", "twig")
+        author = session.add_node("author", parent_id=article)
+        session.set_output(author)
+
+        assert session.preview_count() == 2
+        assert session.is_satisfiable()
+        response = session.run(k=10)
+        assert len(response) == 2
+        assert {hit.primary.tag for hit in response} == {"author"}
+
+    def test_set_axis(self, session):
+        book = session.add_node("book")
+        author = session.add_node("author", parent_id=book)
+        assert session.preview_count() == 0
+        session.set_axis(author, Axis.DESCENDANT)
+        assert session.preview_count() == 1
+
+    def test_root_axis_change_rejected(self, session):
+        root = session.add_node("book")
+        with pytest.raises(SessionError, match="no incoming edge"):
+            session.set_axis(root, Axis.CHILD)
+
+    def test_predicates(self, session):
+        article = session.add_node("article")
+        year = session.add_node("year", parent_id=article)
+        session.set_predicate(year, ">=", "2010")
+        assert session.preview_count() == 1
+        session.clear_predicate(year)
+        assert session.preview_count() == 2
+
+    def test_ordered_flag(self, session):
+        article = session.add_node("article")
+        session.add_node("author", parent_id=article)
+        session.add_node("year", parent_id=article)
+        count_unordered = session.preview_count()
+        session.set_ordered(True)
+        assert session.query_text().startswith("ordered:")
+        assert session.preview_count() == count_unordered  # authors precede years
+
+    def test_order_constraint(self, session):
+        article = session.add_node("article")
+        year = session.add_node("year", parent_id=article)
+        author = session.add_node("author", parent_id=article)
+        session.add_order_constraint(year, author)  # year before author: never
+        assert session.preview_count() == 0
+
+    def test_wildcard_node(self, session):
+        anything = session.add_node(None)
+        session.add_node("booktitle", parent_id=anything)
+        assert session.preview_count() == 2
+
+    def test_translations(self, session):
+        article = session.add_node("article")
+        session.add_node("title", parent_id=article)
+        assert "//article" in session.to_xpath()
+        assert "for $m" in session.to_xquery()
+
+    def test_unsatisfiable_detected(self, session):
+        article = session.add_node("article")
+        session.add_node("publisher", parent_id=article)
+        assert not session.is_satisfiable()
+
+    def test_run_with_rewrite_recovers(self, session):
+        article = session.add_node("article")
+        session.add_node("publisher", parent_id=article)
+        response = session.run()
+        assert response.used_rewrites
+        assert response.results

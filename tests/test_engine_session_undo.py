@@ -1,0 +1,101 @@
+"""Session undo/redo."""
+
+import pytest
+
+from repro.engine.session import QueryBuilderSession, SessionError
+
+
+@pytest.fixture()
+def session(small_db):
+    return QueryBuilderSession(small_db)
+
+
+class TestUndo:
+    def test_undo_add_node(self, session):
+        article = session.add_node("article")
+        session.add_node("title", parent_id=article)
+        assert session.pattern.size == 2
+        session.undo()
+        assert session.pattern.size == 1
+
+    def test_undo_first_node_restores_empty_canvas(self, session):
+        session.add_node("article")
+        session.undo()
+        assert session.pattern is None
+
+    def test_undo_predicate(self, session):
+        article = session.add_node("article")
+        title = session.add_node("title", parent_id=article)
+        session.set_predicate(title, "~", "twig")
+        session.undo()
+        assert session.pattern.find_node(title).predicate is None
+
+    def test_undo_remove_node(self, session):
+        article = session.add_node("article")
+        title = session.add_node("title", parent_id=article)
+        session.remove_node(title)
+        assert session.pattern.size == 1
+        session.undo()
+        assert session.pattern.size == 2
+
+    def test_undo_ordered_flag(self, session):
+        article = session.add_node("article")
+        session.add_node("title", parent_id=article)
+        session.set_ordered(True)
+        session.undo()
+        assert not session.pattern.ordered
+
+    def test_nothing_to_undo(self, session):
+        with pytest.raises(SessionError, match="nothing to undo"):
+            session.undo()
+
+    def test_node_ids_survive_undo(self, session):
+        article = session.add_node("article")
+        title = session.add_node("title", parent_id=article)
+        session.set_predicate(title, "~", "twig")
+        session.undo()
+        # The earlier handle still addresses the same node.
+        session.set_predicate(title, "~", "xml")
+        assert "xml" in str(session.pattern)
+
+
+class TestRedo:
+    def test_redo_restores(self, session):
+        article = session.add_node("article")
+        session.add_node("title", parent_id=article)
+        session.undo()
+        session.redo()
+        assert session.pattern.size == 2
+
+    def test_redo_cleared_by_new_gesture(self, session):
+        article = session.add_node("article")
+        session.add_node("title", parent_id=article)
+        session.undo()
+        session.add_node("author", parent_id=article)
+        with pytest.raises(SessionError, match="nothing to redo"):
+            session.redo()
+
+    def test_undo_redo_roundtrip_preserves_query(self, session):
+        article = session.add_node("article")
+        title = session.add_node("title", parent_id=article)
+        session.set_predicate(title, "~", "twig")
+        before = session.query_text()
+        session.undo()
+        session.undo()
+        session.redo()
+        session.redo()
+        assert session.query_text() == before
+
+    def test_history_limit(self, session):
+        session.HISTORY_LIMIT = 5
+        article = session.add_node("article")
+        for index in range(10):
+            session.set_predicate(article, "~", f"term{index}")
+        undone = 0
+        while True:
+            try:
+                session.undo()
+                undone += 1
+            except SessionError:
+                break
+        assert undone == 5

@@ -1,0 +1,77 @@
+"""Persistence: save/load round trip and corruption detection."""
+
+import json
+
+import pytest
+
+from repro.engine.store import StoreError, load_database, save_database
+
+
+@pytest.fixture()
+def saved(small_db, tmp_path):
+    directory = tmp_path / "store"
+    save_database(small_db, directory)
+    return directory
+
+
+class TestRoundTrip:
+    def test_layout(self, saved):
+        names = {path.name for path in saved.iterdir()}
+        assert names == {
+            "manifest.json",
+            "document.xml",
+            "dataguide.json",
+            "child_table.json",
+        }
+
+    def test_load_restores_equivalent_database(self, small_db, saved):
+        loaded = load_database(saved)
+        assert len(loaded.labeled) == len(small_db.labeled)
+        assert len(loaded.guide) == len(small_db.guide)
+        original = small_db.search("//article/author").as_dict()
+        restored = loaded.search("//article/author").as_dict()
+        original.pop("elapsed_seconds")
+        restored.pop("elapsed_seconds")
+        assert original == restored
+
+    def test_save_is_idempotent(self, small_db, saved):
+        save_database(small_db, saved)  # overwrite in place
+        assert load_database(saved).statistics() == small_db.statistics()
+
+
+class TestCorruptionDetection:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StoreError, match="cannot read"):
+            load_database(tmp_path / "nope")
+
+    def test_wrong_format_version(self, saved):
+        manifest = json.loads((saved / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (saved / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="unsupported store format"):
+            load_database(saved)
+
+    def test_tampered_document(self, saved):
+        document = (saved / "document.xml").read_text()
+        (saved / "document.xml").write_text(document.replace("lu", "xx"))
+        with pytest.raises(StoreError, match="checksum"):
+            load_database(saved)
+
+    def test_tampered_dataguide(self, saved):
+        entries = json.loads((saved / "dataguide.json").read_text())
+        entries[0]["count"] += 1
+        (saved / "dataguide.json").write_text(json.dumps(entries))
+        with pytest.raises(StoreError, match="DataGuide mismatch"):
+            load_database(saved)
+
+    def test_tampered_child_table(self, saved):
+        entries = json.loads((saved / "child_table.json").read_text())
+        entries[0]["children"] = ["zzz"]
+        (saved / "child_table.json").write_text(json.dumps(entries))
+        with pytest.raises(StoreError, match="child-table mismatch"):
+            load_database(saved)
+
+    def test_corrupt_json(self, saved):
+        (saved / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreError, match="corrupt JSON"):
+            load_database(saved)

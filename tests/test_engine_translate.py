@@ -1,0 +1,83 @@
+"""Twig -> XPath / XQuery translation."""
+
+import pytest
+
+from repro.engine.translate import predicate_to_xpath, to_xpath, to_xquery
+from repro.twig.parse import parse_twig
+from repro.twig.pattern import (
+    ComparisonOp,
+    ContainsPredicate,
+    EqualsPredicate,
+    RangePredicate,
+)
+
+
+class TestPredicateTranslation:
+    def test_contains(self):
+        assert (
+            predicate_to_xpath(ContainsPredicate("xml twig"))
+            == 'contains(., "xml") and contains(., "twig")'
+        )
+
+    def test_equals(self):
+        assert predicate_to_xpath(EqualsPredicate("Jiaheng Lu")) == '. = "jiaheng lu"'
+
+    def test_range(self):
+        assert predicate_to_xpath(RangePredicate(ComparisonOp.GE, 2005)) == (
+            "number(.) >= 2005"
+        )
+
+    def test_range_eq_renders_single_equals(self):
+        assert predicate_to_xpath(RangePredicate(ComparisonOp.EQ, 7)) == (
+            "number(.) = 7"
+        )
+
+
+class TestXPath:
+    @pytest.mark.parametrize(
+        "twig,xpath",
+        [
+            ("//article", "//article"),
+            ("//article/author", "//article/author"),
+            ("/dblp//author", "/dblp//author"),
+            ("//article[./title]/author", "//article[title]/author"),
+            ("//article[.//title]/author", "//article[.//title]/author"),
+            (
+                '//article[./title~"twig"]/year',
+                '//article[title[contains(., "twig")]]/year',
+            ),
+            ("//a[./b/c]/d", "//a[b[c]]/d"),
+            ("//*[./b]", "//*[b]"),
+        ],
+    )
+    def test_translation(self, twig, xpath):
+        assert to_xpath(parse_twig(twig)) == xpath
+
+    def test_output_node_is_selected(self):
+        pattern = parse_twig("//article[./author!]/year")
+        assert to_xpath(pattern) == "//article[year]/author"
+
+    def test_self_predicate_on_spine(self):
+        assert to_xpath(parse_twig('//title[.~"xml"]')) == (
+            '//title[contains(., "xml")]'
+        )
+
+    def test_ordered_noted(self):
+        xpath = to_xpath(parse_twig("ordered://a[./b][./c]"))
+        assert "order-sensitive" in xpath
+
+
+class TestXQuery:
+    def test_root_output(self):
+        xquery = to_xquery(parse_twig("//article[./year]"))
+        assert xquery.splitlines()[0] == "for $m in doc($input)//article[year]"
+        assert "{$m}" in xquery
+
+    def test_non_root_output_bound(self):
+        xquery = to_xquery(parse_twig("//article[./year]/title"))
+        assert "let $o1 := $m/title" in xquery
+        assert "return <hit>{$o1}</hit>" in xquery
+
+    def test_multiple_outputs(self):
+        xquery = to_xquery(parse_twig("//article[./title!][./author!]"))
+        assert "let $o1" in xquery and "let $o2" in xquery

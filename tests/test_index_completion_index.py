@@ -1,0 +1,87 @@
+"""Completion tries: global and per-path, tags/values/tokens."""
+
+import pytest
+
+from repro.index.completion_index import CompletionIndex
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.xmlio.builder import parse_string
+
+
+@pytest.fixture()
+def setup():
+    doc = parse_string(
+        "<dblp>"
+        "<article><title>twig joins</title><author>jiaheng lu</author></article>"
+        "<article><title>twig ranking</title><author>tok wang ling</author></article>"
+        "<book><author>judith butler</author></book>"
+        "</dblp>"
+    )
+    labeled = label_document(doc)
+    term_index = TermIndex(labeled)
+    return labeled, CompletionIndex(labeled, term_index)
+
+
+def _path_id(labeled, path):
+    node = labeled.guide.node_for_path(path)
+    assert node is not None
+    return node.node_id
+
+
+class TestTagCompletion:
+    def test_weighted_by_count(self, setup):
+        _, index = setup
+        ranked = index.complete_tag("a")
+        assert ranked[0][0] in ("article", "author")
+        assert dict(ranked)["author"] == 3
+        assert dict(ranked)["article"] == 2
+
+    def test_prefix_filter(self, setup):
+        _, index = setup
+        assert [tag for tag, _ in index.complete_tag("ti")] == ["title"]
+
+
+class TestValueCompletion:
+    def test_position_aware_values(self, setup):
+        labeled, index = setup
+        article_author = _path_id(labeled, ("dblp", "article", "author"))
+        values = [v for v, _ in index.complete_value_at([article_author], "j")]
+        assert values == ["jiaheng lu"]  # "judith butler" is under book
+
+    def test_global_values_include_all_paths(self, setup):
+        _, index = setup
+        values = [v for v, _ in index.complete_value_global("j")]
+        assert set(values) == {"jiaheng lu", "judith butler"}
+
+    def test_multiple_contexts_merge(self, setup):
+        labeled, index = setup
+        ids = [
+            _path_id(labeled, ("dblp", "article", "author")),
+            _path_id(labeled, ("dblp", "book", "author")),
+        ]
+        values = {v for v, _ in index.complete_value_at(ids, "j")}
+        assert values == {"jiaheng lu", "judith butler"}
+
+    def test_unknown_path_id_ignored(self, setup):
+        _, index = setup
+        assert index.complete_value_at([999], "j") == []
+
+
+class TestTokenCompletion:
+    def test_position_aware_tokens(self, setup):
+        labeled, index = setup
+        title_id = _path_id(labeled, ("dblp", "article", "title"))
+        tokens = dict(index.complete_token_at([title_id], "t"))
+        assert tokens["twig"] == 2
+
+    def test_global_tokens(self, setup):
+        _, index = setup
+        tokens = dict(index.complete_token_global(""))
+        assert tokens["twig"] == 2
+
+    def test_path_has_values(self, setup):
+        labeled, index = setup
+        title_id = _path_id(labeled, ("dblp", "article", "title"))
+        article_id = _path_id(labeled, ("dblp", "article"))
+        assert index.path_has_values(title_id)
+        assert not index.path_has_values(article_id)

@@ -1,0 +1,94 @@
+"""Property-based tests for the index layer (hypothesis).
+
+The term index's subtree operations must agree with brute-force text
+scans, and position-aware completion must be exactly the occurrences at
+the DataGuide positions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.term_index import TermIndex
+from repro.index.text import tokenize
+from repro.labeling.assign import label_document
+from repro.xmlio.tree import Document, Element
+
+TAGS = ["x", "y", "z"]
+WORDS = ["apple", "pear", "plum", "fig"]
+
+
+@st.composite
+def documents(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    size = draw(st.integers(1, 25))
+    root = Element("root")
+    pool = [root]
+    for _ in range(size):
+        parent = rng.choice(pool)
+        child = parent.make_child(rng.choice(TAGS))
+        if rng.random() < 0.6:
+            child.append_text(
+                " ".join(rng.choice(WORDS) for _ in range(rng.randint(1, 3)))
+            )
+        pool.append(child)
+        if len(pool) > 6:
+            pool.pop(0)
+    return Document(root)
+
+
+def _subtree_tokens(element):
+    """Tokens of a subtree, tokenized per element (concatenating text
+    across elements would merge adjacent tokens)."""
+    tokens = []
+    for node in element.element.iter():
+        tokens.extend(tokenize(node.direct_text))
+    return tokens
+
+
+@given(documents(), st.sampled_from(WORDS))
+@settings(max_examples=150, deadline=None)
+def test_subtree_contains_matches_bruteforce(document, term):
+    labeled = label_document(document)
+    index = TermIndex(labeled)
+    for element in labeled.elements:
+        truth = term in _subtree_tokens(element)
+        assert index.subtree_contains(element, term) == truth
+
+
+@given(documents(), st.sampled_from(WORDS))
+@settings(max_examples=100, deadline=None)
+def test_subtree_term_frequency_matches_bruteforce(document, term):
+    labeled = label_document(document)
+    index = TermIndex(labeled)
+    for element in labeled.elements:
+        truth = _subtree_tokens(element).count(term)
+        assert index.subtree_term_frequency(element, term) == truth
+
+
+@given(documents())
+@settings(max_examples=100, deadline=None)
+def test_document_frequency_matches_bruteforce(document):
+    labeled = label_document(document)
+    index = TermIndex(labeled)
+    for term in WORDS:
+        truth = sum(
+            1
+            for element in labeled.elements
+            if term in tokenize(element.element.direct_text)
+        )
+        assert index.document_frequency(term) == truth
+
+
+@given(documents())
+@settings(max_examples=75, deadline=None)
+def test_value_postings_match_bruteforce(document):
+    labeled = label_document(document)
+    index = TermIndex(labeled)
+    for element in labeled.elements:
+        text = " ".join(element.element.direct_text.lower().split())
+        if text:
+            assert element.order in index.elements_with_value(text)

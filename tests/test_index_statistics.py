@@ -1,0 +1,49 @@
+"""Corpus statistics."""
+
+from repro.index.statistics import compute_statistics
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.xmlio.builder import parse_string
+
+
+def _stats(xml):
+    labeled = label_document(parse_string(xml))
+    return compute_statistics(labeled, TermIndex(labeled))
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = _stats("<r><a>x y</a><a>x</a><b><c/></b></r>")
+        assert stats.element_count == 5
+        assert stats.distinct_tags == 4
+        assert stats.distinct_paths == 4
+        assert stats.text_element_count == 2
+        assert stats.total_tokens == 3
+        assert stats.distinct_terms == 2
+        assert stats.distinct_values == 2
+
+    def test_depths(self):
+        stats = _stats("<r><a><b><c/></b></a></r>")
+        assert stats.max_depth == 4
+        assert stats.average_depth == (1 + 2 + 3 + 4) / 4
+
+    def test_single_element(self):
+        stats = _stats("<only/>")
+        assert stats.element_count == 1
+        assert stats.max_depth == 1
+        assert stats.text_element_count == 0
+
+    def test_as_dict_keys(self):
+        stats = _stats("<r><a>x</a></r>")
+        data = stats.as_dict()
+        assert set(data) == {
+            "element_count",
+            "distinct_tags",
+            "distinct_paths",
+            "max_depth",
+            "average_depth",
+            "text_element_count",
+            "distinct_terms",
+            "total_tokens",
+            "distinct_values",
+        }

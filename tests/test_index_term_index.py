@@ -1,0 +1,135 @@
+"""Inverted term index: postings, subtree containment, values, numbers."""
+
+import pytest
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.xmlio.builder import parse_string
+
+
+@pytest.fixture()
+def indexed():
+    doc = parse_string(
+        "<dblp>"
+        "<article><title>twig joins</title><author>jiaheng lu</author>"
+        "<year>2002</year></article>"
+        "<article><title>xml search twig</title><author>chunbin lin</author>"
+        "<year>2011</year></article>"
+        "<note>twig twig twig</note>"
+        "</dblp>"
+    )
+    labeled = label_document(doc)
+    return labeled, TermIndex(labeled)
+
+
+class TestPostings:
+    def test_document_frequency(self, indexed):
+        _, index = indexed
+        assert index.document_frequency("twig") == 3
+        assert index.document_frequency("joins") == 1
+        assert index.document_frequency("absent") == 0
+
+    def test_lookup_is_case_insensitive(self, indexed):
+        _, index = indexed
+        assert index.document_frequency("TWIG") == 3
+
+    def test_term_frequency_recorded(self, indexed):
+        _, index = indexed
+        note_posting = index.postings("twig")[-1]
+        assert note_posting.tf == 3
+
+    def test_postings_in_document_order(self, indexed):
+        _, index = indexed
+        orders = [posting.order for posting in index.postings("twig")]
+        assert orders == sorted(orders)
+
+    def test_idf_decreases_with_frequency(self, indexed):
+        _, index = indexed
+        assert index.idf("joins") > index.idf("twig") > 0
+
+    def test_totals(self, indexed):
+        _, index = indexed
+        assert index.text_element_count == 7
+        assert index.total_tokens == 14
+        assert "twig" in set(index.vocabulary())
+
+
+class TestSubtreeContainment:
+    def test_subtree_contains(self, indexed):
+        labeled, index = indexed
+        first_article = labeled.stream("article")[0]
+        assert index.subtree_contains(first_article, "joins")
+        assert index.subtree_contains(first_article, "jiaheng")
+        assert not index.subtree_contains(first_article, "chunbin")
+
+    def test_root_subtree_contains_everything(self, indexed):
+        labeled, index = indexed
+        root = labeled.elements[0]
+        for term in ["twig", "jiaheng", "2011", "search"]:
+            assert index.subtree_contains(root, term)
+
+    def test_leaf_subtree_is_itself(self, indexed):
+        labeled, index = indexed
+        title = labeled.stream("title")[0]
+        assert index.subtree_contains(title, "twig")
+        assert not index.subtree_contains(title, "jiaheng")
+
+    def test_subtree_contains_all(self, indexed):
+        labeled, index = indexed
+        second_article = labeled.stream("article")[1]
+        assert index.subtree_contains_all(second_article, ["xml", "chunbin"])
+        assert not index.subtree_contains_all(second_article, ["xml", "jiaheng"])
+        assert index.subtree_contains_all(second_article, [])
+
+    def test_subtree_term_frequency(self, indexed):
+        labeled, index = indexed
+        root = labeled.elements[0]
+        assert index.subtree_term_frequency(root, "twig") == 5
+        note = labeled.stream("note")[0]
+        assert index.subtree_term_frequency(note, "twig") == 3
+
+    def test_subtree_postings_window(self, indexed):
+        labeled, index = indexed
+        first_article = labeled.stream("article")[0]
+        postings = index.subtree_postings(first_article, "twig")
+        assert len(postings) == 1
+
+    def test_subtree_order_range_covers_descendants(self, indexed):
+        labeled, index = indexed
+        first_article = labeled.stream("article")[0]
+        low, high = index.subtree_order_range(first_article)
+        assert high - low == 4  # article + title + author + year
+
+
+class TestValuesAndNumbers:
+    def test_elements_with_value(self, indexed):
+        labeled, index = indexed
+        orders = index.elements_with_value("jiaheng lu")
+        assert len(orders) == 1
+        assert labeled.elements[orders[0]].tag == "author"
+
+    def test_value_lookup_normalizes(self, indexed):
+        _, index = indexed
+        assert index.elements_with_value("  Jiaheng   LU ") != []
+
+    def test_has_value(self, indexed):
+        labeled, index = indexed
+        author = labeled.stream("author")[0]
+        assert index.has_value(author, "jiaheng lu")
+        assert not index.has_value(author, "chunbin lin")
+
+    def test_value_count(self, indexed):
+        _, index = indexed
+        assert index.value_count("twig joins") == 1
+        assert index.value_count("nope") == 0
+
+    def test_numeric_values(self, indexed):
+        labeled, index = indexed
+        years = labeled.stream("year")
+        assert index.numeric_value(years[0]) == 2002.0
+        assert index.numeric_value(years[1]) == 2011.0
+
+    def test_non_numeric_is_none(self, indexed):
+        labeled, index = indexed
+        title = labeled.stream("title")[0]
+        assert index.numeric_value(title) is None

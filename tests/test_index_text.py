@@ -1,0 +1,56 @@
+"""Text normalization and tokenization."""
+
+from repro.index.text import (
+    MAX_VALUE_LENGTH,
+    completion_value,
+    normalize,
+    tokenize,
+)
+
+
+class TestNormalize:
+    def test_case_folding(self):
+        assert normalize("Jiaheng LU") == "jiaheng lu"
+
+    def test_whitespace_collapsed(self):
+        assert normalize("  a\t b \n c ") == "a b c"
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Holistic Twig Joins") == ["holistic", "twig", "joins"]
+
+    def test_punctuation_dropped(self):
+        assert tokenize("xml, twig; (joins)!") == ["xml", "twig", "joins"]
+
+    def test_numbers_kept(self):
+        assert tokenize("year 2012 pages 12-30") == ["year", "2012", "pages", "12-30"]
+
+    def test_apostrophes_join(self):
+        assert tokenize("O'Neil's algorithm") == ["o'neil's", "algorithm"]
+
+    def test_hyphen_joins(self):
+        assert tokenize("twig-join") == ["twig-join"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   ...   ") == []
+
+    def test_stopword_filtering_optional(self):
+        text = "the art of xml"
+        assert "the" in tokenize(text)
+        filtered = tokenize(text, drop_stopwords=True)
+        assert "the" not in filtered and "of" not in filtered
+        assert "xml" in filtered
+
+
+class TestCompletionValue:
+    def test_normalizes(self):
+        assert completion_value("  Jiaheng  LU ") == "jiaheng lu"
+
+    def test_empty_rejected(self):
+        assert completion_value("   ") is None
+
+    def test_too_long_rejected(self):
+        assert completion_value("x" * (MAX_VALUE_LENGTH + 1)) is None
+        assert completion_value("x" * MAX_VALUE_LENGTH) is not None

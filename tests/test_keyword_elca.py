@@ -1,0 +1,175 @@
+"""ELCA computation, with a brute-force oracle property."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.term_index import TermIndex
+from repro.index.text import tokenize
+from repro.keyword.elca import find_elcas
+from repro.keyword.slca import find_slcas
+from repro.labeling.assign import label_document
+from repro.xmlio.builder import parse_string
+from repro.xmlio.tree import Document, Element
+
+XML = (
+    "<r>"
+    "<sec>twig intro jiaheng overview"
+    "<p>twig jiaheng detail</p><p>unrelated</p></sec>"
+    "<sec><p>twig only here</p><p>jiaheng only here</p></sec>"
+    "</r>"
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    labeled = label_document(parse_string(XML))
+    return labeled, TermIndex(labeled)
+
+
+class TestBasics:
+    def test_elca_superset_of_slca(self, ctx):
+        labeled, index = ctx
+        slcas = {e.order for e in find_slcas(labeled, index, ["twig", "jiaheng"])}
+        elcas = {e.order for e in find_elcas(labeled, index, ["twig", "jiaheng"])}
+        assert slcas <= elcas
+
+    def test_ancestor_with_own_evidence_included(self, ctx):
+        labeled, index = ctx
+        tags = [e.tag for e in find_elcas(labeled, index, ["twig", "jiaheng"])]
+        # First sec carries its own "twig ... jiaheng" text besides the p;
+        # second sec only *combines* its two p's — it is an (S)LCA there
+        # because neither p qualifies alone.
+        assert tags.count("sec") == 2
+        assert tags.count("p") == 1
+
+    def test_combining_ancestor_is_elca(self, ctx):
+        labeled, index = ctx
+        # "only" + "here": each p of the second sec qualifies alone.
+        tags = [e.tag for e in find_elcas(labeled, index, ["only", "here"])]
+        assert tags == ["p", "p"]
+
+    def test_missing_term(self, ctx):
+        labeled, index = ctx
+        assert find_elcas(labeled, index, ["twig", "zzz"]) == []
+
+    def test_empty_terms(self, ctx):
+        labeled, index = ctx
+        assert find_elcas(labeled, index, []) == []
+
+    def test_document_order(self, ctx):
+        labeled, index = ctx
+        results = find_elcas(labeled, index, ["twig"])
+        starts = [e.region.start for e in results]
+        assert starts == sorted(starts)
+
+    def test_search_integration(self):
+        from repro.engine.database import LotusXDatabase
+
+        db = LotusXDatabase.from_string(XML)
+        slca = db.keyword_search("twig jiaheng", semantics="slca")
+        elca = db.keyword_search("twig jiaheng", semantics="elca")
+        assert elca.total_slcas > slca.total_slcas
+        assert elca.semantics == "elca"
+        with pytest.raises(ValueError, match="unknown keyword semantics"):
+            db.keyword_search("twig", semantics="nope")
+
+
+# ---------------------------------------------------------------------------
+# Brute-force oracle
+# ---------------------------------------------------------------------------
+
+WORDS = ["ant", "bee", "cow"]
+TAGS = ["p", "q"]
+
+
+@st.composite
+def documents(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    size = draw(st.integers(1, 18))
+    root = Element("r")
+    pool = [root]
+    for _ in range(size):
+        parent = rng.choice(pool)
+        child = parent.make_child(rng.choice(TAGS))
+        if rng.random() < 0.6:
+            child.append_text(
+                " ".join(rng.choice(WORDS) for _ in range(rng.randint(1, 2)))
+            )
+        pool.append(child)
+        if len(pool) > 5:
+            pool.pop(0)
+    return Document(root)
+
+
+def brute_force_elcas(labeled, terms):
+    """Direct definition: v qualifies and, for every term, some occurrence
+    under v is not inside any qualifying proper descendant of v."""
+
+    def subtree_tokens(element):
+        tokens = set()
+        for node in element.element.iter():
+            tokens.update(tokenize(node.direct_text))
+        return tokens
+
+    qualifying = {
+        id(element.element): element
+        for element in labeled.elements
+        if set(terms) <= subtree_tokens(element)
+    }
+
+    def occurrences(term):
+        return [
+            element
+            for element in labeled.elements
+            if term in tokenize(element.element.direct_text)
+        ]
+
+    results = []
+    for element in labeled.elements:
+        if id(element.element) not in qualifying:
+            continue
+        is_elca = True
+        for term in terms:
+            witnessed = False
+            for occurrence in occurrences(term):
+                if not element.region.contains(occurrence.region):
+                    continue
+                blocked = any(
+                    id(mid.element) in qualifying
+                    for mid in _strictly_between(occurrence, element)
+                )
+                if not blocked:
+                    witnessed = True
+                    break
+            if not witnessed:
+                is_elca = False
+                break
+        if is_elca:
+            results.append(element)
+    return results
+
+
+def _strictly_between(occurrence, ancestor):
+    """Ancestor-or-self chain of ``occurrence`` strictly below ``ancestor``."""
+    current = occurrence
+    while current is not None and current is not ancestor:
+        yield current
+        current = current.parent
+
+
+@given(
+    documents(),
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=3, unique=True),
+)
+@settings(max_examples=150, deadline=None)
+def test_elca_matches_bruteforce(document, terms):
+    labeled = label_document(document)
+    index = TermIndex(labeled)
+    expected = brute_force_elcas(labeled, terms)
+    actual = find_elcas(labeled, index, terms)
+    assert [e.order for e in actual] == [e.order for e in expected]

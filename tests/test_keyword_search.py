@@ -1,0 +1,78 @@
+"""Ranked keyword search."""
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+
+XML = (
+    "<dblp>"
+    "<article><title>twig joins twig algorithms</title>"
+    "<author>jiaheng lu</author></article>"
+    "<article><title>keyword search</title><author>jiaheng lu</author></article>"
+    "<book><title>collected works</title><chapter><section>"
+    "<para>twig twig twig jiaheng</para></section></chapter>"
+    "<author>someone else</author></book>"
+    "</dblp>"
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return LotusXDatabase.from_string(XML)
+
+
+class TestKeywordSearch:
+    def test_returns_slcas_ranked(self, db):
+        response = db.keyword_search("twig jiaheng")
+        assert response.total_slcas == 2
+        tags = [hit.element.tag for hit in response]
+        assert set(tags) == {"article", "para"}
+
+    def test_higher_tf_and_smaller_answer_ranks_first(self, db):
+        response = db.keyword_search("twig jiaheng")
+        # The <para> is deeper and smaller with tf(twig)=3 vs the article.
+        assert response.hits[0].element.tag == "para"
+
+    def test_k_limits(self, db):
+        response = db.keyword_search("jiaheng", k=1)
+        assert len(response) == 1
+        assert response.total_slcas == 3  # two authors + the para
+
+    def test_stopwords_dropped(self, db):
+        with_stop = db.keyword_search("the twig of jiaheng")
+        without = db.keyword_search("twig jiaheng")
+        assert with_stop.terms == without.terms
+
+    def test_all_stopword_query_kept_verbatim(self, db):
+        response = db.keyword_search("the of")
+        assert response.terms == ("the", "of")
+        assert response.total_slcas == 0
+
+    def test_empty_query(self, db):
+        response = db.keyword_search("   ")
+        assert len(response) == 0
+        assert response.terms == ()
+
+    def test_no_answer(self, db):
+        assert len(db.keyword_search("nonexistent gibberish")) == 0
+
+    def test_scores_sorted(self, db):
+        response = db.keyword_search("jiaheng lu twig")
+        scores = [hit.score for hit in response]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_as_dict(self, db):
+        data = db.keyword_search("twig").as_dict()
+        assert data["terms"] == ["twig"]
+        assert data["hits"][0]["xpath"].startswith("/dblp")
+        assert {"score", "text_score", "specificity"} <= set(data["hits"][0])
+
+
+class TestServerIntegration:
+    def test_api_handler(self, db):
+        from repro.server.api import ApiError, handle_keyword
+
+        data = handle_keyword(db, {"query": "twig jiaheng", "k": 5})
+        assert data["total_slcas"] == 2
+        with pytest.raises(ApiError):
+            handle_keyword(db, {})

@@ -1,0 +1,140 @@
+"""SLCA computation, with a brute-force oracle property."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.term_index import TermIndex
+from repro.index.text import tokenize
+from repro.keyword.slca import find_slcas
+from repro.labeling.assign import label_document
+from repro.xmlio.builder import parse_string
+from repro.xmlio.tree import Document, Element
+
+XML = (
+    "<dblp>"
+    "<article><title>twig joins</title><author>jiaheng lu</author></article>"
+    "<article><title>keyword search</title><author>jiaheng lu</author></article>"
+    "<book><title>twig patterns</title><editor><author>tok ling</author></editor></book>"
+    "</dblp>"
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    labeled = label_document(parse_string(XML))
+    return labeled, TermIndex(labeled)
+
+
+def slcas(ctx, *terms):
+    labeled, index = ctx
+    return find_slcas(labeled, index, terms)
+
+
+class TestBasics:
+    def test_single_term_returns_text_elements(self, ctx):
+        results = slcas(ctx, "jiaheng")
+        assert [r.tag for r in results] == ["author", "author"]
+
+    def test_cross_field_terms_meet_at_record(self, ctx):
+        results = slcas(ctx, "twig", "jiaheng")
+        assert [r.tag for r in results] == ["article"]
+        assert results[0].element.find("title").text == "twig joins"
+
+    def test_terms_spanning_records_meet_at_root(self, ctx):
+        results = slcas(ctx, "keyword", "patterns")
+        assert [r.tag for r in results] == ["dblp"]
+
+    def test_smallest_wins_over_ancestors(self, ctx):
+        # "twig" occurs in an article and a book; each title is its own
+        # smallest container, dblp is never returned.
+        results = slcas(ctx, "twig")
+        assert [r.tag for r in results] == ["title", "title"]
+
+    def test_missing_term_returns_nothing(self, ctx):
+        assert slcas(ctx, "jiaheng", "zzz") == []
+
+    def test_empty_terms(self, ctx):
+        assert slcas(ctx) == []
+
+    def test_case_insensitive(self, ctx):
+        assert slcas(ctx, "JIAHENG", "Twig") == slcas(ctx, "jiaheng", "twig")
+
+    def test_results_in_document_order(self, ctx):
+        results = slcas(ctx, "twig")
+        starts = [r.region.start for r in results]
+        assert starts == sorted(starts)
+
+    def test_deep_term(self, ctx):
+        results = slcas(ctx, "tok", "patterns")
+        assert [r.tag for r in results] == ["book"]
+
+
+# ---------------------------------------------------------------------------
+# Brute-force oracle property
+# ---------------------------------------------------------------------------
+
+WORDS = ["ant", "bee", "cow", "doe"]
+TAGS = ["p", "q", "s"]
+
+
+@st.composite
+def documents(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    size = draw(st.integers(1, 20))
+    root = Element("r")
+    pool = [root]
+    for _ in range(size):
+        parent = rng.choice(pool)
+        child = parent.make_child(rng.choice(TAGS))
+        if rng.random() < 0.6:
+            child.append_text(
+                " ".join(rng.choice(WORDS) for _ in range(rng.randint(1, 2)))
+            )
+        pool.append(child)
+        if len(pool) > 5:
+            pool.pop(0)
+    return Document(root)
+
+
+def brute_force_slcas(labeled, terms):
+    """Qualifying = subtree (tokenized per element) contains all terms;
+    SLCA = qualifying with no qualifying proper descendant."""
+
+    def subtree_tokens(element):
+        tokens = set()
+        for node in element.element.iter():
+            tokens.update(tokenize(node.direct_text))
+        return tokens
+
+    qualifying = [
+        element
+        for element in labeled.elements
+        if set(terms) <= subtree_tokens(element)
+    ]
+    qualifying_ids = {id(q.element) for q in qualifying}
+    return [
+        element
+        for element in qualifying
+        if not any(
+            id(descendant) in qualifying_ids
+            for descendant in element.element.iter_descendants()
+        )
+    ]
+
+
+@given(
+    documents(),
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=3, unique=True),
+)
+@settings(max_examples=200, deadline=None)
+def test_slca_matches_bruteforce(document, terms):
+    labeled = label_document(document)
+    index = TermIndex(labeled)
+    expected = brute_force_slcas(labeled, terms)
+    actual = find_slcas(labeled, index, terms)
+    assert [e.order for e in actual] == [e.order for e in expected]

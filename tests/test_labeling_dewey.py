@@ -1,0 +1,73 @@
+"""Dewey label semantics."""
+
+import pytest
+
+from repro.labeling.dewey import Dewey
+
+
+class TestConstruction:
+    def test_root_is_empty(self):
+        assert Dewey().components == ()
+        assert Dewey().level == 0
+
+    def test_child_extends(self):
+        assert Dewey().child(1).child(3).components == (1, 3)
+
+    def test_parse_and_str_roundtrip(self):
+        for text in ["", "1", "1.3.2", "10.20"]:
+            assert str(Dewey.parse(text)) == text
+
+    def test_zero_component_rejected(self):
+        with pytest.raises(ValueError):
+            Dewey((0,))
+
+    def test_immutable(self):
+        label = Dewey((1, 2))
+        with pytest.raises(AttributeError):
+            label.components = (9,)
+
+
+class TestStructure:
+    def test_parent(self):
+        assert Dewey((1, 2, 3)).parent() == Dewey((1, 2))
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            Dewey().parent()
+
+    def test_ancestor_is_proper_prefix(self):
+        a, d = Dewey((1,)), Dewey((1, 2, 3))
+        assert a.is_ancestor_of(d)
+        assert not d.is_ancestor_of(a)
+        assert not a.is_ancestor_of(a)
+
+    def test_parent_of(self):
+        assert Dewey((1, 2)).is_parent_of(Dewey((1, 2, 5)))
+        assert not Dewey((1,)).is_parent_of(Dewey((1, 2, 5)))
+
+    def test_root_is_ancestor_of_everything(self):
+        assert Dewey().is_ancestor_of(Dewey((4, 4)))
+
+    def test_lca(self):
+        assert Dewey((1, 2, 3)).lca(Dewey((1, 2, 7, 1))) == Dewey((1, 2))
+        assert Dewey((1,)).lca(Dewey((2,))) == Dewey()
+        assert Dewey((1, 2)).lca(Dewey((1, 2))) == Dewey((1, 2))
+
+    def test_sibling_ordinal(self):
+        assert Dewey((3, 7)).sibling_ordinal() == 7
+        assert Dewey().sibling_ordinal() == 0
+
+
+class TestOrdering:
+    def test_document_order(self):
+        labels = [Dewey((2,)), Dewey((1, 2)), Dewey((1,)), Dewey()]
+        assert sorted(labels) == [Dewey(), Dewey((1,)), Dewey((1, 2)), Dewey((2,))]
+
+    def test_ancestor_sorts_before_descendant(self):
+        assert Dewey((1,)) < Dewey((1, 1))
+
+    def test_hashable(self):
+        assert len({Dewey((1,)), Dewey((1,)), Dewey((2,))}) == 2
+
+    def test_equality_against_other_types(self):
+        assert Dewey((1,)) != (1,)

@@ -1,0 +1,116 @@
+"""Extended Dewey: tag-decodable labels (TJFast scheme)."""
+
+import pytest
+
+from repro.labeling.extended_dewey import (
+    ExtendedDewey,
+    ExtendedDeweyDecoder,
+    ExtendedDeweyEncoder,
+)
+from repro.summary.child_table import ChildTagTable
+from repro.xmlio.builder import parse_string
+
+
+@pytest.fixture()
+def table():
+    table = ChildTagTable()
+    # CT(dblp) = [article, book]; CT(article) = [title, author]
+    table.observe("dblp", "article")
+    table.observe("dblp", "book")
+    table.observe("article", "title")
+    table.observe("article", "author")
+    table._ensure("title")  # leaves
+    return table
+
+
+class TestEncoder:
+    def test_component_encodes_tag_index(self, table):
+        encoder = ExtendedDeweyEncoder(table)
+        # First child, tag index 0 -> component 0.
+        assert encoder.component("dblp", "article", -1) == 0
+        # First child, tag index 1 -> component 1.
+        assert encoder.component("dblp", "book", -1) == 1
+
+    def test_components_increase_across_siblings(self, table):
+        encoder = ExtendedDeweyEncoder(table)
+        previous = -1
+        components = []
+        for tag in ["article", "article", "book", "article"]:
+            previous = encoder.component("dblp", tag, previous)
+            components.append(previous)
+        assert components == sorted(components)
+        assert components == [0, 2, 3, 4]
+        # Every component decodes to the right tag.
+        n = table.fanout("dblp")
+        assert [c % n for c in components] == [0, 0, 1, 0]
+
+    def test_unknown_parent_raises(self, table):
+        encoder = ExtendedDeweyEncoder(table)
+        with pytest.raises(KeyError):
+            encoder.component("nosuch", "x", -1)
+
+
+class TestDecoder:
+    def test_decode_path(self, table):
+        decoder = ExtendedDeweyDecoder(table, "dblp")
+        assert decoder.decode(ExtendedDewey(())) == ("dblp",)
+        assert decoder.decode(ExtendedDewey((0,))) == ("dblp", "article")
+        assert decoder.decode(ExtendedDewey((1,))) == ("dblp", "book")
+        assert decoder.decode(ExtendedDewey((0, 1))) == ("dblp", "article", "author")
+        assert decoder.decode(ExtendedDewey((2, 2))) == ("dblp", "article", "title")
+
+    def test_tag_of(self, table):
+        decoder = ExtendedDeweyDecoder(table, "dblp")
+        assert decoder.tag_of(ExtendedDewey((0, 1))) == "author"
+
+    def test_decoding_below_leaf_raises(self, table):
+        decoder = ExtendedDeweyDecoder(table, "dblp")
+        with pytest.raises(ValueError):
+            decoder.decode(ExtendedDewey((0, 0, 0)))  # below title (a leaf)
+
+
+class TestLabelSemantics:
+    def test_prefix_ancestry(self):
+        assert ExtendedDewey((1,)).is_ancestor_of(ExtendedDewey((1, 4)))
+        assert ExtendedDewey((1,)).is_parent_of(ExtendedDewey((1, 4)))
+        assert not ExtendedDewey((1, 4)).is_ancestor_of(ExtendedDewey((1,)))
+
+    def test_parent(self):
+        assert ExtendedDewey((1, 4)).parent() == ExtendedDewey((1,))
+        with pytest.raises(ValueError):
+            ExtendedDewey(()).parent()
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            ExtendedDewey((-1,))
+
+    def test_immutable_and_hashable(self):
+        label = ExtendedDewey((1, 2))
+        with pytest.raises(AttributeError):
+            label.components = ()
+        assert len({label, ExtendedDewey((1, 2))}) == 1
+
+
+class TestEndToEndDecoding:
+    def test_every_element_path_recoverable(self):
+        """On a real document, every element's xdewey decodes to its path."""
+        from repro.labeling.assign import label_document
+
+        doc = parse_string(
+            "<dblp><article><title>t</title><author>a</author><author>b</author>"
+            "</article><book><title>t2</title></book><article><author>c</author>"
+            "</article></dblp>"
+        )
+        labeled = label_document(doc)
+        for element in labeled.elements:
+            assert labeled.decoder.decode(element.xdewey) == element.element.path()
+
+    def test_document_order_preserved(self):
+        from repro.labeling.assign import label_document
+
+        doc = parse_string(
+            "<r><b/><a/><b/><c/><a/><b/></r>"
+        )
+        labeled = label_document(doc)
+        xdeweys = [element.xdewey for element in labeled.elements]
+        assert xdeweys == sorted(xdeweys)

@@ -1,0 +1,89 @@
+"""Property-based tests for labeling invariants (hypothesis).
+
+On arbitrary random documents, every label kind must agree with the tree
+and with the other kinds: region containment == tree ancestry == Dewey
+prefixing == extended-Dewey prefixing, document order is shared, and
+extended Dewey decodes every element's tag path exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling.assign import label_document
+from repro.xmlio.tree import Document, Element
+
+TAGS = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def documents(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    size = draw(st.integers(0, 30))
+    root = Element("root")
+    pool = [root]
+    for _ in range(size):
+        parent = rng.choice(pool)
+        child = parent.make_child(rng.choice(TAGS))
+        pool.append(child)
+        if len(pool) > 8:
+            pool.pop(0)
+    return Document(root)
+
+
+@given(documents())
+@settings(max_examples=150, deadline=None)
+def test_extended_dewey_decodes_every_path(document):
+    labeled = label_document(document)
+    for element in labeled.elements:
+        assert labeled.decoder.decode(element.xdewey) == element.element.path()
+
+
+@given(documents())
+@settings(max_examples=100, deadline=None)
+def test_all_label_kinds_agree_on_ancestry(document):
+    labeled = label_document(document)
+    elements = labeled.elements
+    for first in elements:
+        first_descendants = set(map(id, first.element.iter_descendants()))
+        for second in elements:
+            truth = id(second.element) in first_descendants
+            assert first.region.is_ancestor_of(second.region) == truth
+            assert first.dewey.is_ancestor_of(second.dewey) == truth
+            assert first.xdewey.is_ancestor_of(second.xdewey) == truth
+
+
+@given(documents())
+@settings(max_examples=100, deadline=None)
+def test_document_order_is_shared(document):
+    labeled = label_document(document)
+    by_region = sorted(labeled.elements, key=lambda e: e.region)
+    by_dewey = sorted(labeled.elements, key=lambda e: e.dewey)
+    by_xdewey = sorted(labeled.elements, key=lambda e: e.xdewey)
+    assert by_region == by_dewey == by_xdewey == labeled.elements
+
+
+@given(documents())
+@settings(max_examples=100, deadline=None)
+def test_region_levels_and_subtree_sizes(document):
+    labeled = label_document(document)
+    for element in labeled.elements:
+        assert element.region.level == len(element.element.path()) - 1
+        descendants = sum(1 for _ in element.element.iter_descendants())
+        width = element.region.end - element.region.start - 1
+        assert width == 2 * descendants
+
+
+@given(documents())
+@settings(max_examples=100, deadline=None)
+def test_dataguide_counts_sum_to_element_count(document):
+    labeled = label_document(document)
+    assert sum(node.count for node in labeled.guide.iter_nodes()) == len(labeled)
+    for node in labeled.guide.iter_nodes():
+        occurrences = sum(
+            1 for e in labeled.elements if e.element.path() == node.path
+        )
+        assert occurrences == node.count

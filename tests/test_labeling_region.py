@@ -1,0 +1,80 @@
+"""Region (containment) label semantics."""
+
+import pytest
+
+from repro.labeling.region import Region
+
+
+@pytest.fixture()
+def family():
+    # root [0,9]@0 contains parent [1,6]@1 contains child [2,3]@2;
+    # uncle [7,8]@1 follows parent.
+    return {
+        "root": Region(0, 9, 0),
+        "parent": Region(1, 6, 1),
+        "child": Region(2, 3, 2),
+        "grandchild_sibling": Region(4, 5, 2),
+        "uncle": Region(7, 8, 1),
+    }
+
+
+class TestValidation:
+    def test_start_before_end_required(self):
+        with pytest.raises(ValueError):
+            Region(5, 5, 0)
+        with pytest.raises(ValueError):
+            Region(6, 5, 0)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 1, -1)
+
+
+class TestAncestry:
+    def test_ancestor(self, family):
+        assert family["root"].is_ancestor_of(family["child"])
+        assert family["parent"].is_ancestor_of(family["child"])
+
+    def test_not_self_ancestor(self, family):
+        assert not family["parent"].is_ancestor_of(family["parent"])
+
+    def test_parent_requires_adjacent_levels(self, family):
+        assert family["parent"].is_parent_of(family["child"])
+        assert not family["root"].is_parent_of(family["child"])
+
+    def test_inverse_relations(self, family):
+        assert family["child"].is_descendant_of(family["parent"])
+        assert family["child"].is_child_of(family["parent"])
+
+    def test_disjoint_not_related(self, family):
+        assert not family["parent"].is_ancestor_of(family["uncle"])
+        assert not family["uncle"].is_ancestor_of(family["parent"])
+
+    def test_contains_is_reflexive(self, family):
+        assert family["parent"].contains(family["parent"])
+        assert family["parent"].contains(family["child"])
+        assert not family["child"].contains(family["parent"])
+
+
+class TestOrdering:
+    def test_precedes_by_start(self, family):
+        assert family["parent"].precedes(family["uncle"])
+        assert family["root"].precedes(family["child"])  # ancestor starts first
+
+    def test_entirely_before_excludes_ancestors(self, family):
+        assert family["parent"].entirely_before(family["uncle"])
+        assert not family["root"].entirely_before(family["child"])
+        assert family["child"].entirely_before(family["grandchild_sibling"])
+
+    def test_sort_order_is_document_order(self, family):
+        regions = sorted(family.values())
+        assert regions[0] == family["root"]
+        assert regions[-1] == family["uncle"]
+
+    def test_overlaps(self, family):
+        assert family["root"].overlaps(family["child"])
+        assert family["child"].overlaps(family["root"])
+        assert not family["parent"].overlaps(family["uncle"])
+
+    def test_str_format(self, family):
+        assert str(family["child"]) == "[2,3]@2"

@@ -1,0 +1,140 @@
+"""Ranking: structural, textual, and combined scores."""
+
+import pytest
+
+from repro.ranking.scorer import LotusXScorer
+from repro.ranking.structural import compactness, edge_tightness, structural_score
+from repro.ranking.tfidf import text_score
+from repro.twig.parse import parse_twig
+
+
+def matches_for(db, query):
+    pattern = db.parse_query(query)
+    return pattern, db.matches(pattern)
+
+
+class TestStructuralScore:
+    def test_parent_child_is_tightest(self, small_db):
+        pattern, matches = matches_for(small_db, "//article//author")
+        # All article authors are direct children: tightness 1.0.
+        for match in matches:
+            assert edge_tightness(pattern, match) == 1.0
+
+    def test_distance_lowers_tightness(self, small_db):
+        pattern, matches = matches_for(small_db, "//book//author")
+        # book -> editor -> author: distance 2.
+        assert len(matches) == 1
+        assert edge_tightness(pattern, matches[0]) == 0.5
+
+    def test_single_node_pattern_scores_one(self, small_db):
+        pattern, matches = matches_for(small_db, "//title")
+        for match in matches:
+            assert edge_tightness(pattern, match) == 1.0
+
+    def test_compactness_prefers_smaller_spans(self, small_db):
+        tight_pattern, tight = matches_for(small_db, "//article/year")
+        wide_pattern, wide = matches_for(small_db, "//dblp//year")
+        best_tight = max(compactness(tight_pattern, m) for m in tight)
+        best_wide = max(compactness(wide_pattern, m) for m in wide)
+        assert best_tight > best_wide
+
+    def test_structural_score_in_unit_interval(self, small_db):
+        for query in ["//article/author", "//dblp//author", "//book//author"]:
+            pattern, matches = matches_for(small_db, query)
+            for match in matches:
+                assert 0.0 < structural_score(pattern, match) <= 1.0
+
+
+class TestTextScore:
+    def test_no_terms_scores_zero(self, small_db):
+        pattern, matches = matches_for(small_db, "//article/author")
+        assert text_score(pattern, matches[0], small_db.term_index) == 0.0
+
+    def test_matching_terms_score_positive(self, small_db):
+        pattern, matches = matches_for(small_db, '//article[./title~"twig"]')
+        assert matches
+        score = text_score(pattern, matches[0], small_db.term_index)
+        assert 0.0 < score <= 1.0
+
+    def test_higher_tf_scores_higher(self):
+        # tf saturation: an element with three occurrences of the term
+        # outranks one with a single occurrence.
+        from repro.engine.database import LotusXDatabase
+
+        db = LotusXDatabase.from_string(
+            "<r><d>twig twig twig</d><d>twig join</d></r>"
+        )
+        pattern, matches = (
+            db.parse_query('//d[.~"twig"]'),
+            db.matches('//d[.~"twig"]'),
+        )
+        scores = [text_score(pattern, match, db.term_index) for match in matches]
+        assert scores[0] > scores[1]
+
+    def test_single_term_score_is_tf_saturation(self, small_db):
+        # With one query term the idf weight cancels by design: ranking
+        # within a query depends on tf, not on cross-query idf.
+        pattern, matches = matches_for(small_db, '//title[.~"lotusx"]')
+        score = text_score(pattern, matches[0], small_db.term_index)
+        assert score == pytest.approx(0.5)  # tf=1 -> 1/(1+1)
+
+
+class TestCombinedScorer:
+    def test_weights_normalized(self):
+        scorer = LotusXScorer(structure_weight=2.0, text_weight=2.0)
+        assert scorer.structure_weight == pytest.approx(0.5)
+        assert scorer.text_weight == pytest.approx(0.5)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            LotusXScorer(structure_weight=0.0, text_weight=0.0)
+
+    def test_no_terms_falls_back_to_structure(self, small_db):
+        scorer = LotusXScorer()
+        pattern, matches = matches_for(small_db, "//article/author")
+        score = scorer.score_match(pattern, matches[0], small_db.term_index)
+        assert score.combined == pytest.approx(score.structural)
+        assert score.textual == 0.0
+
+    def test_rewrite_penalty_degrades(self, small_db):
+        scorer = LotusXScorer()
+        pattern, matches = matches_for(small_db, "//article/author")
+        clean = scorer.score_match(pattern, matches[0], small_db.term_index)
+        penalized = scorer.score_match(
+            pattern, matches[0], small_db.term_index, rewrite_penalty=1.0
+        )
+        assert penalized.combined == pytest.approx(clean.combined / 2.0)
+        assert penalized.rewrite_penalty == 1.0
+
+    def test_rank_is_sorted(self, small_db):
+        scorer = LotusXScorer()
+        pattern, matches = matches_for(small_db, "//dblp//author")
+        ranked = scorer.rank(pattern, matches, small_db.term_index)
+        scores = [score.combined for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tight_matches_rank_first(self, small_db):
+        # //dblp//author: article/inproceedings authors (distance 2 from
+        # dblp) vs book editor author (distance 3): deeper = looser.
+        scorer = LotusXScorer.structure_only()
+        pattern, matches = matches_for(small_db, "//dblp//author")
+        ranked = scorer.rank(pattern, matches, small_db.term_index)
+        levels = [match.element(1).level for match, _ in ranked]
+        assert levels == sorted(levels)
+
+    def test_degenerate_scorers(self, small_db):
+        pattern, matches = matches_for(small_db, '//article[./title~"twig"]')
+        text_only = LotusXScorer.text_only().score_match(
+            pattern, matches[0], small_db.term_index
+        )
+        structure_only = LotusXScorer.structure_only().score_match(
+            pattern, matches[0], small_db.term_index
+        )
+        assert text_only.combined == pytest.approx(text_only.textual)
+        assert structure_only.combined == pytest.approx(structure_only.structural)
+
+    def test_as_dict(self, small_db):
+        scorer = LotusXScorer()
+        pattern, matches = matches_for(small_db, "//article/author")
+        data = scorer.score_match(pattern, matches[0], small_db.term_index).as_dict()
+        assert set(data) == {"structural", "textual", "rewrite_penalty", "combined"}

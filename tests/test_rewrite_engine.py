@@ -1,0 +1,113 @@
+"""The best-first rewrite engine."""
+
+import pytest
+
+from repro.rewrite.engine import QueryRewriter
+from repro.rewrite.rules import default_rules
+from repro.twig.parse import parse_twig
+
+
+@pytest.fixture()
+def rewriter(small_db):
+    return QueryRewriter(default_rules(small_db.guide))
+
+
+def evaluator_for(db):
+    return lambda pattern: db.matches(pattern)
+
+
+class TestCandidateGeneration:
+    def test_candidates_in_penalty_order(self, rewriter):
+        candidates = rewriter.candidates(parse_twig('//article[./writer="x"]/title'))
+        penalties = [candidate.penalty for candidate in candidates]
+        assert penalties == sorted(penalties)
+        assert candidates  # something was generated
+
+    def test_original_not_included(self, rewriter):
+        pattern = parse_twig("//article/title")
+        for candidate in rewriter.candidates(pattern):
+            assert candidate.pattern.signature() != pattern.signature()
+            assert candidate.steps
+
+    def test_no_duplicate_signatures(self, rewriter):
+        candidates = rewriter.candidates(parse_twig("//a/b/c"))
+        signatures = [candidate.pattern.signature() for candidate in candidates]
+        assert len(signatures) == len(set(signatures))
+
+    def test_penalty_budget_respected(self, small_db):
+        tight = QueryRewriter(default_rules(small_db.guide), max_penalty=1.0)
+        for candidate in tight.candidates(parse_twig("//a/b/c")):
+            assert candidate.penalty <= 1.0
+
+    def test_expansion_budget_bounds_work(self, small_db):
+        tiny = QueryRewriter(default_rules(small_db.guide), max_expansions=2)
+        candidates = tiny.candidates(parse_twig("//a/b/c/d"))
+        # Budget of 2 expansions: the original plus one candidate expanded.
+        assert len(candidates) <= 20
+
+    def test_multi_step_rewrites_compose(self, rewriter):
+        candidates = rewriter.candidates(parse_twig("//a/b"))
+        assert any(len(candidate.steps) >= 2 for candidate in candidates)
+
+    def test_describe(self, rewriter):
+        candidate = rewriter.candidates(parse_twig("//a/b"))[0]
+        assert candidate.describe()
+
+
+class TestSearchWithRewrites:
+    def test_successful_query_returns_immediately(self, small_db, rewriter):
+        outcome = rewriter.search_with_rewrites(
+            parse_twig("//article/author"), evaluator_for(small_db)
+        )
+        assert outcome.original_succeeded
+        assert outcome.evaluated == 1
+        assert outcome.found_any
+        candidate, matches = outcome.best()
+        assert candidate.penalty == 0.0
+        assert len(matches) == 3
+
+    def test_empty_query_recovers_via_rewrite(self, small_db, rewriter):
+        # //book/author fails (author is under editor); // relaxation fixes it.
+        outcome = rewriter.search_with_rewrites(
+            parse_twig("//book/author"), evaluator_for(small_db)
+        )
+        assert not outcome.original_succeeded
+        assert outcome.found_any
+        candidate, matches = outcome.best()
+        assert candidate.penalty > 0.0
+        assert matches
+
+    def test_bad_tag_recovers_via_substitution_or_wildcard(self, small_db, rewriter):
+        outcome = rewriter.search_with_rewrites(
+            parse_twig("//article/writer"), evaluator_for(small_db)
+        )
+        assert outcome.found_any
+        candidate, _ = outcome.best()
+        assert candidate.steps
+
+    def test_cheapest_productive_rewrite_first(self, small_db, rewriter):
+        outcome = rewriter.search_with_rewrites(
+            parse_twig("//book/author"), evaluator_for(small_db), max_productive=3
+        )
+        penalties = [candidate.penalty for candidate, _ in outcome.productive]
+        assert penalties == sorted(penalties)
+
+    def test_hopeless_query_exhausts_budget(self, small_db):
+        rewriter = QueryRewriter(
+            default_rules(small_db.guide), max_penalty=1.0, max_expansions=10
+        )
+        outcome = rewriter.search_with_rewrites(
+            parse_twig('//zzz[./qqq="no such thing"]'), evaluator_for(small_db)
+        )
+        assert not outcome.found_any
+        assert outcome.evaluated > 1
+
+    def test_min_results_triggers_rewriting(self, small_db, rewriter):
+        # The query has 1 result; min_results=5 forces rewrites to widen it.
+        outcome = rewriter.search_with_rewrites(
+            parse_twig("//book//author"),
+            evaluator_for(small_db),
+            min_results=5,
+        )
+        assert outcome.original_succeeded
+        assert len(outcome.productive) > 1

@@ -1,0 +1,86 @@
+"""Property-based tests for the rewrite engine (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rewrite.engine import QueryRewriter
+from repro.rewrite.rules import default_rules
+from repro.summary.dataguide import DataGuide
+from repro.twig.pattern import Axis, TwigPattern
+from repro.xmlio.builder import parse_string
+
+GUIDE = DataGuide.from_document(
+    parse_string(
+        "<dblp><article><title>t</title><author>a</author><year>y</year>"
+        "</article><book><editor><author>a</author></editor></book></dblp>"
+    )
+)
+
+TAGS = ["dblp", "article", "title", "author", "year", "book", "editor", "zzz"]
+
+
+@st.composite
+def patterns(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    pattern = TwigPattern(rng.choice(TAGS))
+    nodes = [pattern.root]
+    for _ in range(draw(st.integers(0, 3))):
+        parent = rng.choice(nodes)
+        axis = Axis.CHILD if rng.random() < 0.6 else Axis.DESCENDANT
+        nodes.append(pattern.add_child(parent, rng.choice(TAGS), axis))
+    return pattern
+
+
+@given(patterns())
+@settings(max_examples=100, deadline=None)
+def test_candidates_sorted_by_penalty_and_distinct(pattern):
+    rewriter = QueryRewriter(default_rules(GUIDE), max_expansions=30)
+    candidates = rewriter.candidates(pattern)
+    penalties = [candidate.penalty for candidate in candidates]
+    assert penalties == sorted(penalties)
+    signatures = [candidate.pattern.signature() for candidate in candidates]
+    assert len(signatures) == len(set(signatures))
+    assert all(
+        candidate.pattern.signature() != pattern.signature()
+        for candidate in candidates
+    )
+
+
+@given(patterns())
+@settings(max_examples=100, deadline=None)
+def test_penalties_within_budget_and_steps_consistent(pattern):
+    budget = 4.0
+    rewriter = QueryRewriter(
+        default_rules(GUIDE), max_penalty=budget, max_expansions=30
+    )
+    for candidate in rewriter.candidates(pattern):
+        assert 0 < candidate.penalty <= budget
+        assert len(candidate.steps) >= 1
+
+
+@given(patterns())
+@settings(max_examples=75, deadline=None)
+def test_rules_never_mutate_the_input_pattern(pattern):
+    signature = pattern.signature()
+    rewriter = QueryRewriter(default_rules(GUIDE), max_expansions=20)
+    rewriter.candidates(pattern)
+    assert pattern.signature() == signature
+
+
+@given(patterns())
+@settings(max_examples=75, deadline=None)
+def test_rewrites_stay_structurally_valid(pattern):
+    rewriter = QueryRewriter(default_rules(GUIDE), max_expansions=20)
+    for candidate in rewriter.candidates(pattern):
+        rewritten = candidate.pattern
+        # Tree invariants survive every rule application.
+        for node in rewritten.nodes():
+            for child in node.children:
+                assert child.parent is node
+        ids = [node.node_id for node in rewritten.nodes()]
+        assert len(ids) == len(set(ids))
+        assert rewritten.output_nodes()  # an output always exists

@@ -1,0 +1,160 @@
+"""Relaxation rules."""
+
+import pytest
+
+from repro.rewrite.rules import (
+    AxisGeneralization,
+    EqualsToContains,
+    LeafRemoval,
+    NodePromotion,
+    PredicateRemoval,
+    RequiredToOptional,
+    TagSubstitution,
+    TagToWildcard,
+    default_rules,
+)
+from repro.twig.parse import parse_twig
+from repro.twig.pattern import Axis, ContainsPredicate, EqualsPredicate
+
+
+def apply_rule(rule, query):
+    return list(rule.apply(parse_twig(query)))
+
+
+class TestAxisGeneralization:
+    def test_one_rewrite_per_child_edge(self):
+        steps = apply_rule(AxisGeneralization(), "//a/b/c")
+        assert len(steps) == 2
+
+    def test_edge_becomes_descendant(self):
+        steps = apply_rule(AxisGeneralization(), "//a/b")
+        rewritten = steps[0].pattern
+        assert rewritten.root.children[0].axis is Axis.DESCENDANT
+
+    def test_original_untouched(self):
+        pattern = parse_twig("//a/b")
+        list(AxisGeneralization().apply(pattern))
+        assert pattern.root.children[0].axis is Axis.CHILD
+
+    def test_no_child_edges_no_rewrites(self):
+        assert apply_rule(AxisGeneralization(), "//a//b") == []
+
+
+class TestPredicateRules:
+    def test_equals_to_contains(self):
+        steps = apply_rule(EqualsToContains(), '//a[./b="jiaheng lu"]')
+        assert len(steps) == 1
+        predicate = steps[0].pattern.root.children[0].predicate
+        assert isinstance(predicate, ContainsPredicate)
+        assert predicate.terms() == ("jiaheng", "lu")
+
+    def test_contains_not_further_relaxed(self):
+        assert apply_rule(EqualsToContains(), '//a[./b~"x"]') == []
+
+    def test_predicate_removal(self):
+        steps = apply_rule(PredicateRemoval(), '//a[./b="x"][./c~"y"]')
+        assert len(steps) == 2
+        for step in steps:
+            remaining = [
+                node for node in step.pattern.nodes() if node.predicate is not None
+            ]
+            assert len(remaining) == 1
+
+
+class TestNodeRules:
+    def test_leaf_removal_spares_root_and_outputs(self):
+        steps = apply_rule(LeafRemoval(), "//a[./b][./c!]")
+        # c is an output; only b is removable.
+        assert len(steps) == 1
+        assert steps[0].pattern.size == 2
+
+    def test_node_promotion_reattaches_children(self):
+        steps = apply_rule(NodePromotion(), "//a/b/c")
+        # b is interior (a is root, c is the default output leaf).
+        assert len(steps) == 1
+        rewritten = steps[0].pattern
+        assert rewritten.size == 2
+        child = rewritten.root.children[0]
+        assert child.tag == "c"
+        assert child.axis is Axis.DESCENDANT
+
+    def test_tag_to_wildcard(self):
+        steps = apply_rule(TagToWildcard(), "//a/b")
+        assert len(steps) == 2
+        assert any(step.pattern.root.tag is None for step in steps)
+
+
+class TestTagSubstitution:
+    def test_only_fires_on_unsatisfiable_nodes(self, small_db):
+        rule = TagSubstitution(small_db.guide)
+        assert list(rule.apply(parse_twig("//article/author"))) == []
+        steps = list(rule.apply(parse_twig("//article/writer")))
+        assert steps
+        new_tags = {step.pattern.root.children[0].tag for step in steps}
+        assert new_tags <= {"title", "author", "year", "journal"}
+
+    def test_synonyms_preferred(self, small_db):
+        rule = TagSubstitution(
+            small_db.guide, synonyms={"writer": ("author",)}
+        )
+        steps = list(rule.apply(parse_twig("//article/writer")))
+        assert steps[0].pattern.root.children[0].tag == "author"
+        assert steps[0].penalty == rule.synonym_penalty
+
+    def test_alternatives_capped(self, small_db):
+        rule = TagSubstitution(small_db.guide, max_alternatives=2)
+        steps = list(rule.apply(parse_twig("//article/writer")))
+        assert len(steps) <= 2
+
+
+class TestRequiredToOptional:
+    def test_non_output_branches_offered(self):
+        steps = apply_rule(RequiredToOptional(), "//a[./b][./c!]")
+        # c is the output; only b can become optional.
+        assert len(steps) == 1
+        rewritten = steps[0].pattern
+        assert rewritten.find_node(rewritten.root.children[0].node_id).optional
+
+    def test_already_optional_skipped(self):
+        steps = apply_rule(RequiredToOptional(), "//a[./b?][./c!]")
+        assert steps == []
+
+    def test_root_never_optional(self):
+        assert apply_rule(RequiredToOptional(), "//a") == []
+
+    def test_recovers_missing_branch(self, small_db):
+        from repro.rewrite.engine import QueryRewriter
+        from repro.rewrite.rules import default_rules
+        from repro.twig.parse import parse_twig
+
+        rewriter = QueryRewriter(default_rules(small_db.guide))
+        outcome = rewriter.search_with_rewrites(
+            parse_twig("//article[./publisher]/title"),
+            lambda p: small_db.matches(p),
+        )
+        candidate, matches = outcome.best()
+        assert "optional" in candidate.describe()
+        assert matches
+
+
+class TestDefaultRules:
+    def test_all_rule_kinds_present(self, small_db):
+        rules = default_rules(small_db.guide)
+        kinds = {type(rule) for rule in rules}
+        assert kinds == {
+            AxisGeneralization,
+            EqualsToContains,
+            RequiredToOptional,
+            PredicateRemoval,
+            LeafRemoval,
+            NodePromotion,
+            TagSubstitution,
+            TagToWildcard,
+        }
+
+    def test_rules_never_mutate_input(self, small_db):
+        pattern = parse_twig('//article[./writer="x"]/title')
+        signature = pattern.signature()
+        for rule in default_rules(small_db.guide):
+            list(rule.apply(pattern))
+        assert pattern.signature() == signature

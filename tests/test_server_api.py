@@ -1,0 +1,117 @@
+"""JSON API handlers (called directly, no HTTP)."""
+
+import pytest
+
+from repro.server.api import (
+    ApiError,
+    handle_complete,
+    handle_dataguide,
+    handle_explain,
+    handle_search,
+    handle_stats,
+)
+
+
+class TestStatsAndGuide:
+    def test_stats(self, small_db):
+        data = handle_stats(small_db)
+        assert data["statistics"]["element_count"] == 31
+
+    def test_dataguide_tree(self, small_db):
+        data = handle_dataguide(small_db)
+        assert len(data["roots"]) == 1
+        root = data["roots"][0]
+        assert root["tag"] == "dblp"
+        child_tags = {child["tag"] for child in root["children"]}
+        assert child_tags == {"article", "inproceedings", "book"}
+        article = next(c for c in root["children"] if c["tag"] == "article")
+        assert article["count"] == 2
+        assert article["path"] == "/dblp/article"
+
+
+class TestComplete:
+    def test_tag_completion_no_context(self, small_db):
+        data = handle_complete(small_db, {"kind": "tag", "prefix": "a"})
+        texts = {c["text"] for c in data["candidates"]}
+        assert texts == {"article", "author"}
+
+    def test_tag_completion_with_context(self, small_db):
+        data = handle_complete(
+            small_db,
+            {"kind": "tag", "prefix": "", "query": "//article", "node": 0},
+        )
+        texts = {c["text"] for c in data["candidates"]}
+        assert "booktitle" not in texts and "title" in texts
+
+    def test_tag_completion_descendant_axis(self, small_db):
+        data = handle_complete(
+            small_db,
+            {"kind": "tag", "query": "//book", "node": 0, "axis": "//"},
+        )
+        texts = {c["text"] for c in data["candidates"]}
+        assert "author" in texts
+
+    def test_value_completion(self, small_db):
+        data = handle_complete(
+            small_db,
+            {
+                "kind": "value",
+                "prefix": "jia",
+                "query": "//article/author",
+                "node": 1,
+            },
+        )
+        assert [c["text"] for c in data["candidates"]] == ["jiaheng lu"]
+
+    def test_value_requires_context(self, small_db):
+        with pytest.raises(ApiError, match="requires"):
+            handle_complete(small_db, {"kind": "value", "prefix": "x"})
+
+    def test_unknown_kind(self, small_db):
+        with pytest.raises(ApiError, match="unknown completion kind"):
+            handle_complete(small_db, {"kind": "frobnicate"})
+
+    def test_bad_node_index(self, small_db):
+        with pytest.raises(ApiError, match="out of range"):
+            handle_complete(
+                small_db, {"kind": "tag", "query": "//article", "node": 7}
+            )
+
+    def test_bad_query_text(self, small_db):
+        with pytest.raises(ApiError, match="bad twig query"):
+            handle_complete(small_db, {"kind": "tag", "query": "//[", "node": 0})
+
+    def test_non_integer_k(self, small_db):
+        with pytest.raises(ApiError, match="must be an integer"):
+            handle_complete(small_db, {"kind": "tag", "k": "lots"})
+
+
+class TestSearchAndExplain:
+    def test_search(self, small_db):
+        data = handle_search(
+            small_db, {"query": '//article[./title~"twig"]/author', "k": 5}
+        )
+        assert data["total_matches"] == 2
+        assert len(data["results"]) == 2
+
+    def test_search_requires_query(self, small_db):
+        with pytest.raises(ApiError, match="missing 'query'"):
+            handle_search(small_db, {})
+
+    def test_search_bad_query(self, small_db):
+        with pytest.raises(ApiError, match="bad twig query"):
+            handle_search(small_db, {"query": "//a[["})
+
+    def test_search_rewrite_flag(self, small_db):
+        data = handle_search(
+            small_db, {"query": "//book/author", "rewrite": False}
+        )
+        assert data["results"] == []
+
+    def test_explain(self, small_db):
+        data = handle_explain(small_db, {"query": "//article/author"})
+        assert data["algorithm"] == "path-stack"
+
+    def test_explain_requires_query(self, small_db):
+        with pytest.raises(ApiError):
+            handle_explain(small_db, {})

@@ -1,0 +1,141 @@
+"""End-to-end HTTP tests against a live server on a free port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server.app import make_server
+
+
+@pytest.fixture(scope="module")
+def base_url(small_db):
+    server = make_server(small_db, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get(base_url, path):
+    with urllib.request.urlopen(base_url + path, timeout=10) as response:
+        return response.status, response.read()
+
+
+def post(base_url, path, payload):
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestGet:
+    def test_index_serves_gui(self, base_url):
+        status, body = get(base_url, "/")
+        assert status == 200
+        assert b"LotusX" in body
+        assert b"/api/complete" in body
+
+    def test_stats(self, base_url):
+        status, body = get(base_url, "/api/stats")
+        assert status == 200
+        assert json.loads(body)["statistics"]["element_count"] == 31
+
+    def test_dataguide(self, base_url):
+        status, body = get(base_url, "/api/dataguide")
+        assert status == 200
+        assert json.loads(body)["roots"][0]["tag"] == "dblp"
+
+    def test_unknown_path_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            get(base_url, "/api/nope")
+        assert info.value.code == 404
+
+
+class TestPost:
+    def test_search(self, base_url):
+        status, data = post(
+            base_url, "/api/search", {"query": "//article/author", "k": 2}
+        )
+        assert status == 200
+        assert data["total_matches"] == 3
+        assert len(data["results"]) == 2
+
+    def test_complete(self, base_url):
+        status, data = post(
+            base_url,
+            "/api/complete",
+            {"kind": "tag", "prefix": "t", "query": "//article", "node": 0},
+        )
+        assert status == 200
+        assert {c["text"] for c in data["candidates"]} == {"title"}
+
+    def test_explain(self, base_url):
+        status, data = post(base_url, "/api/explain", {"query": "//article"})
+        assert status == 200
+        assert data["algorithm"] == "path-stack"
+
+    def test_client_error_is_400(self, base_url):
+        status, data = post(base_url, "/api/search", {"query": "//bad[["})
+        assert status == 400
+        assert "bad twig query" in data["error"]
+
+    def test_bad_json_is_400(self, base_url):
+        request = urllib.request.Request(
+            base_url + "/api/search",
+            data=b"{broken",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_post_unknown_path_404(self, base_url):
+        status, data = post(base_url, "/api/zzz", {})
+        assert status == 404
+
+    def test_keyword_endpoint(self, base_url):
+        status, data = post(
+            base_url, "/api/keyword", {"query": "jiaheng twig", "k": 5}
+        )
+        assert status == 200
+        assert data["hits"]
+
+    def test_examples_endpoint(self, base_url):
+        status, body = get(base_url, "/api/examples")
+        assert status == 200
+        import json as json_module
+
+        assert json_module.loads(body)["examples"]
+
+
+class TestConcurrency:
+    def test_parallel_requests_all_succeed(self, base_url):
+        """The threading server must handle interleaved clients."""
+        import concurrent.futures
+
+        payloads = [
+            ("/api/search", {"query": "//article/author", "k": 3}),
+            ("/api/search", {"query": '//article[./title~"twig"]', "k": 3}),
+            ("/api/keyword", {"query": "jiaheng", "k": 3}),
+            ("/api/complete", {"kind": "tag", "prefix": "a"}),
+            ("/api/explain", {"query": "//article"}),
+        ] * 4
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(lambda item: post(base_url, item[0], item[1]), payloads)
+            )
+        assert all(status == 200 for status, _ in results)

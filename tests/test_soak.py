@@ -1,0 +1,60 @@
+"""Soak test: sampled workloads across corpora, algorithms, and options.
+
+The final line of defense: random-but-satisfiable twigs run on every
+corpus shape (flat bibliography, schema-shaped auctions, deep recursive
+parse trees) under every algorithm, with and without guide pruning, and
+every answer set must agree with the naive oracle and be non-empty (the
+sampler's guarantee).
+"""
+
+import pytest
+
+from repro.twig.planner import Algorithm
+from repro.twig.sample import sample_workload
+
+ALGORITHMS = (
+    Algorithm.STRUCTURAL_JOIN,
+    Algorithm.TWIG_STACK,
+    Algorithm.TJFAST,
+)
+
+
+@pytest.fixture(scope="module")
+def treebank_db():
+    from repro.datasets import generate_treebank
+    from repro.engine.database import LotusXDatabase
+
+    return LotusXDatabase(generate_treebank(sentences=25, seed=17))
+
+
+def soak(db, seed: int, count: int) -> None:
+    for pattern in sample_workload(db.labeled, seed, count, max_nodes=5):
+        oracle = [m.key() for m in db.matches(pattern, Algorithm.NAIVE)]
+        assert oracle, f"sampler guarantee violated: {pattern}"
+        for algorithm in ALGORITHMS:
+            plain = [m.key() for m in db.matches(pattern, algorithm)]
+            assert plain == oracle, (algorithm, str(pattern))
+            pruned = [
+                m.key()
+                for m in db.matches(pattern, algorithm, prune_streams=True)
+            ]
+            assert pruned == oracle, (algorithm, "pruned", str(pattern))
+
+
+class TestSoak:
+    def test_dblp_shape(self, dblp_db):
+        soak(dblp_db, seed=101, count=15)
+
+    def test_xmark_shape(self, xmark_db):
+        soak(xmark_db, seed=202, count=15)
+
+    def test_treebank_shape(self, treebank_db):
+        soak(treebank_db, seed=303, count=15)
+
+    def test_search_pipeline_never_crashes_on_samples(self, dblp_db):
+        for pattern in sample_workload(dblp_db.labeled, 404, 10, max_nodes=4):
+            response = dblp_db.search(pattern, k=3, rewrite=False)
+            assert len(response) >= 1  # sampler guarantees a hit
+            for hit in response:
+                assert hit.xpath.startswith("/dblp")
+                hit.highlighted_snippet  # must not raise

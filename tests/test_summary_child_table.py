@@ -1,0 +1,66 @@
+"""Child-tag tables CT(t)."""
+
+import pytest
+
+from repro.summary.child_table import ChildTagTable
+from repro.summary.dataguide import DataGuide
+from repro.xmlio.builder import parse_string
+
+XML = (
+    "<dblp><article><title>a</title><author>x</author></article>"
+    "<book><author>y</author><title>b</title></book></dblp>"
+)
+
+
+class TestConstruction:
+    def test_from_document(self):
+        table = ChildTagTable.from_document(parse_string(XML))
+        assert table.child_tags("dblp") == ("article", "book")
+        assert table.child_tags("article") == ("title", "author")
+        # Discovery order differs per parent tag.
+        assert table.child_tags("book") == ("author", "title")
+
+    def test_leaves_have_empty_tables(self):
+        table = ChildTagTable.from_document(parse_string(XML))
+        assert table.child_tags("title") == ()
+        assert table.fanout("title") == 0
+
+    def test_unknown_tag_empty(self):
+        table = ChildTagTable()
+        assert table.child_tags("nope") == ()
+        assert "nope" not in table
+
+    def test_from_dataguide_matches_from_document(self):
+        doc = parse_string(XML)
+        from_doc = ChildTagTable.from_document(doc)
+        from_guide = ChildTagTable.from_dataguide(DataGuide.from_document(doc))
+        assert dict(from_doc.items()) == dict(from_guide.items())
+
+    def test_observe_idempotent(self):
+        table = ChildTagTable()
+        assert table.observe("a", "b") == 0
+        assert table.observe("a", "b") == 0
+        assert table.observe("a", "c") == 1
+        assert table.child_tags("a") == ("b", "c")
+
+    def test_load_roundtrip(self):
+        table = ChildTagTable.from_document(parse_string(XML))
+        loaded = ChildTagTable()
+        loaded.load((tag, list(children)) for tag, children in table.items())
+        assert dict(loaded.items()) == dict(table.items())
+
+
+class TestLookup:
+    def test_tag_index(self):
+        table = ChildTagTable.from_document(parse_string(XML))
+        assert table.tag_index("article", "title") == 0
+        assert table.tag_index("article", "author") == 1
+
+    def test_tag_index_unknown_raises(self):
+        table = ChildTagTable()
+        with pytest.raises(KeyError):
+            table.tag_index("a", "b")
+
+    def test_parent_tags(self):
+        table = ChildTagTable.from_document(parse_string(XML))
+        assert set(table.parent_tags()) == {"dblp", "article", "book", "title", "author"}

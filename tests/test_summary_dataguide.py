@@ -1,0 +1,117 @@
+"""DataGuide: one node per distinct path, correct counts, position queries."""
+
+import pytest
+
+from repro.summary.dataguide import DataGuide
+from repro.xmlio.builder import parse_string
+
+
+@pytest.fixture()
+def guide():
+    return DataGuide.from_document(
+        parse_string(
+            "<dblp>"
+            "<article><title>a</title><author>x</author><author>y</author></article>"
+            "<article><title>b</title></article>"
+            "<book><title>c</title><editor><author>z</author></editor></book>"
+            "</dblp>"
+        )
+    )
+
+
+class TestStructure:
+    def test_one_node_per_distinct_path(self, guide):
+        paths = [node.path for node in guide.iter_nodes()]
+        assert len(paths) == len(set(paths))
+        assert len(guide) == 8
+
+    def test_counts(self, guide):
+        assert guide.node_for_path(("dblp",)).count == 1
+        assert guide.node_for_path(("dblp", "article")).count == 2
+        assert guide.node_for_path(("dblp", "article", "author")).count == 2
+        assert guide.node_for_path(("dblp", "book", "editor", "author")).count == 1
+
+    def test_text_counts(self, guide):
+        assert guide.node_for_path(("dblp", "article", "title")).text_count == 2
+        assert guide.node_for_path(("dblp",)).text_count == 0
+
+    def test_missing_path(self, guide):
+        assert guide.node_for_path(("dblp", "phdthesis")) is None
+
+    def test_root_nodes(self, guide):
+        assert [node.tag for node in guide.root_nodes] == ["dblp"]
+
+    def test_node_by_id_roundtrip(self, guide):
+        for node in guide.iter_nodes():
+            assert guide.node(node.node_id) is node
+
+    def test_depth(self, guide):
+        assert guide.node_for_path(("dblp",)).depth == 1
+        assert guide.node_for_path(("dblp", "book", "editor", "author")).depth == 4
+
+
+class TestTagQueries:
+    def test_all_tags(self, guide):
+        assert guide.all_tags() == {"dblp", "article", "title", "author", "book", "editor"}
+
+    def test_tag_count_sums_across_paths(self, guide):
+        # 2 article authors + 1 editor author.
+        assert guide.tag_count("author") == 3
+        # titles under article (2) and book (1).
+        assert guide.tag_count("title") == 3
+
+    def test_nodes_with_tag(self, guide):
+        paths = {node.path for node in guide.nodes_with_tag("author")}
+        assert paths == {
+            ("dblp", "article", "author"),
+            ("dblp", "book", "editor", "author"),
+        }
+
+
+class TestPositionQueries:
+    def test_child_tags_of(self, guide):
+        article = guide.node_for_path(("dblp", "article"))
+        assert guide.child_tags_of([article]) == {"title": 2, "author": 2}
+
+    def test_child_tags_of_multiple_contexts(self, guide):
+        contexts = [
+            guide.node_for_path(("dblp", "article")),
+            guide.node_for_path(("dblp", "book")),
+        ]
+        tags = guide.child_tags_of(contexts)
+        assert tags["title"] == 3  # 2 article titles + 1 book title
+        assert tags["editor"] == 1
+
+    def test_descendant_tags_of(self, guide):
+        book = guide.node_for_path(("dblp", "book"))
+        assert guide.descendant_tags_of([book]) == {
+            "title": 1,
+            "editor": 1,
+            "author": 1,
+        }
+
+    def test_child_tags_node_helpers(self, guide):
+        book = guide.node_for_path(("dblp", "book"))
+        assert book.child_tags() == ["title", "editor"]
+        assert book.descendant_tags() == {"title", "editor", "author"}
+
+
+class TestIncrementalBuild:
+    def test_add_path_matches_document_build(self, guide):
+        rebuilt = DataGuide()
+        for node in guide.iter_nodes():
+            rebuilt.add_path(node.path, node.count, node.text_count)
+        assert len(rebuilt) == len(guide)
+        for node in guide.iter_nodes():
+            other = rebuilt.node_for_path(node.path)
+            assert other is not None
+            assert other.count == node.count
+            assert other.text_count == node.text_count
+
+    def test_multiple_documents_accumulate(self):
+        guide = DataGuide()
+        guide.add_document(parse_string("<r><a/></r>"))
+        guide.add_document(parse_string("<r><a/><b/></r>"))
+        assert guide.node_for_path(("r",)).count == 2
+        assert guide.node_for_path(("r", "a")).count == 2
+        assert guide.node_for_path(("r", "b")).count == 1

@@ -1,0 +1,41 @@
+"""Path utilities."""
+
+from repro.summary.paths import (
+    contains_subsequence,
+    format_path,
+    is_prefix,
+    parse_path,
+)
+
+
+class TestFormatting:
+    def test_format(self):
+        assert format_path(("dblp", "article")) == "/dblp/article"
+        assert format_path(()) == "/"
+
+    def test_parse(self):
+        assert parse_path("/dblp/article") == ("dblp", "article")
+        assert parse_path("dblp/article/") == ("dblp", "article")
+        assert parse_path("/") == ()
+        assert parse_path("") == ()
+
+    def test_roundtrip(self):
+        for path in [(), ("a",), ("a", "b", "c")]:
+            assert parse_path(format_path(path)) == path
+
+
+class TestPredicates:
+    def test_is_prefix(self):
+        assert is_prefix((), ("a",))
+        assert is_prefix(("a",), ("a", "b"))
+        assert is_prefix(("a", "b"), ("a", "b"))
+        assert not is_prefix(("b",), ("a", "b"))
+        assert not is_prefix(("a", "b", "c"), ("a", "b"))
+
+    def test_contains_subsequence(self):
+        path = ("site", "regions", "asia", "item", "description")
+        assert contains_subsequence(path, ("site", "item"))
+        assert contains_subsequence(path, ("regions", "asia", "description"))
+        assert contains_subsequence(path, ())
+        assert not contains_subsequence(path, ("item", "asia"))  # wrong order
+        assert not contains_subsequence(path, ("nope",))

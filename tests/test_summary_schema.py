@@ -1,0 +1,83 @@
+"""DTD-like schema inference."""
+
+import pytest
+
+from repro.summary.schema import infer_schema
+from repro.xmlio.builder import parse_string
+
+
+def schema_for(xml):
+    return infer_schema(parse_string(xml))
+
+
+class TestContentModels:
+    def test_exactly_one(self):
+        schema = schema_for("<r><a><b/></a><a><b/></a></r>")
+        assert schema.profile("a").content_model() == "(b)"
+
+    def test_optional(self):
+        schema = schema_for("<r><a><b/></a><a/></r>")
+        assert schema.profile("a").content_model() == "(b?)"
+
+    def test_one_or_more(self):
+        schema = schema_for("<r><a><b/><b/></a><a><b/></a></r>")
+        assert schema.profile("a").content_model() == "(b+)"
+
+    def test_zero_or_more(self):
+        schema = schema_for("<r><a><b/><b/></a><a/></r>")
+        assert schema.profile("a").content_model() == "(b*)"
+
+    def test_optional_when_first_seen_late(self):
+        # b appears only in the second <a>: min must be 0.
+        schema = schema_for("<r><a/><a><b/></a></r>")
+        assert schema.profile("a").content_model() == "(b?)"
+
+    def test_text_only(self):
+        schema = schema_for("<r><t>hello</t></r>")
+        assert schema.profile("t").content_model() == "(#PCDATA)"
+
+    def test_mixed_content(self):
+        schema = schema_for("<r><p>text <em>mid</em> more</p></r>")
+        assert schema.profile("p").content_model() == "(#PCDATA | em)*"
+
+    def test_empty_element(self):
+        schema = schema_for("<r><hr/></r>")
+        assert schema.profile("hr").content_model() == "EMPTY"
+
+    def test_child_order_is_first_seen(self):
+        schema = schema_for("<r><a><x/><y/></a><a><y/><x/><z/></a></r>")
+        assert schema.profile("a").child_order == ["x", "y", "z"]
+
+
+class TestRendering:
+    def test_to_dtd_lines(self):
+        schema = schema_for("<cat><book><title>t</title></book></cat>")
+        dtd = schema.to_dtd()
+        assert "<!ELEMENT cat (book)>" in dtd
+        assert "<!ELEMENT book (title)>" in dtd
+        assert "<!ELEMENT title (#PCDATA)>" in dtd
+        assert "document root: cat" in dtd
+
+    def test_counts_annotated(self):
+        schema = schema_for("<r><a/><a/><a/></r>")
+        assert "x3" in schema.to_dtd()
+
+    def test_tags_cover_document(self):
+        schema = schema_for("<r><a><b/></a><c/></r>")
+        assert set(schema.tags()) == {"r", "a", "b", "c"}
+
+    def test_repr(self):
+        schema = schema_for("<r/>")
+        assert "root='r'" in repr(schema)
+
+
+class TestOnGeneratedData:
+    def test_dblp_schema_shape(self):
+        from repro.datasets import generate_dblp
+
+        schema = infer_schema(generate_dblp(publications=100, seed=2))
+        article_model = schema.profile("article").content_model()
+        assert article_model.startswith("(title, ")
+        assert "author" in article_model
+        # Authors repeat, so they must carry + or *.
+        assert "author+" in article_model or "author*" in article_model

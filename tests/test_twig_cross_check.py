@@ -1,0 +1,111 @@
+"""Property-based cross-check: all algorithms agree with the naive oracle
+on random documents and random patterns (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.element_index import StreamFactory
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.twig.algorithms.common import build_streams
+from repro.twig.algorithms.naive import naive_match
+from repro.twig.algorithms.path_stack import path_stack_match
+from repro.twig.algorithms.structural_join import structural_join_match
+from repro.twig.algorithms.tjfast import tjfast_match
+from repro.twig.algorithms.twig_stack import twig_stack_match
+from repro.twig.match import sort_matches
+from repro.twig.pattern import Axis, ContainsPredicate, TwigPattern
+from repro.xmlio.tree import Document, Element
+
+TAGS = ["a", "b", "c", "d"]
+WORDS = ["red", "blue", "green"]
+
+# ---------------------------------------------------------------------------
+# Random documents (small alphabet so tags collide and nest)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def documents(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    size = draw(st.integers(2, 25))
+    root = Element("r")
+    open_elements = [root]
+    for _ in range(size):
+        parent = rng.choice(open_elements)
+        child = parent.make_child(rng.choice(TAGS))
+        if rng.random() < 0.4:
+            child.append_text(" ".join(rng.sample(WORDS, rng.randint(1, 2))))
+        open_elements.append(child)
+        if len(open_elements) > 6:
+            open_elements.pop(0)
+    return Document(root)
+
+
+@st.composite
+def patterns(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    node_count = draw(st.integers(1, 5))
+    ordered = draw(st.booleans())
+    pattern = TwigPattern(_random_tag(rng), ordered=ordered)
+    nodes = [pattern.root]
+    for _ in range(node_count - 1):
+        parent = rng.choice(nodes)
+        axis = Axis.CHILD if rng.random() < 0.5 else Axis.DESCENDANT
+        predicate = (
+            ContainsPredicate(rng.choice(WORDS)) if rng.random() < 0.3 else None
+        )
+        nodes.append(pattern.add_child(parent, _random_tag(rng), axis, predicate))
+    return pattern
+
+
+def _random_tag(rng: random.Random) -> str | None:
+    return None if rng.random() < 0.15 else rng.choice(TAGS + ["r"])
+
+
+# ---------------------------------------------------------------------------
+# The property
+# ---------------------------------------------------------------------------
+
+
+@given(documents(), patterns())
+@settings(max_examples=250, deadline=None)
+def test_all_algorithms_agree_with_naive(document, pattern):
+    labeled = label_document(document)
+    term_index = TermIndex(labeled)
+    factory = StreamFactory(labeled, term_index)
+    streams = build_streams(pattern, factory)
+
+    oracle = sort_matches(naive_match(pattern, labeled, term_index))
+    assert sort_matches(twig_stack_match(pattern, streams)) == oracle
+    assert sort_matches(structural_join_match(pattern, streams)) == oracle
+    assert sort_matches(tjfast_match(pattern, streams, term_index)) == oracle
+    if pattern.is_path():
+        assert sort_matches(path_stack_match(pattern, streams)) == oracle
+
+
+@given(documents(), patterns())
+@settings(max_examples=100, deadline=None)
+def test_matches_actually_embed_the_pattern(document, pattern):
+    """Every reported match satisfies every tag, axis, and predicate."""
+    labeled = label_document(document)
+    term_index = TermIndex(labeled)
+    factory = StreamFactory(labeled, term_index)
+    streams = build_streams(pattern, factory)
+
+    for match in twig_stack_match(pattern, streams):
+        for node in pattern.nodes():
+            element = match.element(node.node_id)
+            assert node.accepts_tag(element.tag)
+            if node.predicate is not None:
+                assert node.predicate.matches(element, term_index)
+            if node.parent is not None:
+                parent_element = match.element(node.parent.node_id)
+                if node.axis is Axis.CHILD:
+                    assert parent_element.region.is_parent_of(element.region)
+                else:
+                    assert parent_element.region.is_ancestor_of(element.region)

@@ -1,0 +1,138 @@
+"""Twig cardinality estimation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling.assign import label_document
+from repro.index.term_index import TermIndex
+from repro.twig.algorithms.naive import naive_match
+from repro.twig.estimate import estimate_cardinality, q_error
+from repro.twig.pattern import Axis, TwigPattern
+from repro.xmlio.tree import Document, Element
+
+
+class TestQError:
+    def test_exact_is_one(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(5, 20) == q_error(20, 5) == 4.0
+
+    def test_zero_smoothing(self):
+        assert q_error(0, 0) == 1.0
+        assert q_error(0, 5) == 5.0
+        assert q_error(5, 0) == 5.0
+
+
+class TestStructuralEstimates:
+    def test_child_edge_exact(self, small_db):
+        pattern = small_db.parse_query("//article/author")
+        estimate = estimate_cardinality(pattern, small_db.guide)
+        assert estimate == len(small_db.matches(pattern)) == 3
+
+    def test_descendant_edge_exact(self, small_db):
+        pattern = small_db.parse_query("//dblp//author")
+        estimate = estimate_cardinality(pattern, small_db.guide)
+        assert estimate == len(small_db.matches(pattern)) == 9
+
+    def test_unsatisfiable_estimates_zero(self, small_db):
+        pattern = small_db.parse_query("//article/publisher")
+        assert estimate_cardinality(pattern, small_db.guide) == 0.0
+
+    def test_optional_branches_do_not_filter(self, small_db):
+        with_optional = small_db.parse_query("//article[./journal?]/author")
+        without = small_db.parse_query("//article/author")
+        assert estimate_cardinality(
+            with_optional, small_db.guide
+        ) == estimate_cardinality(without, small_db.guide)
+
+
+class TestPredicateSelectivity:
+    def test_equality_uses_position_local_population(self, small_db):
+        pattern = small_db.parse_query('//inproceedings[./booktitle="icde"]')
+        estimate = estimate_cardinality(
+            pattern, small_db.guide, small_db.term_index
+        )
+        assert q_error(estimate, len(small_db.matches(pattern))) <= 1.01
+
+    def test_predicates_only_shrink(self, small_db):
+        bare = small_db.parse_query("//article/author")
+        constrained = small_db.parse_query('//article[./title~"twig"]/author')
+        assert estimate_cardinality(
+            constrained, small_db.guide, small_db.term_index
+        ) <= estimate_cardinality(bare, small_db.guide, small_db.term_index)
+
+    def test_without_term_index_predicates_ignored(self, small_db):
+        constrained = small_db.parse_query('//article[./title~"twig"]/author')
+        bare = small_db.parse_query("//article[./title]/author")
+        assert estimate_cardinality(
+            constrained, small_db.guide
+        ) == estimate_cardinality(bare, small_db.guide)
+
+    def test_explain_carries_estimate(self, small_db):
+        plan = small_db.explain("//article/author")
+        assert plan["estimated_matches"] == 3.0
+
+
+class TestAccuracyOnGeneratedData:
+    def test_structure_only_queries_near_exact(self, dblp_db):
+        for query in [
+            "//article/author",
+            "//dblp//author",
+            "//book/editor",
+            "//inproceedings[./author][./booktitle]",
+        ]:
+            pattern = dblp_db.parse_query(query)
+            estimate = estimate_cardinality(pattern, dblp_db.guide)
+            actual = len(dblp_db.matches(pattern))
+            assert q_error(estimate, actual) < 1.5, query
+
+
+# ---------------------------------------------------------------------------
+# Property: predicate-free PATH estimates are exact
+# ---------------------------------------------------------------------------
+
+TAGS = ["a", "b", "c"]
+
+
+@st.composite
+def documents(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    size = draw(st.integers(1, 25))
+    root = Element("r")
+    pool = [root]
+    for _ in range(size):
+        parent = rng.choice(pool)
+        pool.append(parent.make_child(rng.choice(TAGS)))
+        if len(pool) > 6:
+            pool.pop(0)
+    return Document(root)
+
+
+@st.composite
+def path_patterns(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    pattern = TwigPattern(rng.choice(TAGS + ["r"]))
+    node = pattern.root
+    for _ in range(draw(st.integers(0, 3))):
+        node = pattern.add_child(
+            node,
+            rng.choice(TAGS),
+            Axis.CHILD if rng.random() < 0.5 else Axis.DESCENDANT,
+        )
+    return pattern
+
+
+@given(documents(), path_patterns())
+@settings(max_examples=200, deadline=None)
+def test_path_estimates_are_exact(document, pattern):
+    labeled = label_document(document)
+    term_index = TermIndex(labeled)
+    estimate = estimate_cardinality(pattern, labeled.guide)
+    actual = len(naive_match(pattern, labeled, term_index))
+    assert estimate == pytest.approx(actual, abs=1e-6)

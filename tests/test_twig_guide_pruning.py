@@ -1,0 +1,65 @@
+"""DataGuide stream pruning: soundness and effect."""
+
+import pytest
+
+from repro.twig.algorithms.common import build_streams
+from repro.twig.algorithms.twig_stack import twig_stack_match
+from repro.twig.match import sort_matches
+from repro.twig.planner import Algorithm
+
+
+class TestPrunedStreams:
+    def test_prunes_infeasible_positions(self, small_db):
+        # author occurs under article, inproceedings and book/editor; the
+        # pattern pins it under book.
+        pattern = small_db.parse_query("//book//author")
+        plain = build_streams(pattern, small_db.streams)
+        pruned = build_streams(pattern, small_db.streams, small_db.guide)
+        author_id = pattern.nodes()[1].node_id
+        assert len(plain[author_id]) == 9
+        assert len(pruned[author_id]) == 1
+
+    def test_identical_answers(self, small_db):
+        for query in [
+            "//book//author",
+            "//article[./title][./year]",
+            '//inproceedings[./booktitle="icde"]/author',
+            "//*[./editor]",
+        ]:
+            pattern = small_db.parse_query(query)
+            plain = sort_matches(
+                twig_stack_match(pattern, build_streams(pattern, small_db.streams))
+            )
+            pruned = sort_matches(
+                twig_stack_match(
+                    pattern,
+                    build_streams(pattern, small_db.streams, small_db.guide),
+                )
+            )
+            assert plain == pruned, query
+
+    def test_unsatisfiable_pattern_gets_empty_streams(self, small_db):
+        pattern = small_db.parse_query("//article/publisher")
+        pruned = build_streams(pattern, small_db.streams, small_db.guide)
+        assert pruned[pattern.nodes()[1].node_id] == []
+
+    def test_planner_flag(self, small_db):
+        plain = small_db.matches("//book//author")
+        pruned = small_db.matches("//book//author", prune_streams=True)
+        assert plain == pruned
+
+    def test_planner_flag_all_algorithms(self, small_db):
+        for algorithm in (
+            Algorithm.TWIG_STACK,
+            Algorithm.STRUCTURAL_JOIN,
+            Algorithm.PATH_STACK,
+            Algorithm.TJFAST,
+        ):
+            assert (
+                len(
+                    small_db.matches(
+                        "//dblp//author", algorithm, prune_streams=True
+                    )
+                )
+                == 9
+            )

@@ -1,0 +1,122 @@
+"""Match model: identity, ordering, output deduplication, order checks."""
+
+import pytest
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.twig.match import Match, dedupe_output, satisfies_order, sort_matches
+from repro.twig.pattern import TwigPattern
+from repro.xmlio.builder import parse_string
+
+
+@pytest.fixture()
+def ctx():
+    doc = parse_string("<r><a><b/><c/></a><a><c/><b/></a></r>")
+    labeled = label_document(doc)
+    return labeled
+
+
+def _pattern_abc():
+    pattern = TwigPattern("a")
+    b = pattern.add_child(pattern.root, "b")
+    c = pattern.add_child(pattern.root, "c")
+    return pattern, b, c
+
+
+class TestMatchIdentity:
+    def test_equality_and_hash(self, ctx):
+        a = ctx.stream("a")[0]
+        b = ctx.stream("b")[0]
+        first = Match({0: a, 1: b})
+        second = Match({0: a, 1: b})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_inequality(self, ctx):
+        a0, a1 = ctx.stream("a")
+        assert Match({0: a0}) != Match({0: a1})
+
+    def test_element_access(self, ctx):
+        a = ctx.stream("a")[0]
+        match = Match({0: a})
+        assert match.element(0) is a
+
+    def test_sort_matches_document_order(self, ctx):
+        a0, a1 = ctx.stream("a")
+        matches = [Match({0: a1}), Match({0: a0})]
+        assert sort_matches(matches) == [Match({0: a0}), Match({0: a1})]
+
+
+class TestOutputs:
+    def test_output_elements_follow_marks(self, ctx):
+        pattern, b, _ = _pattern_abc()
+        b.is_output = True
+        a = ctx.stream("a")[0]
+        belem = ctx.stream("b")[0]
+        celem = ctx.stream("c")[0]
+        match = Match({0: a, b.node_id: belem, 2: celem})
+        assert match.output_elements(pattern) == [belem]
+
+    def test_dedupe_output_collapses_same_outputs(self, ctx):
+        pattern, b, c = _pattern_abc()
+        # Root is the output; two matches binding the same root element.
+        a = ctx.stream("a")[0]
+        b0 = ctx.stream("b")[0]
+        c0 = ctx.stream("c")[0]
+        matches = [
+            Match({0: a, b.node_id: b0, c.node_id: c0}),
+            Match({0: a, b.node_id: b0, c.node_id: c0}),
+        ]
+        assert len(dedupe_output(matches, pattern)) == 1
+
+
+class TestOrderConstraints:
+    def test_ordered_flag_checks_sibling_order(self, ctx):
+        pattern, b, c = _pattern_abc()
+        pattern.ordered = True
+        first_a, second_a = ctx.stream("a")
+        # First <a>: b before c — satisfied.
+        match1 = Match(
+            {0: first_a, b.node_id: ctx.stream("b")[0], c.node_id: ctx.stream("c")[0]}
+        )
+        assert satisfies_order(pattern, match1)
+        # Second <a>: c before b — violated.
+        match2 = Match(
+            {0: second_a, b.node_id: ctx.stream("b")[1], c.node_id: ctx.stream("c")[1]}
+        )
+        assert not satisfies_order(pattern, match2)
+
+    def test_unordered_accepts_both(self, ctx):
+        pattern, b, c = _pattern_abc()
+        second_a = ctx.stream("a")[1]
+        match = Match(
+            {0: second_a, b.node_id: ctx.stream("b")[1], c.node_id: ctx.stream("c")[1]}
+        )
+        assert satisfies_order(pattern, match)
+
+    def test_explicit_constraint_without_flag(self, ctx):
+        pattern, b, c = _pattern_abc()
+        pattern.add_order_constraint(c, b)  # require c before b
+        second_a = ctx.stream("a")[1]
+        match = Match(
+            {0: second_a, b.node_id: ctx.stream("b")[1], c.node_id: ctx.stream("c")[1]}
+        )
+        assert satisfies_order(pattern, match)
+        first_a = ctx.stream("a")[0]
+        match_violating = Match(
+            {0: first_a, b.node_id: ctx.stream("b")[0], c.node_id: ctx.stream("c")[0]}
+        )
+        assert not satisfies_order(pattern, match_violating)
+
+    def test_nested_assignment_never_entirely_before(self, ctx):
+        pattern = TwigPattern("r")
+        x = pattern.add_child(pattern.root, "a")
+        y = pattern.add_child(pattern.root, "b")
+        pattern.ordered = True
+        root = ctx.elements[0]
+        a = ctx.stream("a")[0]
+        b_inside_a = ctx.stream("b")[0]
+        # b is *inside* a: not entirely before/after — ordered match fails.
+        match = Match({0: root, x.node_id: a, y.node_id: b_inside_a})
+        assert not satisfies_order(pattern, match)

@@ -1,0 +1,158 @@
+"""The textual twig syntax parser."""
+
+import pytest
+
+from repro.twig.parse import TwigSyntaxError, parse_twig
+from repro.twig.pattern import (
+    Axis,
+    ContainsPredicate,
+    EqualsPredicate,
+    RangePredicate,
+)
+
+
+class TestPaths:
+    def test_single_node(self):
+        pattern = parse_twig("//article")
+        assert pattern.root.tag == "article"
+        assert pattern.root.axis is Axis.DESCENDANT
+        assert pattern.size == 1
+
+    def test_root_child_axis(self):
+        pattern = parse_twig("/dblp/article")
+        assert pattern.root.axis is Axis.CHILD
+        assert pattern.root.children[0].axis is Axis.CHILD
+
+    def test_mixed_axes(self):
+        pattern = parse_twig("//a/b//c")
+        axes = [node.axis for node in pattern.nodes()]
+        assert axes == [Axis.DESCENDANT, Axis.CHILD, Axis.DESCENDANT]
+
+    def test_wildcard(self):
+        pattern = parse_twig("//*/title")
+        assert pattern.root.tag is None
+        assert pattern.root.children[0].tag == "title"
+
+    def test_default_output_is_last_main_step(self):
+        pattern = parse_twig("//a/b/c")
+        outputs = pattern.output_nodes()
+        assert len(outputs) == 1
+        assert outputs[0].tag == "c"
+
+    def test_explicit_output_marker(self):
+        pattern = parse_twig("//a[./b!]/c")
+        assert [node.tag for node in pattern.output_nodes()] == ["b"]
+
+
+class TestPredicates:
+    def test_existence_branch(self):
+        pattern = parse_twig("//a[./b][.//c]")
+        children = pattern.root.children
+        assert [child.tag for child in children] == ["b", "c"]
+        assert children[0].axis is Axis.CHILD
+        assert children[1].axis is Axis.DESCENDANT
+
+    def test_bare_name_shorthand(self):
+        assert (
+            parse_twig("//a[b]").signature() == parse_twig("//a[./b]").signature()
+        )
+
+    def test_contains_predicate(self):
+        pattern = parse_twig('//a[./t~"xml twig"]')
+        predicate = pattern.root.children[0].predicate
+        assert isinstance(predicate, ContainsPredicate)
+        assert predicate.terms() == ("xml", "twig")
+
+    def test_equals_string(self):
+        pattern = parse_twig('//a[b="jiaheng lu"]')
+        predicate = pattern.root.children[0].predicate
+        assert isinstance(predicate, EqualsPredicate)
+        assert predicate.value == "jiaheng lu"
+
+    def test_numeric_equality_becomes_range(self):
+        pattern = parse_twig("//a[year=2001]")
+        predicate = pattern.root.children[0].predicate
+        assert isinstance(predicate, RangePredicate)
+        assert predicate.bound == 2001
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "!="])
+    def test_range_operators(self, op):
+        pattern = parse_twig(f"//a[year{op}2005]")
+        predicate = pattern.root.children[0].predicate
+        assert isinstance(predicate, RangePredicate)
+        assert predicate.op.value == op
+
+    def test_self_predicate(self):
+        pattern = parse_twig('//title[.~"twig"]')
+        assert isinstance(pattern.root.predicate, ContainsPredicate)
+
+    def test_nested_branch_with_predicate(self):
+        pattern = parse_twig('//a[./b[./c~"x"]]/d')
+        b = pattern.root.children[0]
+        assert b.tag == "b"
+        assert b.children[0].tag == "c"
+        assert isinstance(b.children[0].predicate, ContainsPredicate)
+        assert pattern.root.children[1].tag == "d"
+
+    def test_single_quoted_value(self):
+        pattern = parse_twig("//a[b='x y']")
+        assert isinstance(pattern.root.children[0].predicate, EqualsPredicate)
+
+    def test_range_requires_number(self):
+        with pytest.raises(ValueError, match="numeric"):
+            parse_twig('//a[b<"text"]')
+
+
+class TestOrdered:
+    def test_ordered_prefix(self):
+        pattern = parse_twig("ordered://a[./b][./c]")
+        assert pattern.ordered
+
+    def test_unordered_default(self):
+        assert not parse_twig("//a[./b][./c]").ordered
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "article",          # missing axis
+            "//",               # missing tag
+            "//a[",             # unterminated predicate
+            "//a[./b",          # unterminated predicate
+            '//a[.~"x]',        # unterminated string
+            "//a]b",            # trailing garbage
+            "//a[.=]",          # missing value
+            "//a[. ? 1]",       # bad operator
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises((TwigSyntaxError, ValueError)):
+            parse_twig(text)
+
+    def test_error_carries_offset(self):
+        with pytest.raises(TwigSyntaxError) as info:
+            parse_twig("//a[")
+        assert info.value.position >= 3
+
+    def test_duplicate_predicate_rejected(self):
+        with pytest.raises(TwigSyntaxError, match="already has a predicate"):
+            parse_twig('//a[.="x"][.="y"]')
+
+
+class TestRoundTrip:
+    QUERIES = [
+        "//article",
+        "/dblp/article//author",
+        '//article[./title[.~"twig"]]',
+        '//a[./b[.="v"]][.//c]/d',
+        "ordered://a[./b][./c]",
+        "//a[./year[.>=2005]]",
+        "//*[./b!]",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_str_parse_fixpoint(self, query):
+        pattern = parse_twig(query)
+        assert parse_twig(str(pattern)).signature() == pattern.signature()

@@ -1,0 +1,111 @@
+"""Property-based tests for the twig syntax (hypothesis).
+
+Two properties:
+
+* **round trip** — for any pattern the model can express (axes, wildcards,
+  predicates of every kind, output markers, optional branches, ordered
+  flag), ``parse_twig(str(pattern))`` reproduces the pattern's signature;
+* **total parser** — arbitrary input never crashes with anything but
+  :class:`TwigSyntaxError` / ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twig.parse import TwigSyntaxError, parse_twig
+from repro.twig.pattern import (
+    AbsentBranchPredicate,
+    Axis,
+    ComparisonOp,
+    ContainsPredicate,
+    EqualsPredicate,
+    NotPredicate,
+    RangePredicate,
+    TwigPattern,
+)
+
+TAGS = ["alpha", "beta", "gamma", "d1", "x-y", "a.b"]
+WORDS = ["red", "blue", "green", "deep"]
+
+
+def _random_predicate(rng: random.Random):
+    kind = rng.randrange(5)
+    if kind == 0:
+        return ContainsPredicate(
+            tuple(rng.sample(WORDS, rng.randint(1, 2)))
+        )
+    if kind == 1:
+        return NotPredicate(
+            ContainsPredicate(tuple(rng.sample(WORDS, 1)))
+        )
+    if kind == 2:
+        return EqualsPredicate(" ".join(rng.sample(WORDS, rng.randint(1, 2))))
+    if kind == 3:
+        op = rng.choice(
+            [
+                ComparisonOp.LT,
+                ComparisonOp.LE,
+                ComparisonOp.GT,
+                ComparisonOp.GE,
+                ComparisonOp.NE,
+                ComparisonOp.EQ,
+            ]
+        )
+        return RangePredicate(op, rng.randint(0, 3000))
+    axis = Axis.CHILD if rng.random() < 0.5 else Axis.DESCENDANT
+    return AbsentBranchPredicate(rng.choice(TAGS), axis)
+
+
+@st.composite
+def patterns(draw):
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    pattern = TwigPattern(
+        rng.choice(TAGS + [None]), ordered=rng.random() < 0.3
+    )
+    if rng.random() < 0.4:
+        pattern.root.predicate = _random_predicate(rng)
+    nodes = [pattern.root]
+    for _ in range(draw(st.integers(0, 5))):
+        parent = rng.choice(nodes)
+        node = pattern.add_child(
+            parent,
+            rng.choice(TAGS + [None]),
+            Axis.CHILD if rng.random() < 0.5 else Axis.DESCENDANT,
+            _random_predicate(rng) if rng.random() < 0.4 else None,
+            is_output=rng.random() < 0.2,
+            optional=rng.random() < 0.2 and parent.optional is False,
+        )
+        nodes.append(node)
+    # The renderer emits the nested-bracket form, whose main path is just
+    # the root — so the parser's default-output rule marks the root when
+    # no node carries "!".  Normalize the generated pattern the same way
+    # to make the round trip exact.
+    if not any(node.is_output for node in pattern.nodes()):
+        pattern.root.is_output = True
+    return pattern
+
+
+@given(patterns())
+@settings(max_examples=300, deadline=None)
+def test_render_parse_roundtrip(pattern):
+    reparsed = parse_twig(str(pattern))
+    assert reparsed.signature() == pattern.signature(), str(pattern)
+
+
+@given(
+    st.text(
+        alphabet='/[]()!?~=<>."abcxyz0123456789 ordered:*@',
+        min_size=0,
+        max_size=40,
+    )
+)
+@settings(max_examples=500, deadline=None)
+def test_parser_is_total(text):
+    try:
+        parse_twig(text)
+    except (TwigSyntaxError, ValueError):
+        pass  # the only acceptable failures

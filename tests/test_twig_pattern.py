@@ -1,0 +1,179 @@
+"""Twig pattern model: construction, predicates, identity, copying."""
+
+import pytest
+
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.twig.pattern import (
+    Axis,
+    ComparisonOp,
+    ContainsPredicate,
+    EqualsPredicate,
+    RangePredicate,
+    TwigPattern,
+)
+from repro.xmlio.builder import parse_string
+
+
+def build_pattern():
+    pattern = TwigPattern("article")
+    title = pattern.add_child(pattern.root, "title", Axis.CHILD)
+    author = pattern.add_child(
+        pattern.root, "author", Axis.DESCENDANT, ContainsPredicate("lu")
+    )
+    return pattern, title, author
+
+
+class TestConstruction:
+    def test_root_defaults(self):
+        pattern = TwigPattern("a")
+        assert pattern.root.axis is Axis.DESCENDANT
+        assert pattern.root.is_root and pattern.root.is_leaf
+
+    def test_add_child_links(self):
+        pattern, title, author = build_pattern()
+        assert title.parent is pattern.root
+        assert pattern.root.children == [title, author]
+        assert pattern.size == 3
+
+    def test_node_ids_unique(self):
+        pattern, title, author = build_pattern()
+        ids = [node.node_id for node in pattern.nodes()]
+        assert len(ids) == len(set(ids))
+
+    def test_add_child_to_foreign_node_rejected(self):
+        pattern, _, _ = build_pattern()
+        other = TwigPattern("x")
+        with pytest.raises(ValueError):
+            pattern.add_child(other.root, "y")
+
+    def test_find_node(self):
+        pattern, title, _ = build_pattern()
+        assert pattern.find_node(title.node_id) is title
+        assert pattern.find_node(999) is None
+
+    def test_order_constraint_validation(self):
+        pattern, title, author = build_pattern()
+        pattern.add_order_constraint(title, author)
+        assert pattern.order_constraints == [(title.node_id, author.node_id)]
+        other = TwigPattern("x")
+        with pytest.raises(ValueError):
+            pattern.add_order_constraint(title, other.root)
+
+
+class TestIntrospection:
+    def test_leaves(self):
+        pattern, title, author = build_pattern()
+        assert set(pattern.leaves()) == {title, author}
+
+    def test_output_defaults_to_root(self):
+        pattern, title, _ = build_pattern()
+        assert pattern.output_nodes() == [pattern.root]
+        title.is_output = True
+        assert pattern.output_nodes() == [title]
+
+    def test_is_path(self):
+        path = TwigPattern("a")
+        node = path.add_child(path.root, "b")
+        path.add_child(node, "c")
+        assert path.is_path()
+        pattern, _, _ = build_pattern()
+        assert not pattern.is_path()
+
+    def test_wildcards(self):
+        pattern = TwigPattern(None)
+        assert pattern.has_wildcards()
+        assert pattern.root.display_tag == "*"
+        assert pattern.root.accepts_tag("anything")
+
+    def test_all_terms(self):
+        pattern, _, _ = build_pattern()
+        assert pattern.all_terms() == ("lu",)
+
+
+class TestPredicates:
+    @pytest.fixture()
+    def ctx(self):
+        labeled = label_document(
+            parse_string("<r><a>jiaheng lu</a><y>2005</y><e></e></r>")
+        )
+        return labeled, TermIndex(labeled)
+
+    def test_contains(self, ctx):
+        labeled, index = ctx
+        a = labeled.stream("a")[0]
+        assert ContainsPredicate("lu").matches(a, index)
+        assert ContainsPredicate("jiaheng lu").matches(a, index)
+        assert not ContainsPredicate("ling").matches(a, index)
+
+    def test_contains_requires_terms(self):
+        with pytest.raises(ValueError):
+            ContainsPredicate("...")
+
+    def test_equals(self, ctx):
+        labeled, index = ctx
+        a = labeled.stream("a")[0]
+        assert EqualsPredicate("Jiaheng  LU").matches(a, index)
+        assert not EqualsPredicate("jiaheng").matches(a, index)
+
+    def test_range(self, ctx):
+        labeled, index = ctx
+        y = labeled.stream("y")[0]
+        assert RangePredicate(ComparisonOp.GE, 2005).matches(y, index)
+        assert RangePredicate(ComparisonOp.LT, 2010).matches(y, index)
+        assert not RangePredicate(ComparisonOp.GT, 2005).matches(y, index)
+
+    def test_range_on_non_numeric_fails(self, ctx):
+        labeled, index = ctx
+        a = labeled.stream("a")[0]
+        assert not RangePredicate(ComparisonOp.EQ, 1).matches(a, index)
+
+    def test_range_rejects_contains_op(self):
+        with pytest.raises(ValueError):
+            RangePredicate(ComparisonOp.CONTAINS, 1)
+
+
+class TestIdentityAndCopy:
+    def test_signature_distinguishes_structure(self):
+        first, _, _ = build_pattern()
+        second, _, _ = build_pattern()
+        assert first.signature() == second.signature()
+        second.root.children[0].axis = Axis.DESCENDANT
+        assert first.signature() != second.signature()
+
+    def test_signature_sees_ordered_flag(self):
+        first, _, _ = build_pattern()
+        second, _, _ = build_pattern()
+        second.ordered = True
+        assert first.signature() != second.signature()
+
+    def test_copy_is_deep_and_id_preserving(self):
+        pattern, title, author = build_pattern()
+        clone = pattern.copy()
+        assert clone.signature() == pattern.signature()
+        clone_title = clone.find_node(title.node_id)
+        assert clone_title is not title
+        clone_title.tag = "changed"
+        assert title.tag == "title"
+
+    def test_copy_continues_id_sequence(self):
+        pattern, _, _ = build_pattern()
+        clone = pattern.copy()
+        new_node = clone.add_child(clone.root, "extra")
+        assert new_node.node_id not in {n.node_id for n in pattern.nodes()}
+
+
+class TestRendering:
+    def test_str_roundtrips_through_parser(self):
+        from repro.twig.parse import parse_twig
+
+        pattern, title, _ = build_pattern()
+        title.is_output = True
+        reparsed = parse_twig(str(pattern))
+        assert reparsed.signature() == pattern.signature()
+
+    def test_pretty_contains_all_nodes(self):
+        pattern, _, _ = build_pattern()
+        pretty = pattern.pretty()
+        for fragment in ["article", "/title", "//author", '[~"lu"]']:
+            assert fragment in pretty

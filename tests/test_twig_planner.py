@@ -1,0 +1,45 @@
+"""The algorithm planner."""
+
+import pytest
+
+from repro.twig.algorithms.common import AlgorithmStats
+from repro.twig.parse import parse_twig
+from repro.twig.planner import Algorithm, choose_algorithm, evaluate
+
+
+class TestChoice:
+    def test_paths_go_to_path_stack(self):
+        assert choose_algorithm(parse_twig("//a/b//c")) is Algorithm.PATH_STACK
+        assert choose_algorithm(parse_twig("//a")) is Algorithm.PATH_STACK
+
+    def test_twigs_go_to_twig_stack(self):
+        assert choose_algorithm(parse_twig("//a[./b][./c]")) is Algorithm.TWIG_STACK
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            Algorithm.AUTO,
+            Algorithm.NAIVE,
+            Algorithm.STRUCTURAL_JOIN,
+            Algorithm.TWIG_STACK,
+            Algorithm.PATH_STACK,
+        ],
+    )
+    def test_every_algorithm_reachable(self, small_db, algorithm):
+        pattern = parse_twig("//article/author")
+        matches = evaluate(pattern, small_db.labeled, small_db.streams, algorithm)
+        assert len(matches) == 3
+
+    def test_stats_forwarded(self, small_db):
+        stats = AlgorithmStats()
+        evaluate(
+            parse_twig("//article/author"),
+            small_db.labeled,
+            small_db.streams,
+            Algorithm.TWIG_STACK,
+            stats,
+        )
+        assert stats.elements_scanned > 0
+        assert stats.matches == 3

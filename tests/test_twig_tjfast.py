@@ -1,0 +1,112 @@
+"""TJFast: leaf-streams-only twig matching."""
+
+import pytest
+
+from repro.index.element_index import StreamFactory
+from repro.index.term_index import TermIndex
+from repro.labeling.assign import label_document
+from repro.twig.algorithms.common import AlgorithmStats, build_streams
+from repro.twig.algorithms.naive import naive_match
+from repro.twig.algorithms.tjfast import tjfast_match
+from repro.twig.algorithms.twig_stack import twig_stack_match
+from repro.twig.match import sort_matches
+from repro.twig.parse import parse_twig
+from repro.xmlio.builder import parse_string
+
+XML = (
+    "<dblp>"
+    "<article><title>twig joins</title><author>lu</author><author>ling</author>"
+    "<year>2002</year></article>"
+    "<article><title>xml search</title><author>lin</author><year>2011</year></article>"
+    "<book><editor><author>lu</author></editor><title>xml data</title>"
+    "<year>2009</year></book>"
+    "</dblp>"
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    labeled = label_document(parse_string(XML))
+    term_index = TermIndex(labeled)
+    return labeled, term_index, StreamFactory(labeled, term_index)
+
+
+def run(ctx, query, stats=None):
+    labeled, term_index, factory = ctx
+    pattern = parse_twig(query)
+    streams = build_streams(pattern, factory)
+    matches = sort_matches(tjfast_match(pattern, streams, term_index, stats))
+    oracle = sort_matches(naive_match(pattern, labeled, term_index))
+    assert matches == oracle, query
+    return pattern, matches
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//article/author",
+            "//dblp//author",
+            "//book//author",
+            "//dblp/book/editor/author",
+            '//article[./title~"twig"]/year',
+            '//article[./author="lu"][./author="ling"]',
+            "//*[./author][./year]",
+            "//title",
+            "/dblp/article",
+            "ordered://article[./title][./author]",
+            "//nosuchtag",
+        ],
+    )
+    def test_agrees_with_oracle(self, ctx, query):
+        run(ctx, query)
+
+    def test_internal_predicate_checked(self, ctx):
+        # Predicate on an *internal* node: TJFast must evaluate it on the
+        # derived ancestor, not skip it.
+        _, matches = run(ctx, '//article[.~"2002"]/author')
+        assert len(matches) == 2
+
+    def test_wildcard_internal_nodes(self, ctx):
+        _, matches = run(ctx, "//dblp/*/author")
+        assert len(matches) == 3
+
+    def test_multiple_embeddings_per_leaf(self, ctx):
+        # //dblp//*//author: the * can bind several ancestors per author.
+        run(ctx, "//*//author")
+
+
+class TestLeafOnlyScanning:
+    def test_scans_only_leaf_streams(self, ctx):
+        labeled, term_index, factory = ctx
+        pattern = parse_twig("//dblp[./article/author][./book]")
+        streams = build_streams(pattern, factory)
+        stats = AlgorithmStats()
+        tjfast_match(pattern, streams, term_index, stats)
+        # Leaves are author (4 elements) and book (1); internal streams
+        # (dblp: 1, article: 2) are never touched.
+        assert stats.elements_scanned == 5
+
+    def test_fewer_elements_than_twig_stack_on_internal_heavy_twig(self, ctx):
+        labeled, term_index, factory = ctx
+        pattern = parse_twig("//dblp[.//title][.//booktitle]")
+        streams = build_streams(pattern, factory)
+        tj_stats = AlgorithmStats()
+        ts_stats = AlgorithmStats()
+        tjfast_match(pattern, streams, term_index, tj_stats)
+        twig_stack_match(pattern, streams, ts_stats)
+        assert tj_stats.elements_scanned <= ts_stats.elements_scanned
+
+    def test_stats_matches_counter(self, ctx):
+        stats = AlgorithmStats()
+        _, matches = run(ctx, "//article/author", stats)
+        assert stats.matches == len(matches) == 3
+        assert stats.intermediate_results >= len(matches)
+
+
+class TestPlannerIntegration:
+    def test_selectable_via_planner(self, small_db):
+        from repro.twig.planner import Algorithm
+
+        matches = small_db.matches("//article/author", Algorithm.TJFAST)
+        assert len(matches) == 3

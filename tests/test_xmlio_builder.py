@@ -1,0 +1,68 @@
+"""Tree building and file parsing (including encoding sniffing)."""
+
+import pytest
+
+from repro.xmlio.builder import TreeBuilder, parse_file, parse_string
+from repro.xmlio.errors import XMLWellFormednessError
+from repro.xmlio.parser import PullParser
+
+
+class TestTreeBuilder:
+    def test_incremental_feeding(self):
+        builder = TreeBuilder("test")
+        builder.feed_all(PullParser("<a><b>hi</b></a>"))
+        document = builder.finish()
+        assert document.root.find("b").text == "hi"
+        assert document.source_name == "test"
+
+    def test_finish_without_root_raises(self):
+        with pytest.raises(XMLWellFormednessError, match="no root"):
+            TreeBuilder().finish()
+
+    def test_declaration_metadata_captured(self):
+        document = parse_string('<?xml version="1.1" encoding="ascii"?><a/>')
+        assert document.version == "1.1"
+        assert document.encoding == "ascii"
+
+
+class TestParseFileEncodings:
+    def test_utf8_default(self, tmp_path):
+        path = tmp_path / "utf8.xml"
+        path.write_text("<r><a>héllo</a></r>", encoding="utf-8")
+        assert parse_file(path).root.find("a").text == "héllo"
+
+    def test_declared_latin1(self, tmp_path):
+        path = tmp_path / "latin1.xml"
+        path.write_bytes(
+            '<?xml version="1.0" encoding="iso-8859-1"?><r><a>héllo</a></r>'.encode(
+                "iso-8859-1"
+            )
+        )
+        assert parse_file(path).root.find("a").text == "héllo"
+
+    def test_declared_latin1_single_quotes(self, tmp_path):
+        path = tmp_path / "latin1b.xml"
+        path.write_bytes(
+            "<?xml version='1.0' encoding='latin-1'?><r>café</r>".encode("latin-1")
+        )
+        assert parse_file(path).root.text == "café"
+
+    def test_explicit_encoding_overrides_sniffing(self, tmp_path):
+        path = tmp_path / "forced.xml"
+        path.write_bytes("<r>héllo</r>".encode("iso-8859-1"))
+        assert parse_file(path, encoding="iso-8859-1").root.text == "héllo"
+
+    def test_utf8_bom_stripped(self, tmp_path):
+        path = tmp_path / "bom.xml"
+        path.write_bytes("﻿<r><a>x</a></r>".encode("utf-8"))
+        assert parse_file(path).root.find("a").text == "x"
+
+    def test_utf16_bom(self, tmp_path):
+        path = tmp_path / "utf16.xml"
+        path.write_bytes("<r>héllo</r>".encode("utf-16"))  # emits a BOM
+        assert parse_file(path).root.text == "héllo"
+
+    def test_source_name_recorded(self, tmp_path):
+        path = tmp_path / "named.xml"
+        path.write_text("<r/>", encoding="utf-8")
+        assert parse_file(path).source_name.endswith("named.xml")

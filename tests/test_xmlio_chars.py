@@ -1,0 +1,73 @@
+"""Character classification for XML names."""
+
+import pytest
+
+from repro.xmlio import chars
+
+
+class TestNameStartChar:
+    def test_ascii_letters(self):
+        assert chars.is_name_start_char("a")
+        assert chars.is_name_start_char("Z")
+
+    def test_underscore_and_colon(self):
+        assert chars.is_name_start_char("_")
+        assert chars.is_name_start_char(":")
+
+    def test_digit_rejected(self):
+        assert not chars.is_name_start_char("7")
+
+    def test_hyphen_rejected(self):
+        assert not chars.is_name_start_char("-")
+
+    def test_unicode_letter_accepted(self):
+        assert chars.is_name_start_char("é")
+        assert chars.is_name_start_char("中")
+
+    def test_punctuation_rejected(self):
+        for ch in "<>&\"' .!/":
+            assert not chars.is_name_start_char(ch), ch
+
+
+class TestNameChar:
+    def test_digits_allowed_inside(self):
+        assert chars.is_name_char("7")
+
+    def test_hyphen_dot_allowed_inside(self):
+        assert chars.is_name_char("-")
+        assert chars.is_name_char(".")
+
+    def test_space_rejected(self):
+        assert not chars.is_name_char(" ")
+
+    def test_middle_dot_allowed(self):
+        assert chars.is_name_char("·")
+
+
+class TestValidName:
+    @pytest.mark.parametrize(
+        "name", ["a", "article", "_x", "ns:tag", "a-b.c", "T1", "日本語"]
+    )
+    def test_valid(self, name):
+        assert chars.is_valid_name(name)
+
+    @pytest.mark.parametrize("name", ["", "1a", "-a", ".a", "a b", "a<b", "a&b"])
+    def test_invalid(self, name):
+        assert not chars.is_valid_name(name)
+
+
+class TestWhitespaceAndChars:
+    def test_xml_whitespace(self):
+        for ch in " \t\r\n":
+            assert chars.is_xml_whitespace(ch)
+        assert not chars.is_xml_whitespace("\v")
+        assert not chars.is_xml_whitespace("a")
+
+    def test_valid_document_chars(self):
+        assert chars.is_valid_char("a")
+        assert chars.is_valid_char("\t")
+        assert chars.is_valid_char("\U0001F600")
+
+    def test_control_chars_invalid(self):
+        assert not chars.is_valid_char("\x00")
+        assert not chars.is_valid_char("\x1f")

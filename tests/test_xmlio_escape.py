@@ -1,0 +1,78 @@
+"""Entity escaping and resolution."""
+
+import pytest
+
+from repro.xmlio.errors import XMLSyntaxError
+from repro.xmlio.escape import (
+    escape_attribute,
+    escape_text,
+    resolve_entity,
+    unescape,
+)
+
+
+class TestEscapeText:
+    def test_plain_text_unchanged(self):
+        assert escape_text("hello world") == "hello world"
+
+    def test_special_chars_escaped(self):
+        assert escape_text("a<b&c>d") == "a&lt;b&amp;c&gt;d"
+
+    def test_quotes_left_alone_in_text(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+
+class TestEscapeAttribute:
+    def test_double_quote_escaped(self):
+        assert escape_attribute('a"b') == "a&quot;b"
+
+    def test_angle_and_amp_escaped(self):
+        assert escape_attribute("<&>") == "&lt;&amp;&gt;"
+
+
+class TestResolveEntity:
+    @pytest.mark.parametrize(
+        "body,expected",
+        [("lt", "<"), ("gt", ">"), ("amp", "&"), ("apos", "'"), ("quot", '"')],
+    )
+    def test_predefined(self, body, expected):
+        assert resolve_entity(body) == expected
+
+    def test_decimal_reference(self):
+        assert resolve_entity("#65") == "A"
+
+    def test_hex_reference(self):
+        assert resolve_entity("#x41") == "A"
+        assert resolve_entity("#X41") == "A"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("nbsp")
+
+    def test_empty_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("")
+
+    def test_bad_char_reference_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("#xZZ")
+
+    def test_out_of_range_reference_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_entity("#x110000")
+
+
+class TestUnescape:
+    def test_mixed_entities(self):
+        assert unescape("a &amp; b &lt; &#99;") == "a & b < c"
+
+    def test_no_entities_fast_path(self):
+        assert unescape("plain") == "plain"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            unescape("a &amp b")
+
+    def test_roundtrip_with_escape(self):
+        original = 'x < y & z > "w"'
+        assert unescape(escape_text(original)) == original

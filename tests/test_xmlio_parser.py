@@ -1,0 +1,69 @@
+"""Pull parser: well-formedness enforcement."""
+
+import pytest
+
+from repro.xmlio.errors import XMLWellFormednessError
+from repro.xmlio.events import EndDocument
+from repro.xmlio.parser import iter_events
+
+
+def drain(text):
+    return list(iter_events(text))
+
+
+class TestWellFormedness:
+    def test_balanced_document_ends_with_end_document(self):
+        events = drain("<a><b/></a>")
+        assert isinstance(events[-1], EndDocument)
+
+    def test_mismatched_close(self):
+        with pytest.raises(XMLWellFormednessError, match="mismatched"):
+            drain("<a><b></a></b>")
+
+    def test_error_names_the_open_tag(self):
+        with pytest.raises(XMLWellFormednessError, match="expected </b>"):
+            drain("<a><b></a>")
+
+    def test_extra_close(self):
+        with pytest.raises(XMLWellFormednessError, match="no open element"):
+            drain("<a/></a>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLWellFormednessError, match="unclosed"):
+            drain("<a><b>")
+
+    def test_two_roots(self):
+        with pytest.raises(XMLWellFormednessError, match="multiple root"):
+            drain("<a/><b/>")
+
+    def test_text_outside_root(self):
+        with pytest.raises(XMLWellFormednessError, match="outside"):
+            drain("hello<a/>")
+
+    def test_trailing_text_outside_root(self):
+        with pytest.raises(XMLWellFormednessError, match="outside"):
+            drain("<a/>junk")
+
+    def test_whitespace_outside_root_allowed(self):
+        events = drain("\n<a/>\n")
+        assert isinstance(events[-1], EndDocument)
+
+    def test_empty_document(self):
+        with pytest.raises(XMLWellFormednessError, match="no root"):
+            drain("")
+
+    def test_comment_only_document(self):
+        with pytest.raises(XMLWellFormednessError, match="no root"):
+            drain("<!-- nothing here -->")
+
+    def test_comments_around_root_allowed(self):
+        events = drain("<!-- a --><r/><!-- b -->")
+        assert isinstance(events[-1], EndDocument)
+
+    def test_deep_nesting(self):
+        depth = 200
+        text = "".join(f"<n{i}>" for i in range(depth)) + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        events = drain(text)
+        assert isinstance(events[-1], EndDocument)

@@ -1,0 +1,98 @@
+"""Property-based tests for the XML substrate (hypothesis).
+
+The central invariant: for any tree we can build, serialize → parse
+reproduces the tree exactly (tags, attributes, text), and serialize is a
+fixpoint after one round trip.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlio.builder import parse_string
+from repro.xmlio.serializer import serialize
+from repro.xmlio.tree import Document, Element
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+tag_names = st.from_regex(r"[a-z][a-z0-9_.-]{0,7}", fullmatch=True)
+attr_names = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True)
+# Printable text including XML-special characters (escaping must handle them).
+text_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", categories=("L", "N", "P", "S", "Zs")
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+@st.composite
+def elements(draw, depth: int = 3):
+    element = Element(
+        draw(tag_names),
+        dict(
+            draw(
+                st.dictionaries(attr_names, text_values, max_size=3)
+            )
+        ),
+    )
+    if depth > 0:
+        for child_kind in draw(
+            st.lists(st.sampled_from(["element", "text"]), max_size=4)
+        ):
+            if child_kind == "element":
+                element.append(draw(elements(depth=depth - 1)))
+            else:
+                text = draw(text_values)
+                if text:
+                    element.append_text(text)
+    return element
+
+
+documents = elements().map(Document)
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+def _shape(element: Element):
+    """Canonical structural fingerprint of a tree."""
+    return (
+        element.tag,
+        tuple(sorted(element.attributes.items())),
+        element.direct_text,
+        tuple(_shape(child) for child in element.child_elements()),
+    )
+
+
+@given(documents)
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_roundtrip_preserves_tree(document):
+    reparsed = parse_string(serialize(document))
+    assert _shape(reparsed.root) == _shape(document.root)
+
+
+@given(documents)
+@settings(max_examples=100, deadline=None)
+def test_serialize_is_a_fixpoint(document):
+    once = serialize(document)
+    assert serialize(parse_string(once)) == once
+
+
+@given(documents)
+@settings(max_examples=100, deadline=None)
+def test_full_text_preserved(document):
+    reparsed = parse_string(serialize(document))
+    assert reparsed.root.text == document.root.text
+
+
+@given(documents)
+@settings(max_examples=50, deadline=None)
+def test_element_count_preserved(document):
+    reparsed = parse_string(serialize(document))
+    assert reparsed.count_elements() == document.count_elements()

@@ -1,0 +1,75 @@
+"""Serializer: rendering and parse→serialize→parse round trips."""
+
+import pytest
+
+from repro.xmlio.builder import parse_string
+from repro.xmlio.errors import SerializationError
+from repro.xmlio.serializer import node_to_string, serialize
+from repro.xmlio.tree import Element, Text
+
+
+class TestBasicRendering:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_attributes_escaped(self):
+        element = Element("a", {"k": 'x"<y'})
+        assert serialize(element) == '<a k="x&quot;&lt;y"/>'
+
+    def test_text_escaped(self):
+        element = Element("a")
+        element.append_text("1 < 2 & 3")
+        assert serialize(element) == "<a>1 &lt; 2 &amp; 3</a>"
+
+    def test_xml_declaration(self):
+        out = serialize(Element("a"), xml_declaration=True)
+        assert out.startswith('<?xml version="1.0"')
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize(Element("bad tag"))
+
+    def test_invalid_attribute_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize(Element("a", {"bad name": "v"}))
+
+    def test_node_to_string_for_text(self):
+        assert node_to_string(Text("a<b")) == "a&lt;b"
+
+
+class TestPrettyPrinting:
+    def test_element_only_content_indented(self):
+        doc = parse_string("<a><b><c/></b></a>")
+        out = serialize(doc, indent="  ")
+        assert "<a>\n  <b>\n    <c/>\n  </b>\n</a>" in out
+
+    def test_mixed_content_not_indented(self):
+        doc = parse_string("<a>text<b/>more</a>")
+        out = serialize(doc, indent="  ")
+        # Mixed content must stay byte-exact.
+        assert "<a>text<b/>more</a>" in out
+
+
+class TestRoundTrip:
+    CASES = [
+        "<a/>",
+        "<a>text</a>",
+        '<a k="v" j="w"><b/>tail</a>',
+        "<a>one<b>two</b>three<c><d>four</d></c></a>",
+        "<a>&lt;escaped&gt; &amp; fine</a>",
+        '<r><x y="a&quot;b"/></r>',
+    ]
+
+    @pytest.mark.parametrize("xml", CASES)
+    def test_serialize_parse_fixpoint(self, xml):
+        doc = parse_string(xml)
+        once = serialize(doc)
+        twice = serialize(parse_string(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("xml", CASES)
+    def test_text_content_preserved(self, xml):
+        doc = parse_string(xml)
+        reparsed = parse_string(serialize(doc))
+        assert doc.root.text == reparsed.root.text
+        assert [e.tag for e in doc.iter()] == [e.tag for e in reparsed.iter()]

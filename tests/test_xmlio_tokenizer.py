@@ -1,0 +1,151 @@
+"""Tokenizer: lexical scanning of XML constructs."""
+
+import pytest
+
+from repro.xmlio.errors import XMLSyntaxError
+from repro.xmlio.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlio.tokenizer import Tokenizer
+
+
+def scan(text):
+    return list(Tokenizer(text))
+
+
+class TestDeclarationAndProlog:
+    def test_declaration_parsed(self):
+        events = scan('<?xml version="1.1" encoding="utf-8" standalone="yes"?><a/>')
+        start = events[0]
+        assert isinstance(start, StartDocument)
+        assert start.version == "1.1"
+        assert start.encoding == "utf-8"
+        assert start.standalone is True
+
+    def test_missing_declaration_defaults(self):
+        start = scan("<a/>")[0]
+        assert isinstance(start, StartDocument)
+        assert start.version == "1.0"
+        assert start.encoding is None
+
+    def test_doctype_skipped(self):
+        events = scan("<!DOCTYPE dblp [ <!ELEMENT a (b)> ]><a/>")
+        tags = [e for e in events if isinstance(e, StartElement)]
+        assert [e.tag for e in tags] == ["a"]
+
+
+class TestTags:
+    def test_simple_element(self):
+        events = scan("<a></a>")
+        assert isinstance(events[1], StartElement)
+        assert isinstance(events[2], EndElement)
+        assert events[1].tag == events[2].tag == "a"
+
+    def test_self_closing_emits_both_events(self):
+        events = scan("<a/>")
+        assert isinstance(events[1], StartElement)
+        assert isinstance(events[2], EndElement)
+
+    def test_attributes_preserve_order(self):
+        events = scan('<a z="1" y="2" x="3"/>')
+        assert events[1].attributes == (("z", "1"), ("y", "2"), ("x", "3"))
+
+    def test_single_quoted_attributes(self):
+        events = scan("<a k='v'/>")
+        assert events[1].attributes == (("k", "v"),)
+
+    def test_attribute_entities_resolved(self):
+        events = scan('<a k="&lt;&amp;&gt;"/>')
+        assert events[1].attributes == (("k", "<&>"),)
+
+    def test_whitespace_in_end_tag(self):
+        events = scan("<a></a  >")
+        assert isinstance(events[2], EndElement)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate attribute"):
+            scan('<a k="1" k="2"/>')
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="quoted"):
+            scan("<a k=v/>")
+
+    def test_attributes_need_whitespace(self):
+        with pytest.raises(XMLSyntaxError, match="whitespace"):
+            scan('<a k="1"j="2"/>')
+
+    def test_lt_in_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            scan('<a k="<"/>')
+
+    def test_unterminated_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            scan("<a")
+
+
+class TestCharacterData:
+    def test_text_between_tags(self):
+        events = scan("<a>hello</a>")
+        text = [e for e in events if isinstance(e, Characters)]
+        assert [t.text for t in text] == ["hello"]
+
+    def test_entities_in_text(self):
+        events = scan("<a>x &amp; y &#33;</a>")
+        text = [e for e in events if isinstance(e, Characters)]
+        assert text[0].text == "x & y !"
+
+    def test_cdata_preserves_raw_content(self):
+        events = scan("<a><![CDATA[<raw> & stuff]]></a>")
+        text = [e for e in events if isinstance(e, Characters)]
+        assert text[0].text == "<raw> & stuff"
+
+    def test_cdata_end_marker_in_text_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            scan("<a>bad ]]> text</a>")
+
+    def test_unterminated_entity(self):
+        with pytest.raises(XMLSyntaxError, match="entity"):
+            scan("<a>&amp</a>")
+
+
+class TestCommentsAndPIs:
+    def test_comment_event(self):
+        events = scan("<a><!-- note --></a>")
+        comments = [e for e in events if isinstance(e, Comment)]
+        assert comments[0].text == " note "
+
+    def test_double_dash_in_comment_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            scan("<a><!-- a -- b --></a>")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLSyntaxError, match="comment"):
+            scan("<a><!-- oops</a>")
+
+    def test_processing_instruction(self):
+        events = scan('<a><?php echo "hi" ?></a>')
+        pis = [e for e in events if isinstance(e, ProcessingInstruction)]
+        assert pis[0].target == "php"
+        assert 'echo "hi"' in pis[0].data
+
+    def test_xml_target_pi_rejected_midstream(self):
+        with pytest.raises(XMLSyntaxError):
+            scan('<a><?xml version="1.0"?></a>')
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        events = scan("<a>\n  <b/>\n</a>")
+        b = [e for e in events if isinstance(e, StartElement) and e.tag == "b"][0]
+        assert b.line == 2
+        assert b.column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            scan("<a>\n<b x=1/></a>")
+        assert info.value.line == 2

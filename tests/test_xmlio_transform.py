@@ -1,0 +1,106 @@
+"""Attribute expansion transform and end-to-end attribute querying."""
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+from repro.xmlio.builder import parse_string
+from repro.xmlio.serializer import serialize
+from repro.xmlio.transform import (
+    attribute_tag,
+    expand_attributes,
+    is_attribute_tag,
+)
+
+XML = (
+    '<dblp><article key="a1" rating="5"><title>twig joins</title>'
+    '<author>lu</author></article>'
+    '<article key="a2"><title>xml</title></article></dblp>'
+)
+
+
+class TestTransform:
+    def test_attributes_become_first_children(self):
+        expanded = expand_attributes(parse_string(XML))
+        article = expanded.root.find("article")
+        tags = [child.tag for child in article.child_elements()]
+        assert tags == ["@key", "@rating", "title", "author"]
+        assert article.find("@key").text == "a1"
+        assert article.find("@rating").text == "5"
+
+    def test_original_not_mutated(self):
+        document = parse_string(XML)
+        expand_attributes(document)
+        article = document.root.find("article")
+        assert [c.tag for c in article.child_elements()] == ["title", "author"]
+
+    def test_attributes_preserved_on_copy(self):
+        expanded = expand_attributes(parse_string(XML))
+        assert expanded.root.find("article").attributes == {
+            "key": "a1",
+            "rating": "5",
+        }
+
+    def test_text_content_preserved(self):
+        document = parse_string(XML)
+        expanded = expand_attributes(document)
+        # Attribute values add text, so compare per original element.
+        assert expanded.root.find("article").find("title").text == "twig joins"
+
+    def test_empty_attribute_value(self):
+        expanded = expand_attributes(parse_string('<a k=""/>'))
+        assert expanded.root.find("@k").text == ""
+
+    def test_helpers(self):
+        assert attribute_tag("key") == "@key"
+        assert is_attribute_tag("@key")
+        assert not is_attribute_tag("key")
+
+    def test_expanded_tree_is_not_serializable(self):
+        # "@key" is not a legal XML name; the shadow copy is index-only.
+        from repro.xmlio.errors import SerializationError
+
+        expanded = expand_attributes(parse_string(XML))
+        with pytest.raises(SerializationError):
+            serialize(expanded)
+
+    def test_original_roundtrip_unaffected(self):
+        document = parse_string(XML)
+        expand_attributes(document)
+        assert parse_string(serialize(document)).count_elements() == 6
+
+
+class TestAttributeQuerying:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return LotusXDatabase.from_string(XML, expand_attributes=True)
+
+    def test_attribute_equality_twig(self, db):
+        matches = db.matches('//article[./@key="a1"]/title')
+        assert len(matches) == 1
+
+    def test_attribute_range_twig(self, db):
+        assert len(db.matches("//article[./@rating[.>=5]]")) == 1
+        assert len(db.matches("//article[./@rating[.>5]]")) == 0
+
+    def test_attribute_as_output(self, db):
+        response = db.search("//article/@key", k=10)
+        assert {hit.snippet for hit in response} == {"a1", "a2"}
+
+    def test_attribute_xpath_rendering(self, db):
+        response = db.search('//article[./title~"twig"]/@key')
+        assert response.results[0].xpath == "/dblp[1]/article[1]/@key"
+
+    def test_attribute_tag_completion(self, db):
+        pattern = db.parse_query("//article")
+        texts = {c.text for c in db.complete_tag(pattern, pattern.root, "@")}
+        assert texts == {"@key", "@rating"}
+
+    def test_attribute_value_completion(self, db):
+        pattern = db.parse_query("//article/@key")
+        node = pattern.root.children[0]
+        values = {c.text for c in db.complete_value(pattern, node, "a")}
+        assert values == {"a1", "a2"}
+
+    def test_without_expansion_attributes_invisible(self):
+        db = LotusXDatabase.from_string(XML)
+        assert db.matches("//article/@key") == []

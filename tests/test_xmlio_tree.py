@@ -1,0 +1,99 @@
+"""Tree model: navigation, text access, paths."""
+
+import pytest
+
+from repro.xmlio.builder import parse_string
+from repro.xmlio.tree import Element, Text
+
+
+@pytest.fixture()
+def doc():
+    return parse_string(
+        "<lib><shelf n='1'><book>alpha<note>beta</note>gamma</book>"
+        "<book>delta</book></shelf><shelf n='2'/></lib>"
+    )
+
+
+class TestNavigation:
+    def test_find_first_child(self, doc):
+        shelf = doc.root.find("shelf")
+        assert shelf is not None
+        assert shelf.attributes == {"n": "1"}
+
+    def test_find_missing_returns_none(self, doc):
+        assert doc.root.find("nope") is None
+
+    def test_find_all(self, doc):
+        assert len(doc.root.find_all("shelf")) == 2
+
+    def test_child_elements_skip_text(self, doc):
+        book = doc.root.find("shelf").find("book")
+        assert [c.tag for c in book.child_elements()] == ["note"]
+
+    def test_iter_preorder(self, doc):
+        tags = [e.tag for e in doc.iter()]
+        assert tags == ["lib", "shelf", "book", "note", "book", "shelf"]
+
+    def test_iter_descendants_excludes_self(self, doc):
+        shelf = doc.root.find("shelf")
+        assert [e.tag for e in shelf.iter_descendants()] == ["book", "note", "book"]
+
+    def test_ancestors(self, doc):
+        note = doc.root.find("shelf").find("book").find("note")
+        assert [a.tag for a in note.ancestors()] == ["book", "shelf", "lib"]
+
+    def test_path(self, doc):
+        note = doc.root.find("shelf").find("book").find("note")
+        assert note.path() == ("lib", "shelf", "book", "note")
+
+    def test_sibling_index(self, doc):
+        shelves = doc.root.find_all("shelf")
+        assert shelves[0].sibling_index() == 0
+        assert shelves[1].sibling_index() == 1
+        assert doc.root.sibling_index() == 0
+
+
+class TestText:
+    def test_mixed_content_order(self, doc):
+        book = doc.root.find("shelf").find("book")
+        assert book.text == "alphabetagamma"
+        assert book.direct_text == "alphagamma"
+
+    def test_itertext_pieces(self, doc):
+        book = doc.root.find("shelf").find("book")
+        assert list(book.itertext()) == ["alpha", "beta", "gamma"]
+
+    def test_empty_element_text(self, doc):
+        assert doc.root.find_all("shelf")[1].text == ""
+
+
+class TestConstruction:
+    def test_append_adopts(self):
+        parent = Element("p")
+        child = Element("c")
+        parent.append(child)
+        assert child.parent is parent
+
+    def test_double_adoption_rejected(self):
+        parent = Element("p")
+        child = Element("c")
+        parent.append(child)
+        with pytest.raises(ValueError, match="already has a parent"):
+            Element("q").append(child)
+
+    def test_append_text_merges_adjacent(self):
+        element = Element("e")
+        element.append_text("a")
+        element.append_text("b")
+        assert len(element.children) == 1
+        assert isinstance(element.children[0], Text)
+        assert element.text == "ab"
+
+    def test_make_child(self):
+        parent = Element("p")
+        child = parent.make_child("c", {"k": "v"})
+        assert child.parent is parent
+        assert parent.find("c") is child
+
+    def test_count_elements(self, doc):
+        assert doc.count_elements() == 6
