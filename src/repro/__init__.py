@@ -28,6 +28,14 @@ from repro.engine.results import SearchResponse, SearchResult
 from repro.engine.session import QueryBuilderSession, SessionError
 from repro.keyword import KeywordHit, KeywordResponse, keyword_search
 from repro.labeling import LabeledDocument, label_document
+from repro.resilience import (
+    AdmissionGate,
+    Deadline,
+    DeadlineExceeded,
+    Overloaded,
+    PayloadTooLarge,
+    ResilienceError,
+)
 from repro.twig.parse import TwigSyntaxError, parse_twig
 from repro.twig.pattern import Axis, TwigPattern
 from repro.twig.planner import Algorithm
@@ -36,13 +44,19 @@ from repro.xmlio import parse_file, parse_string
 __version__ = "0.1.0"
 
 __all__ = [
+    "AdmissionGate",
     "Algorithm",
     "Axis",
+    "Deadline",
+    "DeadlineExceeded",
     "LabeledDocument",
     "KeywordHit",
     "KeywordResponse",
     "LotusXDatabase",
+    "Overloaded",
+    "PayloadTooLarge",
     "QueryBuilderSession",
+    "ResilienceError",
     "SearchResponse",
     "SearchResult",
     "SessionError",

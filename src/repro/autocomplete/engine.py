@@ -22,6 +22,8 @@ from repro.autocomplete.candidates import Candidate, CandidateKind
 from repro.autocomplete.context import candidate_positions
 from repro.autocomplete.scoring import candidate_score
 from repro.index.completion_index import CompletionIndex
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 from repro.summary.dataguide import DataGuide, PathNode
 from repro.summary.paths import format_path
 from repro.twig.pattern import Axis, QueryNode, TwigPattern
@@ -48,6 +50,7 @@ class AutocompleteEngine:
         prefix: str = "",
         axis: Axis = Axis.CHILD,
         k: int = 10,
+        deadline: Deadline | None = None,
     ) -> list[Candidate]:
         """Tags valid for a new node attached under ``anchor`` via ``axis``.
 
@@ -56,26 +59,37 @@ class AutocompleteEngine:
         positions are computed from the whole partial pattern and only
         tags occurring below them (children for ``/``, any descendant for
         ``//``) are proposed.
+
+        A ``deadline`` expiring mid-enumeration degrades gracefully: the
+        candidates gathered so far are ranked and returned (the caller can
+        observe ``deadline.tripped`` to report truncation).
         """
         normalized = prefix.strip().lower()
-        if pattern is None or anchor is None:
-            pool = {
-                tag: self._guide.tag_count(tag)
-                for tag in self._guide.all_tags()
-                if tag.lower().startswith(normalized)
-            }
-            return self._rank_tags(pool, normalized, k)
-        positions = candidate_positions(pattern, self._guide)
-        anchor_positions = positions.get(anchor.node_id, set())
-        if axis is Axis.CHILD:
-            pool_counts = self._guide.child_tags_of(anchor_positions)
-        else:
-            pool_counts = self._guide.descendant_tags_of(anchor_positions)
-        pool = {
-            tag: count
-            for tag, count in pool_counts.items()
-            if tag.lower().startswith(normalized)
-        }
+        pool: dict[str, int] = {}
+        anchor_positions: set[PathNode] | None = None
+        try:
+            if pattern is None or anchor is None:
+                for tag in self._guide.all_tags():
+                    if deadline is not None:
+                        deadline.check("autocomplete.tags")
+                    if tag.lower().startswith(normalized):
+                        pool[tag] = self._guide.tag_count(tag)
+            else:
+                positions = candidate_positions(pattern, self._guide)
+                anchor_positions = positions.get(anchor.node_id, set())
+                if axis is Axis.CHILD:
+                    pool_counts = self._guide.child_tags_of(anchor_positions)
+                else:
+                    pool_counts = self._guide.descendant_tags_of(anchor_positions)
+                for tag, count in pool_counts.items():
+                    if deadline is not None:
+                        deadline.check("autocomplete.tags")
+                    if tag.lower().startswith(normalized):
+                        pool[tag] = count
+        except DeadlineExceeded:
+            # Rank whatever made it into the pool before the budget ran
+            # out; ``deadline.tripped`` marks the truncation.
+            pass
         return self._rank_tags(pool, normalized, k, anchor_positions, axis)
 
     def complete_tag_global(self, prefix: str = "", k: int = 10) -> list[Candidate]:
@@ -150,17 +164,30 @@ class AutocompleteEngine:
         prefix: str,
         k: int = 10,
         whole_values: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[Candidate]:
         """Values (or single terms) occurring at ``node``'s positions.
 
         ``whole_values=True`` proposes complete element values (e.g. author
         names); ``False`` proposes individual text tokens, which is the
         right mode for long prose fields.
+
+        A ``deadline`` expiring while positions are gathered degrades to
+        completing over the positions collected so far
+        (``deadline.tripped`` marks the truncation).
         """
         normalized = prefix.strip().lower()
-        positions = candidate_positions(pattern, self._guide)
-        node_positions = positions.get(node.node_id, set())
-        path_ids = [p.node_id for p in node_positions]
+        path_ids: list[int] = []
+        try:
+            positions = candidate_positions(pattern, self._guide)
+            node_positions = positions.get(node.node_id, set())
+            for p in node_positions:
+                if deadline is not None:
+                    deadline.check("autocomplete.values")
+                path_ids.append(p.node_id)
+        except DeadlineExceeded:
+            # Complete over the positions collected before expiry.
+            pass
         if whole_values:
             ranked = self._completions.complete_value_at(path_ids, normalized, k)
             kind = CandidateKind.VALUE

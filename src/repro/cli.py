@@ -126,6 +126,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("corpus")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        metavar="N",
+        help="requests allowed to execute at once (default 8);"
+        " excess load waits briefly, then is shed with HTTP 429",
+    )
+    serve.add_argument(
+        "--default-timeout-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="default per-request deadline in milliseconds (default"
+        " 10000; /api/complete uses a tighter 1000); expiring requests"
+        " return partial results marked truncated",
+    )
 
     return parser
 
@@ -290,11 +307,21 @@ def _cmd_keyword(database: LotusXDatabase, args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(database: LotusXDatabase, args: argparse.Namespace) -> int:
-    from repro.server.app import serve
+    from repro.server.app import ServerConfig, serve
 
+    overrides = {}
+    if args.max_concurrency is not None:
+        if args.max_concurrency < 1:
+            raise ValueError("--max-concurrency must be at least 1")
+        overrides["max_concurrency"] = args.max_concurrency
+    if args.default_timeout_ms is not None:
+        if args.default_timeout_ms < 1:
+            raise ValueError("--default-timeout-ms must be positive")
+        overrides["default_timeout_ms"] = args.default_timeout_ms
+    config = ServerConfig(**overrides) if overrides else None
     print(f"LotusX serving http://{args.host}:{args.port}/  (Ctrl-C to stop)")
     try:
-        serve(database, args.host, args.port)
+        serve(database, args.host, args.port, config)
     except KeyboardInterrupt:
         print("\nbye")
     return 0

@@ -34,6 +34,9 @@ from repro.index.statistics import CorpusStatistics, compute_statistics
 from repro.index.term_index import TermIndex
 from repro.labeling.assign import LabeledDocument, label_document
 from repro.ranking.scorer import LotusXScorer
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
+from repro.resilience.faults import fault_point
 from repro.rewrite.engine import QueryRewriter
 from repro.rewrite.rules import default_rules
 from repro.engine.results import SearchResponse, SearchResult
@@ -197,10 +200,14 @@ class LotusXDatabase:
         prefix: str = "",
         axis: Axis = Axis.CHILD,
         k: int = 10,
+        deadline: Deadline | None = None,
     ) -> list[Candidate]:
         """Position-aware tag completion (see
         :meth:`repro.autocomplete.engine.AutocompleteEngine.complete_tag`)."""
-        return self.autocomplete.complete_tag(pattern, anchor, prefix, axis, k)
+        fault_point("engine.complete_tag", deadline)
+        return self.autocomplete.complete_tag(
+            pattern, anchor, prefix, axis, k, deadline
+        )
 
     def complete_value(
         self,
@@ -209,9 +216,13 @@ class LotusXDatabase:
         prefix: str,
         k: int = 10,
         whole_values: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[Candidate]:
         """Position-aware value completion."""
-        return self.autocomplete.complete_value(pattern, node, prefix, k, whole_values)
+        fault_point("engine.complete_value", deadline)
+        return self.autocomplete.complete_value(
+            pattern, node, prefix, k, whole_values, deadline
+        )
 
     # ------------------------------------------------------------------
     # Matching and search
@@ -226,6 +237,7 @@ class LotusXDatabase:
         algorithm: Algorithm = Algorithm.AUTO,
         stats: AlgorithmStats | None = None,
         prune_streams: bool = False,
+        deadline: Deadline | None = None,
     ) -> list[Match]:
         """Raw twig matches, document order, no ranking or rewriting.
 
@@ -234,20 +246,29 @@ class LotusXDatabase:
         Results are LRU-cached by pattern signature (the corpus is
         immutable), which keeps the GUI's live result counter free while
         the user toggles gestures back and forth.  Calls that want
-        algorithm statistics bypass the cache.
+        algorithm statistics — or carry a ``deadline``, whose partial
+        results must never poison the cache — bypass it.  On expiry the
+        raised :class:`DeadlineExceeded` carries the salvaged partial
+        matches, sorted, as its ``partial``.
         """
         pattern = self._as_pattern(query)
-        if stats is not None:
-            return sort_matches(
-                evaluate(
-                    pattern,
-                    self.labeled,
-                    self.streams,
-                    algorithm,
-                    stats,
-                    prune_streams,
+        if stats is not None or deadline is not None:
+            try:
+                return sort_matches(
+                    evaluate(
+                        pattern,
+                        self.labeled,
+                        self.streams,
+                        algorithm,
+                        stats,
+                        prune_streams,
+                        deadline,
+                    )
                 )
-            )
+            except DeadlineExceeded as exc:
+                if exc.partial is not None:
+                    exc.partial = sort_matches(exc.partial)
+                raise
         key = (pattern.signature(), algorithm, prune_streams)
         cached = self._match_cache.get(key)
         if cached is not None:
@@ -270,6 +291,8 @@ class LotusXDatabase:
         algorithm: Algorithm = Algorithm.AUTO,
         rewrite: bool = True,
         min_results: int = 1,
+        timeout_ms: int | None = None,
+        deadline: Deadline | None = None,
     ) -> SearchResponse:
         """Ranked search with automatic rewriting.
 
@@ -277,31 +300,72 @@ class LotusXDatabase:
         ``rewrite`` is enabled, relaxed versions of the query are tried
         (cheapest relaxation first) and their results are merged in with
         rewrite penalties applied to their scores.
+
+        ``timeout_ms`` (or an explicit ``deadline``) bounds the work.  A
+        search that runs out of budget does not fail: it returns whatever
+        partial results could be salvaged, ranked, with
+        ``truncated=True`` and ``degraded`` naming the corners cut
+        (``"deadline"`` — matching cut short; ``"rewrites-skipped"`` —
+        rewrite exploration abandoned to save the remaining budget).
         """
         pattern = self._as_pattern(query)
         started = time.perf_counter()
+        if deadline is None and timeout_ms is not None:
+            deadline = Deadline.after_ms(timeout_ms)
+        fault_point("engine.search", deadline)
+        truncated = False
+        degraded: list[str] = []
 
         def evaluator(candidate_pattern: TwigPattern) -> list[Match]:
-            return evaluate(candidate_pattern, self.labeled, self.streams, algorithm)
+            return evaluate(
+                candidate_pattern,
+                self.labeled,
+                self.streams,
+                algorithm,
+                deadline=deadline,
+            )
+
+        from repro.rewrite.engine import RewriteCandidate
 
         if rewrite:
-            outcome = self.rewriter.search_with_rewrites(
-                pattern, evaluator, min_results=min_results
-            )
-            productive = outcome.productive
-            rewrites_tried = outcome.evaluated - 1
-            used_rewrites = any(candidate.steps for candidate, _ in productive)
+            try:
+                outcome = self.rewriter.search_with_rewrites(
+                    pattern, evaluator, min_results=min_results, deadline=deadline
+                )
+                productive = outcome.productive
+                rewrites_tried = outcome.evaluated - 1
+                used_rewrites = any(candidate.steps for candidate, _ in productive)
+                truncated = outcome.truncated
+                degraded.extend(outcome.degraded)
+            except DeadlineExceeded as exc:
+                # The original pattern itself ran out of budget; rank its
+                # salvaged partial matches and skip rewriting entirely.
+                partial = exc.partial or []
+                productive = (
+                    [(RewriteCandidate(pattern, 0.0, ()), partial)]
+                    if partial
+                    else []
+                )
+                rewrites_tried = 0
+                used_rewrites = False
+                truncated = True
         else:
-            matches = evaluator(pattern)
-            from repro.rewrite.engine import RewriteCandidate
-
+            try:
+                matches = evaluator(pattern)
+            except DeadlineExceeded as exc:
+                matches = exc.partial or []
+                truncated = True
             productive = (
                 [(RewriteCandidate(pattern, 0.0, ()), matches)] if matches else []
             )
             rewrites_tried = 0
             used_rewrites = False
 
-        results = self._rank_productive(productive, k)
+        results = self._rank_productive(productive, k, deadline)
+        if deadline is not None and deadline.tripped:
+            truncated = True
+            if "deadline" not in degraded:
+                degraded.append("deadline")
         response = SearchResponse(
             query=str(pattern),
             results=results[:k],
@@ -309,31 +373,60 @@ class LotusXDatabase:
             used_rewrites=used_rewrites,
             rewrites_tried=rewrites_tried,
             elapsed_seconds=time.perf_counter() - started,
+            truncated=truncated,
+            degraded=tuple(degraded),
         )
         return response
 
-    def _rank_productive(self, productive, k: int) -> list[SearchResult]:
+    #: Matches scored during the post-trip grace period.  A tripped
+    #: request may still sit on thousands of salvaged matches; scoring
+    #: them all would dwarf the deadline itself, so ranking gets its own
+    #: small budget instead.
+    GRACE_RANK_STEPS = 1_000
+
+    def _rank_productive(
+        self, productive, k: int, deadline: Deadline | None = None
+    ) -> list[SearchResult]:
         """Score all matches of all productive (rewritten) patterns and
-        keep the best result per distinct output binding."""
+        keep the best result per distinct output binding.
+
+        An already-tripped ``deadline`` is not re-checked here — ranking
+        the salvaged partials is the point of the grace period — but the
+        grace itself is bounded by :attr:`GRACE_RANK_STEPS`.  A live
+        deadline is checked per match; on expiry the results scored so
+        far are ranked and returned.
+        """
+        if deadline is None:
+            guard = None
+        elif deadline.tripped:
+            guard = Deadline(max_steps=self.GRACE_RANK_STEPS)
+        else:
+            guard = deadline
         best: dict[tuple[int, ...], SearchResult] = {}
-        for candidate, matches in productive:
-            candidate_pattern = candidate.pattern
-            for match in matches:
-                score = self.scorer.score_match(
-                    candidate_pattern, match, self.term_index, candidate.penalty
-                )
-                outputs = tuple(match.output_elements(candidate_pattern))
-                key = tuple(element.order for element in outputs)
-                current = best.get(key)
-                if current is None or score.combined > current.score.combined:
-                    best[key] = SearchResult(
-                        outputs=outputs,
-                        score=score,
-                        match=match,
-                        source_query=str(candidate_pattern),
-                        rewrite_steps=candidate.steps,
-                        terms=candidate_pattern.all_terms(),
+        try:
+            for candidate, matches in productive:
+                candidate_pattern = candidate.pattern
+                for match in matches:
+                    if guard is not None:
+                        guard.check("search.rank")
+                    score = self.scorer.score_match(
+                        candidate_pattern, match, self.term_index, candidate.penalty
                     )
+                    outputs = tuple(match.output_elements(candidate_pattern))
+                    key = tuple(element.order for element in outputs)
+                    current = best.get(key)
+                    if current is None or score.combined > current.score.combined:
+                        best[key] = SearchResult(
+                            outputs=outputs,
+                            score=score,
+                            match=match,
+                            source_query=str(candidate_pattern),
+                            rewrite_steps=candidate.steps,
+                            terms=candidate_pattern.all_terms(),
+                        )
+        except DeadlineExceeded:
+            # Keep whatever was scored before the budget ran out.
+            pass
         ranked = sorted(
             best.values(),
             key=lambda result: (
@@ -404,16 +497,26 @@ class LotusXDatabase:
     # Keyword search (schema-free)
     # ------------------------------------------------------------------
 
-    def keyword_search(self, query: str, k: int = 10, semantics: str = "slca"):
+    def keyword_search(
+        self,
+        query: str,
+        k: int = 10,
+        semantics: str = "slca",
+        deadline: Deadline | None = None,
+    ):
         """Schema-free keyword search, ranked.
 
         ``semantics="slca"`` returns the smallest elements containing all
         terms; ``"elca"`` additionally returns ancestors with their own
-        keyword evidence (see :mod:`repro.keyword`).
+        keyword evidence (see :mod:`repro.keyword`).  With a ``deadline``
+        the response degrades gracefully (``truncated=True``) instead of
+        failing.
         """
         from repro.keyword.search import keyword_search
 
-        return keyword_search(self.labeled, self.term_index, query, k, semantics)
+        return keyword_search(
+            self.labeled, self.term_index, query, k, semantics, deadline
+        )
 
     # ------------------------------------------------------------------
 

@@ -189,6 +189,13 @@ class SearchResponse:
     used_rewrites: bool = False
     rewrites_tried: int = 0
     elapsed_seconds: float = 0.0
+    #: True when a deadline expired mid-search and ``results`` only
+    #: covers what could be salvaged within the budget.
+    truncated: bool = False
+    #: Which corners were cut to meet the deadline (e.g. ``"deadline"``
+    #: when matching was cut short, ``"rewrites-skipped"`` when rewrite
+    #: exploration was abandoned to save the remaining budget).
+    degraded: tuple[str, ...] = ()
 
     def __len__(self) -> int:
         return len(self.results)
@@ -203,6 +210,8 @@ class SearchResponse:
             "used_rewrites": self.used_rewrites,
             "rewrites_tried": self.rewrites_tried,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "truncated": self.truncated,
+            "degraded": list(self.degraded),
             "results": [result.as_dict() for result in self.results],
         }
 

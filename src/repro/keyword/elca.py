@@ -28,22 +28,28 @@ from collections.abc import Sequence
 from repro.index.term_index import TermIndex
 from repro.keyword.slca import find_slcas
 from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 
 
 def find_elcas(
     labeled: LabeledDocument,
     term_index: TermIndex,
     terms: Sequence[str],
+    deadline: Deadline | None = None,
 ) -> list[LabeledElement]:
     """The ELCA elements for ``terms``, in document order.
 
     Returns [] when any term is absent (conjunctive) or ``terms`` is
-    empty.  Always a superset of the SLCAs for the same terms.
+    empty.  Always a superset of the SLCAs for the same terms.  With a
+    ``deadline`` that expires during the witness scan, the raised
+    :class:`DeadlineExceeded` carries the SLCAs as its ``partial`` (every
+    SLCA is an ELCA, so that partial is sound).
     """
     normalized = sorted({term.lower() for term in terms if term})
     if not normalized:
         return []
-    slcas = find_slcas(labeled, term_index, normalized)
+    slcas = find_slcas(labeled, term_index, normalized, deadline)
     if not slcas:
         return []
 
@@ -64,12 +70,18 @@ def find_elcas(
         raise AssertionError("the root qualifies whenever SLCAs exist")
 
     witness_sets: list[set[int]] = []
-    for term in normalized:
-        witnesses = {
-            lowest_qualifying(labeled.elements[posting.order])
-            for posting in term_index.postings(term)
-        }
-        witness_sets.append(witnesses)
+    try:
+        for term in normalized:
+            witnesses = set()
+            for posting in term_index.postings(term):
+                if deadline is not None:
+                    deadline.check("keyword.elca")
+                witnesses.add(lowest_qualifying(labeled.elements[posting.order]))
+            witness_sets.append(witnesses)
+    except DeadlineExceeded as exc:
+        if exc.partial is None:
+            exc.partial = list(slcas)
+        raise
 
     elca_orders = set.intersection(*witness_sets)
     return [labeled.elements[order] for order in sorted(elca_orders)]

@@ -17,6 +17,9 @@ from repro.keyword.elca import find_elcas
 from repro.keyword.slca import find_slcas
 from repro.labeling.assign import LabeledDocument, LabeledElement
 from repro.ranking.tfidf import TF_SATURATION
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
+from repro.resilience.faults import fault_point
 
 #: Weight of the textual signal vs structural specificity.
 TEXT_WEIGHT = 0.7
@@ -52,6 +55,9 @@ class KeywordResponse:
     hits: tuple[KeywordHit, ...]
     total_slcas: int
     semantics: str = "slca"
+    #: True when a deadline expired mid-search and ``hits`` only covers
+    #: the answers found before the budget ran out.
+    truncated: bool = False
 
     def __iter__(self):
         return iter(self.hits)
@@ -64,6 +70,7 @@ class KeywordResponse:
             "terms": list(self.terms),
             "semantics": self.semantics,
             "total_slcas": self.total_slcas,
+            "truncated": self.truncated,
             "hits": [hit.as_dict() for hit in self.hits],
         }
 
@@ -74,6 +81,7 @@ def keyword_search(
     query: str,
     k: int = 10,
     semantics: str = "slca",
+    deadline: Deadline | None = None,
 ) -> KeywordResponse:
     """Keyword search for ``query``, ranked, top ``k``.
 
@@ -81,20 +89,32 @@ def keyword_search(
     containers only) or ``"elca"`` (also ancestors contributing their own
     keyword evidence).  Stopwords are dropped from the query unless that
     would empty it.
+
+    With a ``deadline`` that expires during the answer scan, the hits
+    derivable from the occurrences seen so far are ranked and returned
+    with ``truncated=True`` instead of raising.
     """
     if semantics not in ("slca", "elca"):
         raise ValueError(f"unknown keyword semantics {semantics!r}")
+    fault_point("keyword.search", deadline)
     terms = tuple(tokenize(query, drop_stopwords=True)) or tuple(tokenize(query))
     if not terms:
         return KeywordResponse((), (), 0, semantics)
     finder = find_slcas if semantics == "slca" else find_elcas
-    slcas = finder(labeled, term_index, terms)
+    truncated = False
+    try:
+        slcas = finder(labeled, term_index, terms, deadline)
+    except DeadlineExceeded as exc:
+        slcas = exc.partial or []
+        truncated = True
     max_depth = max((element.level for element in labeled.elements), default=0)
     hits = [
         _score(element, terms, term_index, max_depth) for element in slcas
     ]
     hits.sort(key=lambda hit: (-hit.score, hit.element.order))
-    return KeywordResponse(terms, tuple(hits[:k]), len(slcas), semantics)
+    return KeywordResponse(
+        terms, tuple(hits[:k]), len(slcas), semantics, truncated
+    )
 
 
 def _score(

@@ -25,17 +25,23 @@ from collections.abc import Sequence
 
 from repro.index.term_index import TermIndex
 from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 
 
 def find_slcas(
     labeled: LabeledDocument,
     term_index: TermIndex,
     terms: Sequence[str],
+    deadline: Deadline | None = None,
 ) -> list[LabeledElement]:
     """The SLCA elements for ``terms``, in document order.
 
     Returns [] when any term has no occurrence at all (conjunctive
-    semantics) or when ``terms`` is empty.
+    semantics) or when ``terms`` is empty.  With a ``deadline``, the
+    occurrence scan checks it cooperatively; on expiry the raised
+    :class:`DeadlineExceeded` carries the SLCAs derivable from the
+    occurrences scanned so far as its ``partial``.
     """
     normalized = [term.lower() for term in terms if term]
     if not normalized:
@@ -50,11 +56,18 @@ def find_slcas(
     others = [term for term in postings_per_term if term != rarest]
 
     candidates: dict[int, LabeledElement] = {}
-    for posting in postings_per_term[rarest]:
-        element = labeled.elements[posting.order]
-        anchor = _lowest_qualifying_ancestor(element, others, term_index)
-        if anchor is not None:
-            candidates[anchor.order] = anchor
+    try:
+        for posting in postings_per_term[rarest]:
+            if deadline is not None:
+                deadline.check("keyword.slca")
+            element = labeled.elements[posting.order]
+            anchor = _lowest_qualifying_ancestor(element, others, term_index)
+            if anchor is not None:
+                candidates[anchor.order] = anchor
+    except DeadlineExceeded as exc:
+        if exc.partial is None:
+            exc.partial = _remove_non_minimal(list(candidates.values()))
+        raise
 
     return _remove_non_minimal(list(candidates.values()))
 

@@ -1,0 +1,39 @@
+"""Resilience layer: deadlines, admission control, fault injection.
+
+An interactive engine is only as good as its worst request: LotusX
+promises on-the-fly completion and bounded search latency, so every
+request carries a :class:`Deadline` (wall clock + step budget) that the
+twig joins, keyword scans, and completion enumerations check
+cooperatively.  When the budget runs out, layers degrade gracefully —
+``search()`` returns the partial top-k with ``truncated=True``, the
+server sheds excess load through an :class:`AdmissionGate` with HTTP
+429/``Retry-After`` — instead of pinning threads.
+
+:mod:`repro.resilience.faults` provides the deterministic fault-injection
+harness the resilience test-suite drives all of this with.
+"""
+
+from repro.resilience.admission import AdmissionGate
+from repro.resilience.deadline import CLOCK_CHECK_INTERVAL, Deadline
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    PayloadTooLarge,
+    ResilienceError,
+)
+from repro.resilience.faults import Fault, clear, fault_point, inject, injected
+
+__all__ = [
+    "AdmissionGate",
+    "CLOCK_CHECK_INTERVAL",
+    "Deadline",
+    "DeadlineExceeded",
+    "Fault",
+    "Overloaded",
+    "PayloadTooLarge",
+    "ResilienceError",
+    "clear",
+    "fault_point",
+    "inject",
+    "injected",
+]

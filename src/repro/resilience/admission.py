@@ -1,0 +1,107 @@
+"""Server-side admission control: a bounded concurrency gate.
+
+At most ``capacity`` requests execute at once; up to ``max_queue`` more
+may wait ``queue_timeout_s`` for a slot.  Anything beyond that is shed
+immediately with :class:`~repro.resilience.errors.Overloaded` — the
+server maps it to HTTP 429 + ``Retry-After`` — instead of stacking
+threads until the process keels over.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.resilience.errors import Overloaded
+
+
+class AdmissionGate:
+    """A concurrency limiter with a small bounded wait queue."""
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        max_queue: int = 16,
+        queue_timeout_s: float = 0.5,
+        retry_after_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.capacity = capacity
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        #: Requests shed so far (monitoring).
+        self.shed = 0
+
+    # ------------------------------------------------------------------
+
+    def acquire(self) -> None:
+        """Take a slot, waiting briefly in the bounded queue.
+
+        Raises
+        ------
+        Overloaded
+            When the queue is full, or no slot freed up within
+            ``queue_timeout_s``.
+        """
+        with self._cond:
+            if self._active < self.capacity:
+                self._active += 1
+                return
+            if self._waiting >= self.max_queue:
+                self.shed += 1
+                raise Overloaded(
+                    "admission queue full", retry_after=self.retry_after_s
+                )
+            self._waiting += 1
+            give_up_at = self._clock() + self.queue_timeout_s
+            try:
+                while self._active >= self.capacity:
+                    remaining = give_up_at - self._clock()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if self._active >= self.capacity:
+                            self.shed += 1
+                            raise Overloaded(
+                                "timed out waiting for a server slot",
+                                retry_after=self.retry_after_s,
+                            )
+                self._active += 1
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        """Give the slot back and wake one waiter."""
+        with self._cond:
+            if self._active <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._active -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def slot(self):
+        """``with gate.slot():`` — acquire around a request."""
+        self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()
+
+    def snapshot(self) -> dict:
+        """Current gate state (monitoring / tests)."""
+        with self._cond:
+            return {
+                "capacity": self.capacity,
+                "active": self._active,
+                "waiting": self._waiting,
+                "max_queue": self.max_queue,
+                "shed": self.shed,
+            }

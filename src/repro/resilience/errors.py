@@ -1,0 +1,84 @@
+"""The structured error taxonomy of the resilience layer.
+
+Every error the request path can shed carries a stable machine-readable
+``code`` (what JSON clients switch on) and a default ``http_status`` (what
+the stdlib server maps it to).  Engine code raises these; the server
+translates them; clients never see a raw traceback.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(Exception):
+    """Base class for resource-control errors.
+
+    ``code`` is the stable JSON error code, ``http_status`` the HTTP
+    status the server maps the error to.
+    """
+
+    code = "internal"
+    http_status = 500
+
+    def payload(self) -> dict:
+        """The JSON body a server should return for this error."""
+        return {"error": str(self), "code": self.code}
+
+
+class DeadlineExceeded(ResilienceError):
+    """A request ran past its wall-clock deadline or step budget.
+
+    ``site`` names the cooperative checkpoint that tripped; ``partial``
+    optionally carries whatever well-formed partial result the raising
+    layer could salvage (e.g. the matches gathered before the trip), so
+    callers can degrade gracefully instead of discarding paid-for work.
+    """
+
+    code = "deadline_exceeded"
+    http_status = 503
+
+    def __init__(
+        self,
+        message: str = "deadline exceeded",
+        site: str = "",
+        elapsed_ms: float | None = None,
+        steps: int | None = None,
+        partial: list | None = None,
+    ) -> None:
+        self.site = site
+        self.elapsed_ms = elapsed_ms
+        self.steps = steps
+        self.partial = partial
+        detail = message
+        if site:
+            detail += f" at {site!r}"
+        if elapsed_ms is not None:
+            detail += f" after {elapsed_ms:.1f} ms"
+        super().__init__(detail)
+
+
+class Overloaded(ResilienceError):
+    """Admission control shed this request (queue full or wait timed out).
+
+    ``retry_after`` is the suggested client back-off in seconds (served
+    as the ``Retry-After`` header).
+    """
+
+    code = "overloaded"
+    http_status = 429
+
+    def __init__(
+        self, message: str = "server overloaded, retry later", retry_after: float = 1.0
+    ) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class PayloadTooLarge(ResilienceError):
+    """A request body exceeded the configured size limit."""
+
+    code = "payload_too_large"
+    http_status = 413
+
+    def __init__(self, message: str = "request body too large", limit: int = 0) -> None:
+        self.limit = limit
+        super().__init__(message)

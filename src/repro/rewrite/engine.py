@@ -14,6 +14,8 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 from repro.rewrite.rules import RewriteRule
 from repro.twig.match import Match
 from repro.twig.pattern import TwigPattern
@@ -48,6 +50,11 @@ class RewriteOutcome:
     evaluated: int = 0
     #: True when the original pattern already had results.
     original_succeeded: bool = False
+    #: True when a deadline cut the rewrite exploration short.
+    truncated: bool = False
+    #: Degradation markers (e.g. ``"rewrites-skipped"`` when exploration
+    #: was skipped entirely because the budget was nearly exhausted).
+    degraded: tuple[str, ...] = ()
 
     @property
     def found_any(self) -> bool:
@@ -75,7 +82,9 @@ class QueryRewriter:
         (the original pattern itself is not included)."""
         return list(self.iter_candidates(pattern))
 
-    def iter_candidates(self, pattern: TwigPattern):
+    def iter_candidates(
+        self, pattern: TwigPattern, deadline: Deadline | None = None
+    ):
         """Lazily yield rewrites in non-decreasing penalty order."""
         counter = itertools.count()
         seen: set[tuple] = {pattern.signature()}
@@ -85,6 +94,8 @@ class QueryRewriter:
         )
         expansions = 0
         while frontier and expansions < self._max_expansions:
+            if deadline is not None:
+                deadline.check("rewrite.explore")
             penalty, _, candidate = heapq.heappop(frontier)
             if candidate.steps:
                 yield candidate
@@ -117,11 +128,21 @@ class QueryRewriter:
         evaluator: Evaluator,
         min_results: int = 1,
         max_productive: int = 3,
+        deadline: Deadline | None = None,
     ) -> RewriteOutcome:
         """Evaluate ``pattern``; if it yields fewer than ``min_results``
         matches, explore rewrites (cheapest first) until
         ``max_productive`` rewritten queries have produced results or the
-        search budget runs out."""
+        search budget runs out.
+
+        ``deadline`` shapes degradation: an expiry while evaluating the
+        *original* pattern propagates (the caller owns that salvage); one
+        during rewrite exploration ends the exploration with whatever
+        productive rewrites were found (``truncated=True``); and when the
+        budget is already nearly spent after the original, exploration is
+        skipped entirely (``degraded=("rewrites-skipped",)``) — a late
+        relaxed answer is worse than a fast exact "no results".
+        """
         outcome = RewriteOutcome()
         original = RewriteCandidate(pattern, 0.0, ())
         matches = evaluator(pattern)
@@ -131,13 +152,19 @@ class QueryRewriter:
             outcome.original_succeeded = True
         if len(matches) >= min_results:
             return outcome
-        for candidate in self.iter_candidates(pattern):
-            rewritten_matches = evaluator(candidate.pattern)
-            outcome.evaluated += 1
-            if rewritten_matches:
-                outcome.productive.append((candidate, rewritten_matches))
-                if len(outcome.productive) >= max_productive + (
-                    1 if outcome.original_succeeded else 0
-                ):
-                    break
+        if deadline is not None and deadline.near():
+            outcome.degraded = ("rewrites-skipped",)
+            return outcome
+        try:
+            for candidate in self.iter_candidates(pattern, deadline):
+                rewritten_matches = evaluator(candidate.pattern)
+                outcome.evaluated += 1
+                if rewritten_matches:
+                    outcome.productive.append((candidate, rewritten_matches))
+                    if len(outcome.productive) >= max_productive + (
+                        1 if outcome.original_succeeded else 0
+                    ):
+                        break
+        except DeadlineExceeded:
+            outcome.truncated = True
         return outcome

@@ -11,13 +11,41 @@ the parsed pattern (0 = root), which is stable for a given query text.
 from __future__ import annotations
 
 from repro.engine.database import LotusXDatabase
+from repro.resilience.deadline import Deadline
 from repro.summary.paths import format_path
 from repro.twig.parse import TwigSyntaxError, parse_twig
 from repro.twig.pattern import Axis, QueryNode, TwigPattern
 
+#: Requested result counts above this are clamped (not rejected).
+MAX_K = 1000
+
+#: Hard ceiling on client-requested ``timeout_ms`` overrides.
+MAX_TIMEOUT_MS = 60_000
+
 
 class ApiError(ValueError):
     """A client error (HTTP 400)."""
+
+    code = "bad_request"
+    http_status = 400
+
+
+def resolve_deadline(
+    payload: dict,
+    default_ms: int | None = None,
+    max_ms: int = MAX_TIMEOUT_MS,
+) -> Deadline | None:
+    """The request's deadline: the payload's ``timeout_ms`` override
+    (must be a positive integer; values above ``max_ms`` are clamped) or
+    ``default_ms``.  ``None`` (no override, no default) disables it."""
+    raw = payload.get("timeout_ms")
+    if raw is None:
+        timeout_ms = default_ms
+    else:
+        timeout_ms = _int(raw, "timeout_ms", minimum=1, maximum=max_ms)
+    if timeout_ms is None:
+        return None
+    return Deadline.after_ms(timeout_ms)
 
 
 def handle_stats(database: LotusXDatabase) -> dict:
@@ -47,55 +75,83 @@ def handle_examples(database: LotusXDatabase) -> dict:
     }
 
 
-def handle_complete(database: LotusXDatabase, payload: dict) -> dict:
+def handle_complete(
+    database: LotusXDatabase, payload: dict, deadline: Deadline | None = None
+) -> dict:
     """Autocompletion for tags or values.
 
     Payload keys: ``kind`` ("tag"|"value"), ``prefix``, ``k``, and for
     position-aware requests ``query`` (twig text) + ``node`` (preorder
     index of the anchor/value node) + ``axis`` ("/"|"//", tags only).
+    An optional ``timeout_ms`` bounds the work; on expiry the candidates
+    gathered so far are returned with ``truncated: true``.
     """
     kind = payload.get("kind", "tag")
     prefix = str(payload.get("prefix", ""))
-    k = _int(payload.get("k", 10), "k")
+    k = _int(payload.get("k", 10), "k", minimum=1, maximum=MAX_K)
+    if deadline is None:
+        deadline = resolve_deadline(payload)
     query_text = payload.get("query") or ""
     pattern, node = _resolve_node(query_text, payload.get("node"))
 
     if kind == "tag":
         axis = Axis.DESCENDANT if payload.get("axis") == "//" else Axis.CHILD
-        candidates = database.complete_tag(pattern, node, prefix, axis, k)
+        candidates = database.complete_tag(
+            pattern, node, prefix, axis, k, deadline
+        )
     elif kind == "value":
         if pattern is None or node is None:
             raise ApiError("value completion requires 'query' and 'node'")
         whole = bool(payload.get("whole_values", True))
-        candidates = database.complete_value(pattern, node, prefix, k, whole)
+        candidates = database.complete_value(
+            pattern, node, prefix, k, whole, deadline
+        )
     else:
         raise ApiError(f"unknown completion kind {kind!r}")
-    return {"candidates": [candidate.as_dict() for candidate in candidates]}
+    return {
+        "candidates": [candidate.as_dict() for candidate in candidates],
+        "truncated": bool(deadline is not None and deadline.tripped),
+    }
 
 
-def handle_search(database: LotusXDatabase, payload: dict) -> dict:
-    """Ranked search; payload: ``query``, ``k``, ``rewrite``."""
+def handle_search(
+    database: LotusXDatabase, payload: dict, deadline: Deadline | None = None
+) -> dict:
+    """Ranked search; payload: ``query``, ``k``, ``rewrite``,
+    ``timeout_ms`` (optional work bound — expiry yields a partial
+    response with ``truncated: true``, not an error)."""
     query = payload.get("query")
     if not query:
         raise ApiError("missing 'query'")
-    k = _int(payload.get("k", 10), "k")
+    k = _int(payload.get("k", 10), "k", minimum=1, maximum=MAX_K)
     rewrite = bool(payload.get("rewrite", True))
+    if deadline is None:
+        deadline = resolve_deadline(payload)
     try:
-        response = database.search(str(query), k=k, rewrite=rewrite)
+        response = database.search(
+            str(query), k=k, rewrite=rewrite, deadline=deadline
+        )
     except TwigSyntaxError as exc:
         raise ApiError(f"bad twig query: {exc}") from exc
     return response.as_dict()
 
 
-def handle_keyword(database: LotusXDatabase, payload: dict) -> dict:
-    """Keyword search; payload: ``query``, ``k``, ``semantics``."""
+def handle_keyword(
+    database: LotusXDatabase, payload: dict, deadline: Deadline | None = None
+) -> dict:
+    """Keyword search; payload: ``query``, ``k``, ``semantics``,
+    ``timeout_ms`` (optional)."""
     query = payload.get("query")
     if not query:
         raise ApiError("missing 'query'")
-    k = _int(payload.get("k", 10), "k")
+    k = _int(payload.get("k", 10), "k", minimum=1, maximum=MAX_K)
     semantics = str(payload.get("semantics", "slca"))
+    if deadline is None:
+        deadline = resolve_deadline(payload)
     try:
-        return database.keyword_search(str(query), k=k, semantics=semantics).as_dict()
+        return database.keyword_search(
+            str(query), k=k, semantics=semantics, deadline=deadline
+        ).as_dict()
     except ValueError as exc:
         raise ApiError(str(exc)) from exc
 
@@ -129,8 +185,15 @@ def _resolve_node(
     return pattern, nodes[index]
 
 
-def _int(value, name: str) -> int:
+def _int(
+    value, name: str, minimum: int | None = None, maximum: int | None = None
+) -> int:
     try:
-        return int(value)
+        result = int(value)
     except (TypeError, ValueError):
         raise ApiError(f"{name!r} must be an integer") from None
+    if minimum is not None and result < minimum:
+        raise ApiError(f"{name!r} must be >= {minimum}, got {result}")
+    if maximum is not None and result > maximum:
+        result = maximum
+    return result

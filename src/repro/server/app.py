@@ -17,39 +17,125 @@ path                     method  handler
 ``/api/search``          POST    ranked search with rewriting
 ``/api/explain``         POST    evaluation plan
 =======================  ======  ========================================
+
+Every API request runs behind the resilience layer:
+
+* **Admission control** — at most :attr:`ServerConfig.max_concurrency`
+  requests execute at once; a small bounded queue absorbs bursts, and
+  anything beyond it is shed with HTTP 429 + ``Retry-After``.
+* **Deadlines** — each endpoint gets a default per-request deadline
+  (tight for ``/api/complete``, looser for ``/api/search``), overridable
+  per request via a ``timeout_ms`` payload key (capped at
+  :attr:`ServerConfig.max_timeout_ms`).  Handlers degrade gracefully:
+  expiry yields a 200 with ``"truncated": true``, not an error.
+* **A structured error taxonomy** — client errors are 400 with a stable
+  ``code``; oversized bodies are 413; overload is 429; unexpected
+  failures are logged server-side and answered with a *generic* 500
+  (internals never leak to clients).
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import math
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine.database import LotusXDatabase
+from repro.resilience.admission import AdmissionGate
+from repro.resilience.errors import Overloaded, PayloadTooLarge, ResilienceError
+from repro.resilience.faults import fault_point
 from repro.server import api
 from repro.server.ui import INDEX_HTML
 
-_MAX_BODY = 1 << 20  # 1 MiB request bodies are plenty for queries
+log = logging.getLogger("repro.server")
 
 
-def make_handler(database: LotusXDatabase) -> type[BaseHTTPRequestHandler]:
-    """Build a request-handler class bound to ``database``."""
+@dataclass(frozen=True)
+class ServerConfig:
+    """Operational limits for the HTTP server."""
+
+    #: Requests allowed to execute concurrently.
+    max_concurrency: int = 8
+    #: Requests allowed to wait for a slot before shedding starts.
+    max_queue: int = 16
+    #: How long a queued request waits for a slot before giving up.
+    queue_timeout_s: float = 0.5
+    #: Suggested client back-off when shedding (``Retry-After``).
+    retry_after_s: float = 1.0
+    #: Largest accepted request body.
+    max_body_bytes: int = 1 << 20
+    #: Default deadline for most endpoints.
+    default_timeout_ms: int = 10_000
+    #: Default deadline for ``/api/complete`` — completion must feel
+    #: instant, so its budget is much tighter.
+    complete_timeout_ms: int = 1_000
+    #: Ceiling on client-requested ``timeout_ms`` overrides.
+    max_timeout_ms: int = 60_000
+
+    def timeout_for(self, path: str) -> int:
+        """The default deadline (ms) for requests to ``path``."""
+        if path == "/api/complete":
+            return self.complete_timeout_ms
+        return self.default_timeout_ms
+
+    def make_gate(self) -> AdmissionGate:
+        """A fresh admission gate with this config's limits."""
+        return AdmissionGate(
+            capacity=self.max_concurrency,
+            max_queue=self.max_queue,
+            queue_timeout_s=self.queue_timeout_s,
+            retry_after_s=self.retry_after_s,
+        )
+
+
+def make_handler(
+    database: LotusXDatabase,
+    config: ServerConfig | None = None,
+    gate: AdmissionGate | None = None,
+) -> type[BaseHTTPRequestHandler]:
+    """Build a request-handler class bound to ``database``.
+
+    All requests to the same server share one admission ``gate`` (pass
+    one explicitly to share it across servers or observe it in tests).
+    """
+    config = config if config is not None else ServerConfig()
+    gate = gate if gate is not None else config.make_gate()
 
     class LotusXHandler(BaseHTTPRequestHandler):
         server_version = "LotusX/0.1"
+
+        #: Exposed for tests/monitoring.
+        server_config = config
+        admission_gate = gate
 
         # ------------------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
             if self.path in ("/", "/index.html"):
+                # The GUI shell is static — serve it outside the gate so
+                # the page stays reachable even under API overload.
                 self._send(200, INDEX_HTML.encode("utf-8"), "text/html")
-            elif self.path == "/api/stats":
-                self._send_json(200, api.handle_stats(database))
-            elif self.path == "/api/dataguide":
-                self._send_json(200, api.handle_dataguide(database))
-            elif self.path == "/api/examples":
-                self._send_json(200, api.handle_examples(database))
-            else:
-                self._send_json(404, {"error": f"no such path: {self.path}"})
+                return
+            handlers = {
+                "/api/stats": api.handle_stats,
+                "/api/dataguide": api.handle_dataguide,
+                "/api/examples": api.handle_examples,
+            }
+            handler = handlers.get(self.path)
+            if handler is None:
+                self._send_json(
+                    404,
+                    {"error": f"no such path: {self.path}", "code": "not_found"},
+                )
+                return
+
+            def run() -> dict:
+                fault_point("server.request")
+                return handler(database)
+
+            self._run_guarded(run)
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
             handlers = {
@@ -60,22 +146,60 @@ def make_handler(database: LotusXDatabase) -> type[BaseHTTPRequestHandler]:
             }
             handler = handlers.get(self.path)
             if handler is None:
-                self._send_json(404, {"error": f"no such path: {self.path}"})
+                self._send_json(
+                    404,
+                    {"error": f"no such path: {self.path}", "code": "not_found"},
+                )
                 return
-            try:
+
+            def run() -> dict:
                 payload = self._read_json()
-                self._send_json(200, handler(database, payload))
-            except api.ApiError as exc:
-                self._send_json(400, {"error": str(exc)})
-            except Exception as exc:  # pragma: no cover - last-resort guard
-                self._send_json(500, {"error": f"internal error: {exc}"})
+                deadline = api.resolve_deadline(
+                    payload,
+                    default_ms=config.timeout_for(self.path),
+                    max_ms=config.max_timeout_ms,
+                )
+                fault_point("server.request", deadline)
+                if handler is api.handle_explain:
+                    return handler(database, payload)
+                return handler(database, payload, deadline)
+
+            self._run_guarded(run)
 
         # ------------------------------------------------------------------
 
+        def _run_guarded(self, produce) -> None:
+            """Run ``produce`` behind the admission gate, mapping the
+            error taxonomy to HTTP; the slot is released before the
+            response is written so slow clients can't hold capacity."""
+            headers: dict[str, str] = {}
+            try:
+                with gate.slot():
+                    status, payload = 200, produce()
+            except Overloaded as exc:
+                headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
+                status, payload = exc.http_status, exc.payload()
+            except api.ApiError as exc:
+                status = exc.http_status
+                payload = {"error": str(exc), "code": exc.code}
+            except ResilienceError as exc:
+                # DeadlineExceeded that no layer degraded, PayloadTooLarge…
+                status, payload = exc.http_status, exc.payload()
+            except Exception:
+                # Log the traceback server-side; never leak it to clients.
+                log.exception("unhandled error serving %s", self.path)
+                status = 500
+                payload = {"error": "internal error", "code": "internal"}
+            self._send_json(status, payload, headers)
+
         def _read_json(self) -> dict:
             length = int(self.headers.get("Content-Length", 0))
-            if length > _MAX_BODY:
-                raise api.ApiError("request body too large")
+            if length > config.max_body_bytes:
+                raise PayloadTooLarge(
+                    f"request body of {length} bytes exceeds the"
+                    f" {config.max_body_bytes}-byte limit",
+                    limit=config.max_body_bytes,
+                )
             body = self.rfile.read(length) if length else b"{}"
             try:
                 payload = json.loads(body or b"{}")
@@ -85,17 +209,28 @@ def make_handler(database: LotusXDatabase) -> type[BaseHTTPRequestHandler]:
                 raise api.ApiError("JSON body must be an object")
             return payload
 
-        def _send_json(self, status: int, payload: dict) -> None:
+        def _send_json(
+            self, status: int, payload: dict, headers: dict[str, str] | None = None
+        ) -> None:
             self._send(
                 status,
                 json.dumps(payload).encode("utf-8"),
                 "application/json",
+                headers,
             )
 
-        def _send(self, status: int, body: bytes, content_type: str) -> None:
+        def _send(
+            self,
+            status: int,
+            body: bytes,
+            content_type: str,
+            headers: dict[str, str] | None = None,
+        ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", f"{content_type}; charset=utf-8")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -106,9 +241,14 @@ def make_handler(database: LotusXDatabase) -> type[BaseHTTPRequestHandler]:
     return LotusXHandler
 
 
-def serve(database: LotusXDatabase, host: str = "127.0.0.1", port: int = 8080) -> None:
+def serve(
+    database: LotusXDatabase,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    config: ServerConfig | None = None,
+) -> None:
     """Serve ``database`` until interrupted (blocking)."""
-    server = ThreadingHTTPServer((host, port), make_handler(database))
+    server = ThreadingHTTPServer((host, port), make_handler(database, config))
     try:
         server.serve_forever()
     finally:
@@ -116,10 +256,13 @@ def serve(database: LotusXDatabase, host: str = "127.0.0.1", port: int = 8080) -
 
 
 def make_server(
-    database: LotusXDatabase, host: str = "127.0.0.1", port: int = 0
+    database: LotusXDatabase,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: ServerConfig | None = None,
 ) -> ThreadingHTTPServer:
     """Create (but don't start) a server — port 0 picks a free port.
 
     Used by tests and by callers that manage the serving thread.
     """
-    return ThreadingHTTPServer((host, port), make_handler(database))
+    return ThreadingHTTPServer((host, port), make_handler(database, config))

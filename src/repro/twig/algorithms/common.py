@@ -13,12 +13,33 @@ from dataclasses import dataclass, field
 
 from repro.index.element_index import StreamFactory
 from repro.labeling.assign import LabeledElement
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 from repro.twig.algorithms.ordered import PartialCheck
 from repro.twig.match import Match, satisfies_order
 from repro.twig.pattern import Axis, QueryNode, TwigPattern
 
 #: Virtual "start position" of an exhausted stream; larger than any label.
 INFINITY = float("inf")
+
+#: Fresh step budget granted to best-effort partial-result salvage after a
+#: deadline trip: enough to merge modest state, small enough to stay well
+#: inside the ~2x-deadline envelope even when the salvage itself explodes.
+SALVAGE_STEPS = 10_000
+
+
+def salvage(producer) -> list[Match]:
+    """Run ``producer(deadline)`` under a small fresh step budget.
+
+    Used after a :class:`DeadlineExceeded` trip to turn already-gathered
+    intermediate state into well-formed partial matches without risking a
+    second unbounded computation; returns ``[]`` if even that budget runs
+    out.
+    """
+    try:
+        return producer(Deadline(max_steps=SALVAGE_STEPS))
+    except DeadlineExceeded:
+        return []
 
 #: A root-to-leaf partial assignment (node id -> element).
 PathSolution = dict[int, LabeledElement]
@@ -39,6 +60,7 @@ def build_streams(
     pattern: TwigPattern,
     factory: StreamFactory,
     guide=None,
+    deadline: Deadline | None = None,
 ) -> dict[int, list[LabeledElement]]:
     """Document-ordered candidate stream per query node.
 
@@ -63,13 +85,23 @@ def build_streams(
         positions = candidate_positions(pattern, guide)
     streams: dict[int, list[LabeledElement]] = {}
     for node in pattern.nodes():
+        if deadline is not None:
+            deadline.check("twig.build_streams")
         predicate = node.predicate
         if predicate is None:
             stream = factory.stream(node.tag)
-        else:
+        elif deadline is None:
             stream = factory.filtered_stream(
                 node.tag, lambda el, p=predicate: p.matches(el, term_index)
             )
+        else:
+            # Predicate streams scan every same-tag element, so the
+            # per-element filter is itself a cooperative checkpoint.
+            def checked_filter(el, p=predicate):
+                deadline.check("twig.build_streams.filter")
+                return p.matches(el, term_index)
+
+            stream = factory.filtered_stream(node.tag, checked_filter)
         if node.is_root and node.axis is Axis.CHILD:
             stream = [el for el in stream if el.level == 0]
         if positions is not None:
@@ -109,6 +141,7 @@ def merge_path_solutions(
     leaves: list[QueryNode],
     path_solutions: dict[int, list[PathSolution]],
     partial_check: PartialCheck | None = None,
+    deadline: Deadline | None = None,
 ) -> list[Match]:
     """Hash-join per-leaf path solutions on their shared pattern nodes.
 
@@ -135,6 +168,8 @@ def merge_path_solutions(
             index.setdefault(key, []).append(solution)
         joined: list[PathSolution] = []
         for partial in partials:
+            if deadline is not None:
+                deadline.check("twig.merge")
             key = tuple(partial[node_id].order for node_id in shared)
             for solution in index.get(key, ()):
                 grown = dict(partial)

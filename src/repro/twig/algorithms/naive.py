@@ -14,6 +14,8 @@ from itertools import product
 
 from repro.index.term_index import TermIndex
 from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 from repro.twig.algorithms.common import AlgorithmStats, filter_ordered
 from repro.twig.match import Match
 from repro.twig.pattern import Axis, QueryNode, TwigPattern
@@ -25,6 +27,7 @@ def naive_match(
     term_index: TermIndex,
     stats: AlgorithmStats | None = None,
     limit: int | None = None,
+    deadline: Deadline | None = None,
 ) -> list[Match]:
     """All matches of ``pattern``, by exhaustive search.
 
@@ -34,6 +37,8 @@ def naive_match(
     stats = stats if stats is not None else AlgorithmStats()
 
     def node_matches(qnode: QueryNode, element: LabeledElement) -> bool:
+        if deadline is not None:
+            deadline.check("twig.naive")
         stats.elements_scanned += 1
         if not qnode.accepts_tag(element.tag):
             return False
@@ -80,15 +85,20 @@ def naive_match(
     else:
         root_candidates = labeled.elements
     matches: list[Match] = []
-    for element in root_candidates:
-        if not node_matches(pattern.root, element):
-            continue
-        for assignment in embeddings(pattern.root, element):
-            matches.append(Match(assignment))
+    try:
+        for element in root_candidates:
+            if not node_matches(pattern.root, element):
+                continue
+            for assignment in embeddings(pattern.root, element):
+                matches.append(Match(assignment))
+                if limit is not None and len(matches) >= limit:
+                    break
             if limit is not None and len(matches) >= limit:
                 break
-        if limit is not None and len(matches) >= limit:
-            break
+    except DeadlineExceeded as exc:
+        if exc.partial is None:
+            exc.partial = filter_ordered(pattern, matches)
+        raise
     matches = filter_ordered(pattern, matches)
     stats.matches = len(matches)
     return matches

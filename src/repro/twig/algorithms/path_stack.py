@@ -13,6 +13,8 @@ workloads (part of experiment E4).
 from __future__ import annotations
 
 from repro.labeling.assign import LabeledElement
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 from repro.twig.algorithms.common import (
     AlgorithmStats,
     edge_satisfied,
@@ -28,8 +30,13 @@ def path_stack_match(
     pattern: TwigPattern,
     streams: dict[int, list[LabeledElement]],
     stats: AlgorithmStats | None = None,
+    deadline: Deadline | None = None,
 ) -> list[Match]:
     """All matches of a *linear* ``pattern`` (every node ≤ 1 child).
+
+    With a ``deadline``, the stream loop checks it cooperatively; on
+    expiry the raised :class:`DeadlineExceeded` carries the matches
+    enumerated so far as its ``partial``.
 
     Raises
     ------
@@ -86,6 +93,13 @@ def path_stack_match(
             ascend(len(chain) - 2, leaf_entry[0], leaf_entry[1], acc)
 
     while head(leaf) is not None:
+        if deadline is not None:
+            try:
+                deadline.check("twig.path_stack")
+            except DeadlineExceeded as exc:
+                if exc.partial is None:
+                    exc.partial = filter_ordered(pattern, matches)
+                raise
         # The node whose head element starts earliest in the document.
         q_min = min(
             (n for n in chain if head(n) is not None),

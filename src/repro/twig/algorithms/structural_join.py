@@ -15,6 +15,7 @@ avoids.
 from __future__ import annotations
 
 from repro.labeling.assign import LabeledElement
+from repro.resilience.deadline import Deadline
 from repro.twig.algorithms.common import AlgorithmStats, filter_ordered
 from repro.twig.match import Match
 from repro.twig.pattern import Axis, QueryNode, TwigPattern
@@ -27,6 +28,7 @@ def structural_join_pairs(
     descendants: list[LabeledElement],
     axis: Axis,
     stats: AlgorithmStats | None = None,
+    deadline: Deadline | None = None,
 ) -> list[Pair]:
     """All (ancestor, descendant) pairs satisfying ``axis``.
 
@@ -37,6 +39,8 @@ def structural_join_pairs(
     stack: list[LabeledElement] = []
     a_index = 0
     for descendant in descendants:
+        if deadline is not None:
+            deadline.check("twig.structural_join")
         # Push every ancestor-stream element that starts before this
         # descendant; the stack keeps only elements still open here.
         while a_index < len(ancestors) and (
@@ -69,6 +73,7 @@ def structural_join_match(
     streams: dict[int, list[LabeledElement]],
     stats: AlgorithmStats | None = None,
     reorder: bool = False,
+    deadline: Deadline | None = None,
 ) -> list[Match]:
     """Full twig matching via per-edge structural joins + stitching.
 
@@ -89,13 +94,19 @@ def structural_join_match(
     def extend_with_edge(parent: QueryNode, child: QueryNode) -> None:
         nonlocal partials
         pairs = structural_join_pairs(
-            streams[parent.node_id], streams[child.node_id], child.axis, stats
+            streams[parent.node_id],
+            streams[child.node_id],
+            child.axis,
+            stats,
+            deadline,
         )
         by_parent: dict[int, list[LabeledElement]] = {}
         for ancestor, descendant in pairs:
             by_parent.setdefault(ancestor.order, []).append(descendant)
         extended: list[dict[int, LabeledElement]] = []
         for partial in partials:
+            if deadline is not None:
+                deadline.check("twig.structural_join")
             anchor = partial[parent.node_id]
             for descendant in by_parent.get(anchor.order, ()):
                 grown = dict(partial)

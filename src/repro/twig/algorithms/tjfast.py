@@ -26,7 +26,9 @@ from __future__ import annotations
 
 from repro.index.term_index import TermIndex
 from repro.labeling.assign import LabeledElement
-from repro.twig.algorithms.common import AlgorithmStats, filter_ordered
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
+from repro.twig.algorithms.common import AlgorithmStats, filter_ordered, salvage
 from repro.twig.algorithms.ordered import build_partial_order_check
 from repro.twig.algorithms.common import merge_path_solutions
 from repro.twig.match import Match
@@ -40,6 +42,7 @@ def tjfast_match(
     streams: dict[int, list[LabeledElement]],
     term_index: TermIndex,
     stats: AlgorithmStats | None = None,
+    deadline: Deadline | None = None,
 ) -> list[Match]:
     """All matches of ``pattern``; only leaf-node streams are read.
 
@@ -49,21 +52,37 @@ def tjfast_match(
     """
     stats = stats if stats is not None else AlgorithmStats()
     leaves = pattern.leaves()
-    path_solutions: dict[int, list[PathSolution]] = {}
-    for leaf in leaves:
-        solutions: list[PathSolution] = []
-        chain = _root_chain(leaf)
-        for element in streams[leaf.node_id]:
-            stats.elements_scanned += 1
-            for solution in _embed_path(chain, element, term_index):
-                solutions.append(solution)
-                stats.intermediate_results += 1
-        path_solutions[leaf.node_id] = solutions
+    path_solutions: dict[int, list[PathSolution]] = {
+        leaf.node_id: [] for leaf in leaves
+    }
 
-    matches = merge_path_solutions(
-        pattern, leaves, path_solutions, build_partial_order_check(pattern)
-    )
-    matches = filter_ordered(pattern, matches)
+    def finish(merge_deadline: Deadline | None) -> list[Match]:
+        merged = merge_path_solutions(
+            pattern,
+            leaves,
+            path_solutions,
+            build_partial_order_check(pattern),
+            merge_deadline,
+        )
+        return filter_ordered(pattern, merged)
+
+    try:
+        for leaf in leaves:
+            solutions = path_solutions[leaf.node_id]
+            chain = _root_chain(leaf)
+            for element in streams[leaf.node_id]:
+                if deadline is not None:
+                    deadline.check("twig.tjfast")
+                stats.elements_scanned += 1
+                for solution in _embed_path(chain, element, term_index):
+                    solutions.append(solution)
+                    stats.intermediate_results += 1
+        matches = finish(deadline)
+    except DeadlineExceeded as exc:
+        if exc.partial is None:
+            exc.partial = salvage(finish)
+        raise
+
     stats.matches = len(matches)
     return matches
 

@@ -17,12 +17,15 @@ during path-solution enumeration, so no false match survives.
 from __future__ import annotations
 
 from repro.labeling.assign import LabeledElement
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
 from repro.twig.algorithms.common import (
     INFINITY,
     AlgorithmStats,
     edge_satisfied,
     filter_ordered,
     root_to_node_path,
+    salvage,
 )
 from repro.twig.algorithms.common import merge_path_solutions
 from repro.twig.algorithms.ordered import build_partial_order_check
@@ -77,8 +80,14 @@ def twig_stack_match(
     pattern: TwigPattern,
     streams: dict[int, list[LabeledElement]],
     stats: AlgorithmStats | None = None,
+    deadline: Deadline | None = None,
 ) -> list[Match]:
-    """All matches of ``pattern`` over ``streams`` via TwigStack."""
+    """All matches of ``pattern`` over ``streams`` via TwigStack.
+
+    With a ``deadline``, the main loop checks it cooperatively; on expiry
+    the raised :class:`DeadlineExceeded` carries the matches mergeable
+    from the path solutions gathered so far as its ``partial``.
+    """
     stats = stats if stats is not None else AlgorithmStats()
     states: dict[int, _NodeState] = {
         node.node_id: _NodeState(node, streams[node.node_id])
@@ -153,42 +162,58 @@ def twig_stack_match(
             ascend(len(path) - 2, leaf_entry[0], leaf_entry[1], acc)
 
     # ------------------------------------------------------------------
+    # Merge (shared by the complete and the salvage paths)
+    # ------------------------------------------------------------------
+
+    def finish(merge_deadline: Deadline | None) -> list[Match]:
+        merged = merge_path_solutions(
+            pattern,
+            leaves,
+            path_solutions,
+            build_partial_order_check(pattern),
+            merge_deadline,
+        )
+        return filter_ordered(pattern, merged)
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
     root = pattern.root
-    while any(not state(leaf).eof() for leaf in leaves):
-        q = get_next(root)
-        q_state = state(q)
-        if q_state.eof():
-            # Only reachable when every productive stream is drained; no
-            # further solutions can form.
-            break
-        parent_state = state(q.parent) if q.parent is not None else None
-        if parent_state is not None:
-            parent_state.clean_stack(q_state.next_left())
-        if parent_state is None or parent_state.stack:
-            q_state.clean_stack(q_state.next_left())
-            pointer = len(parent_state.stack) - 1 if parent_state else -1
-            head = q_state.head()
-            assert head is not None
-            q_state.stack.append((head, pointer))
-            q_state.advance()
-            stats.elements_scanned += 1
-            if q.is_leaf:
-                emit_path_solutions(q)
-                q_state.stack.pop()
-        else:
-            q_state.advance()
-            stats.elements_scanned += 1
+    try:
+        while any(not state(leaf).eof() for leaf in leaves):
+            if deadline is not None:
+                deadline.check("twig.twig_stack")
+            q = get_next(root)
+            q_state = state(q)
+            if q_state.eof():
+                # Only reachable when every productive stream is drained; no
+                # further solutions can form.
+                break
+            parent_state = state(q.parent) if q.parent is not None else None
+            if parent_state is not None:
+                parent_state.clean_stack(q_state.next_left())
+            if parent_state is None or parent_state.stack:
+                q_state.clean_stack(q_state.next_left())
+                pointer = len(parent_state.stack) - 1 if parent_state else -1
+                head = q_state.head()
+                assert head is not None
+                q_state.stack.append((head, pointer))
+                q_state.advance()
+                stats.elements_scanned += 1
+                if q.is_leaf:
+                    emit_path_solutions(q)
+                    q_state.stack.pop()
+            else:
+                q_state.advance()
+                stats.elements_scanned += 1
+        matches = finish(deadline)
+    except DeadlineExceeded as exc:
+        if exc.partial is None:
+            # Best-effort salvage: merge what was gathered, under a small
+            # fresh budget so the salvage itself stays bounded.
+            exc.partial = salvage(finish)
+        raise
 
-    # ------------------------------------------------------------------
-    # Merge path solutions across leaves
-    # ------------------------------------------------------------------
-
-    matches = merge_path_solutions(
-        pattern, leaves, path_solutions, build_partial_order_check(pattern)
-    )
-    matches = filter_ordered(pattern, matches)
     stats.matches = len(matches)
     return matches

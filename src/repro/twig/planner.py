@@ -12,6 +12,7 @@ import enum
 
 from repro.index.element_index import StreamFactory
 from repro.labeling.assign import LabeledDocument
+from repro.resilience.deadline import Deadline
 from repro.twig.algorithms.common import AlgorithmStats, build_streams
 from repro.twig.algorithms.naive import naive_match
 from repro.twig.algorithms.path_stack import path_stack_match
@@ -47,12 +48,19 @@ def evaluate(
     algorithm: Algorithm = Algorithm.AUTO,
     stats: AlgorithmStats | None = None,
     prune_streams: bool = False,
+    deadline: Deadline | None = None,
 ) -> list[Match]:
     """Evaluate ``pattern`` with the chosen (or planned) algorithm.
 
     ``prune_streams`` filters every node's stream by its DataGuide
     candidate positions first (see
     :func:`repro.twig.algorithms.common.build_streams`).
+
+    ``deadline`` is checked cooperatively inside every algorithm's main
+    loop; on expiry a
+    :class:`~repro.resilience.errors.DeadlineExceeded` is raised, with
+    whatever well-formed partial matches could be salvaged attached as
+    its ``partial``.
     """
     if algorithm is Algorithm.AUTO:
         algorithm = choose_algorithm(pattern)
@@ -66,7 +74,7 @@ def evaluate(
         validate_optional_pattern(pattern)
         skeleton = pattern.required_skeleton()
         skeleton_matches = evaluate(
-            skeleton, labeled, factory, algorithm, stats, prune_streams
+            skeleton, labeled, factory, algorithm, stats, prune_streams, deadline
         )
         return sort_matches(
             extend_with_optionals(
@@ -74,13 +82,15 @@ def evaluate(
             )
         )
     if algorithm is Algorithm.NAIVE:
-        return naive_match(pattern, labeled, factory.term_index, stats)
+        return naive_match(
+            pattern, labeled, factory.term_index, stats, deadline=deadline
+        )
     guide = labeled.guide if prune_streams else None
-    streams = build_streams(pattern, factory, guide)
+    streams = build_streams(pattern, factory, guide, deadline)
     if algorithm is Algorithm.PATH_STACK:
-        return path_stack_match(pattern, streams, stats)
+        return path_stack_match(pattern, streams, stats, deadline)
     if algorithm is Algorithm.STRUCTURAL_JOIN:
-        return structural_join_match(pattern, streams, stats)
+        return structural_join_match(pattern, streams, stats, deadline=deadline)
     if algorithm is Algorithm.TJFAST:
-        return tjfast_match(pattern, streams, factory.term_index, stats)
-    return twig_stack_match(pattern, streams, stats)
+        return tjfast_match(pattern, streams, factory.term_index, stats, deadline)
+    return twig_stack_match(pattern, streams, stats, deadline)

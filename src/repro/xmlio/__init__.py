@@ -16,6 +16,7 @@ from repro.xmlio.builder import TreeBuilder, parse_file, parse_string
 from repro.xmlio.errors import (
     SerializationError,
     XMLError,
+    XMLResourceLimitError,
     XMLSyntaxError,
     XMLWellFormednessError,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "Tokenizer",
     "TreeBuilder",
     "XMLError",
+    "XMLResourceLimitError",
     "XMLSyntaxError",
     "XMLWellFormednessError",
     "attribute_tag",

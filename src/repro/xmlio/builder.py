@@ -13,7 +13,7 @@ from repro.xmlio.events import (
     StartDocument,
     StartElement,
 )
-from repro.xmlio.parser import PullParser
+from repro.xmlio.parser import DEFAULT_MAX_DEPTH, DEFAULT_MAX_SIZE, PullParser
 from repro.xmlio.tree import Document, Element
 
 
@@ -79,31 +79,57 @@ class TreeBuilder:
         return Document(self._root, self._version, self._encoding, self._source_name)
 
 
-def parse_string(text: str, source_name: str = "<string>") -> Document:
-    """Parse XML ``text`` into a :class:`Document`."""
+def parse_string(
+    text: str,
+    source_name: str = "<string>",
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+    max_size: int | None = DEFAULT_MAX_SIZE,
+) -> Document:
+    """Parse XML ``text`` into a :class:`Document`.
+
+    ``max_depth``/``max_size`` bound nesting depth and input size
+    (``None`` disables either); violations raise
+    :class:`~repro.xmlio.errors.XMLResourceLimitError`.
+    """
     builder = TreeBuilder(source_name)
-    builder.feed_all(PullParser(text))
+    builder.feed_all(PullParser(text, max_depth, max_size))
     return builder.finish()
 
 
 def parse_file(
-    path: str | os.PathLike[str], encoding: str | None = None
+    path: str | os.PathLike[str],
+    encoding: str | None = None,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+    max_size: int | None = DEFAULT_MAX_SIZE,
 ) -> Document:
     """Parse the XML file at ``path`` into a :class:`Document`.
 
     With ``encoding=None`` (the default) the encoding is taken from the
     file's XML declaration when present (a BOM also wins), falling back
     to UTF-8 — so latin-1 exports that declare themselves parse without
-    any caller configuration.
+    any caller configuration.  ``max_depth``/``max_size`` as in
+    :func:`parse_string`; the size check runs on the raw bytes before
+    decoding, so an oversized file is rejected without the decode cost.
     """
     with open(path, "rb") as handle:
         raw = handle.read()
+    if max_size is not None and len(raw) > max_size:
+        from repro.xmlio.errors import XMLResourceLimitError
+
+        raise XMLResourceLimitError(
+            f"file {os.fspath(path)!r} of {len(raw)} bytes exceeds the"
+            f" {max_size}-byte limit",
+            limit=max_size,
+            actual=len(raw),
+        )
     if encoding is None:
         encoding = _sniff_encoding(raw)
     text = raw.decode(encoding)
     if text.startswith("﻿"):
         text = text[1:]
-    return parse_string(text, source_name=os.fspath(path))
+    return parse_string(
+        text, source_name=os.fspath(path), max_depth=max_depth, max_size=max_size
+    )
 
 
 def _sniff_encoding(raw: bytes) -> str:

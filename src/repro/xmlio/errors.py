@@ -40,3 +40,26 @@ class XMLWellFormednessError(XMLSyntaxError):
 
 class SerializationError(XMLError):
     """A tree cannot be rendered back to XML text (e.g. invalid tag name)."""
+
+
+class XMLResourceLimitError(XMLError):
+    """A document exceeded a configured resource limit.
+
+    Raised for inputs that are syntactically fine but operationally
+    dangerous: nesting deeper than ``max_depth`` (a recursion/stack
+    hazard for tree algorithms) or documents larger than ``max_size``.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the violated limit.
+    limit:
+        The configured ceiling.
+    actual:
+        The observed value that exceeded it (when known).
+    """
+
+    def __init__(self, message: str, limit: int = 0, actual: int = 0) -> None:
+        self.limit = limit
+        self.actual = actual
+        super().__init__(message)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-from repro.xmlio.errors import XMLWellFormednessError
+from repro.xmlio.errors import XMLResourceLimitError, XMLWellFormednessError
 from repro.xmlio.events import (
     Characters,
     Comment,
@@ -26,11 +26,38 @@ from repro.xmlio.events import (
 )
 from repro.xmlio.tokenizer import Tokenizer
 
+#: Default ceiling on element nesting depth.  Deep enough for any sane
+#: document, shallow enough that recursive tree algorithms downstream
+#: never approach the interpreter's recursion limit.
+DEFAULT_MAX_DEPTH = 512
+
+#: Default ceiling on input size in characters (64 MiB of text).
+DEFAULT_MAX_SIZE = 64 << 20
+
 
 class PullParser:
-    """Iterate well-formedness-checked parse events for an XML string."""
+    """Iterate well-formedness-checked parse events for an XML string.
 
-    def __init__(self, text: str) -> None:
+    ``max_depth`` and ``max_size`` bound the resources a hostile or
+    degenerate document can claim (pass ``None`` to disable either);
+    violations raise :class:`XMLResourceLimitError` before the document
+    is materialized into a tree.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        max_depth: int | None = DEFAULT_MAX_DEPTH,
+        max_size: int | None = DEFAULT_MAX_SIZE,
+    ) -> None:
+        if max_size is not None and len(text) > max_size:
+            raise XMLResourceLimitError(
+                f"document of {len(text)} characters exceeds the"
+                f" {max_size}-character limit",
+                limit=max_size,
+                actual=len(text),
+            )
+        self._max_depth = max_depth
         self._tokens: Iterable[Event] = Tokenizer(text)
 
     def __iter__(self) -> Iterator[Event]:
@@ -59,6 +86,17 @@ class PullParser:
                     )
                 saw_root = True
                 open_tags.append(event)
+                if (
+                    self._max_depth is not None
+                    and len(open_tags) > self._max_depth
+                ):
+                    raise XMLResourceLimitError(
+                        f"element <{event.tag}> nests deeper than the"
+                        f" {self._max_depth}-level limit"
+                        f" (line {event.line}, column {event.column})",
+                        limit=self._max_depth,
+                        actual=len(open_tags),
+                    )
             elif isinstance(event, EndElement):
                 if not open_tags:
                     raise XMLWellFormednessError(
@@ -97,6 +135,10 @@ class PullParser:
         yield EndDocument(last_line, last_column)
 
 
-def iter_events(text: str) -> Iterator[Event]:
+def iter_events(
+    text: str,
+    max_depth: int | None = DEFAULT_MAX_DEPTH,
+    max_size: int | None = DEFAULT_MAX_SIZE,
+) -> Iterator[Event]:
     """Convenience: iterate checked parse events for ``text``."""
-    return PullParser(text).events()
+    return PullParser(text, max_depth, max_size).events()

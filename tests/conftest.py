@@ -28,6 +28,15 @@ SMALL_XML = """<dblp>
 </dblp>"""
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    """Ensure no test leaves injected faults behind for its neighbors."""
+    yield
+    from repro.resilience import faults
+
+    faults.clear()
+
+
 @pytest.fixture(scope="session")
 def small_document():
     return parse_string(SMALL_XML)

@@ -1,0 +1,154 @@
+"""Deadline semantics: wall-clock, step budgets, forced exhaustion."""
+
+import pytest
+
+from repro.resilience.deadline import CLOCK_CHECK_INTERVAL, Deadline
+from repro.resilience.errors import DeadlineExceeded
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestWallClock:
+    def test_trips_when_time_runs_out(self):
+        clock = FakeClock()
+        deadline = Deadline(timeout_s=1.0, clock=clock)
+        deadline.check("site")  # well within budget
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceeded):
+            # Drain the countdown so the clock is consulted again.
+            for _ in range(CLOCK_CHECK_INTERVAL + 1):
+                deadline.check("site")
+        assert deadline.tripped
+
+    def test_first_check_consults_clock_immediately(self):
+        clock = FakeClock()
+        deadline = Deadline(timeout_s=1.0, clock=clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("site")
+
+    def test_clock_consulted_only_every_interval(self):
+        calls = []
+
+        class CountingClock(FakeClock):
+            def __call__(self):
+                calls.append(1)
+                return self.now
+
+        clock = CountingClock()
+        deadline = Deadline(timeout_s=100.0, clock=clock)
+        baseline = len(calls)  # construction reads the clock once
+        for _ in range(CLOCK_CHECK_INTERVAL * 3):
+            deadline.check("site")
+        consultations = len(calls) - baseline
+        assert consultations <= 4  # ~one per interval, not one per check
+
+    def test_exception_carries_site_and_elapsed(self):
+        clock = FakeClock()
+        deadline = Deadline(timeout_s=0.5, clock=clock)
+        clock.advance(0.75)
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("twig.twig_stack")
+        assert info.value.site == "twig.twig_stack"
+        assert info.value.elapsed_ms == pytest.approx(750.0)
+        assert "twig.twig_stack" in str(info.value)
+
+    def test_after_ms_constructor(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(250, clock=clock)
+        assert deadline.timeout_s == pytest.approx(0.25)
+        clock.advance(0.3)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+
+class TestStepBudget:
+    def test_trips_after_max_steps(self):
+        deadline = Deadline(max_steps=10)
+        for _ in range(10):
+            deadline.check("s")
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("s")
+        assert info.value.steps == 11
+        assert deadline.tripped
+
+    def test_cost_charges_multiple_steps(self):
+        deadline = Deadline(max_steps=10)
+        deadline.check("s", cost=10)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("s", cost=5)
+
+    def test_once_tripped_every_check_raises(self):
+        deadline = Deadline(max_steps=1)
+        deadline.check("s")
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("s")
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("s")
+
+
+class TestUnlimitedAndForced:
+    def test_unlimited_never_trips(self):
+        deadline = Deadline.none()
+        for _ in range(CLOCK_CHECK_INTERVAL * 4):
+            deadline.check("s")
+        assert not deadline.tripped
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_exhaust_forces_next_check_to_raise(self):
+        deadline = Deadline.none()
+        deadline.check("s")
+        deadline.exhaust()
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("s")
+        assert deadline.tripped
+
+
+class TestIntrospection:
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline(timeout_s=1.0, clock=clock)
+        clock.advance(0.4)
+        assert deadline.elapsed() == pytest.approx(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        clock.advance(1.0)
+        assert deadline.remaining() == 0.0
+
+    def test_expired_does_not_raise(self):
+        clock = FakeClock()
+        deadline = Deadline(timeout_s=0.1, clock=clock)
+        assert not deadline.expired()
+        clock.advance(0.2)
+        assert deadline.expired()
+        assert not deadline.tripped  # expired() observes, never raises
+
+    def test_near_signals_low_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(timeout_s=1.0, clock=clock)
+        assert not deadline.near()
+        clock.advance(0.8)  # 20% left < default 25% threshold
+        assert deadline.near()
+
+    def test_near_is_false_without_wall_limit(self):
+        deadline = Deadline(max_steps=100)
+        assert not deadline.near()
+        deadline.exhaust()
+        assert deadline.near()
+
+    def test_repr_mentions_limits(self):
+        deadline = Deadline(timeout_s=0.05, max_steps=7)
+        text = repr(deadline)
+        assert "50ms" in text and "max_steps=7" in text

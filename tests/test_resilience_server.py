@@ -1,0 +1,273 @@
+"""Admission control, error taxonomy, and overload behavior over HTTP."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.admission import AdmissionGate
+from repro.resilience.errors import Overloaded
+from repro.server.app import ServerConfig, make_server
+
+#: Deliberately tiny limits so overload is easy to provoke from a test.
+TIGHT_CONFIG = ServerConfig(
+    max_concurrency=1,
+    max_queue=0,
+    queue_timeout_s=0.05,
+    retry_after_s=2.0,
+    max_body_bytes=2048,
+)
+
+
+@pytest.fixture(scope="module")
+def base_url(small_db):
+    server = make_server(small_db, port=0, config=TIGHT_CONFIG)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def get(base_url, path):
+    try:
+        with urllib.request.urlopen(base_url + path, timeout=10) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+def post(base_url, path, payload):
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), error.headers
+
+
+class TestAdmissionGate:
+    def test_immediate_slots_up_to_capacity(self):
+        gate = AdmissionGate(capacity=2, max_queue=0)
+        gate.acquire()
+        gate.acquire()
+        with pytest.raises(Overloaded) as info:
+            gate.acquire()
+        assert info.value.retry_after == 1.0
+        gate.release()
+        gate.acquire()  # freed slot is reusable
+        gate.release()
+        gate.release()
+
+    def test_queue_timeout_sheds(self):
+        gate = AdmissionGate(
+            capacity=1, max_queue=1, queue_timeout_s=0.05, retry_after_s=3.0
+        )
+        gate.acquire()
+        started = time.perf_counter()
+        with pytest.raises(Overloaded) as info:
+            gate.acquire()
+        assert time.perf_counter() - started >= 0.04
+        assert info.value.retry_after == 3.0
+        assert gate.shed == 1
+        gate.release()
+
+    def test_waiter_gets_slot_on_release(self):
+        gate = AdmissionGate(capacity=1, max_queue=1, queue_timeout_s=2.0)
+        gate.acquire()
+        got = []
+
+        def wait_for_slot():
+            gate.acquire()
+            got.append(True)
+            gate.release()
+
+        waiter = threading.Thread(target=wait_for_slot)
+        waiter.start()
+        time.sleep(0.02)  # let the waiter park in the queue
+        gate.release()
+        waiter.join(timeout=2)
+        assert got == [True]
+        assert gate.shed == 0
+
+    def test_slot_context_manager_releases_on_error(self):
+        gate = AdmissionGate(capacity=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            with gate.slot():
+                assert gate.snapshot()["active"] == 1
+                raise RuntimeError("boom")
+        assert gate.snapshot()["active"] == 0
+
+    def test_snapshot(self):
+        gate = AdmissionGate(capacity=3, max_queue=7)
+        with gate.slot():
+            snap = gate.snapshot()
+        assert snap == {
+            "capacity": 3,
+            "active": 1,
+            "waiting": 0,
+            "max_queue": 7,
+            "shed": 0,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(capacity=0)
+        with pytest.raises(ValueError):
+            AdmissionGate(capacity=1, max_queue=-1)
+        gate = AdmissionGate(capacity=1)
+        with pytest.raises(RuntimeError):
+            gate.release()
+
+
+class TestOverload:
+    def test_shed_requests_get_429_with_retry_after(self, base_url):
+        barrier = threading.Barrier(4)
+        results = []
+
+        def hammer():
+            barrier.wait()
+            results.append(
+                post(base_url, "/api/search", {"query": "//article/author"})
+            )
+
+        with faults.injected("server.request", latency_s=0.15):
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+
+        statuses = [status for status, _, _ in results]
+        assert 200 in statuses  # the admitted request still succeeds
+        assert 429 in statuses  # the rest are shed, not stacked
+        assert 500 not in statuses
+        for status, data, headers in results:
+            if status == 429:
+                assert data["code"] == "overloaded"
+                assert int(headers["Retry-After"]) >= 2
+
+    @pytest.mark.slow
+    def test_sustained_load_never_500s(self, base_url):
+        """Hammer a capacity-1 server: every answer is a 200 or a clean 429."""
+        results = []
+        lock = threading.Lock()
+
+        def hammer():
+            for _ in range(5):
+                outcome = post(
+                    base_url, "/api/search", {"query": "//article/author", "k": 2}
+                )
+                with lock:
+                    results.append(outcome)
+
+        with faults.injected("server.request", latency_s=0.02):
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+
+        statuses = {status for status, _, _ in results}
+        assert statuses <= {200, 429}
+        assert len(results) == 40
+
+
+class TestErrorTaxonomy:
+    def test_internal_errors_do_not_leak(self, base_url):
+        with faults.injected(
+            "server.request", error=RuntimeError("secret internal state")
+        ):
+            status, data, _ = post(
+                base_url, "/api/search", {"query": "//article"}
+            )
+        assert status == 500
+        assert data == {"error": "internal error", "code": "internal"}
+        assert "secret" not in json.dumps(data)
+
+    def test_internal_errors_on_get_do_not_leak(self, base_url):
+        with faults.injected(
+            "server.request", error=RuntimeError("secret internal state")
+        ):
+            status, data, _ = get(base_url, "/api/stats")
+        assert status == 500
+        assert data == {"error": "internal error", "code": "internal"}
+
+    def test_oversized_body_is_413(self, base_url):
+        big = {"query": "//article", "padding": "x" * 4096}
+        status, data, _ = post(base_url, "/api/search", big)
+        assert status == 413
+        assert data["code"] == "payload_too_large"
+
+    def test_bad_query_is_400_with_code(self, base_url):
+        status, data, _ = post(base_url, "/api/search", {"query": "//bad[["})
+        assert status == 400
+        assert data["code"] == "bad_request"
+
+    def test_not_found_has_code(self, base_url):
+        status, data, _ = get(base_url, "/api/nope")
+        assert status == 404
+        assert data["code"] == "not_found"
+
+
+class TestValidation:
+    def test_k_zero_rejected(self, base_url):
+        status, data, _ = post(
+            base_url, "/api/search", {"query": "//article", "k": 0}
+        )
+        assert status == 400
+        assert "'k' must be >= 1" in data["error"]
+
+    def test_k_negative_rejected(self, base_url):
+        status, data, _ = post(
+            base_url, "/api/keyword", {"query": "jiaheng", "k": -3}
+        )
+        assert status == 400
+
+    def test_huge_k_is_clamped_not_rejected(self, base_url):
+        status, data, _ = post(
+            base_url, "/api/search", {"query": "//article/author", "k": 10**9}
+        )
+        assert status == 200
+        assert data["total_matches"] == 3
+
+    def test_k_must_be_an_integer(self, base_url):
+        status, data, _ = post(
+            base_url, "/api/search", {"query": "//article", "k": "ten"}
+        )
+        assert status == 400
+
+    def test_timeout_ms_zero_rejected(self, base_url):
+        status, data, _ = post(
+            base_url, "/api/search", {"query": "//article", "timeout_ms": 0}
+        )
+        assert status == 400
+        assert "timeout_ms" in data["error"]
+
+    def test_timeout_ms_accepted(self, base_url):
+        status, data, _ = post(
+            base_url,
+            "/api/search",
+            {"query": "//article/author", "timeout_ms": 30_000},
+        )
+        assert status == 200
+        assert data["truncated"] is False
+
+    def test_complete_reports_truncation_field(self, base_url):
+        status, data, _ = post(
+            base_url, "/api/complete", {"kind": "tag", "prefix": "a"}
+        )
+        assert status == 200
+        assert data["truncated"] is False
+        assert data["candidates"]

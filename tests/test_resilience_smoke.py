@@ -1,0 +1,86 @@
+"""The acceptance scenario: a tight deadline on an adversarial twig over
+a generated Treebank corpus yields a fast, truncated — but well-formed —
+HTTP 200, not a timeout error."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.datasets import generate_treebank_xml
+from repro.engine.database import LotusXDatabase
+from repro.server.app import make_server
+
+#: Deep recursive nesting makes ``//NP//NP//NP//NP`` explode: thousands
+#: of matches whose enumeration and ranking far exceed a 50ms budget.
+ADVERSARIAL_QUERY = "//NP//NP//NP//NP"
+
+
+@pytest.fixture(scope="module")
+def treebank_db():
+    return LotusXDatabase.from_string(
+        generate_treebank_xml(sentences=120, seed=7, max_depth=14)
+    )
+
+
+@pytest.fixture(scope="module")
+def base_url(treebank_db):
+    server = make_server(treebank_db, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def post(base_url, path, payload):
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_direct_search_truncates_within_budget(treebank_db):
+    response = treebank_db.search(ADVERSARIAL_QUERY, k=10, timeout_ms=50)
+    assert response.truncated is True
+    assert "deadline" in response.degraded
+    assert len(response.results) <= 10
+    # Whatever made it through is well-formed and scored.
+    for result in response.results:
+        assert result.match.assignments
+        assert result.score.combined >= 0.0
+
+
+def test_http_search_with_tight_deadline_is_fast_200(base_url):
+    started = time.perf_counter()
+    status, data = post(
+        base_url,
+        "/api/search",
+        {"query": ADVERSARIAL_QUERY, "k": 10, "timeout_ms": 50},
+    )
+    elapsed = time.perf_counter() - started
+    assert status == 200
+    assert data["truncated"] is True
+    assert "deadline" in data["degraded"]
+    assert len(data["results"]) <= 10
+    # ~2x the 50ms deadline plus generous scheduling slack.
+    assert elapsed < 0.5
+
+
+def test_generous_deadline_is_not_truncated(base_url):
+    status, data = post(
+        base_url,
+        "/api/search",
+        {"query": "//NP/VP", "k": 5, "timeout_ms": 30_000},
+    )
+    assert status == 200
+    assert data["truncated"] is False
+    assert data["degraded"] == []

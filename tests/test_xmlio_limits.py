@@ -1,0 +1,78 @@
+"""Resource limits in the XML layer: nesting depth and document size."""
+
+import pytest
+
+from repro.xmlio import XMLResourceLimitError
+from repro.xmlio.builder import parse_file, parse_string
+from repro.xmlio.parser import DEFAULT_MAX_DEPTH, PullParser, iter_events
+
+
+def nested(depth: int) -> str:
+    return "<a>" * depth + "</a>" * depth
+
+
+class TestDepth:
+    def test_default_rejects_degenerate_nesting(self):
+        with pytest.raises(XMLResourceLimitError) as info:
+            parse_string(nested(DEFAULT_MAX_DEPTH + 1))
+        assert info.value.limit == DEFAULT_MAX_DEPTH
+
+    def test_default_allows_deep_but_sane_nesting(self):
+        document = parse_string(nested(DEFAULT_MAX_DEPTH))
+        assert document.root.tag == "a"
+
+    def test_custom_limit(self):
+        text = "<a><b><c/></b></a>"
+        with pytest.raises(XMLResourceLimitError):
+            parse_string(text, max_depth=2)
+        assert parse_string(text, max_depth=3).root.tag == "a"
+
+    def test_none_disables_the_check(self):
+        document = parse_string(nested(DEFAULT_MAX_DEPTH + 50), max_depth=None)
+        assert document.root.tag == "a"
+
+    def test_limit_applies_before_tree_materialization(self):
+        # The pull parser itself raises, so even streaming consumers
+        # (labeling, indexing) are protected.
+        parser = PullParser(nested(5), max_depth=3)
+        with pytest.raises(XMLResourceLimitError):
+            list(parser)
+
+    def test_iter_events_forwards_limits(self):
+        with pytest.raises(XMLResourceLimitError):
+            list(iter_events(nested(5), max_depth=3))
+
+
+class TestSize:
+    def test_oversized_string_rejected(self):
+        with pytest.raises(XMLResourceLimitError) as info:
+            parse_string("<a>hello</a>", max_size=5)
+        assert info.value.limit == 5
+        assert info.value.actual == len("<a>hello</a>")
+
+    def test_size_none_disables_the_check(self):
+        assert parse_string("<a>hello</a>", max_size=None).root.tag == "a"
+
+    def test_oversized_file_rejected_before_decode(self, tmp_path):
+        path = tmp_path / "big.xml"
+        path.write_text("<a>" + "x" * 100 + "</a>")
+        with pytest.raises(XMLResourceLimitError) as info:
+            parse_file(path, max_size=50)
+        assert "bytes" in str(info.value)
+
+    def test_file_within_limit_parses(self, tmp_path):
+        path = tmp_path / "ok.xml"
+        path.write_text("<a>fine</a>")
+        assert parse_file(path, max_size=1024).root.tag == "a"
+
+
+class TestErrorShape:
+    def test_is_an_xml_error(self):
+        from repro.xmlio.errors import XMLError
+
+        assert issubclass(XMLResourceLimitError, XMLError)
+
+    def test_carries_limit_and_actual(self):
+        error = XMLResourceLimitError("too big", limit=10, actual=20)
+        assert error.limit == 10
+        assert error.actual == 20
