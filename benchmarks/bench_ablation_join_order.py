@@ -19,6 +19,8 @@ from repro.twig.algorithms.structural_join import structural_join_match
 from repro.twig.match import sort_matches
 from repro.twig.parse import parse_twig
 
+from conftest import shape_check
+
 #: Wide branch listed first, selective branch second — preorder's worst case.
 QUERIES = [
     ("wide-then-rare", '//item[./description//text][./location="china"]'),
@@ -81,6 +83,6 @@ def test_ablation_join_order(xmark_db, benchmark, capsys):
 
     # Shape checks: greedy never does more intermediate work, and wins
     # strictly on the wide-branch-first twigs.
-    assert all(row[3] <= row[2] for row in rows)
+    shape_check(all(row[3] <= row[2] for row in rows))
     adversarial = [row for row in rows if row[0] != "rare-first-control"]
-    assert any(row[3] < row[2] for row in adversarial)
+    shape_check(any(row[3] < row[2] for row in adversarial))

@@ -19,6 +19,8 @@ from collections import deque
 from repro.bench.harness import print_table
 from repro.rewrite.rules import default_rules
 
+from conftest import shape_check
+
 BROKEN_QUERIES = [
     ("wrong-tag", "//article/writer"),
     ("wrong-axis", "//dblp/author"),
@@ -115,7 +117,7 @@ def test_ablation_rewrite_search_order(dblp_db, benchmark, capsys):
     numeric = [row for row in rows if row[1] != "-"]
     for row in numeric:
         if row[3] != "-":
-            assert row[1] <= row[3]
+            shape_check(row[1] <= row[3])
         if row[5] != "-":
-            assert row[1] <= row[5]
-    assert any(row[5] != "-" and row[5] > row[1] for row in numeric)
+            shape_check(row[1] <= row[5])
+    shape_check(any(row[5] != "-" and row[5] > row[1] for row in numeric))

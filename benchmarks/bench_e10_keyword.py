@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.bench.harness import print_table, time_call
 from repro.keyword.slca import find_slcas
 
-from conftest import DBLP_SIZES
+from conftest import DBLP_SIZES, shape_check
 
 QUERIES = [
     ("1 term", "xml"),
@@ -66,7 +66,9 @@ def test_e10_keyword_search(dblp_dbs, benchmark, capsys):
 
     # Shape checks: interactive latency everywhere; conjunctive semantics
     # shrink the answer set as terms are added.
-    assert all(row[4] < 200 for row in rows)
+    shape_check(all(row[4] < 200 for row in rows))
     for size in DBLP_SIZES:
         by_label = {row[1]: row[2] for row in rows if row[0] == size}
-        assert by_label["3 terms"] <= by_label["2 terms"] <= by_label["1 term"]
+        shape_check(
+            by_label["3 terms"] <= by_label["2 terms"] <= by_label["1 term"]
+        )

@@ -23,6 +23,8 @@ from repro.twig.algorithms.twig_stack import twig_stack_match
 from repro.twig.match import sort_matches
 from repro.twig.parse import parse_twig
 
+from conftest import shape_check
+
 import pytest
 
 #: (corpus, query) pairs; xmark exercises schema-shaped data, treebank
@@ -108,7 +110,7 @@ def test_e11_guide_pruning(xmark_db, treebank_db, benchmark, capsys):
 
     # Shape checks: pruning never inflates streams or intermediates, and
     # on the recursive corpus it cuts streams substantially somewhere.
-    assert all(row[4] <= row[3] for row in rows)
-    assert all(row[6] <= row[5] for row in rows)
+    shape_check(all(row[4] <= row[3] for row in rows))
+    shape_check(all(row[6] <= row[5] for row in rows))
     treebank_rows = [row for row in rows if row[0] == "treebank"]
-    assert any(row[4] < row[3] * 0.8 for row in treebank_rows)
+    shape_check(any(row[4] < row[3] * 0.8 for row in treebank_rows))

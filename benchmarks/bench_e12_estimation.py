@@ -19,6 +19,8 @@ import statistics
 from repro.bench.harness import print_table, time_call
 from repro.twig.estimate import estimate_cardinality, q_error
 
+from conftest import shape_check
+
 #: (corpus, class, query)
 WORKLOAD = [
     ("dblp", "structural", "//article/author"),
@@ -77,11 +79,11 @@ def test_e12_estimation_accuracy(dblp_db, xmark_db, benchmark, capsys):
 
     # Shape checks.
     structural = errors_by_class["structural"]
-    assert statistics.median(structural) < 1.2
-    assert statistics.median(errors_by_class["equality"]) < 2.0
+    shape_check(statistics.median(structural) < 1.2)
+    shape_check(statistics.median(errors_by_class["equality"]) < 2.0)
     # Everything stays within two orders of magnitude — usable for
     # planning even on the hard classes.
-    assert max(max(errors) for errors in errors_by_class.values()) < 100
+    shape_check(max(max(errors) for errors in errors_by_class.values()) < 100)
 
     # Estimation is orders of magnitude cheaper than evaluation.
     estimate_time = time_call(

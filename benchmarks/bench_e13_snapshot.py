@@ -1,0 +1,115 @@
+"""E13: snapshot persistence — cold build vs warm start.
+
+A server start from XML pays parse + label + term index + completion
+index on every boot; a start from a snapshot pays a checksum pass over
+the file and then inflates sections lazily as queries touch them.  This
+experiment records, per corpus: the cold-build time, the snapshot save
+time and file size, the (lazy) snapshot load time, the first query after
+a lazy load (which inflates the sections it needs), and a fully eager
+load.  The headline number is ``cold_s / load_s`` — the warm-start
+speedup — which must be at least 10x on the generated corpora.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import print_table
+from repro.datasets import generate_dblp, generate_treebank
+from repro.engine.database import LotusXDatabase
+from repro.engine.store import load_snapshot, save_snapshot
+from repro.xmlio.builder import parse_string
+from repro.xmlio.serializer import serialize
+
+from conftest import DBLP_SIZES, shape_check
+
+#: (corpus name, document factory, probe query) — the probe runs once
+#: after a lazy load to price the deferred inflation a first request pays.
+def _corpora():
+    yield (
+        f"dblp-{DBLP_SIZES[-1]}",
+        generate_dblp(publications=DBLP_SIZES[-1], seed=42),
+        '//article[./title]/author',
+    )
+    yield (
+        f"treebank-{DBLP_SIZES[-2]}",
+        generate_treebank(sentences=DBLP_SIZES[-2], seed=17),
+        "//S//NP/NN",
+    )
+
+
+def test_e13_snapshot_vs_cold_build(tmp_path, benchmark, capsys):
+    rows = []
+    speedups = []
+    for name, document, probe in _corpora():
+        xml_text = serialize(document)
+
+        started = time.perf_counter()
+        cold_db = LotusXDatabase(parse_string(xml_text))
+        cold_s = time.perf_counter() - started
+
+        path = tmp_path / f"{name}.lxsnap"
+        started = time.perf_counter()
+        info = save_snapshot(cold_db, path)
+        save_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        lazy_db = load_snapshot(path)
+        load_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        lazy_matches = lazy_db.matches(probe)
+        first_query_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        eager_db = load_snapshot(path, eager=True)
+        eager_s = time.perf_counter() - started
+
+        # Correctness at every scale: the loaded database answers exactly
+        # like the one that was saved.
+        assert len(lazy_matches) == len(cold_db.matches(probe))
+        assert len(eager_db.labeled) == len(cold_db.labeled)
+
+        speedup = cold_s / max(load_s, 1e-9)
+        speedups.append(speedup)
+        rows.append(
+            [
+                name,
+                info.element_count,
+                round(info.size_bytes / 1e6, 2),
+                round(cold_s * 1000, 1),
+                round(save_s * 1000, 1),
+                round(load_s * 1000, 2),
+                round(first_query_s * 1000, 1),
+                round(eager_s * 1000, 1),
+                round(speedup, 1),
+            ]
+        )
+
+    # pytest-benchmark timing: the lazy load path on the DBLP snapshot.
+    dblp_path = tmp_path / f"dblp-{DBLP_SIZES[-1]}.lxsnap"
+    benchmark(load_snapshot, dblp_path)
+
+    with capsys.disabled():
+        print_table(
+            [
+                "corpus",
+                "elements",
+                "snapshot_mb",
+                "cold_ms",
+                "save_ms",
+                "load_ms",
+                "first_query_ms",
+                "eager_ms",
+                "speedup",
+            ],
+            rows,
+            title="\nE13: cold build vs snapshot warm start",
+        )
+
+    # The acceptance bar: loading a snapshot (integrity-verified, query
+    # ready via lazy inflation) is at least 10x faster than a cold build.
+    shape_check(
+        min(speedups) >= 10.0,
+        f"snapshot load speedups {speedups} fell below 10x",
+    )

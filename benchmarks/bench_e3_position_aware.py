@@ -19,6 +19,8 @@ from __future__ import annotations
 from repro.bench.harness import print_table
 from repro.twig.parse import parse_twig
 
+from conftest import shape_check
+
 K = 10
 
 #: (corpus, context query, anchor description).  The anchor is the pattern
@@ -82,8 +84,8 @@ def test_e3_tag_completion_precision(dblp_db, xmark_db, benchmark, capsys):
 
     # Shape checks: aware sets are strictly smaller; the blind top-k is
     # polluted in most contexts.
-    assert all(row[2] < row[3] for row in rows)
-    assert sum(1 for row in rows if row[4] < 1.0) >= len(rows) // 2
+    shape_check(all(row[2] < row[3] for row in rows))
+    shape_check(sum(1 for row in rows if row[4] < 1.0) >= len(rows) // 2)
 
 
 def test_e3_value_completion_scoping(dblp_db, xmark_db, benchmark, capsys):
@@ -115,4 +117,4 @@ def test_e3_value_completion_scoping(dblp_db, xmark_db, benchmark, capsys):
             title="\nE3b: value completion — position-aware vs global baseline",
         )
 
-    assert all(row[2] < row[3] for row in rows)
+    shape_check(all(row[2] < row[3] for row in rows))

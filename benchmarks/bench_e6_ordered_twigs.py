@@ -15,6 +15,8 @@ from repro.twig.algorithms.common import build_streams
 from repro.twig.algorithms.twig_stack import twig_stack_match
 from repro.twig.match import satisfies_order
 
+from conftest import shape_check
+
 
 def test_e6_ordered_overhead(dblp_db, benchmark, capsys):
     rows = []
@@ -74,5 +76,5 @@ def test_e6_ordered_overhead(dblp_db, benchmark, capsys):
         )
 
     # Shape checks: ordering only filters, and never explodes cost.
-    assert all(row[2] <= row[1] for row in rows)
-    assert all(row[4] < row[3] * 3 for row in rows)
+    shape_check(all(row[2] <= row[1] for row in rows))
+    shape_check(all(row[4] < row[3] * 3 for row in rows))

@@ -30,6 +30,8 @@ from repro.ranking.scorer import LotusXScorer
 from repro.twig.parse import parse_twig
 from repro.xmlio.tree import Document, Element
 
+from conftest import shape_check
+
 QUERY = '//record[.//field~"zenith"]//name'
 K = 10
 
@@ -134,10 +136,11 @@ def test_e7_ranking_quality(benchmark, capsys):
         )
 
     combined_ndcg = results["LotusX combined"][0]
-    assert combined_ndcg >= results["text-only"][0]
-    assert combined_ndcg >= results["structure-only"][0]
+    shape_check(combined_ndcg >= results["text-only"][0])
+    shape_check(combined_ndcg >= results["structure-only"][0])
     # And it must strictly beat at least one baseline (each is blind to
     # one planted distinction).
-    assert combined_ndcg > min(
-        results["text-only"][0], results["structure-only"][0]
+    shape_check(
+        combined_ndcg
+        > min(results["text-only"][0], results["structure-only"][0])
     )

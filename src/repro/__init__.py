@@ -26,6 +26,17 @@ Quickstart::
 from repro.engine.database import LotusXDatabase
 from repro.engine.results import SearchResponse, SearchResult
 from repro.engine.session import QueryBuilderSession, SessionError
+from repro.engine.store import (
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotInfo,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+    StoreError,
+    load_snapshot,
+    read_snapshot_info,
+    save_snapshot,
+)
 from repro.keyword import KeywordHit, KeywordResponse, keyword_search
 from repro.labeling import LabeledDocument, label_document
 from repro.resilience import (
@@ -60,12 +71,21 @@ __all__ = [
     "SearchResponse",
     "SearchResult",
     "SessionError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotInfo",
+    "SnapshotIntegrityError",
+    "SnapshotVersionError",
+    "StoreError",
     "TwigPattern",
     "TwigSyntaxError",
     "__version__",
     "keyword_search",
     "label_document",
+    "load_snapshot",
     "parse_file",
     "parse_string",
     "parse_twig",
+    "read_snapshot_info",
+    "save_snapshot",
 ]

@@ -13,7 +13,9 @@ Subcommands::
     lotusx profile dblp.xml '//article[./author][./year]'
     lotusx schema dblp.xml
     lotusx save dblp.xml ./dblp.store
+    lotusx index dblp.xml dblp.lxsnap
     lotusx serve dblp.xml --port 8080
+    lotusx serve --snapshot dblp.lxsnap --port 8080
 
 Global flag: ``--expand-attributes`` indexes attributes as queryable
 ``@name`` nodes for every corpus-reading subcommand.
@@ -122,8 +124,26 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument("corpus")
     save.add_argument("directory")
 
+    index = sub.add_parser(
+        "index", help="build the full index and write a snapshot file"
+    )
+    index.add_argument("corpus", help="XML file to index")
+    index.add_argument("snapshot", help="snapshot file to write")
+
     serve = sub.add_parser("serve", help="run the web GUI / JSON API")
-    serve.add_argument("corpus")
+    serve.add_argument(
+        "corpus",
+        nargs="?",
+        default=None,
+        help="XML file to index (or use --snapshot for a warm start)",
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="FILE",
+        help="warm-start from a snapshot written by 'lotusx index'"
+        " instead of indexing an XML corpus",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
@@ -149,9 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.engine.store import StoreError
+
     try:
         return _dispatch(args)
-    except (TwigSyntaxError, XMLError, OSError, ValueError) as exc:
+    except (TwigSyntaxError, XMLError, StoreError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -159,6 +181,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "index":
+        return _cmd_index(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     database = LotusXDatabase.from_file(
         args.corpus, expand_attributes=args.expand_attributes
     )
@@ -213,8 +239,6 @@ def _dispatch(args: argparse.Namespace) -> int:
         save_database(database, args.directory)
         print(f"saved to {args.directory}")
         return 0
-    if args.command == "serve":
-        return _cmd_serve(database, args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -306,8 +330,53 @@ def _cmd_keyword(database: LotusXDatabase, args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(database: LotusXDatabase, args: argparse.Namespace) -> int:
+def _cmd_index(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine.store import save_snapshot
+
+    started = time.perf_counter()
+    database = LotusXDatabase.from_file(
+        args.corpus, expand_attributes=args.expand_attributes
+    )
+    built = time.perf_counter() - started
+    info = save_snapshot(database, args.snapshot)
+    saved = time.perf_counter() - started - built
+    print(
+        f"indexed {info.element_count} elements ({info.path_count} paths)"
+        f" in {built:.2f}s"
+    )
+    print(
+        f"wrote {info.path} ({info.size_bytes / 1e6:.2f} MB) in {saved:.2f}s;"
+        f" warm-start with: lotusx serve --snapshot {info.path}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
     from repro.server.app import ServerConfig, serve
+    from repro.server.reload import DatabaseHolder, ReloadSource
+
+    if (args.corpus is None) == (args.snapshot is None):
+        raise ValueError("serve needs exactly one of: a corpus file, or --snapshot")
+
+    started = time.perf_counter()
+    if args.snapshot is not None:
+        from repro.engine.store import load_snapshot
+
+        database = load_snapshot(args.snapshot)
+        source = ReloadSource("snapshot", args.snapshot)
+        banner = f"snapshot {args.snapshot}"
+    else:
+        database = LotusXDatabase.from_file(
+            args.corpus, expand_attributes=args.expand_attributes
+        )
+        source = ReloadSource("xml", args.corpus, args.expand_attributes)
+        banner = f"corpus {args.corpus}"
+    holder = DatabaseHolder(database, source)
+    print(f"loaded {banner} in {time.perf_counter() - started:.2f}s")
 
     overrides = {}
     if args.max_concurrency is not None:
@@ -321,7 +390,7 @@ def _cmd_serve(database: LotusXDatabase, args: argparse.Namespace) -> int:
     config = ServerConfig(**overrides) if overrides else None
     print(f"LotusX serving http://{args.host}:{args.port}/  (Ctrl-C to stop)")
     try:
-        serve(database, args.host, args.port, config)
+        serve(holder, args.host, args.port, config)
     except KeyboardInterrupt:
         print("\nbye")
     return 0

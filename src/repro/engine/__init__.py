@@ -9,6 +9,19 @@ from repro.engine.results import (
     make_snippet,
 )
 from repro.engine.session import QueryBuilderSession, SessionError
+from repro.engine.store import (
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotInfo,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+    StoreError,
+    load_database,
+    load_snapshot,
+    read_snapshot_info,
+    save_database,
+    save_snapshot,
+)
 from repro.engine.translate import to_xpath, to_xquery
 
 __all__ = [
@@ -17,8 +30,19 @@ __all__ = [
     "SearchResponse",
     "SearchResult",
     "SessionError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotInfo",
+    "SnapshotIntegrityError",
+    "SnapshotVersionError",
+    "StoreError",
     "element_xpath",
+    "load_database",
+    "load_snapshot",
     "make_snippet",
+    "read_snapshot_info",
+    "save_database",
+    "save_snapshot",
     "to_xpath",
     "to_xquery",
 ]

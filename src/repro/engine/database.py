@@ -75,13 +75,37 @@ class LotusXDatabase:
         self.labeled: LabeledDocument = label_document(indexed_document)
         self.term_index = TermIndex(self.labeled)
         self.completion_index = CompletionIndex(self.labeled, self.term_index)
+        self._finish_wiring(scorer, synonyms)
+
+    def _finish_wiring(
+        self,
+        scorer: LotusXScorer | None,
+        synonyms: dict[str, tuple[str, ...]] | None,
+    ) -> None:
+        """Wire the query-time components on top of the built indexes.
+
+        Split out of ``__init__`` so snapshot loading — which restores
+        ``labeled``/``term_index``/``completion_index`` from disk instead
+        of building them — can reuse the exact same wiring.
+        """
         self.streams = StreamFactory(self.labeled, self.term_index)
         self.autocomplete = AutocompleteEngine(
             self.labeled.guide, self.completion_index
         )
         self.scorer = scorer or LotusXScorer()
+        #: Synonym table handed to the rewriter (persisted by snapshots so
+        #: a load rebuilds the identical rule set).
+        self._synonyms = synonyms
         self.rewriter = QueryRewriter(default_rules(self.labeled.guide, synonyms))
         self._match_cache: OrderedDict = OrderedDict()
+
+    def warm(self) -> LotusXDatabase:
+        """Force full materialization; returns ``self``.
+
+        A no-op on a built database — snapshot-loaded databases (which
+        inflate sections lazily) override this to inflate everything now.
+        """
+        return self
 
     # ------------------------------------------------------------------
     # Construction

@@ -1,31 +1,74 @@
 """On-disk persistence for LotusX databases.
 
-A saved database is a directory::
+Two formats live here:
 
-    <dir>/
-      manifest.json     format version, checksums, statistics
-      document.xml      canonical serialization of the corpus
-      dataguide.json    the structural summary (paths + counts)
-      child_table.json  CT(t) tables (extended-Dewey decode tables)
+**Snapshot files** (the fast path) — a single versioned, checksummed file
+holding the fully built database: the document tree, the labeled-element
+store (region / Dewey / extended-Dewey labels), the DataGuide and
+child-tag tables, the inverted term index, and every completion trie.
+:func:`load_snapshot` verifies integrity up front and then *materializes
+sections lazily*, so a server warm-starts in milliseconds and pays for
+each index the first time a query touches it (or all at once via
+``eager=True`` / :meth:`LotusXDatabase.warm`).  Nothing is re-parsed and
+nothing is re-derived — loading skips XML parsing and index construction
+entirely.
 
-Labels and inverted indexes are *derived* deterministically from the
-document, so loading re-runs the (fast, single-pass) index build and then
-**verifies** the rebuilt DataGuide and child tables against the stored
-ones — corruption or version skew is detected, never silently accepted.
+Snapshot file layout (all integers big-endian)::
+
+    6 bytes   magic  b"LXSNAP"
+    2 bytes   format version
+    2 bytes   flags (reserved, 0)
+    4 bytes   header length H
+    H bytes   header JSON: sections table (name/offset/length/sha256,
+              offsets relative to the data area) + meta (counts,
+              expand_attributes, synonyms, statistics)
+    ...       section blobs, each zlib-compressed pickle of
+              plain-container payloads
+    32 bytes  SHA-256 over every preceding byte
+
+Integrity is checked in a fixed order — magic, trailing digest, version,
+header — so corruption anywhere in the file (including the version field)
+surfaces as :class:`SnapshotIntegrityError`, a genuinely different
+version as :class:`SnapshotVersionError`, and a non-snapshot file as
+:class:`SnapshotFormatError`.  Section pickles are decoded by a
+restricted unpickler that only resolves ``repro.*`` classes.
+
+**Store directories** (the legacy verified-rebuild path) — a directory of
+document XML + JSON summaries; loading re-runs the index build and
+verifies the rebuilt summaries against the stored ones.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
+import pickle
+import struct
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.autocomplete.engine import AutocompleteEngine
 from repro.engine.database import LotusXDatabase
+from repro.index.completion_index import CompletionIndex
+from repro.index.element_index import StreamFactory
 from repro.index.statistics import compute_statistics
+from repro.index.term_index import TermIndex, _PostingList
+from repro.labeling.assign import LabeledDocument, LabeledElement
+from repro.labeling.dewey import Dewey
+from repro.labeling.extended_dewey import ExtendedDewey
+from repro.labeling.region import Region
+from repro.ranking.scorer import LotusXScorer
+from repro.rewrite.engine import QueryRewriter
+from repro.rewrite.rules import default_rules
 from repro.summary.paths import format_path
 from repro.xmlio.builder import parse_string
 from repro.xmlio.serializer import serialize
+from repro.xmlio.tree import Document
 
 FORMAT_VERSION = 1
 
@@ -37,6 +80,586 @@ _CHILD_TABLE = "child_table.json"
 
 class StoreError(RuntimeError):
     """A saved database directory is missing, corrupt, or incompatible."""
+
+
+# ======================================================================
+# Snapshot format
+# ======================================================================
+
+SNAPSHOT_MAGIC = b"LXSNAP"
+SNAPSHOT_VERSION = 1
+
+#: magic(6) + version(2) + flags(2) + header length(4)
+_PREFIX = struct.Struct(">6sHHI")
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
+
+class SnapshotError(StoreError):
+    """Base class for snapshot load/save failures."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """The file is not a snapshot, or its structure cannot be parsed."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The snapshot uses a format version this build does not support."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """The snapshot is truncated or corrupted (checksum mismatch)."""
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Metadata about a snapshot file (no sections are materialized)."""
+
+    path: str
+    version: int
+    size_bytes: int
+    element_count: int
+    path_count: int
+    expand_attributes: bool
+    section_sizes: dict[str, int]
+    sha256: str
+
+
+# ----------------------------------------------------------------------
+# Restricted unpickling
+# ----------------------------------------------------------------------
+
+#: Non-``repro`` globals the section payloads are allowed to reference.
+_ALLOWED_GLOBALS = {("collections", "OrderedDict")}
+
+
+class _SnapshotUnpickler(pickle.Unpickler):
+    """Resolves only ``repro.*`` classes (plus a tiny stdlib allowlist).
+
+    Snapshot payloads are trusted once the file digest verifies, but a
+    format bug should fail loudly as a snapshot error rather than import
+    and execute arbitrary globals.
+    """
+
+    def find_class(self, module: str, name: str):
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        if (module, name) in _ALLOWED_GLOBALS:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"snapshot payload references disallowed global {module}.{name}"
+        )
+
+
+def _dumps_section(payload) -> bytes:
+    return zlib.compress(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL), 6
+    )
+
+
+def _loads_section(blob: bytes, name: str):
+    try:
+        data = zlib.decompress(blob)
+        return _SnapshotUnpickler(io.BytesIO(data)).load()
+    except (
+        zlib.error,
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        KeyError,
+        TypeError,
+        ValueError,
+    ) as exc:
+        raise SnapshotFormatError(
+            f"snapshot section {name!r} cannot be decoded: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Section codecs
+#
+# Payloads are plain containers (lists, dicts, tuples, ints, strings)
+# wherever object counts are large — unpickling containers runs at C
+# speed, while per-object Python callbacks dominate load time at the
+# ~100k-object scale of a real corpus.  Small object graphs (the
+# document tree, the DataGuide) are pickled as-is.
+# ----------------------------------------------------------------------
+
+
+def _encode_labels(labeled: LabeledDocument) -> dict:
+    starts: list[int] = []
+    ends: list[int] = []
+    levels: list[int] = []
+    deweys: list[tuple[int, ...]] = []
+    xdeweys: list[tuple[int, ...]] = []
+    path_ids: list[int] = []
+    parent_orders: list[int] = []
+    for le in labeled.elements:
+        region = le.region
+        starts.append(region.start)
+        ends.append(region.end)
+        levels.append(region.level)
+        deweys.append(le.dewey.components)
+        xdeweys.append(le.xdewey.components)
+        path_ids.append(le.path_node.node_id)
+        parent_orders.append(le.parent.order if le.parent is not None else -1)
+    return {
+        "starts": starts,
+        "ends": ends,
+        "levels": levels,
+        "deweys": deweys,
+        "xdeweys": xdeweys,
+        "path_ids": path_ids,
+        "parent_orders": parent_orders,
+        "guide": labeled.guide,
+        "child_table": labeled.child_table,
+    }
+
+
+def _decode_labels(payload: dict, document: Document) -> LabeledDocument:
+    guide = payload["guide"]
+    starts = payload["starts"]
+    ends = payload["ends"]
+    levels = payload["levels"]
+    deweys = payload["deweys"]
+    xdeweys = payload["xdeweys"]
+    path_ids = payload["path_ids"]
+
+    tree_elements = list(document.iter())
+    if len(tree_elements) != len(starts):
+        raise SnapshotFormatError(
+            "label store does not match the document tree "
+            f"({len(starts)} labels, {len(tree_elements)} elements)"
+        )
+
+    # Hot loop over every element: bypass the label constructors (their
+    # validation already held when the snapshot was written) and attach
+    # components with object.__setattr__, dodging the immutability guard.
+    new = object.__new__
+    setattr_raw = object.__setattr__
+    node_of = guide.node
+    elements: list[LabeledElement] = []
+    append = elements.append
+    for i, element in enumerate(tree_elements):
+        dewey = new(Dewey)
+        setattr_raw(dewey, "components", deweys[i])
+        xdewey = new(ExtendedDewey)
+        setattr_raw(xdewey, "components", xdeweys[i])
+        append(
+            LabeledElement(
+                element,
+                i,
+                Region(starts[i], ends[i], levels[i]),
+                dewey,
+                xdewey,
+                node_of(path_ids[i]),
+                None,
+            )
+        )
+    for i, parent_order in enumerate(payload["parent_orders"]):
+        if parent_order >= 0:
+            elements[i].parent = elements[parent_order]
+    return LabeledDocument(document, guide, payload["child_table"], elements)
+
+
+def _encode_terms(index: TermIndex) -> dict:
+    return {
+        "postings": {
+            term: (plist.orders, plist.tfs)
+            for term, plist in index._postings.items()
+        },
+        "values": index._value_postings,
+        "numeric": index._numeric,
+        "token_counts": index._token_counts,
+        "subtree_end": index._subtree_end,
+        "total_tokens": index._total_tokens,
+    }
+
+
+def _decode_terms(payload: dict, labeled: LabeledDocument) -> TermIndex:
+    index = object.__new__(TermIndex)
+    index._labeled = labeled
+    postings: dict[str, _PostingList] = {}
+    for term, (orders, tfs) in payload["postings"].items():
+        plist = object.__new__(_PostingList)
+        plist.orders = orders
+        plist.tfs = tfs
+        postings[term] = plist
+    index._postings = postings
+    index._value_postings = payload["values"]
+    index._numeric = payload["numeric"]
+    index._token_counts = payload["token_counts"]
+    index._subtree_end = payload["subtree_end"]
+    index._total_tokens = payload["total_tokens"]
+    return index
+
+
+def _encode_completion(index: CompletionIndex) -> dict:
+    return {
+        "tag": index.tag_trie,
+        "global_token": index.global_token_trie,
+        "global_value": index.global_value_trie,
+        "path_token": index._path_token_tries,
+        "path_value": index._path_value_tries,
+    }
+
+
+def _decode_completion(
+    payload: dict, labeled: LabeledDocument, term_index: TermIndex
+) -> CompletionIndex:
+    index = object.__new__(CompletionIndex)
+    index._labeled = labeled
+    index._term_index = term_index
+    index.tag_trie = payload["tag"]
+    index.global_token_trie = payload["global_token"]
+    index.global_value_trie = payload["global_value"]
+    index._path_token_tries = payload["path_token"]
+    index._path_value_tries = payload["path_value"]
+    return index
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+
+
+def save_snapshot(
+    database: LotusXDatabase, path: str | os.PathLike[str]
+) -> SnapshotInfo:
+    """Write ``database`` to a single snapshot file at ``path``.
+
+    The write is atomic (temp file + rename), so a crash never leaves a
+    half-written snapshot where a valid one was expected.  Returns a
+    :class:`SnapshotInfo` describing the file.
+    """
+    database = database.warm()
+    sections: list[tuple[str, bytes]] = [
+        ("document", _dumps_section(database.document))
+    ]
+    if database.labeled.document is not database.document:
+        # expand_attributes indexes a shadow tree; persist both so the
+        # load restores the pristine/indexed split exactly.
+        sections.append(
+            ("indexed_document", _dumps_section(database.labeled.document))
+        )
+    sections.append(("labels", _dumps_section(_encode_labels(database.labeled))))
+    sections.append(("terms", _dumps_section(_encode_terms(database.term_index))))
+    sections.append(
+        ("completion", _dumps_section(_encode_completion(database.completion_index)))
+    )
+
+    synonyms = database._synonyms
+    meta = {
+        "element_count": len(database.labeled),
+        "path_count": len(database.labeled.guide),
+        "expand_attributes": database.expanded_attributes,
+        "synonyms": (
+            {term: list(alts) for term, alts in synonyms.items()}
+            if synonyms
+            else None
+        ),
+        "source_name": database.document.source_name,
+        "statistics": compute_statistics(
+            database.labeled, database.term_index
+        ).as_dict(),
+    }
+
+    table = []
+    offset = 0
+    for name, blob in sections:
+        table.append(
+            {
+                "name": name,
+                "offset": offset,
+                "length": len(blob),
+                "sha256": hashlib.sha256(blob).hexdigest(),
+            }
+        )
+        offset += len(blob)
+    header = json.dumps(
+        {"sections": table, "meta": meta}, sort_keys=True
+    ).encode("utf-8")
+
+    buffer = bytearray()
+    buffer += _PREFIX.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0, len(header))
+    buffer += header
+    for _, blob in sections:
+        buffer += blob
+    digest = hashlib.sha256(bytes(buffer)).digest()
+    buffer += digest
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(target.name + ".tmp")
+    try:
+        temp.write_bytes(bytes(buffer))
+        os.replace(temp, target)
+    finally:
+        temp.unlink(missing_ok=True)
+
+    return SnapshotInfo(
+        path=str(target),
+        version=SNAPSHOT_VERSION,
+        size_bytes=len(buffer),
+        element_count=meta["element_count"],
+        path_count=meta["path_count"],
+        expand_attributes=meta["expand_attributes"],
+        section_sizes={entry["name"]: entry["length"] for entry in table},
+        sha256=digest.hex(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+
+def _verify_snapshot_bytes(data: bytes, source: str) -> tuple[dict, int]:
+    """Run the fixed check order (magic → digest → version → header) and
+    return ``(header, data_area_offset)``."""
+    if not data.startswith(SNAPSHOT_MAGIC):
+        raise SnapshotFormatError(f"{source}: not a LotusX snapshot file")
+    if len(data) < _PREFIX.size + _DIGEST_SIZE:
+        raise SnapshotIntegrityError(f"{source}: snapshot is truncated")
+    digest = hashlib.sha256(data[:-_DIGEST_SIZE]).digest()
+    if digest != data[-_DIGEST_SIZE:]:
+        raise SnapshotIntegrityError(
+            f"{source}: checksum mismatch — the snapshot is truncated or corrupt"
+        )
+    _, version, _flags, header_length = _PREFIX.unpack_from(data)
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotVersionError(
+            f"{source}: unsupported snapshot version {version} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    header_start = _PREFIX.size
+    data_start = header_start + header_length
+    if data_start > len(data) - _DIGEST_SIZE:
+        raise SnapshotFormatError(f"{source}: header overruns the file")
+    try:
+        header = json.loads(data[header_start:data_start].decode("utf-8"))
+        sections = header["sections"]
+        header["meta"]
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SnapshotFormatError(f"{source}: malformed snapshot header: {exc}") from exc
+    data_end = len(data) - _DIGEST_SIZE
+    for entry in sections:
+        try:
+            start = data_start + entry["offset"]
+            stop = start + entry["length"]
+            entry["name"]
+        except (KeyError, TypeError) as exc:
+            raise SnapshotFormatError(
+                f"{source}: malformed section table entry: {exc}"
+            ) from exc
+        if not (data_start <= start <= stop <= data_end):
+            raise SnapshotFormatError(
+                f"{source}: section {entry['name']!r} overruns the file"
+            )
+    return header, data_start
+
+
+def _read_snapshot_file(path: str | os.PathLike[str]) -> bytes:
+    try:
+        return Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+
+
+def read_snapshot_info(path: str | os.PathLike[str]) -> SnapshotInfo:
+    """Verify ``path`` and return its metadata without materializing
+    any sections."""
+    data = _read_snapshot_file(path)
+    header, _ = _verify_snapshot_bytes(data, str(path))
+    meta = header["meta"]
+    return SnapshotInfo(
+        path=str(path),
+        version=SNAPSHOT_VERSION,
+        size_bytes=len(data),
+        element_count=meta["element_count"],
+        path_count=meta["path_count"],
+        expand_attributes=bool(meta["expand_attributes"]),
+        section_sizes={
+            entry["name"]: entry["length"] for entry in header["sections"]
+        },
+        sha256=data[-_DIGEST_SIZE:].hex(),
+    )
+
+
+class _SnapshotReader:
+    """Verified snapshot bytes plus the parsed section table."""
+
+    def __init__(self, data: bytes, source: str) -> None:
+        header, data_start = _verify_snapshot_bytes(data, source)
+        self._data = data
+        self._source = source
+        self._data_start = data_start
+        self._sections = {entry["name"]: entry for entry in header["sections"]}
+        self.meta = header["meta"]
+
+    def has(self, name: str) -> bool:
+        return name in self._sections
+
+    def payload(self, name: str):
+        entry = self._sections.get(name)
+        if entry is None:
+            raise SnapshotFormatError(
+                f"{self._source}: snapshot has no {name!r} section"
+            )
+        start = self._data_start + entry["offset"]
+        blob = self._data[start : start + entry["length"]]
+        return _loads_section(blob, name)
+
+
+class _SnapshotDatabase(LotusXDatabase):
+    """A database whose components inflate lazily from a snapshot.
+
+    The snapshot's integrity was fully verified at construction; after
+    that each section is decoded at most once, the first time a query
+    needs it (thread-safe), or all at once via :meth:`warm`.
+    """
+
+    def __init__(
+        self,
+        reader: _SnapshotReader,
+        scorer: LotusXScorer | None,
+        synonyms: dict[str, tuple[str, ...]] | None,
+        expand_attributes: bool,
+    ) -> None:
+        # Deliberately no super().__init__ — that path *builds* indexes.
+        self._reader = reader
+        self._parts: dict[str, object] = {}
+        self._inflate_lock = threading.RLock()
+        self.expanded_attributes = expand_attributes
+        self.scorer = scorer or LotusXScorer()
+        self._synonyms = synonyms
+        self._match_cache: OrderedDict = OrderedDict()
+
+    def _part(self, name: str, build):
+        value = self._parts.get(name)
+        if value is None:
+            with self._inflate_lock:
+                value = self._parts.get(name)
+                if value is None:
+                    value = build()
+                    self._parts[name] = value
+        return value
+
+    # Data descriptors shadow the attributes the base __init__ would
+    # assign; each one decodes its section on first access.
+
+    @property
+    def document(self) -> Document:
+        return self._part("document", lambda: self._reader.payload("document"))
+
+    @property
+    def labeled(self) -> LabeledDocument:
+        return self._part("labeled", self._build_labeled)
+
+    def _build_labeled(self) -> LabeledDocument:
+        if self._reader.has("indexed_document"):
+            tree = self._reader.payload("indexed_document")
+        else:
+            tree = self.document
+        return _decode_labels(self._reader.payload("labels"), tree)
+
+    @property
+    def term_index(self) -> TermIndex:
+        return self._part(
+            "term_index",
+            lambda: _decode_terms(self._reader.payload("terms"), self.labeled),
+        )
+
+    @property
+    def completion_index(self) -> CompletionIndex:
+        return self._part(
+            "completion_index",
+            lambda: _decode_completion(
+                self._reader.payload("completion"), self.labeled, self.term_index
+            ),
+        )
+
+    @property
+    def streams(self) -> StreamFactory:
+        return self._part(
+            "streams", lambda: StreamFactory(self.labeled, self.term_index)
+        )
+
+    @property
+    def autocomplete(self) -> AutocompleteEngine:
+        return self._part(
+            "autocomplete",
+            lambda: AutocompleteEngine(self.labeled.guide, self.completion_index),
+        )
+
+    @property
+    def rewriter(self) -> QueryRewriter:
+        return self._part(
+            "rewriter",
+            lambda: QueryRewriter(
+                default_rules(self.labeled.guide, self._synonyms)
+            ),
+        )
+
+    def warm(self) -> LotusXDatabase:
+        """Materialize every section now; returns ``self``."""
+        self.document
+        self.labeled
+        self.term_index
+        self.completion_index
+        self.streams
+        self.autocomplete
+        self.rewriter
+        return self
+
+    def __repr__(self) -> str:
+        if "labeled" not in self._parts:
+            return "LotusXDatabase(snapshot, lazy)"
+        return super().__repr__()
+
+
+def load_snapshot(
+    path: str | os.PathLike[str],
+    scorer: LotusXScorer | None = None,
+    eager: bool = False,
+) -> LotusXDatabase:
+    """Load a snapshot written by :func:`save_snapshot`.
+
+    The whole file is read and its checksum verified before anything is
+    decoded; sections then materialize lazily on first use (pass
+    ``eager=True`` — or call :meth:`LotusXDatabase.warm` — to inflate
+    everything immediately, e.g. before putting a server into rotation).
+
+    Raises
+    ------
+    SnapshotFormatError
+        Not a snapshot file, or its structure cannot be parsed.
+    SnapshotIntegrityError
+        Truncated or corrupted file (checksum mismatch).
+    SnapshotVersionError
+        A format version this build does not support.
+    """
+    data = _read_snapshot_file(path)
+    reader = _SnapshotReader(data, str(path))
+    meta = reader.meta
+    raw_synonyms = meta.get("synonyms")
+    synonyms = (
+        {term: tuple(alts) for term, alts in raw_synonyms.items()}
+        if raw_synonyms
+        else None
+    )
+    database = _SnapshotDatabase(
+        reader, scorer, synonyms, bool(meta.get("expand_attributes", False))
+    )
+    if eager:
+        database.warm()
+    return database
+
+
+# ======================================================================
+# Legacy directory store (verified rebuild)
+# ======================================================================
 
 
 def save_database(database: LotusXDatabase, directory: str | os.PathLike[str]) -> None:

@@ -96,6 +96,18 @@ class LabeledDocument:
         self.decoder = ExtendedDeweyDecoder(child_table, document.root.tag)
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        # _by_element_id is keyed by id(), which is not stable across
+        # processes; drop it (and the other derived tables) and rebuild.
+        return (self.document, self.guide, self.child_table, self.elements)
+
+    def __setstate__(self, state) -> None:
+        self.__init__(*state)
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 

@@ -111,6 +111,11 @@ class Dewey:
     def __hash__(self) -> int:
         return hash(self.components)
 
+    def __reduce__(self):
+        # The immutability guard (__setattr__ raises) breaks pickle's
+        # default slot-state protocol; reconstruct through __init__.
+        return (Dewey, (self.components,))
+
     def __repr__(self) -> str:
         return f"Dewey({self.components!r})"
 

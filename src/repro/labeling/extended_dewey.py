@@ -76,6 +76,11 @@ class ExtendedDewey:
     def __hash__(self) -> int:
         return hash(self.components)
 
+    def __reduce__(self):
+        # The immutability guard (__setattr__ raises) breaks pickle's
+        # default slot-state protocol; reconstruct through __init__.
+        return (ExtendedDewey, (self.components,))
+
     def __repr__(self) -> str:
         return f"ExtendedDewey({self.components!r})"
 

@@ -16,6 +16,7 @@ path                     method  handler
 ``/api/complete``        POST    position-aware tag/value completion
 ``/api/search``          POST    ranked search with rewriting
 ``/api/explain``         POST    evaluation plan
+``/api/reload``          POST    hot-swap rebuild from the serving source
 =======================  ======  ========================================
 
 Every API request runs behind the resilience layer:
@@ -32,6 +33,13 @@ Every API request runs behind the resilience layer:
   ``code``; oversized bodies are 413; overload is 429; unexpected
   failures are logged server-side and answered with a *generic* 500
   (internals never leak to clients).
+
+The serving database sits behind a :class:`DatabaseHolder`: handlers
+bind ``holder.current`` once per request, and ``POST /api/reload``
+builds a replacement from the configured source and swaps it in
+atomically — in-flight requests finish against the generation they
+started with (see :mod:`repro.server.reload`).  The reload itself runs
+*outside* the admission gate so a rebuild never consumes query capacity.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ from repro.resilience.admission import AdmissionGate
 from repro.resilience.errors import Overloaded, PayloadTooLarge, ResilienceError
 from repro.resilience.faults import fault_point
 from repro.server import api
+from repro.server.reload import DatabaseHolder, ReloadInProgress, ReloadUnavailable
 from repro.server.ui import INDEX_HTML
 
 log = logging.getLogger("repro.server")
@@ -91,17 +100,25 @@ class ServerConfig:
 
 
 def make_handler(
-    database: LotusXDatabase,
+    database: LotusXDatabase | DatabaseHolder,
     config: ServerConfig | None = None,
     gate: AdmissionGate | None = None,
 ) -> type[BaseHTTPRequestHandler]:
     """Build a request-handler class bound to ``database``.
 
-    All requests to the same server share one admission ``gate`` (pass
-    one explicitly to share it across servers or observe it in tests).
+    ``database`` may be a bare :class:`LotusXDatabase` or a
+    :class:`DatabaseHolder` (which additionally enables
+    ``POST /api/reload``).  All requests to the same server share one
+    admission ``gate`` (pass one explicitly to share it across servers
+    or observe it in tests).
     """
     config = config if config is not None else ServerConfig()
     gate = gate if gate is not None else config.make_gate()
+    holder = (
+        database
+        if isinstance(database, DatabaseHolder)
+        else DatabaseHolder(database)
+    )
 
     class LotusXHandler(BaseHTTPRequestHandler):
         server_version = "LotusX/0.1"
@@ -109,6 +126,7 @@ def make_handler(
         #: Exposed for tests/monitoring.
         server_config = config
         admission_gate = gate
+        database_holder = holder
 
         # ------------------------------------------------------------------
 
@@ -133,11 +151,22 @@ def make_handler(
 
             def run() -> dict:
                 fault_point("server.request")
-                return handler(database)
+                # Bind one generation for the whole request; a concurrent
+                # reload swap never changes the database mid-handler.
+                current, generation = holder.snapshot()
+                result = handler(current)
+                if handler is api.handle_stats:
+                    result["generation"] = generation
+                return result
 
             self._run_guarded(run)
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path == "/api/reload":
+                # Outside the admission gate: a rebuild must not occupy
+                # (or wait for) a query slot.
+                self._handle_reload()
+                return
             handlers = {
                 "/api/complete": api.handle_complete,
                 "/api/search": api.handle_search,
@@ -160,11 +189,35 @@ def make_handler(
                     max_ms=config.max_timeout_ms,
                 )
                 fault_point("server.request", deadline)
+                current = holder.current
                 if handler is api.handle_explain:
-                    return handler(database, payload)
-                return handler(database, payload, deadline)
+                    return handler(current, payload)
+                return handler(current, payload, deadline)
 
             self._run_guarded(run)
+
+        def _handle_reload(self) -> None:
+            """Rebuild from the configured source and swap atomically.
+
+            Reloads only re-read the source the server was started with
+            — clients cannot point the server at other files.
+            """
+            try:
+                result = self.database_holder.reload()
+                status, payload = 200, result
+            except ReloadUnavailable as exc:
+                status = 400
+                payload = {"error": str(exc), "code": "reload_unavailable"}
+            except ReloadInProgress as exc:
+                status = 409
+                payload = {"error": str(exc), "code": "reload_in_progress"}
+            except Exception:
+                # A failed build leaves the old generation serving; log
+                # the cause server-side, answer with a generic error.
+                log.exception("reload failed; still serving old generation")
+                status = 500
+                payload = {"error": "reload failed", "code": "reload_failed"}
+            self._send_json(status, payload)
 
         # ------------------------------------------------------------------
 
@@ -242,7 +295,7 @@ def make_handler(
 
 
 def serve(
-    database: LotusXDatabase,
+    database: LotusXDatabase | DatabaseHolder,
     host: str = "127.0.0.1",
     port: int = 8080,
     config: ServerConfig | None = None,
@@ -256,7 +309,7 @@ def serve(
 
 
 def make_server(
-    database: LotusXDatabase,
+    database: LotusXDatabase | DatabaseHolder,
     host: str = "127.0.0.1",
     port: int = 0,
     config: ServerConfig | None = None,

@@ -1,0 +1,64 @@
+"""Benchmark smoke tests: every ``benchmarks/bench_*.py`` must *run*.
+
+Benchmarks are code too — imports rot, fixtures drift, and an API change
+can silently strand an experiment until someone next tries to reproduce
+a table.  Each test here runs one bench file in a subprocess with
+``LOTUSX_BENCH_SMOKE=1``, which shrinks every corpus to a toy size (see
+``benchmarks/conftest.py``): the run takes seconds, exercises the full
+code path, and skips only the scale-sensitive ``shape_check`` claims
+that are meaningless on toy data.
+
+Slow-marked: ``pytest -m slow tests/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_FILES = sorted(path.name for path in BENCH_DIR.glob("bench_*.py"))
+
+
+def test_bench_files_discovered():
+    # Guard the glob itself: an empty parametrize list would silently
+    # pass while covering nothing.
+    assert len(BENCH_FILES) >= 16
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench_file", BENCH_FILES)
+def test_bench_runs_at_smoke_scale(bench_file: str) -> None:
+    env = os.environ.copy()
+    env["LOTUSX_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            bench_file,
+            "-q",
+            "-x",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-disable",
+        ],
+        cwd=BENCH_DIR,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{bench_file} failed at smoke scale:\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )

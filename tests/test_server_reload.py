@@ -1,0 +1,220 @@
+"""Hot-swap reload: DatabaseHolder semantics and the /api/reload endpoint."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+from repro.engine.store import save_snapshot
+from repro.server.app import make_server
+from repro.server.reload import (
+    DatabaseHolder,
+    ReloadInProgress,
+    ReloadSource,
+    ReloadUnavailable,
+)
+
+from tests.conftest import SMALL_XML
+
+
+# ---------------------------------------------------------------------------
+# DatabaseHolder semantics
+# ---------------------------------------------------------------------------
+
+
+def test_holder_starts_at_generation_one(small_db):
+    holder = DatabaseHolder(small_db)
+    assert holder.generation == 1
+    assert holder.current is small_db
+    assert holder.snapshot() == (small_db, 1)
+
+
+def test_swap_bumps_generation_and_keeps_old_reference(small_db):
+    holder = DatabaseHolder(small_db)
+    old = holder.current
+    replacement = LotusXDatabase.from_string(SMALL_XML)
+    assert holder.swap(replacement) == 2
+    assert holder.current is replacement
+    assert holder.generation == 2
+    # The old generation stays fully usable: in-flight requests that
+    # bound it before the swap finish against it.
+    assert old.matches("//article/author") == small_db.matches("//article/author")
+
+
+def test_reload_without_source_raises(small_db):
+    holder = DatabaseHolder(small_db)
+    with pytest.raises(ReloadUnavailable):
+        holder.reload()
+    assert holder.generation == 1
+
+
+def test_reload_from_xml_source(small_db, tmp_path):
+    corpus = tmp_path / "small.xml"
+    corpus.write_text(SMALL_XML, encoding="utf-8")
+    holder = DatabaseHolder(small_db, ReloadSource("xml", str(corpus)))
+    summary = holder.reload()
+    assert summary["generation"] == 2
+    assert summary["source"] == "xml"
+    assert summary["elements"] == len(small_db.labeled)
+    assert holder.current is not small_db
+    assert holder.current.matches("//article/author") == small_db.matches(
+        "//article/author"
+    )
+
+
+def test_reload_from_snapshot_source(small_db, tmp_path):
+    path = tmp_path / "small.lxsnap"
+    save_snapshot(small_db, path)
+    holder = DatabaseHolder(small_db, ReloadSource("snapshot", str(path)))
+    summary = holder.reload()
+    assert summary["generation"] == 2
+    assert summary["source"] == "snapshot"
+    # Snapshot reloads come up eager: query-ready without lazy inflation.
+    assert "labeled" in holder.current._parts
+
+
+def test_concurrent_reload_fails_fast(small_db, tmp_path):
+    corpus = tmp_path / "small.xml"
+    corpus.write_text(SMALL_XML, encoding="utf-8")
+
+    release = threading.Event()
+    entered = threading.Event()
+
+    class _SlowSource(ReloadSource):
+        def build(self) -> LotusXDatabase:
+            entered.set()
+            release.wait(timeout=10)
+            return super().build()
+
+    holder = DatabaseHolder(small_db, _SlowSource("xml", str(corpus)))
+    worker = threading.Thread(target=holder.reload)
+    worker.start()
+    try:
+        assert entered.wait(timeout=10)
+        with pytest.raises(ReloadInProgress):
+            holder.reload()
+        # The losing request changed nothing.
+        assert holder.generation == 1
+    finally:
+        release.set()
+        worker.join(timeout=10)
+    assert holder.generation == 2
+
+
+def test_unknown_source_kind_rejected():
+    with pytest.raises(ValueError):
+        ReloadSource("directory", "/tmp/x")
+
+
+# ---------------------------------------------------------------------------
+# /api/reload over HTTP
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served(small_db, tmp_path_factory):
+    corpus = tmp_path_factory.mktemp("reload") / "small.xml"
+    corpus.write_text(SMALL_XML, encoding="utf-8")
+    holder = DatabaseHolder(small_db, ReloadSource("xml", str(corpus)))
+    server = make_server(holder, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", holder
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def post(base_url, path, payload):
+    request = urllib.request.Request(
+        base_url + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get_json(base_url, path):
+    with urllib.request.urlopen(base_url + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def test_stats_reports_generation(served):
+    base_url, holder = served
+    assert get_json(base_url, "/api/stats")["generation"] == holder.generation
+
+
+def test_reload_endpoint_swaps_and_serving_continues(served):
+    base_url, holder = served
+    before = holder.generation
+    status, data = post(base_url, "/api/reload", {})
+    assert status == 200
+    assert data["generation"] == before + 1
+    assert data["source"] == "xml"
+    assert get_json(base_url, "/api/stats")["generation"] == before + 1
+    status, data = post(base_url, "/api/search", {"query": "//article/author"})
+    assert status == 200
+    assert data["total_matches"] == 3
+
+
+def test_reload_conflict_is_409(served):
+    base_url, holder = served
+    # Hold the reload lock as a stand-in for a slow in-progress build.
+    assert holder._reload_lock.acquire(blocking=False)
+    try:
+        status, data = post(base_url, "/api/reload", {})
+    finally:
+        holder._reload_lock.release()
+    assert status == 409
+    assert data["code"] == "reload_in_progress"
+
+
+def test_reload_without_source_is_400(small_db):
+    server = make_server(small_db, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    try:
+        status, data = post(base_url, "/api/reload", {})
+        assert status == 400
+        assert data["code"] == "reload_unavailable"
+        # A bare database is still served under generation 1.
+        assert get_json(base_url, "/api/stats")["generation"] == 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def test_in_flight_request_survives_reload(served):
+    """A request that bound the old generation finishes correctly even if
+    a reload swaps mid-request."""
+    base_url, holder = served
+    old, generation = holder.snapshot()
+    results = []
+
+    def slow_query():
+        # Simulates a handler that bound `current` before the swap.
+        time.sleep(0.05)
+        results.append(old.matches("//article/author"))
+
+    worker = threading.Thread(target=slow_query)
+    worker.start()
+    status, _ = post(base_url, "/api/reload", {})
+    assert status == 200
+    worker.join(timeout=10)
+    assert len(results[0]) == 3
+    assert holder.generation == generation + 1
