@@ -1,0 +1,180 @@
+"""E14 (Table): columnar stream kernels vs object-stream matching.
+
+Gates the columnar rebuild of the twig hot path: every matching
+algorithm re-run against per-tag ``array('q')`` label columns with
+``seek_ge`` skip pointers must (a) return exactly the matches of its
+object-stream twin on every workload query and (b) deliver a >= 3x
+median speedup on the planner-chosen algorithm over the E4-class XMark
+workload.  Also prints the compiled-plan cache effect (hit vs recompile)
+as an informational table.
+
+Results are persisted via ``record_bench`` (``BENCH_e14_columnar.json``)
+for the nightly artifact upload.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.harness import print_table, record_bench, time_call
+from repro.bench.workloads import XMARK_QUERIES
+from repro.twig.algorithms.common import build_columnar_streams, build_streams
+from repro.twig.algorithms.path_stack import (
+    path_stack_match,
+    path_stack_match_columnar,
+)
+from repro.twig.algorithms.structural_join import (
+    structural_join_match,
+    structural_join_match_columnar,
+)
+from repro.twig.algorithms.tjfast import tjfast_match, tjfast_match_columnar
+from repro.twig.algorithms.twig_stack import (
+    twig_stack_match,
+    twig_stack_match_columnar,
+)
+from repro.twig.match import sort_matches
+from repro.twig.planner import Algorithm
+
+from conftest import XMARK_SIZES, shape_check
+
+
+def _algorithm_runs(pattern, db, term_index):
+    """(name, object_fn, columnar_fn) per applicable algorithm."""
+    streams = build_streams(pattern, db.streams)
+    views = build_columnar_streams(pattern, db.streams)
+    runs = [
+        (
+            "twig",
+            lambda: twig_stack_match(pattern, streams),
+            lambda: twig_stack_match_columnar(pattern, views),
+        ),
+        (
+            "join",
+            lambda: structural_join_match(pattern, streams),
+            lambda: structural_join_match_columnar(pattern, views),
+        ),
+        (
+            "tjfast",
+            lambda: tjfast_match(pattern, streams, term_index),
+            lambda: tjfast_match_columnar(pattern, views, term_index),
+        ),
+    ]
+    if pattern.is_path():
+        runs.append(
+            (
+                "path",
+                lambda: path_stack_match(pattern, streams),
+                lambda: path_stack_match_columnar(pattern, views),
+            )
+        )
+    return runs
+
+
+def test_e14_columnar_vs_object(xmark_dbs, benchmark, capsys):
+    db = xmark_dbs[XMARK_SIZES[-1]]
+    term_index = db.term_index
+    rows = []
+    planned_ratios = []
+    for query in XMARK_QUERIES:
+        pattern = query.pattern()
+        planned = "path" if pattern.is_path() else "twig"
+        for name, object_fn, columnar_fn in _algorithm_runs(
+            pattern, db, term_index
+        ):
+            # Correctness first: identical answers, then identical timing
+            # protocol (median of 3) for both representations.
+            object_matches = sort_matches(object_fn())
+            columnar_matches = sort_matches(columnar_fn())
+            assert object_matches == columnar_matches, (
+                f"columnar {name} disagrees on {query.name}"
+            )
+            object_seconds = time_call(object_fn)
+            columnar_seconds = time_call(columnar_fn)
+            ratio = object_seconds / columnar_seconds if columnar_seconds else float("inf")
+            if name == planned:
+                planned_ratios.append(ratio)
+            rows.append(
+                [
+                    query.name,
+                    query.query_class,
+                    name,
+                    len(object_matches),
+                    object_seconds * 1000,
+                    columnar_seconds * 1000,
+                    ratio,
+                ]
+            )
+
+    deep = next(q for q in XMARK_QUERIES if q.query_class == "deep-twig")
+    deep_pattern = deep.pattern()
+    deep_views = build_columnar_streams(deep_pattern, db.streams)
+    benchmark(lambda: twig_stack_match_columnar(deep_pattern, deep_views))
+
+    headers = [
+        "query",
+        "class",
+        "algorithm",
+        "matches",
+        "object_ms",
+        "columnar_ms",
+        "speedup",
+    ]
+    with capsys.disabled():
+        print_table(
+            headers,
+            rows,
+            title="\nE14: columnar vs object-stream matching"
+            f" (XMark items={XMARK_SIZES[-1]})",
+        )
+    record_bench(
+        "e14_columnar",
+        headers,
+        rows,
+        meta={"items": XMARK_SIZES[-1], "repeats": 3},
+    )
+
+    # The tentpole gate: >= 3x median speedup for the planner-chosen
+    # algorithm across the E4-class workload.
+    median_ratio = statistics.median(planned_ratios)
+    shape_check(
+        median_ratio >= 3.0,
+        f"columnar median speedup {median_ratio:.2f}x < 3x",
+    )
+    # Columnar must never lose badly on any (query, algorithm) cell.
+    shape_check(all(row[-1] > 0.5 for row in rows))
+
+
+def test_e14_plan_cache_effect(xmark_dbs, capsys):
+    """Informational: compiled-plan cache hit vs full recompile."""
+    db = xmark_dbs[XMARK_SIZES[-1]]
+    rows = []
+    for query in XMARK_QUERIES:
+        pattern = db.parse_query(query.text)
+
+        def run_cold():
+            db._plan_cache.clear()
+            db._evaluate(pattern, Algorithm.AUTO, None, False, None)
+
+        def run_warm():
+            db._evaluate(pattern, Algorithm.AUTO, None, False, None)
+
+        run_warm()  # prime
+        cold = time_call(run_cold)
+        warm = time_call(run_warm)
+        rows.append(
+            [
+                query.name,
+                cold * 1000,
+                warm * 1000,
+                cold / warm if warm else float("inf"),
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            ["query", "recompile_ms", "plan_hit_ms", "speedup"],
+            rows,
+            title="\nE14: compiled-plan cache effect (informational)",
+        )
+    # A plan hit skips stream building entirely, so it can never be
+    # slower than recompiling in aggregate.
+    shape_check(sum(row[1] for row in rows) > sum(row[2] for row in rows))

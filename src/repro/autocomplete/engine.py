@@ -18,6 +18,8 @@ comparison benchmark.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.autocomplete.candidates import Candidate, CandidateKind
 from repro.autocomplete.context import candidate_positions
 from repro.autocomplete.scoring import candidate_score
@@ -33,11 +35,50 @@ _SAMPLE_PATHS = 3
 
 
 class AutocompleteEngine:
-    """Position-aware tag and value completion over one indexed corpus."""
+    """Position-aware tag and value completion over one indexed corpus.
+
+    Completions are LRU-cached by their full request identity (pattern
+    signature, anchor node, normalized prefix, axis, ``k`` …): a user
+    typing a prefix character-by-character re-asks highly overlapping
+    questions, and the corpus is immutable for the engine's lifetime.
+    The cache lives on the engine instance, and the engine lives on the
+    database instance, so a hot reload — which swaps in a whole new
+    database — drops it wholesale.  Truncated (deadline-tripped) results
+    are never cached.
+    """
+
+    #: Entries kept in the completion LRU cache.
+    CACHE_SIZE = 256
 
     def __init__(self, guide: DataGuide, completion_index: CompletionIndex) -> None:
         self._guide = guide
         self._completions = completion_index
+        self._cache: OrderedDict = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def cache_info(self) -> dict:
+        """Size and hit/miss counters of the completion cache."""
+        return {
+            "entries": len(self._cache),
+            "max_size": self.CACHE_SIZE,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+        }
+
+    def _cache_get(self, key) -> list[Candidate] | None:
+        cached = self._cache.get(key)
+        if cached is None:
+            self._cache_misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self._cache_hits += 1
+        return list(cached)
+
+    def _cache_put(self, key, value: list[Candidate]) -> None:
+        self._cache[key] = value
+        if len(self._cache) > self.CACHE_SIZE:
+            self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Tag completion
@@ -62,9 +103,25 @@ class AutocompleteEngine:
 
         A ``deadline`` expiring mid-enumeration degrades gracefully: the
         candidates gathered so far are ranked and returned (the caller can
-        observe ``deadline.tripped`` to report truncation).
+        observe ``deadline.tripped`` to report truncation).  Deadline-
+        carrying calls bypass the completion cache entirely — their
+        results may be truncated, and their cooperative checkpoints must
+        stay live.
         """
         normalized = prefix.strip().lower()
+        use_cache = deadline is None
+        if use_cache:
+            cache_key = (
+                "tag",
+                pattern.signature() if pattern is not None else None,
+                anchor.node_id if anchor is not None else None,
+                normalized,
+                axis,
+                k,
+            )
+            cached = self._cache_get(cache_key)
+            if cached is not None:
+                return cached
         pool: dict[str, int] = {}
         anchor_positions: set[PathNode] | None = None
         try:
@@ -90,7 +147,10 @@ class AutocompleteEngine:
             # Rank whatever made it into the pool before the budget ran
             # out; ``deadline.tripped`` marks the truncation.
             pass
-        return self._rank_tags(pool, normalized, k, anchor_positions, axis)
+        result = self._rank_tags(pool, normalized, k, anchor_positions, axis)
+        if use_cache:
+            self._cache_put(cache_key, list(result))
+        return result
 
     def complete_tag_global(self, prefix: str = "", k: int = 10) -> list[Candidate]:
         """Position-blind tag completion (baseline for experiment E3)."""
@@ -174,9 +234,23 @@ class AutocompleteEngine:
 
         A ``deadline`` expiring while positions are gathered degrades to
         completing over the positions collected so far
-        (``deadline.tripped`` marks the truncation).
+        (``deadline.tripped`` marks the truncation).  As with tag
+        completion, deadline-carrying calls bypass the cache.
         """
         normalized = prefix.strip().lower()
+        use_cache = deadline is None
+        if use_cache:
+            cache_key = (
+                "value",
+                pattern.signature(),
+                node.node_id,
+                normalized,
+                k,
+                whole_values,
+            )
+            cached = self._cache_get(cache_key)
+            if cached is not None:
+                return cached
         path_ids: list[int] = []
         try:
             positions = candidate_positions(pattern, self._guide)
@@ -194,7 +268,7 @@ class AutocompleteEngine:
         else:
             ranked = self._completions.complete_token_at(path_ids, normalized, k)
             kind = CandidateKind.TERM
-        return [
+        result = [
             Candidate(
                 text=value,
                 kind=kind,
@@ -203,6 +277,9 @@ class AutocompleteEngine:
             )
             for value, count in ranked
         ]
+        if use_cache:
+            self._cache_put(cache_key, list(result))
+        return result
 
     def complete_value_global(
         self, prefix: str, k: int = 10, whole_values: bool = True

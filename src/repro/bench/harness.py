@@ -8,6 +8,8 @@ verbatim.
 
 from __future__ import annotations
 
+import json
+import os
 import statistics
 import time
 from collections.abc import Callable, Iterable, Sequence
@@ -57,6 +59,42 @@ def _cell(value: object) -> str:
             return f"{value:.2f}"
         return f"{value:.4f}"
     return str(value)
+
+
+def record_bench(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    meta: dict | None = None,
+) -> str:
+    """Persist a bench table as ``BENCH_<name>.json`` and return the path.
+
+    Written into the current directory (the bench run's cwd) unless
+    ``LOTUSX_BENCH_DIR`` overrides it; CI uploads the ``BENCH_*.json``
+    files as artifacts so nightly numbers can be compared across runs.
+    The payload records whether smoke mode was active — toy-corpus
+    numbers must never be mistaken for real measurements.
+    """
+    payload = {
+        "name": name,
+        "headers": list(headers),
+        "rows": [[_json_value(value) for value in row] for row in rows],
+        "smoke": os.environ.get("LOTUSX_BENCH_SMOKE") == "1",
+        "meta": dict(meta) if meta else {},
+    }
+    directory = os.environ.get("LOTUSX_BENCH_DIR", ".")
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def _json_value(value: object) -> object:
+    """NaN/inf are not valid JSON; everything else passes through."""
+    if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+        return None
+    return value
 
 
 def speedup(baseline: float, improved: float) -> str:

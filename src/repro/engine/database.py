@@ -45,7 +45,7 @@ from repro.twig.algorithms.common import AlgorithmStats
 from repro.twig.match import Match, sort_matches
 from repro.twig.parse import parse_twig
 from repro.twig.pattern import Axis, QueryNode, TwigPattern
-from repro.twig.planner import Algorithm, evaluate
+from repro.twig.planner import Algorithm, compile_plan, execute_plan
 from repro.xmlio.builder import parse_file, parse_string
 from repro.xmlio.tree import Document, Element
 
@@ -97,7 +97,33 @@ class LotusXDatabase:
         #: a load rebuilds the identical rule set).
         self._synonyms = synonyms
         self.rewriter = QueryRewriter(default_rules(self.labeled.guide, synonyms))
+        self._init_runtime_caches()
+
+    def _init_runtime_caches(self) -> None:
+        """Per-instance query caches and their hit/miss counters.
+
+        Called by both construction paths (full build and snapshot load).
+        Every cache lives on the database instance, so a hot reload —
+        which swaps in a whole new instance — drops them all at once;
+        the plan cache additionally keys on :attr:`serving_generation`
+        for defense in depth.
+        """
         self._match_cache: OrderedDict = OrderedDict()
+        self._plan_cache: OrderedDict = OrderedDict()
+        self._parse_cache: OrderedDict = OrderedDict()
+        #: Stamped by the serving layer (``DatabaseHolder``); 0 means
+        #: "not behind a holder".
+        self.serving_generation = 0
+        self.counters: dict[str, int] = {
+            "match_cache_hits": 0,
+            "match_cache_misses": 0,
+            "plan_cache_hits": 0,
+            "plan_cache_misses": 0,
+            "parse_cache_hits": 0,
+            "parse_cache_misses": 0,
+            "columnar_evaluations": 0,
+            "fallback_evaluations": 0,
+        }
 
     def warm(self) -> LotusXDatabase:
         """Force full materialization; returns ``self``.
@@ -254,6 +280,64 @@ class LotusXDatabase:
 
     #: Entries kept in the per-database match cache.
     MATCH_CACHE_SIZE = 128
+    #: Entries kept in the compiled-plan cache.
+    PLAN_CACHE_SIZE = 256
+    #: Entries kept in the query-text parse cache.
+    PARSE_CACHE_SIZE = 256
+
+    def _evaluate(
+        self,
+        pattern: TwigPattern,
+        algorithm: Algorithm,
+        stats: AlgorithmStats | None,
+        prune_streams: bool,
+        deadline: Deadline | None,
+    ) -> list[Match]:
+        """Evaluate through the compiled-plan cache.
+
+        Plans pair the resolved algorithm with the per-node candidate
+        streams — the expensive, reusable half of evaluation; execution
+        (which holds all deadline checkpoints of the matching loops)
+        always runs fresh.  The cache key includes
+        :attr:`serving_generation`, and the cache itself dies with the
+        instance on hot reload, so a swapped-in corpus can never serve a
+        stale plan.  A compile failure (including a deadline trip while
+        building streams) propagates before anything is inserted.
+        """
+        key = (
+            pattern.signature(),
+            algorithm,
+            prune_streams,
+            self.serving_generation,
+        )
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            self.counters["plan_cache_hits"] += 1
+        else:
+            self.counters["plan_cache_misses"] += 1
+            # Compile against a private copy: callers may mutate their
+            # pattern after the call, but the cached plan must not see it.
+            plan = compile_plan(
+                pattern.copy(),
+                self.labeled,
+                self.streams,
+                algorithm,
+                prune_streams,
+                deadline,
+            )
+            self._plan_cache[key] = plan
+            if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
+                self._plan_cache.popitem(last=False)
+        run_stats = stats if stats is not None else AlgorithmStats()
+        matches = execute_plan(
+            plan, self.labeled, self.streams, run_stats, deadline
+        )
+        if run_stats.notes.get("columnar"):
+            self.counters["columnar_evaluations"] += 1
+        else:
+            self.counters["fallback_evaluations"] += 1
+        return matches
 
     def matches(
         self,
@@ -271,22 +355,17 @@ class LotusXDatabase:
         immutable), which keeps the GUI's live result counter free while
         the user toggles gestures back and forth.  Calls that want
         algorithm statistics — or carry a ``deadline``, whose partial
-        results must never poison the cache — bypass it.  On expiry the
-        raised :class:`DeadlineExceeded` carries the salvaged partial
-        matches, sorted, as its ``partial``.
+        results must never poison the cache — bypass it (though both
+        still share the compiled-plan cache, which holds streams, not
+        results).  On expiry the raised :class:`DeadlineExceeded` carries
+        the salvaged partial matches, sorted, as its ``partial``.
         """
         pattern = self._as_pattern(query)
         if stats is not None or deadline is not None:
             try:
                 return sort_matches(
-                    evaluate(
-                        pattern,
-                        self.labeled,
-                        self.streams,
-                        algorithm,
-                        stats,
-                        prune_streams,
-                        deadline,
+                    self._evaluate(
+                        pattern, algorithm, stats, prune_streams, deadline
                     )
                 )
             except DeadlineExceeded as exc:
@@ -297,11 +376,11 @@ class LotusXDatabase:
         cached = self._match_cache.get(key)
         if cached is not None:
             self._match_cache.move_to_end(key)
+            self.counters["match_cache_hits"] += 1
             return list(cached)
+        self.counters["match_cache_misses"] += 1
         result = sort_matches(
-            evaluate(
-                pattern, self.labeled, self.streams, algorithm, None, prune_streams
-            )
+            self._evaluate(pattern, algorithm, None, prune_streams, None)
         )
         self._match_cache[key] = result
         if len(self._match_cache) > self.MATCH_CACHE_SIZE:
@@ -341,12 +420,8 @@ class LotusXDatabase:
         degraded: list[str] = []
 
         def evaluator(candidate_pattern: TwigPattern) -> list[Match]:
-            return evaluate(
-                candidate_pattern,
-                self.labeled,
-                self.streams,
-                algorithm,
-                deadline=deadline,
+            return self._evaluate(
+                candidate_pattern, algorithm, None, False, deadline
             )
 
         from repro.rewrite.engine import RewriteCandidate
@@ -544,10 +619,55 @@ class LotusXDatabase:
 
     # ------------------------------------------------------------------
 
+    def cache_statistics(self) -> dict:
+        """Hit/miss counters and sizes of every per-instance cache.
+
+        Served by ``/api/stats``.  Deliberately side-effect free: on a
+        lazily inflating snapshot database, components that have not
+        materialized yet are reported as absent rather than inflated
+        just to be counted.
+        """
+        factory = self.__dict__.get("streams")
+        engine = self.__dict__.get("autocomplete")
+        if factory is None or engine is None:
+            parts = self.__dict__.get("_parts")
+            if parts is not None:
+                factory = factory or parts.get("streams")
+                engine = engine or parts.get("autocomplete")
+        return {
+            "counters": dict(self.counters),
+            "match_cache_entries": len(self._match_cache),
+            "plan_cache_entries": len(self._plan_cache),
+            "parse_cache_entries": len(self._parse_cache),
+            "serving_generation": self.serving_generation,
+            "columnar_enabled": (
+                factory.supports_columnar() if factory is not None else None
+            ),
+            "autocomplete_cache": (
+                engine.cache_info() if engine is not None else None
+            ),
+        }
+
     def _as_pattern(self, query: str | TwigPattern) -> TwigPattern:
+        """Parse ``query`` (memoized by text) or pass a pattern through.
+
+        The cache stores a private copy and hands out fresh copies:
+        callers are free to mutate what they get back, as with
+        ``parse_twig``.
+        """
         if isinstance(query, TwigPattern):
             return query
-        return parse_twig(query)
+        cached = self._parse_cache.get(query)
+        if cached is not None:
+            self._parse_cache.move_to_end(query)
+            self.counters["parse_cache_hits"] += 1
+            return cached.copy()
+        self.counters["parse_cache_misses"] += 1
+        pattern = parse_twig(query)
+        self._parse_cache[query] = pattern.copy()
+        if len(self._parse_cache) > self.PARSE_CACHE_SIZE:
+            self._parse_cache.popitem(last=False)
+        return pattern
 
     def __repr__(self) -> str:
         return (

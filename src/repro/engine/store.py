@@ -48,12 +48,12 @@ import pickle
 import struct
 import threading
 import zlib
-from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.autocomplete.engine import AutocompleteEngine
 from repro.engine.database import LotusXDatabase
+from repro.index.columnar import decode_columnar, encode_columnar
 from repro.index.completion_index import CompletionIndex
 from repro.index.element_index import StreamFactory
 from repro.index.statistics import compute_statistics
@@ -87,7 +87,14 @@ class StoreError(RuntimeError):
 # ======================================================================
 
 SNAPSHOT_MAGIC = b"LXSNAP"
-SNAPSHOT_VERSION = 1
+#: Version written by :func:`save_snapshot`.  Version 2 added the
+#: optional ``columnar`` section (per-tag label arrays).
+SNAPSHOT_VERSION = 2
+#: Versions :func:`load_snapshot` accepts.  Version 1 snapshots load
+#: fine — they simply have no columnar section, so the database falls
+#: back to object streams (and the factory is told not to build columnar
+#: views it was never saved with).
+SUPPORTED_SNAPSHOT_VERSIONS = frozenset({1, 2})
 
 #: magic(6) + version(2) + flags(2) + header length(4)
 _PREFIX = struct.Struct(">6sHHI")
@@ -348,6 +355,11 @@ def save_snapshot(
     sections.append(
         ("completion", _dumps_section(_encode_completion(database.completion_index)))
     )
+    columnar = database.streams.columnar
+    if columnar is not None:
+        # Raw per-tag array bytes: loads are a memcpy per column instead
+        # of rebuilding the columns from every labeled element.
+        sections.append(("columnar", _dumps_section(encode_columnar(columnar))))
 
     synonyms = database._synonyms
     meta = {
@@ -415,9 +427,9 @@ def save_snapshot(
 # ----------------------------------------------------------------------
 
 
-def _verify_snapshot_bytes(data: bytes, source: str) -> tuple[dict, int]:
+def _verify_snapshot_bytes(data: bytes, source: str) -> tuple[dict, int, int]:
     """Run the fixed check order (magic → digest → version → header) and
-    return ``(header, data_area_offset)``."""
+    return ``(header, data_area_offset, version)``."""
     if not data.startswith(SNAPSHOT_MAGIC):
         raise SnapshotFormatError(f"{source}: not a LotusX snapshot file")
     if len(data) < _PREFIX.size + _DIGEST_SIZE:
@@ -428,10 +440,13 @@ def _verify_snapshot_bytes(data: bytes, source: str) -> tuple[dict, int]:
             f"{source}: checksum mismatch — the snapshot is truncated or corrupt"
         )
     _, version, _flags, header_length = _PREFIX.unpack_from(data)
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
+        supported = ", ".join(
+            str(v) for v in sorted(SUPPORTED_SNAPSHOT_VERSIONS)
+        )
         raise SnapshotVersionError(
             f"{source}: unsupported snapshot version {version} "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"(this build reads versions {supported})"
         )
     header_start = _PREFIX.size
     data_start = header_start + header_length
@@ -457,7 +472,7 @@ def _verify_snapshot_bytes(data: bytes, source: str) -> tuple[dict, int]:
             raise SnapshotFormatError(
                 f"{source}: section {entry['name']!r} overruns the file"
             )
-    return header, data_start
+    return header, data_start, version
 
 
 def _read_snapshot_file(path: str | os.PathLike[str]) -> bytes:
@@ -471,11 +486,11 @@ def read_snapshot_info(path: str | os.PathLike[str]) -> SnapshotInfo:
     """Verify ``path`` and return its metadata without materializing
     any sections."""
     data = _read_snapshot_file(path)
-    header, _ = _verify_snapshot_bytes(data, str(path))
+    header, _, version = _verify_snapshot_bytes(data, str(path))
     meta = header["meta"]
     return SnapshotInfo(
         path=str(path),
-        version=SNAPSHOT_VERSION,
+        version=version,
         size_bytes=len(data),
         element_count=meta["element_count"],
         path_count=meta["path_count"],
@@ -491,12 +506,13 @@ class _SnapshotReader:
     """Verified snapshot bytes plus the parsed section table."""
 
     def __init__(self, data: bytes, source: str) -> None:
-        header, data_start = _verify_snapshot_bytes(data, source)
+        header, data_start, version = _verify_snapshot_bytes(data, source)
         self._data = data
         self._source = source
         self._data_start = data_start
         self._sections = {entry["name"]: entry for entry in header["sections"]}
         self.meta = header["meta"]
+        self.version = version
 
     def has(self, name: str) -> bool:
         return name in self._sections
@@ -534,7 +550,7 @@ class _SnapshotDatabase(LotusXDatabase):
         self.expanded_attributes = expand_attributes
         self.scorer = scorer or LotusXScorer()
         self._synonyms = synonyms
-        self._match_cache: OrderedDict = OrderedDict()
+        self._init_runtime_caches()
 
     def _part(self, name: str, build):
         value = self._parts.get(name)
@@ -582,9 +598,28 @@ class _SnapshotDatabase(LotusXDatabase):
 
     @property
     def streams(self) -> StreamFactory:
-        return self._part(
-            "streams", lambda: StreamFactory(self.labeled, self.term_index)
-        )
+        return self._part("streams", self._build_streams)
+
+    def _build_streams(self) -> StreamFactory:
+        if self._reader.has("columnar"):
+            try:
+                columnar = decode_columnar(
+                    self._reader.payload("columnar"), self.labeled
+                )
+            except ValueError as exc:
+                raise SnapshotFormatError(
+                    f"snapshot columnar section is inconsistent: {exc}"
+                ) from exc
+            if columnar is not None:
+                return StreamFactory(
+                    self.labeled, self.term_index, columnar=columnar
+                )
+            # The writing platform's array layout doesn't map onto this
+            # one: rebuild the columns from the labels instead.
+            return StreamFactory(self.labeled, self.term_index)
+        # Pre-columnar (v1) snapshot: serve object streams only, exactly
+        # what the snapshot was saved with.
+        return StreamFactory(self.labeled, self.term_index, build_columnar=False)
 
     @property
     def autocomplete(self) -> AutocompleteEngine:

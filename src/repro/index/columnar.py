@@ -1,0 +1,277 @@
+"""Columnar label streams: per-tag positional arrays with skip pointers.
+
+The twig algorithms originally iterated :class:`LabeledElement` objects
+one attribute access at a time; at corpus scale the interpreter overhead
+of those object walks dominates matching time.  This module stores the
+three region-label components (``start``/``end``/``level``) plus the
+DataGuide path id of every element in parallel ``array('q')`` columns,
+one set per tag (plus one for the wildcard stream).  The columnar twig
+kernels compare raw integers, keep their cursors as plain ints, and only
+materialize :class:`LabeledElement` objects for elements that actually
+enter a path solution.
+
+``path_ids`` is the columnar stand-in for the extended Dewey label: two
+elements share a path id exactly when they share their whole root-to-leaf
+tag path (the DataGuide invariant), which is the only property TJFast
+needs from the label — so the per-element tag-path decode collapses into
+a single int compare against a per-path cache.
+
+:meth:`ColumnarStream.seek_ge` is the skip pointer: galloping followed by
+binary search over the (strictly increasing) ``starts`` column, so join
+cursors jump past non-containing regions instead of advancing linearly.
+Only ``starts`` is monotone within a stream — ``ends`` interleave under
+nesting — which is why every skip in the algorithms is phrased as "first
+element starting at or after X".
+
+The whole index serializes to flat bytes (``array.tobytes``), giving
+snapshots a C-speed load path; see :func:`encode_columnar` /
+:func:`decode_columnar`.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from bisect import bisect_left
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.labeling.assign import LabeledDocument, LabeledElement
+
+#: Virtual start/end of an exhausted columnar cursor; larger than any
+#: region label (labels are bounded by 2 * element count).
+INF_INT = 1 << 62
+
+#: Version tag inside the encoded payload (independent of the snapshot
+#: container version).
+COLUMNAR_FORMAT = 1
+
+_TYPECODE = "q"
+
+
+class ColumnarStream:
+    """Parallel positional columns over one document-ordered stream.
+
+    ``starts`` / ``ends`` / ``levels`` / ``path_ids`` are ``array('q')``
+    columns indexed by stream position; ``elements`` is the parallel
+    object list used only to materialize final matches.  ``starts`` is
+    strictly increasing (document order + unique region starts), which
+    :meth:`seek_ge` exploits.
+    """
+
+    __slots__ = ("starts", "ends", "levels", "path_ids", "elements")
+
+    def __init__(
+        self,
+        starts: array,
+        ends: array,
+        levels: array,
+        path_ids: array,
+        elements: Sequence[LabeledElement],
+    ) -> None:
+        self.starts = starts
+        self.ends = ends
+        self.levels = levels
+        self.path_ids = path_ids
+        self.elements = elements
+
+    @classmethod
+    def from_elements(cls, elements: Sequence[LabeledElement]) -> ColumnarStream:
+        starts = array(_TYPECODE)
+        ends = array(_TYPECODE)
+        levels = array(_TYPECODE)
+        path_ids = array(_TYPECODE)
+        for labeled in elements:
+            region = labeled.region
+            starts.append(region.start)
+            ends.append(region.end)
+            levels.append(region.level)
+            path_ids.append(labeled.path_node.node_id)
+        return cls(starts, ends, levels, path_ids, elements)
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def element(self, index: int) -> LabeledElement:
+        return self.elements[index]
+
+    def take(self, indices: Iterable[int]) -> ColumnarStream:
+        """A new stream restricted to ``indices`` (must be increasing)."""
+        starts = self.starts
+        ends = self.ends
+        levels = self.levels
+        path_ids = self.path_ids
+        elements = self.elements
+        index_list = list(indices)
+        return ColumnarStream(
+            array(_TYPECODE, (starts[i] for i in index_list)),
+            array(_TYPECODE, (ends[i] for i in index_list)),
+            array(_TYPECODE, (levels[i] for i in index_list)),
+            array(_TYPECODE, (path_ids[i] for i in index_list)),
+            [elements[i] for i in index_list],
+        )
+
+    def where(self, keep: Callable[[LabeledElement], bool]) -> ColumnarStream:
+        """A new stream of the elements satisfying ``keep``."""
+        return self.take(
+            i for i, element in enumerate(self.elements) if keep(element)
+        )
+
+    def seek_ge(self, lo: int, value: int) -> int:
+        """First position ``>= lo`` whose start is ``>= value``.
+
+        Returns ``len(self)`` when no such position exists.  Gallops from
+        ``lo`` (doubling steps) to bracket the answer, then binary-searches
+        the bracket — O(log d) in the distance d actually skipped, so short
+        hops near the cursor stay cheap while long jumps never scan.
+        """
+        starts = self.starts
+        n = len(starts)
+        if lo >= n:
+            return n
+        if starts[lo] >= value:
+            return lo
+        step = 1
+        hi = lo + 1
+        while hi < n and starts[hi] < value:
+            lo = hi
+            step <<= 1
+            hi = lo + step
+        if hi > n:
+            hi = n
+        return bisect_left(starts, value, lo + 1, hi)
+
+    def __repr__(self) -> str:
+        return f"ColumnarStream(len={len(self.starts)})"
+
+
+class ColumnarIndex:
+    """Per-tag columnar streams for one labeled document."""
+
+    __slots__ = ("_by_tag", "_all")
+
+    def __init__(
+        self, by_tag: dict[str, ColumnarStream], all_elements: ColumnarStream
+    ) -> None:
+        self._by_tag = by_tag
+        self._all = all_elements
+
+    @classmethod
+    def from_labeled(cls, labeled: LabeledDocument) -> ColumnarIndex:
+        by_tag = {
+            tag: ColumnarStream.from_elements(labeled.stream(tag))
+            for tag in labeled.tags()
+        }
+        return cls(by_tag, ColumnarStream.from_elements(labeled.elements))
+
+    def stream(self, tag: str | None) -> ColumnarStream:
+        """Columnar stream for ``tag`` (None = wildcard: all elements)."""
+        if tag is None:
+            return self._all
+        stream = self._by_tag.get(tag)
+        if stream is None:
+            stream = _EMPTY
+        return stream
+
+    def tags(self) -> set[str]:
+        return set(self._by_tag)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarIndex(tags={len(self._by_tag)},"
+            f" elements={len(self._all)})"
+        )
+
+
+_EMPTY = ColumnarStream(
+    array(_TYPECODE), array(_TYPECODE), array(_TYPECODE), array(_TYPECODE), []
+)
+
+
+# ----------------------------------------------------------------------
+# Snapshot (de)serialization
+#
+# Columns dump to raw bytes; loading is a memcpy per column instead of a
+# Python-level loop over every element, which is what makes persisting
+# the columnar section worthwhile on top of the label section.
+# ----------------------------------------------------------------------
+
+
+def _pack(stream: ColumnarStream) -> tuple[bytes, bytes, bytes, bytes]:
+    return (
+        stream.starts.tobytes(),
+        stream.ends.tobytes(),
+        stream.levels.tobytes(),
+        stream.path_ids.tobytes(),
+    )
+
+
+def encode_columnar(index: ColumnarIndex) -> dict:
+    """Plain-container payload for the snapshot's ``columnar`` section."""
+    return {
+        "format": COLUMNAR_FORMAT,
+        "typecode": _TYPECODE,
+        "itemsize": array(_TYPECODE).itemsize,
+        "byteorder": sys.byteorder,
+        "tags": {tag: _pack(stream) for tag, stream in index._by_tag.items()},
+        "all": _pack(index._all),
+    }
+
+
+def _unpack(
+    blobs: tuple[bytes, bytes, bytes, bytes],
+    elements: Sequence[LabeledElement],
+    swap: bool,
+    context: str,
+) -> ColumnarStream:
+    columns = []
+    for blob in blobs:
+        column = array(_TYPECODE)
+        column.frombytes(blob)
+        if swap:
+            column.byteswap()
+        columns.append(column)
+    if any(len(column) != len(elements) for column in columns):
+        raise ValueError(
+            f"columnar section for {context} has {len(columns[0])} rows,"
+            f" label store has {len(elements)}"
+        )
+    return ColumnarStream(*columns, elements)
+
+
+def decode_columnar(payload: dict, labeled: LabeledDocument) -> ColumnarIndex | None:
+    """Rebuild a :class:`ColumnarIndex` from an encoded payload.
+
+    Object columns (``elements``) come from the already-loaded label
+    store — the arrays must line up with it row for row, which doubles as
+    a consistency check.  Returns ``None`` when the writing platform's
+    array layout cannot be mapped onto this one (the caller then rebuilds
+    from the labels instead of failing the load).
+
+    Raises
+    ------
+    ValueError
+        If the payload is malformed or inconsistent with ``labeled``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("columnar payload is not a mapping")
+    if payload.get("format") != COLUMNAR_FORMAT:
+        return None
+    if (
+        payload.get("typecode") != _TYPECODE
+        or payload.get("itemsize") != array(_TYPECODE).itemsize
+    ):
+        return None
+    swap = payload.get("byteorder") != sys.byteorder
+    tags_payload = payload["tags"]
+    known_tags = labeled.tags()
+    if set(tags_payload) != known_tags:
+        raise ValueError(
+            "columnar section tags do not match the label store"
+            f" ({len(tags_payload)} stored, {len(known_tags)} labeled)"
+        )
+    by_tag = {
+        tag: _unpack(blobs, labeled.stream(tag), swap, f"tag {tag!r}")
+        for tag, blobs in tags_payload.items()
+    }
+    all_stream = _unpack(payload["all"], labeled.elements, swap, "wildcard")
+    return ColumnarIndex(by_tag, all_stream)

@@ -10,8 +10,10 @@ written against.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections import OrderedDict
+from collections.abc import Callable, Hashable, Sequence
 
+from repro.index.columnar import ColumnarIndex, ColumnarStream
 from repro.index.term_index import TermIndex
 from repro.labeling.assign import LabeledDocument, LabeledElement
 
@@ -50,15 +52,44 @@ class StreamCursor:
 
 
 class StreamFactory:
-    """Builds (optionally filtered) streams over a labeled document."""
+    """Builds (optionally filtered) streams over a labeled document.
 
-    def __init__(self, labeled: LabeledDocument, term_index: TermIndex) -> None:
+    The factory serves two representations of the same streams: plain
+    ``LabeledElement`` lists (the original interface every algorithm was
+    written against) and :class:`~repro.index.columnar.ColumnarStream`
+    views for the columnar twig kernels.  The columnar index is built on
+    first use unless a prebuilt one is injected (snapshot loads) or
+    ``build_columnar=False`` disables it entirely (the object-stream
+    fallback path, e.g. for pre-columnar snapshots).
+
+    Filtered streams are memoized by ``(tag, filter key)`` so repeated
+    predicate queries reuse one scan of the shared per-tag stream instead
+    of re-filtering it on every call.
+    """
+
+    #: Entries kept in the filtered-stream memo (object + columnar).
+    FILTER_CACHE_SIZE = 256
+
+    def __init__(
+        self,
+        labeled: LabeledDocument,
+        term_index: TermIndex,
+        columnar: ColumnarIndex | None = None,
+        build_columnar: bool = True,
+    ) -> None:
         self._labeled = labeled
         self._term_index = term_index
+        self._columnar = columnar
+        self._build_columnar = build_columnar
+        self._filtered_cache: OrderedDict = OrderedDict()
 
     @property
     def term_index(self) -> TermIndex:
         return self._term_index
+
+    # ------------------------------------------------------------------
+    # Object streams
+    # ------------------------------------------------------------------
 
     def stream(self, tag: str | None) -> list[LabeledElement]:
         """Document-ordered elements with ``tag`` (None = wildcard: all)."""
@@ -67,15 +98,88 @@ class StreamFactory:
         return self._labeled.stream(tag)
 
     def filtered_stream(
-        self, tag: str | None, element_filter: ElementFilter | None = None
+        self,
+        tag: str | None,
+        element_filter: ElementFilter | None = None,
+        key: Hashable | None = None,
     ) -> list[LabeledElement]:
-        """Stream for ``tag`` with ``element_filter`` applied."""
+        """Stream for ``tag`` with ``element_filter`` applied.
+
+        With ``key`` (a hashable identity for the filter, e.g. a predicate
+        signature) the filtered list is memoized; callers must treat it as
+        shared and immutable, like the unfiltered per-tag streams.
+        """
         base = self.stream(tag)
         if element_filter is None:
             return base
-        return [element for element in base if element_filter(element)]
+        if key is not None:
+            cached = self._memo_get(("object", tag, key))
+            if cached is not None:
+                return cached
+        result = [element for element in base if element_filter(element)]
+        if key is not None:
+            self._memo_put(("object", tag, key), result)
+        return result
 
     def cursor(
         self, tag: str | None, element_filter: ElementFilter | None = None
     ) -> StreamCursor:
         return StreamCursor(self.filtered_stream(tag, element_filter))
+
+    # ------------------------------------------------------------------
+    # Columnar streams
+    # ------------------------------------------------------------------
+
+    def supports_columnar(self) -> bool:
+        """Whether columnar views are available (or can be built)."""
+        return self._columnar is not None or self._build_columnar
+
+    @property
+    def columnar(self) -> ColumnarIndex | None:
+        """The columnar index, built on first access when enabled."""
+        if self._columnar is None and self._build_columnar:
+            self._columnar = ColumnarIndex.from_labeled(self._labeled)
+        return self._columnar
+
+    def columnar_stream(self, tag: str | None) -> ColumnarStream:
+        """Columnar view of the (unfiltered) stream for ``tag``.
+
+        Raises
+        ------
+        RuntimeError
+            If this factory has columnar support disabled.
+        """
+        index = self.columnar
+        if index is None:
+            raise RuntimeError("this StreamFactory has no columnar index")
+        return index.stream(tag)
+
+    def filtered_columnar_stream(
+        self,
+        tag: str | None,
+        element_filter: ElementFilter,
+        key: Hashable | None = None,
+    ) -> ColumnarStream:
+        """Columnar view for ``tag`` restricted by ``element_filter``,
+        memoized under ``key`` exactly like :meth:`filtered_stream`."""
+        if key is not None:
+            cached = self._memo_get(("columnar", tag, key))
+            if cached is not None:
+                return cached
+        result = self.columnar_stream(tag).where(element_filter)
+        if key is not None:
+            self._memo_put(("columnar", tag, key), result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _memo_get(self, key):
+        cached = self._filtered_cache.get(key)
+        if cached is not None:
+            self._filtered_cache.move_to_end(key)
+        return cached
+
+    def _memo_put(self, key, value) -> None:
+        self._filtered_cache[key] = value
+        if len(self._filtered_cache) > self.FILTER_CACHE_SIZE:
+            self._filtered_cache.popitem(last=False)

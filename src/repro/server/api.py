@@ -49,8 +49,11 @@ def resolve_deadline(
 
 
 def handle_stats(database: LotusXDatabase) -> dict:
-    """Corpus statistics."""
-    return {"statistics": database.statistics().as_dict()}
+    """Corpus statistics plus per-instance cache/evaluation counters."""
+    return {
+        "statistics": database.statistics().as_dict(),
+        "caches": database.cache_statistics(),
+    }
 
 
 def handle_dataguide(database: LotusXDatabase) -> dict:

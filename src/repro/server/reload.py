@@ -85,6 +85,7 @@ class DatabaseHolder:
         self._reload_lock = threading.Lock()
         self._database = database
         self._generation = 1
+        database.serving_generation = 1
         self.source = source
 
     @property
@@ -109,6 +110,9 @@ class DatabaseHolder:
         with self._lock:
             self._database = database
             self._generation += 1
+            # Stamp the generation onto the instance so its plan cache
+            # keys can never collide with a previous generation's.
+            database.serving_generation = self._generation
             return self._generation
 
     def reload(self) -> dict:

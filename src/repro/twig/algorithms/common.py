@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.index.columnar import ColumnarStream
 from repro.index.element_index import StreamFactory
 from repro.labeling.assign import LabeledElement
 from repro.resilience.deadline import Deadline
@@ -92,16 +93,21 @@ def build_streams(
             stream = factory.stream(node.tag)
         elif deadline is None:
             stream = factory.filtered_stream(
-                node.tag, lambda el, p=predicate: p.matches(el, term_index)
+                node.tag,
+                lambda el, p=predicate: p.matches(el, term_index),
+                key=predicate.signature(),
             )
         else:
             # Predicate streams scan every same-tag element, so the
-            # per-element filter is itself a cooperative checkpoint.
+            # per-element filter is itself a cooperative checkpoint (a
+            # memo hit skips the scan — and its checkpoints — entirely).
             def checked_filter(el, p=predicate):
                 deadline.check("twig.build_streams.filter")
                 return p.matches(el, term_index)
 
-            stream = factory.filtered_stream(node.tag, checked_filter)
+            stream = factory.filtered_stream(
+                node.tag, checked_filter, key=predicate.signature()
+            )
         if node.is_root and node.axis is Axis.CHILD:
             stream = [el for el in stream if el.level == 0]
         if positions is not None:
@@ -109,6 +115,62 @@ def build_streams(
             stream = [el for el in stream if el.path_node.node_id in allowed]
         streams[node.node_id] = stream
     return streams
+
+
+def build_columnar_streams(
+    pattern: TwigPattern,
+    factory: StreamFactory,
+    guide=None,
+    deadline: Deadline | None = None,
+) -> dict[int, "ColumnarStream"]:
+    """Columnar candidate stream per query node.
+
+    The exact counterpart of :func:`build_streams` — same tag selection,
+    predicate filters, root pinning, and DataGuide pruning, same
+    ``twig.build_streams`` deadline checkpoints — but each node gets a
+    :class:`~repro.index.columnar.ColumnarStream` view for the columnar
+    twig kernels.  Predicate-filtered views are memoized in the factory
+    by ``(tag, predicate signature)`` alongside their object twins.
+    """
+    term_index = factory.term_index
+    positions = None
+    if guide is not None:
+        from repro.autocomplete.context import candidate_positions
+
+        positions = candidate_positions(pattern, guide)
+    views: dict[int, "ColumnarStream"] = {}
+    for node in pattern.nodes():
+        if deadline is not None:
+            deadline.check("twig.build_streams")
+        predicate = node.predicate
+        if predicate is None:
+            view = factory.columnar_stream(node.tag)
+        elif deadline is None:
+            view = factory.filtered_columnar_stream(
+                node.tag,
+                lambda el, p=predicate: p.matches(el, term_index),
+                key=predicate.signature(),
+            )
+        else:
+
+            def checked_filter(el, p=predicate):
+                deadline.check("twig.build_streams.filter")
+                return p.matches(el, term_index)
+
+            view = factory.filtered_columnar_stream(
+                node.tag, checked_filter, key=predicate.signature()
+            )
+        if node.is_root and node.axis is Axis.CHILD:
+            levels = view.levels
+            view = view.take(i for i in range(len(levels)) if levels[i] == 0)
+        if positions is not None:
+            allowed = {p.node_id for p in positions[node.node_id]}
+            path_ids = view.path_ids
+            view = view.take(
+                i for i in range(len(path_ids)) if path_ids[i] in allowed
+            )
+        views[node.node_id] = view
+    return views
 
 
 def edge_satisfied(

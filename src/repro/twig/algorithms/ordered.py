@@ -47,17 +47,22 @@ def build_partial_order_check(pattern: TwigPattern) -> PartialCheck | None:
     constraints whose two nodes are both bound, so it is safe to call on
     any partial assignment.
     """
-    pairs = order_constraint_pairs(pattern)
+    pairs = tuple(order_constraint_pairs(pattern))
     if not pairs:
         return None
 
     def check(assignment: Mapping[int, LabeledElement]) -> bool:
+        get = assignment.get
         for before_id, after_id in pairs:
-            first = assignment.get(before_id)
-            second = assignment.get(after_id)
-            if first is None or second is None:
+            first = get(before_id)
+            if first is None:
                 continue
-            if not first.region.entirely_before(second.region):
+            second = get(after_id)
+            if second is None:
+                continue
+            # entirely_before, inlined: runs once per grown partial in
+            # the merge loops, so attribute chains matter here.
+            if first.region.end >= second.region.start:
                 return False
         return True
 

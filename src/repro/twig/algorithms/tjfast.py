@@ -24,6 +24,9 @@ their pre-filtered internal streams).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+from repro.index.columnar import ColumnarStream
 from repro.index.term_index import TermIndex
 from repro.labeling.assign import LabeledElement
 from repro.resilience.deadline import Deadline
@@ -85,6 +88,137 @@ def tjfast_match(
 
     stats.matches = len(matches)
     return matches
+
+
+def tjfast_match_columnar(
+    pattern: TwigPattern,
+    views: dict[int, ColumnarStream],
+    term_index: TermIndex,
+    stats: AlgorithmStats | None = None,
+    deadline: Deadline | None = None,
+) -> list[Match]:
+    """Columnar TJFast: embeddings are decided per *tag path*, not per
+    element.
+
+    This is where the ``path_ids`` column plays the extended-Dewey role:
+    every element carries its DataGuide path id, and two elements share
+    an id exactly when they share their whole root-to-leaf tag path — the
+    only input the chain embedding reads.  The depth assignments of each
+    distinct path are therefore computed once and cached by path id; per
+    element the hot loop is a dict probe on an int, and ancestors are
+    materialized only for elements whose path embeds at all.
+    """
+    stats = stats if stats is not None else AlgorithmStats()
+    leaves = pattern.leaves()
+    path_solutions: dict[int, list[PathSolution]] = {
+        leaf.node_id: [] for leaf in leaves
+    }
+
+    def finish(merge_deadline: Deadline | None) -> list[Match]:
+        merged = merge_path_solutions(
+            pattern,
+            leaves,
+            path_solutions,
+            build_partial_order_check(pattern),
+            merge_deadline,
+        )
+        return filter_ordered(pattern, merged)
+
+    try:
+        for leaf in leaves:
+            solutions = path_solutions[leaf.node_id]
+            chain = _root_chain(leaf)
+            internal_predicates = [
+                (index, qnode.predicate)
+                for index, qnode in enumerate(chain[:-1])
+                if qnode.predicate is not None
+            ]
+            view = views[leaf.node_id]
+            path_ids = view.path_ids
+            elements = view.elements
+            assignments_for: dict[int, list[tuple[int, ...]]] = {}
+            for position in range(len(path_ids)):
+                if deadline is not None:
+                    deadline.check("twig.tjfast")
+                stats.elements_scanned += 1
+                path_id = path_ids[position]
+                assignments = assignments_for.get(path_id)
+                if assignments is None:
+                    assignments = _chain_assignments(
+                        chain, elements[position].path_node.path
+                    )
+                    assignments_for[path_id] = assignments
+                if not assignments:
+                    continue
+                ancestors: list[LabeledElement] = []
+                current: LabeledElement | None = elements[position]
+                while current is not None:
+                    ancestors.append(current)
+                    current = current.parent
+                ancestors.reverse()
+                for depths in assignments:
+                    if any(
+                        not predicate.matches(ancestors[depths[index]], term_index)
+                        for index, predicate in internal_predicates
+                    ):
+                        continue
+                    solutions.append(
+                        {
+                            chain[index].node_id: ancestors[depth]
+                            for index, depth in enumerate(depths)
+                        }
+                    )
+                    stats.intermediate_results += 1
+        matches = finish(deadline)
+    except DeadlineExceeded as exc:
+        if exc.partial is None:
+            exc.partial = salvage(finish)
+        raise
+
+    stats.matches = len(matches)
+    return matches
+
+
+def _chain_assignments(
+    chain: list[QueryNode], tags: Sequence[str]
+) -> list[tuple[int, ...]]:
+    """All depth assignments embedding the query chain onto a tag path.
+
+    The tags-only core of :func:`_embed_path`: axis and tag constraints
+    depend only on the path, so the result is cacheable per DataGuide
+    path id.  Predicates are *not* checked here — they depend on element
+    content and stay with the per-element loop.
+    """
+    leaf_depth = len(tags) - 1
+    assignments: list[tuple[int, ...]] = []
+    depths: list[int] = []
+
+    def place(index: int, min_depth: int) -> None:
+        if index == len(chain):
+            assignments.append(tuple(depths))
+            return
+        qnode = chain[index]
+        is_leaf = index == len(chain) - 1
+        if index == 0:
+            allowed: range | tuple[int, ...]
+            allowed = (0,) if qnode.axis is Axis.CHILD else range(leaf_depth + 1)
+        elif qnode.axis is Axis.CHILD:
+            allowed = (min_depth,)
+        else:
+            allowed = range(min_depth, leaf_depth + 1)
+        for depth in allowed:
+            if depth > leaf_depth:
+                continue
+            if is_leaf and depth != leaf_depth:
+                continue
+            if not qnode.accepts_tag(tags[depth]):
+                continue
+            depths.append(depth)
+            place(index + 1, depth + 1)
+            depths.pop()
+
+    place(0, 0)
+    return assignments
 
 
 def _root_chain(leaf: QueryNode) -> list[QueryNode]:

@@ -13,6 +13,7 @@ materialized.
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 import struct
 
@@ -166,7 +167,13 @@ def test_read_snapshot_info(built_db, snapshot_path):
     assert info.element_count == len(built_db.labeled)
     assert info.path_count == len(built_db.guide)
     assert info.expand_attributes is False
-    assert set(info.section_sizes) == {"document", "labels", "terms", "completion"}
+    assert set(info.section_sizes) == {
+        "document",
+        "labels",
+        "terms",
+        "completion",
+        "columnar",
+    }
     assert info.size_bytes == snapshot_path.stat().st_size
 
 
@@ -266,6 +273,107 @@ def test_header_overrun_rejected(snapshot_path, tmp_path):
     bad.write_bytes(_rewrite_digest(bytes(data)))
     with pytest.raises(SnapshotFormatError):
         load_snapshot(bad)
+
+
+# ---------------------------------------------------------------------------
+# Columnar section: round-trip, pre-columnar (v1) fallback, corruption
+# ---------------------------------------------------------------------------
+
+
+def _header(data: bytes) -> tuple[dict, int]:
+    """(parsed JSON header, data-area start offset)."""
+    _, _, _, header_length = _PREFIX.unpack_from(data)
+    start = _PREFIX.size + header_length
+    return json.loads(data[_PREFIX.size : start]), start
+
+
+def _strip_columnar_to_v1(data: bytes) -> bytes:
+    """Rewrite a v2 snapshot as a valid v1 file with no columnar section,
+    the shape every pre-columnar snapshot on disk actually has."""
+    header, data_start = _header(data)
+    body = bytearray()
+    sections = []
+    offset = 0
+    for entry in header["sections"]:
+        if entry["name"] == "columnar":
+            continue
+        start = data_start + entry["offset"]
+        body += data[start : start + entry["length"]]
+        sections.append(dict(entry, offset=offset))
+        offset += entry["length"]
+    new_header = json.dumps(
+        {"sections": sections, "meta": header["meta"]}, sort_keys=True
+    ).encode("utf-8")
+    out = bytearray(_PREFIX.pack(SNAPSHOT_MAGIC, 1, 0, len(new_header)))
+    out += new_header
+    out += body
+    out += hashlib.sha256(bytes(out)).digest()
+    return bytes(out)
+
+
+def test_columnar_section_round_trips(built_db, loaded_db):
+    assert loaded_db.streams.supports_columnar()
+    built_col = built_db.streams.columnar
+    loaded_col = loaded_db.streams.columnar
+    assert loaded_col is not None
+    assert loaded_col.tags() == built_col.tags()
+    for tag in sorted(built_col.tags()) + [None]:
+        built_stream = built_col.stream(tag)
+        loaded_stream = loaded_col.stream(tag)
+        assert loaded_stream.starts == built_stream.starts
+        assert loaded_stream.ends == built_stream.ends
+        assert loaded_stream.levels == built_stream.levels
+        assert loaded_stream.path_ids == built_stream.path_ids
+    # Queries against the loaded database actually run the columnar
+    # kernels (stats bypasses the match cache other tests may have warmed).
+    from repro.twig.algorithms.common import AlgorithmStats
+
+    stats = AlgorithmStats()
+    loaded_db.matches(QUERIES[0], stats=stats)
+    assert stats.notes["columnar"] == 1
+
+
+def test_v1_snapshot_falls_back_to_object_streams(
+    built_db, snapshot_path, tmp_path
+):
+    v1_path = tmp_path / "v1.lxsnap"
+    v1_path.write_bytes(_strip_columnar_to_v1(snapshot_path.read_bytes()))
+    info = read_snapshot_info(v1_path)
+    assert info.version == 1
+    assert "columnar" not in info.section_sizes
+    db = load_snapshot(v1_path)
+    assert db.streams.supports_columnar() is False
+    assert db.streams.columnar is None
+    for query in QUERIES:
+        assert db.matches(query) == built_db.matches(query), query
+    assert db.counters["fallback_evaluations"] > 0
+    assert db.counters["columnar_evaluations"] == 0
+    assert db.cache_statistics()["columnar_enabled"] is False
+
+
+def test_lazy_snapshot_reports_columnar_without_inflating(snapshot_path):
+    db = load_snapshot(snapshot_path)
+    stats = db.cache_statistics()
+    # Reporting is side-effect free: nothing materialized yet, so the
+    # stream factory (and its columnar flag) is simply absent.
+    assert stats["columnar_enabled"] is None
+    assert stats["autocomplete_cache"] is None
+    db.warm()
+    stats = db.cache_statistics()
+    assert stats["columnar_enabled"] is True
+    assert stats["autocomplete_cache"]["entries"] == 0
+
+
+def test_corrupt_columnar_section_fails_typed(snapshot_path, tmp_path):
+    data = bytearray(snapshot_path.read_bytes())
+    header, data_start = _header(data)
+    entry = next(e for e in header["sections"] if e["name"] == "columnar")
+    data[data_start + entry["offset"]] ^= 0xFF
+    bad = tmp_path / "badcol.lxsnap"
+    bad.write_bytes(_rewrite_digest(bytes(data)))
+    db = load_snapshot(bad)  # outer digest was resealed; decode is lazy
+    with pytest.raises(SnapshotFormatError):
+        db.streams
 
 
 def test_corruption_leaves_no_partial_state(snapshot_path, tmp_path):
