@@ -18,6 +18,7 @@ comparison benchmark.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.autocomplete.candidates import Candidate, CandidateKind
@@ -56,29 +57,35 @@ class AutocompleteEngine:
         self._cache: OrderedDict = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Guards the LRU and its counters: completions are served from
+        #: concurrent request threads and bare ``+=`` drops updates.
+        self._cache_lock = threading.Lock()
 
     def cache_info(self) -> dict:
         """Size and hit/miss counters of the completion cache."""
-        return {
-            "entries": len(self._cache),
-            "max_size": self.CACHE_SIZE,
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-        }
+        with self._cache_lock:
+            return {
+                "entries": len(self._cache),
+                "max_size": self.CACHE_SIZE,
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+            }
 
     def _cache_get(self, key) -> list[Candidate] | None:
-        cached = self._cache.get(key)
-        if cached is None:
-            self._cache_misses += 1
-            return None
-        self._cache.move_to_end(key)
-        self._cache_hits += 1
-        return list(cached)
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is None:
+                self._cache_misses += 1
+                return None
+            self._cache.move_to_end(key)
+            self._cache_hits += 1
+            return list(cached)
 
     def _cache_put(self, key, value: list[Candidate]) -> None:
-        self._cache[key] = value
-        if len(self._cache) > self.CACHE_SIZE:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = value
+            if len(self._cache) > self.CACHE_SIZE:
+                self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Tag completion

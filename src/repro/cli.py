@@ -14,8 +14,11 @@ Subcommands::
     lotusx schema dblp.xml
     lotusx save dblp.xml ./dblp.store
     lotusx index dblp.xml dblp.lxsnap
+    lotusx index dblp.xml ./dblp-shards --shards 4
     lotusx serve dblp.xml --port 8080
+    lotusx serve dblp.xml --shards 4
     lotusx serve --snapshot dblp.lxsnap --port 8080
+    lotusx serve --snapshot ./dblp-shards --port 8080
 
 Global flag: ``--expand-attributes`` indexes attributes as queryable
 ``@name`` nodes for every corpus-reading subcommand.
@@ -128,7 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
         "index", help="build the full index and write a snapshot file"
     )
     index.add_argument("corpus", help="XML file to index")
-    index.add_argument("snapshot", help="snapshot file to write")
+    index.add_argument("snapshot", help="snapshot file (or directory with --shards)")
+    index.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition the corpus into N shard databases and write a"
+        " sharded snapshot directory instead of a single file",
+    )
 
     serve = sub.add_parser("serve", help="run the web GUI / JSON API")
     serve.add_argument(
@@ -142,7 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="warm-start from a snapshot written by 'lotusx index'"
+        " (a .lxsnap file or a sharded snapshot directory)"
         " instead of indexing an XML corpus",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition an XML corpus into N shards and serve them with"
+        " scatter-gather execution (ignored with --snapshot: a sharded"
+        " snapshot directory carries its own shard count)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
@@ -330,22 +351,53 @@ def _cmd_keyword(database: LotusXDatabase, args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_section_table(section_sizes: dict, total_bytes: int) -> None:
+    """Per-section byte sizes of a freshly written snapshot."""
+    header = f"{'section':16} {'bytes':>12} {'share':>7}"
+    print(header)
+    print("-" * len(header))
+    for section, size in sorted(section_sizes.items(), key=lambda kv: -kv[1]):
+        share = size / total_bytes if total_bytes else 0.0
+        print(f"{section:16} {size:>12,} {share:>6.1%}")
+    print(f"{'total':16} {total_bytes:>12,}")
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     import time
 
-    from repro.engine.store import save_snapshot
+    if args.shards < 1:
+        raise ValueError("--shards must be at least 1")
 
     started = time.perf_counter()
-    database = LotusXDatabase.from_file(
-        args.corpus, expand_attributes=args.expand_attributes
-    )
-    built = time.perf_counter() - started
-    info = save_snapshot(database, args.snapshot)
-    saved = time.perf_counter() - started - built
-    print(
-        f"indexed {info.element_count} elements ({info.path_count} paths)"
-        f" in {built:.2f}s"
-    )
+    if args.shards > 1:
+        from repro.engine.store import save_sharded_snapshot
+        from repro.shard.database import ShardedDatabase
+
+        if args.expand_attributes:
+            raise ValueError("sharded indexing does not support --expand-attributes")
+        database = ShardedDatabase.from_file(args.corpus, args.shards)
+        built = time.perf_counter() - started
+        info = save_sharded_snapshot(database, args.snapshot)
+        saved = time.perf_counter() - started - built
+        print(
+            f"indexed {info.element_count} elements into"
+            f" {info.shard_count} shards in {built:.2f}s"
+        )
+        database.close()
+    else:
+        from repro.engine.store import save_snapshot
+
+        database = LotusXDatabase.from_file(
+            args.corpus, expand_attributes=args.expand_attributes
+        )
+        built = time.perf_counter() - started
+        info = save_snapshot(database, args.snapshot)
+        saved = time.perf_counter() - started - built
+        print(
+            f"indexed {info.element_count} elements ({info.path_count} paths)"
+            f" in {built:.2f}s"
+        )
+    _print_section_table(info.section_sizes, info.size_bytes)
     print(
         f"wrote {info.path} ({info.size_bytes / 1e6:.2f} MB) in {saved:.2f}s;"
         f" warm-start with: lotusx serve --snapshot {info.path}"
@@ -362,13 +414,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if (args.corpus is None) == (args.snapshot is None):
         raise ValueError("serve needs exactly one of: a corpus file, or --snapshot")
 
+    if args.shards < 1:
+        raise ValueError("--shards must be at least 1")
+
     started = time.perf_counter()
     if args.snapshot is not None:
-        from repro.engine.store import load_snapshot
+        from repro.engine.store import (
+            is_sharded_snapshot,
+            load_sharded_snapshot,
+            load_snapshot,
+        )
 
-        database = load_snapshot(args.snapshot)
+        if is_sharded_snapshot(args.snapshot):
+            database = load_sharded_snapshot(args.snapshot)
+            banner = (
+                f"sharded snapshot {args.snapshot}"
+                f" ({database.shard_count} shards)"
+            )
+        else:
+            database = load_snapshot(args.snapshot)
+            banner = f"snapshot {args.snapshot}"
         source = ReloadSource("snapshot", args.snapshot)
-        banner = f"snapshot {args.snapshot}"
+    elif args.shards > 1:
+        from repro.shard.database import ShardedDatabase
+
+        if args.expand_attributes:
+            raise ValueError("sharded serving does not support --expand-attributes")
+        database = ShardedDatabase.from_file(args.corpus, args.shards)
+        source = ReloadSource("xml", args.corpus, shards=args.shards)
+        banner = f"corpus {args.corpus} ({args.shards} shards)"
     else:
         database = LotusXDatabase.from_file(
             args.corpus, expand_attributes=args.expand_attributes

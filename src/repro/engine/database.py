@@ -22,6 +22,7 @@ Typical use::
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -111,6 +112,9 @@ class LotusXDatabase:
         self._match_cache: OrderedDict = OrderedDict()
         self._plan_cache: OrderedDict = OrderedDict()
         self._parse_cache: OrderedDict = OrderedDict()
+        #: Guards the caches and hit/miss counters: request handlers run
+        #: on concurrent threads, and unguarded ``+=`` drops updates.
+        self._counter_lock = threading.Lock()
         #: Stamped by the serving layer (``DatabaseHolder``); 0 means
         #: "not behind a holder".
         self.serving_generation = 0
@@ -304,20 +308,29 @@ class LotusXDatabase:
         stale plan.  A compile failure (including a deadline trip while
         building streams) propagates before anything is inserted.
         """
+        # The signature describes structure only; two structurally equal
+        # patterns can still number their nodes differently (a rewrite
+        # that drops a predicate keeps the original ids), and the plan's
+        # matches are keyed by node id — so the ids are part of the key.
         key = (
             pattern.signature(),
+            tuple(node.node_id for node in pattern.nodes()),
             algorithm,
             prune_streams,
             self.serving_generation,
         )
-        plan = self._plan_cache.get(key)
-        if plan is not None:
-            self._plan_cache.move_to_end(key)
-            self.counters["plan_cache_hits"] += 1
-        else:
-            self.counters["plan_cache_misses"] += 1
+        with self._counter_lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                self.counters["plan_cache_hits"] += 1
+            else:
+                self.counters["plan_cache_misses"] += 1
+        if plan is None:
             # Compile against a private copy: callers may mutate their
             # pattern after the call, but the cached plan must not see it.
+            # Compilation runs outside the lock — it can be slow and may
+            # carry a deadline; a racing miss just compiles twice.
             plan = compile_plan(
                 pattern.copy(),
                 self.labeled,
@@ -326,17 +339,19 @@ class LotusXDatabase:
                 prune_streams,
                 deadline,
             )
-            self._plan_cache[key] = plan
-            if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
-                self._plan_cache.popitem(last=False)
+            with self._counter_lock:
+                self._plan_cache[key] = plan
+                if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
+                    self._plan_cache.popitem(last=False)
         run_stats = stats if stats is not None else AlgorithmStats()
         matches = execute_plan(
             plan, self.labeled, self.streams, run_stats, deadline
         )
-        if run_stats.notes.get("columnar"):
-            self.counters["columnar_evaluations"] += 1
-        else:
-            self.counters["fallback_evaluations"] += 1
+        with self._counter_lock:
+            if run_stats.notes.get("columnar"):
+                self.counters["columnar_evaluations"] += 1
+            else:
+                self.counters["fallback_evaluations"] += 1
         return matches
 
     def matches(
@@ -373,18 +388,20 @@ class LotusXDatabase:
                     exc.partial = sort_matches(exc.partial)
                 raise
         key = (pattern.signature(), algorithm, prune_streams)
-        cached = self._match_cache.get(key)
-        if cached is not None:
-            self._match_cache.move_to_end(key)
-            self.counters["match_cache_hits"] += 1
-            return list(cached)
-        self.counters["match_cache_misses"] += 1
+        with self._counter_lock:
+            cached = self._match_cache.get(key)
+            if cached is not None:
+                self._match_cache.move_to_end(key)
+                self.counters["match_cache_hits"] += 1
+                return list(cached)
+            self.counters["match_cache_misses"] += 1
         result = sort_matches(
             self._evaluate(pattern, algorithm, None, prune_streams, None)
         )
-        self._match_cache[key] = result
-        if len(self._match_cache) > self.MATCH_CACHE_SIZE:
-            self._match_cache.popitem(last=False)
+        with self._counter_lock:
+            self._match_cache[key] = result
+            if len(self._match_cache) > self.MATCH_CACHE_SIZE:
+                self._match_cache.popitem(last=False)
         return list(result)
 
     def search(
@@ -634,11 +651,16 @@ class LotusXDatabase:
             if parts is not None:
                 factory = factory or parts.get("streams")
                 engine = engine or parts.get("autocomplete")
+        with self._counter_lock:
+            counters = dict(self.counters)
+            match_entries = len(self._match_cache)
+            plan_entries = len(self._plan_cache)
+            parse_entries = len(self._parse_cache)
         return {
-            "counters": dict(self.counters),
-            "match_cache_entries": len(self._match_cache),
-            "plan_cache_entries": len(self._plan_cache),
-            "parse_cache_entries": len(self._parse_cache),
+            "counters": counters,
+            "match_cache_entries": match_entries,
+            "plan_cache_entries": plan_entries,
+            "parse_cache_entries": parse_entries,
             "serving_generation": self.serving_generation,
             "columnar_enabled": (
                 factory.supports_columnar() if factory is not None else None
@@ -657,16 +679,18 @@ class LotusXDatabase:
         """
         if isinstance(query, TwigPattern):
             return query
-        cached = self._parse_cache.get(query)
-        if cached is not None:
-            self._parse_cache.move_to_end(query)
-            self.counters["parse_cache_hits"] += 1
-            return cached.copy()
-        self.counters["parse_cache_misses"] += 1
+        with self._counter_lock:
+            cached = self._parse_cache.get(query)
+            if cached is not None:
+                self._parse_cache.move_to_end(query)
+                self.counters["parse_cache_hits"] += 1
+                return cached.copy()
+            self.counters["parse_cache_misses"] += 1
         pattern = parse_twig(query)
-        self._parse_cache[query] = pattern.copy()
-        if len(self._parse_cache) > self.PARSE_CACHE_SIZE:
-            self._parse_cache.popitem(last=False)
+        with self._counter_lock:
+            self._parse_cache[query] = pattern.copy()
+            if len(self._parse_cache) > self.PARSE_CACHE_SIZE:
+                self._parse_cache.popitem(last=False)
         return pattern
 
     def __repr__(self) -> str:

@@ -693,6 +693,186 @@ def load_snapshot(
 
 
 # ======================================================================
+# Sharded snapshots
+# ======================================================================
+
+#: Manifest file name inside a sharded snapshot directory.
+SHARD_MANIFEST = "corpus.json"
+#: Format marker inside the corpus manifest.
+SHARDED_SNAPSHOT_FORMAT = "lotusx-sharded-snapshot"
+#: Version written by :func:`save_sharded_snapshot`.
+SHARDED_SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardedSnapshotInfo:
+    """Metadata about a sharded snapshot directory."""
+
+    path: str
+    version: int
+    shard_count: int
+    spine_tag: str
+    size_bytes: int
+    element_count: int
+    #: Per-section byte totals summed across all shard files.
+    section_sizes: dict[str, int]
+    #: Per-shard file metadata, shard order.
+    shards: tuple[SnapshotInfo, ...]
+
+
+def shard_file_name(index: int) -> str:
+    return f"shard-{index:04d}.lxsnap"
+
+
+def is_sharded_snapshot(path: str | os.PathLike[str]) -> bool:
+    """Is ``path`` a sharded snapshot directory (vs a snapshot file)?"""
+    target = Path(path)
+    return target.is_dir() and (target / SHARD_MANIFEST).is_file()
+
+
+def save_sharded_snapshot(
+    database, directory: str | os.PathLike[str]
+) -> ShardedSnapshotInfo:
+    """Write a :class:`~repro.shard.database.ShardedDatabase` fleet.
+
+    Layout: a directory holding one ordinary snapshot file per shard
+    (each individually checksummed and loadable with
+    :func:`load_snapshot`) plus a ``corpus.json`` manifest recording the
+    spine tag, every shard's placement spec
+    (:meth:`~repro.shard.partitioner.ShardSpec.as_dict`), file name, and
+    content hash.  The manifest is written last, so a crash mid-save
+    never leaves a directory that passes :func:`is_sharded_snapshot`
+    with missing shard files.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    infos: list[SnapshotInfo] = []
+    entries: list[dict] = []
+    for index, (shard, spec) in enumerate(zip(database.shards, database.specs)):
+        name = shard_file_name(index)
+        info = save_snapshot(shard, target / name)
+        infos.append(info)
+        entries.append(
+            {
+                "file": name,
+                "spec": spec.as_dict(),
+                "sha256": info.sha256,
+                "size_bytes": info.size_bytes,
+            }
+        )
+    manifest = {
+        "format": SHARDED_SNAPSHOT_FORMAT,
+        "format_version": SHARDED_SNAPSHOT_VERSION,
+        "spine_tag": database.spine_tag,
+        "shard_count": len(entries),
+        "element_count": database.element_count,
+        "statistics": database.statistics().as_dict(),
+        "shards": entries,
+    }
+    _write_json(target / SHARD_MANIFEST, manifest)
+    section_sizes: dict[str, int] = {}
+    for info in infos:
+        for name, size in info.section_sizes.items():
+            section_sizes[name] = section_sizes.get(name, 0) + size
+    return ShardedSnapshotInfo(
+        path=str(target),
+        version=SHARDED_SNAPSHOT_VERSION,
+        shard_count=len(infos),
+        spine_tag=database.spine_tag,
+        size_bytes=sum(info.size_bytes for info in infos),
+        element_count=manifest["element_count"],
+        section_sizes=section_sizes,
+        shards=tuple(infos),
+    )
+
+
+def read_sharded_snapshot_info(
+    path: str | os.PathLike[str],
+) -> ShardedSnapshotInfo:
+    """Verify a sharded snapshot directory and return its metadata."""
+    manifest, entries = _read_shard_manifest(path)
+    infos = tuple(
+        read_snapshot_info(Path(path) / entry["file"]) for entry in entries
+    )
+    section_sizes: dict[str, int] = {}
+    for info in infos:
+        for name, size in info.section_sizes.items():
+            section_sizes[name] = section_sizes.get(name, 0) + size
+    return ShardedSnapshotInfo(
+        path=str(path),
+        version=manifest["format_version"],
+        shard_count=len(infos),
+        spine_tag=manifest["spine_tag"],
+        size_bytes=sum(info.size_bytes for info in infos),
+        element_count=manifest["element_count"],
+        section_sizes=section_sizes,
+        shards=infos,
+    )
+
+
+def _read_shard_manifest(path: str | os.PathLike[str]) -> tuple[dict, list[dict]]:
+    target = Path(path)
+    manifest = _read_json(target / SHARD_MANIFEST)
+    if manifest.get("format") != SHARDED_SNAPSHOT_FORMAT:
+        raise SnapshotFormatError(
+            f"{target}: {SHARD_MANIFEST} is not a sharded snapshot manifest"
+        )
+    version = manifest.get("format_version")
+    if version != SHARDED_SNAPSHOT_VERSION:
+        raise SnapshotVersionError(
+            f"{target}: unsupported sharded snapshot version {version!r} "
+            f"(this build reads version {SHARDED_SNAPSHOT_VERSION})"
+        )
+    entries = manifest.get("shards")
+    if not isinstance(entries, list) or not entries:
+        raise SnapshotFormatError(f"{target}: manifest lists no shards")
+    for entry in entries:
+        if not isinstance(entry, dict) or "file" not in entry or "spec" not in entry:
+            raise SnapshotFormatError(f"{target}: malformed shard entry in manifest")
+    return manifest, entries
+
+
+def load_sharded_snapshot(
+    path: str | os.PathLike[str],
+    scorer: LotusXScorer | None = None,
+    eager: bool = False,
+    executor_mode: str = "auto",
+    max_workers: int | None = None,
+):
+    """Load a sharded snapshot directory into a ``ShardedDatabase``.
+
+    Each shard file is verified (checksum) up front, exactly like
+    :func:`load_snapshot`; heavy sections still inflate lazily per shard
+    (the facade's merged guide and term statistics touch the labels and
+    terms sections at construction, but completion tries and columnar
+    streams wait for the first query, or ``eager=True``).
+    """
+    from repro.shard.database import ShardedDatabase
+    from repro.shard.partitioner import ShardSpec
+
+    manifest, entries = _read_shard_manifest(path)
+    target = Path(path)
+    databases = []
+    specs = []
+    for entry in entries:
+        databases.append(load_snapshot(target / entry["file"], scorer, eager))
+        specs.append(ShardSpec.from_dict(entry["spec"]))
+    synonyms = databases[0]._synonyms if databases else None
+    database = ShardedDatabase(
+        databases,
+        specs,
+        source_document=None,
+        executor_mode=executor_mode,
+        max_workers=max_workers,
+        scorer=scorer,
+        synonyms=synonyms,
+    )
+    if eager:
+        database.warm()
+    return database
+
+
+# ======================================================================
 # Legacy directory store (verified rebuild)
 # ======================================================================
 

@@ -49,7 +49,12 @@ def resolve_deadline(
 
 
 def handle_stats(database: LotusXDatabase) -> dict:
-    """Corpus statistics plus per-instance cache/evaluation counters."""
+    """Corpus statistics plus per-instance cache/evaluation counters.
+
+    When the serving database is a sharded fleet, ``caches`` carries the
+    routing counters (``router``: queries routed, shards pruned,
+    fallbacks) and one counter block per shard (``per_shard``).
+    """
     return {
         "statistics": database.statistics().as_dict(),
         "caches": database.cache_statistics(),

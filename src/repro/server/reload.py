@@ -42,28 +42,56 @@ class ReloadSource:
     """Where a replacement database comes from.
 
     ``kind`` is ``"xml"`` (re-parse and re-index a corpus file) or
-    ``"snapshot"`` (load a snapshot written by ``lotusx index``).
+    ``"snapshot"`` (load a snapshot written by ``lotusx index`` — either
+    a single ``.lxsnap`` file or a sharded snapshot directory).  For
+    ``"xml"`` sources, ``shards > 1`` re-indexes into a sharded fleet.
     """
 
     kind: str
     path: str
     expand_attributes: bool = False
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in ("xml", "snapshot"):
             raise ValueError(f"unknown reload source kind: {self.kind!r}")
+        if self.shards > 1 and self.expand_attributes:
+            raise ValueError("sharded serving does not support expand_attributes")
 
     def build(self) -> LotusXDatabase:
-        """Build a fresh, fully materialized database from the source."""
+        """Build a fresh, fully materialized database from the source.
+
+        A sharded source yields the whole fleet as one object, so the
+        swap replaces every shard (and its caches, router counters, and
+        executor pools) in a single generation-consistent step.
+        """
         if self.kind == "snapshot":
-            from repro.engine.store import load_snapshot
+            from repro.engine.store import (
+                is_sharded_snapshot,
+                load_sharded_snapshot,
+                load_snapshot,
+            )
 
             # Eager: the swapped-in generation must be query-ready, not
             # pay lazy inflation on the first production request.
+            if is_sharded_snapshot(self.path):
+                return load_sharded_snapshot(self.path, eager=True)
             return load_snapshot(self.path, eager=True)
+        if self.shards > 1:
+            from repro.shard.database import ShardedDatabase
+
+            return ShardedDatabase.from_file(self.path, self.shards)
         return LotusXDatabase.from_file(
             self.path, expand_attributes=self.expand_attributes
         )
+
+
+def serving_element_count(database) -> int:
+    """Corpus element count for either database flavor."""
+    labeled = getattr(database, "labeled", None)
+    if labeled is not None:
+        return len(labeled)
+    return database.element_count
 
 
 class DatabaseHolder:
@@ -138,7 +166,7 @@ class DatabaseHolder:
             generation = self.swap(database)
             return {
                 "generation": generation,
-                "elements": len(database.labeled),
+                "elements": serving_element_count(database),
                 "source": self.source.kind,
                 "elapsed_seconds": round(time.perf_counter() - started, 3),
             }

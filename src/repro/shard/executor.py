@@ -1,0 +1,340 @@
+"""Scatter-gather execution of per-shard work.
+
+Three dispatch modes, selectable per :class:`ShardExecutor` or resolved
+per query in ``"auto"`` mode:
+
+* ``"serial"`` — run every shard task inline (deterministic; the
+  default for tests and the fallback when only one shard is dispatched);
+* ``"thread"`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (cheap dispatch; right for warm columnar paths where the per-shard
+  work is small);
+* ``"process"`` — a fork-based
+  :class:`~concurrent.futures.ProcessPoolExecutor` (true parallelism for
+  cold/heavy queries; workers inherit the shard databases copy-on-write
+  through the module-level registry populated *before* the pool forks).
+
+``"auto"`` sends a pattern's first evaluation (cold: streams must be
+built, the per-shard work dominates) to the process pool and later
+evaluations (warm: the forked workers hold compiled plans) to threads.
+
+The wire protocol is deliberately tiny: workers return shard-local
+``(node_id, order)`` pairs, never :class:`Match` objects — the parent
+holds its own reference to every shard database and rebuilds matches by
+indexing ``labeled.elements`` (orders are shard-local and dense).
+Deadlines never cross the process boundary either; each worker gets a
+remaining-milliseconds budget and builds its own
+:class:`~repro.resilience.deadline.Deadline`.  A shard that trips its
+budget returns whatever partial matches it salvaged plus a ``tripped``
+flag instead of raising, so a straggler costs its own results only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import uuid
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.engine.database import LotusXDatabase
+from repro.keyword.elca import find_elcas
+from repro.keyword.slca import find_slcas
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded
+from repro.twig.algorithms.common import AlgorithmStats
+from repro.twig.pattern import TwigPattern
+from repro.twig.planner import Algorithm
+
+#: Fleets visible to forked workers, keyed by executor id.  Populated
+#: before the process pool is created so the fork inherits it.
+_SHARD_REGISTRY: dict[str, list[LotusXDatabase]] = {}
+
+
+class ShardOutcome:
+    """One shard's answer to a scattered task."""
+
+    __slots__ = ("shard_index", "payload", "tripped")
+
+    def __init__(self, shard_index: int, payload: dict, tripped: bool) -> None:
+        self.shard_index = shard_index
+        self.payload = payload
+        self.tripped = tripped
+
+
+def _shard_deadline(budget_ms: float | None) -> Deadline | None:
+    return None if budget_ms is None else Deadline.after_ms(budget_ms)
+
+
+def _matches_task(database: LotusXDatabase, payload: dict) -> dict:
+    """Evaluate a twig pattern on one shard; compact wire result."""
+    deadline = _shard_deadline(payload.get("budget_ms"))
+    pattern: TwigPattern = payload["pattern"]
+    algorithm = Algorithm(payload["algorithm"])
+    stats = AlgorithmStats() if payload.get("collect_stats") else None
+    tripped = False
+    try:
+        matches = database._evaluate(
+            pattern, algorithm, stats, payload["prune_streams"], deadline
+        )
+    except DeadlineExceeded as exc:
+        matches = exc.partial or []
+        tripped = True
+    wire_matches = [
+        [(node_id, element.order) for node_id, element in match.assignments.items()]
+        for match in matches
+    ]
+    result: dict = {"matches": wire_matches, "tripped": tripped}
+    if stats is not None:
+        result["stats"] = {
+            "elements_scanned": stats.elements_scanned,
+            "intermediate_results": stats.intermediate_results,
+            "matches": stats.matches,
+            "notes": dict(stats.notes),
+        }
+    return result
+
+
+def _keyword_task(database: LotusXDatabase, payload: dict) -> dict:
+    """SLCA/ELCA answers for one shard plus the root-witness term bits.
+
+    ``free`` lists the query terms that have at least one occurrence
+    whose lowest qualifying ancestor is the (replica) root — i.e. an
+    occurrence outside every top-level unit that contains a deep SLCA.
+    The coordinator ORs these bits across shards to decide whether the
+    corpus root is a global ELCA.
+    """
+    deadline = _shard_deadline(payload.get("budget_ms"))
+    terms = tuple(payload["terms"])
+    semantics = payload["semantics"]
+    labeled = database.labeled
+    term_index = database.term_index
+    truncated = False
+    finder = find_elcas if semantics == "elca" else find_slcas
+    try:
+        answers = finder(labeled, term_index, terms, deadline)
+    except DeadlineExceeded as exc:
+        answers = exc.partial or []
+        truncated = True
+    free: list[str] = []
+    if semantics == "elca":
+        if truncated:
+            slcas = [a for a in answers if a.order != 0]
+        else:
+            try:
+                slcas = find_slcas(labeled, term_index, terms, deadline)
+            except DeadlineExceeded as exc:
+                slcas = exc.partial or []
+                truncated = True
+        # Order ranges of the top-level units that contain a deep SLCA:
+        # occurrences inside them have a qualifying ancestor below the
+        # root; occurrences outside witness the root itself.
+        ranges: list[tuple[int, int]] = []
+        for element in slcas:
+            if element.order == 0:
+                continue
+            unit = element
+            while unit.parent is not None and unit.parent.order != 0:
+                unit = unit.parent
+            ranges.append(term_index.subtree_order_range(unit))
+        ranges.sort()
+        lowered = [term.lower() for term in dict.fromkeys(terms)]
+        for term in lowered:
+            postings = term_index.postings(term)
+            if _any_outside(postings, ranges):
+                free.append(term)
+    return {
+        "orders": [element.order for element in answers],
+        "free": free,
+        "truncated": truncated,
+    }
+
+
+def _any_outside(postings, ranges: list[tuple[int, int]]) -> bool:
+    """Does any posting's order fall outside every ``(low, high)`` range?
+
+    Ranges are sorted, disjoint subtree order ranges (half-open on the
+    high end, matching ``subtree_order_range``).
+    """
+    if not ranges:
+        return bool(postings)
+    index = 0
+    for posting in postings:
+        order = posting.order
+        while index < len(ranges) and ranges[index][1] <= order:
+            index += 1
+        if index >= len(ranges) or order < ranges[index][0]:
+            return True
+    return False
+
+
+_TASKS = {
+    "matches": _matches_task,
+    "keyword": _keyword_task,
+}
+
+
+def _process_entry(registry_key: str, shard_index: int, kind: str, payload: dict) -> dict:
+    """Top-level worker entry point (importable, hence picklable)."""
+    fleet = _SHARD_REGISTRY.get(registry_key)
+    if fleet is None:
+        raise RuntimeError(
+            f"shard fleet {registry_key!r} not present in worker process"
+        )
+    return _TASKS[kind](fleet[shard_index], payload)
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform probing
+        return False
+
+
+class ShardExecutor:
+    """Scatters tasks over a shard fleet and gathers the outcomes."""
+
+    #: Recognized dispatch modes.
+    MODES = ("auto", "serial", "thread", "process")
+
+    def __init__(
+        self,
+        databases: list[LotusXDatabase],
+        mode: str = "auto",
+        max_workers: int | None = None,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown executor mode: {mode!r}")
+        self._databases = databases
+        self._mode = mode
+        self._max_workers = max_workers or min(
+            len(databases), max(1, (os.cpu_count() or 2))
+        )
+        self._registry_key = uuid.uuid4().hex
+        _SHARD_REGISTRY[self._registry_key] = databases
+        self._lock = threading.Lock()
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._warm_signatures: set = set()
+        self._closed = False
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def close(self) -> None:
+        """Shut down pools and drop the fleet from the fork registry."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread_pool, self._thread_pool = self._thread_pool, None
+            process_pool, self._process_pool = self._process_pool, None
+        if thread_pool is not None:
+            thread_pool.shutdown(wait=False, cancel_futures=True)
+        if process_pool is not None:
+            process_pool.shutdown(wait=False, cancel_futures=True)
+        _SHARD_REGISTRY.pop(self._registry_key, None)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        shard_indices: list[int],
+        kind: str,
+        payload: dict,
+        deadline: Deadline | None = None,
+        signature=None,
+    ) -> list[ShardOutcome]:
+        """Run ``kind`` with ``payload`` on every listed shard.
+
+        Every shard receives the parent's *remaining* budget — shards run
+        concurrently, so each may use the full residue — and outcomes
+        come back in shard order.  ``signature`` (a pattern signature)
+        feeds the cold/warm routing of ``"auto"`` mode.
+        """
+        task_payload = dict(payload)
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                task_payload["budget_ms"] = max(0.0, remaining * 1000.0)
+        mode = self._resolve_mode(shard_indices, signature)
+        if mode == "serial":
+            return [
+                ShardOutcome(index, *self._run_local(index, kind, task_payload))
+                for index in shard_indices
+            ]
+        if mode == "thread":
+            pool = self._ensure_thread_pool()
+            futures = [
+                pool.submit(self._run_local, index, kind, task_payload)
+                for index in shard_indices
+            ]
+            return [
+                ShardOutcome(index, *future.result())
+                for index, future in zip(shard_indices, futures)
+            ]
+        pool = self._ensure_process_pool()
+        futures = [
+            pool.submit(
+                _process_entry, self._registry_key, index, kind, task_payload
+            )
+            for index in shard_indices
+        ]
+        outcomes = []
+        for index, future in zip(shard_indices, futures):
+            result = future.result()
+            outcomes.append(
+                ShardOutcome(
+                    index,
+                    result,
+                    bool(result.get("tripped") or result.get("truncated")),
+                )
+            )
+        return outcomes
+
+    def _run_local(self, shard_index: int, kind: str, payload: dict):
+        result = _TASKS[kind](self._databases[shard_index], payload)
+        return result, bool(result.get("tripped") or result.get("truncated"))
+
+    def _resolve_mode(self, shard_indices: list[int], signature) -> str:
+        if self._mode == "serial" or len(shard_indices) <= 1:
+            return "serial"
+        if self._mode in ("thread", "process"):
+            if self._mode == "process" and not _fork_available():
+                return "thread"
+            return self._mode
+        # auto: first sighting of a pattern is cold work (streams must be
+        # built) -> processes; repeat sightings hit warm per-shard plans
+        # where dispatch overhead dominates -> threads.
+        if signature is None or not _fork_available():
+            return "thread"
+        with self._lock:
+            warm = signature in self._warm_signatures
+            self._warm_signatures.add(signature)
+        return "thread" if warm else "process"
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="lotusx-shard",
+                )
+            return self._thread_pool
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._process_pool is None:
+                context = multiprocessing.get_context("fork")
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers, mp_context=context
+                )
+            return self._process_pool

@@ -1,0 +1,187 @@
+"""Shard routing: prune shards that provably cannot contain a match.
+
+Every shard keeps cheap summaries — its tag set (from the DataGuide) and
+its term/value vocabularies (from the term index).  Before a query is
+scattered, the router derives the query's *required* evidence and drops
+every shard missing any piece of it:
+
+* a required (non-optional) twig node with a concrete tag needs that tag
+  in the shard (the replicated spine root's tag is present everywhere,
+  so spine-tag nodes never prune — which is exactly right, since the
+  replica exists in every shard);
+* a positive ``ContainsPredicate`` on a required node needs all its
+  terms in the shard (an element's subtree is entirely shard-local);
+* an ``EqualsPredicate`` on a required node needs the normalized value
+  in the shard.
+
+For keyword queries a shard can only produce *deep* (below-root)
+answers when it contains **all** terms, so full dispatch goes to those
+shards only; per-term presence of the pruned shards still feeds the
+coordinator's root-answer resolution and global idf without any
+dispatch.
+
+These are necessary conditions — pruning is sound (never drops a shard
+that could answer) but not complete.  Counters are kept under a lock and
+surface through ``/api/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.database import LotusXDatabase
+from repro.twig.pattern import (
+    ContainsPredicate,
+    EqualsPredicate,
+    QueryNode,
+    TwigPattern,
+)
+
+
+def spine_safe(pattern: TwigPattern, spine_tag: str) -> bool:
+    """Can ``pattern`` be answered exactly by per-shard evaluation?
+
+    Only the pattern's root can ever bind the corpus root (any other
+    node would need an ancestor above it).  A root binding the spine is
+    replicated per shard, where it sees only that shard's subtree — so a
+    pattern is unsafe exactly when such a binding could carry
+    *cross-shard* obligations: a predicate on the root (its evidence may
+    be spread over several shards), two or more root branches (each
+    could bind in a different shard), or an optional root branch (its
+    presence may differ per shard).  A root-only or single-branch
+    binding is complete within one shard, and duplicates of the shared
+    spine binding are removed by the merger's global-identity dedup.
+    """
+    root = pattern.root
+    if not root.accepts_tag(spine_tag):
+        return True
+    if root.predicate is not None:
+        return False
+    if len(root.children) >= 2:
+        return False
+    return not any(child.optional for child in root.children)
+
+
+class ShardRouter:
+    """Routes queries to the shards that could answer them."""
+
+    def __init__(self, databases: list[LotusXDatabase], spine_tag: str) -> None:
+        self._databases = databases
+        self._spine_tag = spine_tag
+        self._tag_sets = [set(db.labeled.tags()) for db in databases]
+        self._lock = threading.Lock()
+        self._counters = {
+            "pattern_queries": 0,
+            "keyword_queries": 0,
+            "pruned_queries": 0,
+            "shards_pruned": 0,
+            "fallback_queries": 0,
+        }
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._databases)
+
+    # ------------------------------------------------------------------
+    # Twig routing
+    # ------------------------------------------------------------------
+
+    def route_pattern(self, pattern: TwigPattern) -> list[int]:
+        """Shard indices that could contain a match for ``pattern``."""
+        requirements = self._pattern_requirements(pattern)
+        dispatch = [
+            index
+            for index in range(len(self._databases))
+            if self._shard_feasible(index, requirements)
+        ]
+        self._note("pattern_queries", dispatch)
+        return dispatch
+
+    def _pattern_requirements(
+        self, pattern: TwigPattern
+    ) -> tuple[set[str], set[str], set[str]]:
+        """(required tags, required terms, required values) of a pattern.
+
+        Only nodes on fully required branches contribute: an optional
+        node (or any node below one) may simply stay unbound, so its
+        absence from a shard never rules the shard out.
+        """
+        tags: set[str] = set()
+        terms: set[str] = set()
+        values: set[str] = set()
+
+        def visit(node: QueryNode) -> None:
+            if node.optional:
+                return
+            if node.tag is not None:
+                tags.add(node.tag)
+            predicate = node.predicate
+            if isinstance(predicate, ContainsPredicate):
+                terms.update(term.lower() for term in predicate.terms())
+            elif isinstance(predicate, EqualsPredicate):
+                # EqualsPredicate normalizes its value at construction.
+                values.add(predicate.value)
+            for child in node.children:
+                visit(child)
+
+        visit(pattern.root)
+        return tags, terms, values
+
+    def _shard_feasible(
+        self, index: int, requirements: tuple[set[str], set[str], set[str]]
+    ) -> bool:
+        tags, terms, values = requirements
+        tag_set = self._tag_sets[index]
+        if any(tag not in tag_set for tag in tags):
+            return False
+        term_index = self._databases[index].term_index
+        if any(term_index.document_frequency(term) == 0 for term in terms):
+            return False
+        return all(term_index.value_count(value) > 0 for value in values)
+
+    # ------------------------------------------------------------------
+    # Keyword routing
+    # ------------------------------------------------------------------
+
+    def route_terms(self, terms: tuple[str, ...]) -> tuple[list[int], list[dict]]:
+        """(full-dispatch shard indices, per-shard term presence).
+
+        Deep (below-root) answers require every term inside the shard,
+        so only shards containing all terms are dispatched.  The
+        presence maps cover *all* shards: the coordinator uses them to
+        resolve the root answer and the global idf without touching the
+        pruned shards.
+        """
+        lowered = [term.lower() for term in dict.fromkeys(terms)]
+        presence: list[dict] = []
+        dispatch: list[int] = []
+        for index, database in enumerate(self._databases):
+            term_index = database.term_index
+            shard_presence = {
+                term: term_index.document_frequency(term) > 0 for term in lowered
+            }
+            presence.append(shard_presence)
+            if all(shard_presence.values()):
+                dispatch.append(index)
+        self._note("keyword_queries", dispatch)
+        return dispatch, presence
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    def note_fallback(self) -> None:
+        with self._lock:
+            self._counters["fallback_queries"] += 1
+
+    def _note(self, kind: str, dispatch: list[int]) -> None:
+        pruned = len(self._databases) - len(dispatch)
+        with self._lock:
+            self._counters[kind] += 1
+            if pruned:
+                self._counters["pruned_queries"] += 1
+                self._counters["shards_pruned"] += pruned
+
+    def statistics(self) -> dict:
+        with self._lock:
+            return dict(self._counters)

@@ -1,0 +1,121 @@
+"""Unit tests for corpus partitioning and global region labeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dblp_xml
+from repro.engine.database import LotusXDatabase
+from repro.shard.partitioner import (
+    ShardSpec,
+    build_shard_database,
+    partition_document,
+    split_units,
+)
+from repro.xmlio.builder import parse_string
+
+
+def test_split_units_balances_contiguously():
+    bounds = split_units([5, 5, 5, 5], 2)
+    assert bounds == [(0, 2), (2, 4)]
+    # Blocks are contiguous and cover every unit exactly once.
+    flattened = [i for start, end in bounds for i in range(start, end)]
+    assert flattened == [0, 1, 2, 3]
+
+
+def test_split_units_skewed_weights():
+    # One huge unit should not drag its whole tail into the same block.
+    bounds = split_units([100, 1, 1, 1], 2)
+    assert bounds == [(0, 1), (1, 4)]
+
+
+def test_split_units_fewer_units_than_shards():
+    assert split_units([3], 4) == [(0, 1)]
+    assert split_units([3, 3], 4) == [(0, 1), (1, 2)]
+    assert split_units([], 4) == [(0, 0)]
+
+
+def test_split_units_never_empty_blocks():
+    for shards in (1, 2, 3, 5, 8):
+        bounds = split_units([1, 7, 2, 2, 9, 1, 1], shards)
+        assert all(end > start for start, end in bounds)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 7
+
+
+XML = (
+    "<lib kind='x'>intro"
+    "<book><title>alpha beta</title></book>"
+    "<book><title>gamma</title><year>2001</year></book>"
+    "<cd><artist>delta</artist></cd>"
+    "</lib>"
+)
+
+
+def test_partition_document_replicates_root_and_splits_units():
+    plan = partition_document(parse_string(XML), 2)
+    assert len(plan.specs) == 2
+    roots = [doc.root for doc in plan.documents]
+    assert all(root.tag == "lib" for root in roots)
+    assert all(root.attributes == {"kind": "x"} for root in roots)
+    # Root direct text lands on shard 0 only (term counted exactly once).
+    assert "intro" in roots[0].text
+    assert "intro" not in roots[1].text
+    # Every unit appears exactly once across the fleet.
+    total_units = sum(len(root.child_elements()) for root in roots)
+    assert total_units == 3
+    assert plan.specs[0].total_elements == plan.specs[1].total_elements
+
+
+def test_partition_document_leaves_source_intact():
+    document = parse_string(XML)
+    before = document.root.text
+    partition_document(document, 2)
+    assert document.root.text == before
+    assert len(document.root.child_elements()) == 3
+
+
+def test_shard_regions_are_global_coordinates():
+    """Shard labels must agree with the mono labeling per corpus position."""
+    xml_text = generate_dblp_xml(40, 3)
+    mono = LotusXDatabase.from_string(xml_text)
+    plan = partition_document(parse_string(xml_text), 3)
+    shards = [
+        build_shard_database(doc, spec)
+        for doc, spec in zip(plan.documents, plan.specs)
+    ]
+
+    mono_labels = {
+        element.region.start: (element.region.end, element.level, element.tag)
+        for element in mono.labeled.elements
+    }
+    shard_labels = {}
+    for shard_index, shard in enumerate(shards):
+        for element in shard.labeled.elements:
+            if element.order == 0 and shard_index > 0:
+                continue  # replicated spine root, counted once
+            shard_labels[element.region.start] = (
+                element.region.end,
+                element.level,
+                element.tag,
+            )
+    assert shard_labels == mono_labels
+
+
+def test_shard_spec_roundtrip():
+    spec = ShardSpec(
+        index=1,
+        shard_count=3,
+        spine_tag="lib",
+        unit_range=(2, 5),
+        element_offset=17,
+        element_count=9,
+        total_elements=40,
+        child_ordinal_offsets={"book": 2},
+    )
+    assert ShardSpec.from_dict(spec.as_dict()) == spec
+    assert spec.tick_shift == 34
+
+
+def test_partition_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        partition_document(parse_string(XML), 0)
