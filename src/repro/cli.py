@@ -165,6 +165,57 @@ def build_parser() -> argparse.ArgumentParser:
         " scatter-gather execution (ignored with --snapshot: a sharded"
         " snapshot directory carries its own shard count)",
     )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve each shard with N replicas behind health checks,"
+        " retries, hedged requests, and per-replica circuit breakers"
+        " (sharded serving only; default 1 = no fleet)",
+    )
+    serve.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="hedged-request trigger: fire a second replica when the"
+        " first exceeds MS milliseconds (0 disables hedging; default:"
+        " adaptive p95 per replica)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-replica circuit-breaker open→half-open cooldown"
+        " (default 1000)",
+    )
+    serve.add_argument(
+        "--breaker-failure-threshold",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="failure rate (0..1] over the breaker's outcome window that"
+        " trips it open (default 0.5)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per shard sub-request across replicas, with"
+        " jittered exponential backoff budgeted against the request"
+        " deadline (default 3)",
+    )
+    serve.add_argument(
+        "--degraded-policy",
+        choices=["salvage", "strict"],
+        default="salvage",
+        help="when whole shard groups are down: 'salvage' (default)"
+        " returns partial results marked degraded; 'strict' rejects"
+        " them with HTTP 503",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
@@ -405,6 +456,34 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_config(args: argparse.Namespace):
+    """A FleetConfig from the serve flags, or None for fleet defaults."""
+    tuned = {}
+    if args.hedge_ms is not None:
+        tuned["hedge_ms"] = args.hedge_ms
+    if args.breaker_cooldown_ms is not None:
+        if args.breaker_cooldown_ms <= 0:
+            raise ValueError("--breaker-cooldown-ms must be positive")
+        tuned["breaker_cooldown_ms"] = args.breaker_cooldown_ms
+    if args.breaker_failure_threshold is not None:
+        tuned["breaker_failure_threshold"] = args.breaker_failure_threshold
+    if args.retries is not None:
+        if args.retries < 1:
+            raise ValueError("--retries must be at least 1")
+        from repro.resilience.retry import RetryPolicy
+
+        tuned["retry"] = RetryPolicy(max_attempts=args.retries)
+    if not tuned and args.replicas <= 1:
+        return None
+    from repro.fleet import FleetConfig
+
+    return FleetConfig(replicas=max(args.replicas, 1), **tuned)
+
+
+def _replica_banner(replicas: int) -> str:
+    return f", {replicas} replicas each" if replicas > 1 else ""
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -416,6 +495,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.shards < 1:
         raise ValueError("--shards must be at least 1")
+    if args.replicas < 1:
+        raise ValueError("--replicas must be at least 1")
+
+    # Deterministic fault injection for resilience drills: the fault
+    # harness (LOTUSX_FAULT_SPEC) arms named sites such as
+    # fleet.replica.<shard>.<replica> before any request is served.
+    from repro.resilience import faults
+
+    faults.install_from_env()
+
+    fleet_config = _fleet_config(args)
 
     started = time.perf_counter()
     if args.snapshot is not None:
@@ -426,24 +516,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
         if is_sharded_snapshot(args.snapshot):
-            database = load_sharded_snapshot(args.snapshot)
+            database = load_sharded_snapshot(
+                args.snapshot,
+                replicas=args.replicas,
+                fleet_config=fleet_config,
+            )
             banner = (
                 f"sharded snapshot {args.snapshot}"
-                f" ({database.shard_count} shards)"
+                f" ({database.shard_count} shards"
+                f"{_replica_banner(args.replicas)})"
             )
         else:
+            if args.replicas > 1:
+                raise ValueError(
+                    "--replicas requires a sharded snapshot directory"
+                )
             database = load_snapshot(args.snapshot)
             banner = f"snapshot {args.snapshot}"
-        source = ReloadSource("snapshot", args.snapshot)
+        source = ReloadSource(
+            "snapshot",
+            args.snapshot,
+            replicas=args.replicas,
+            fleet_config=fleet_config,
+        )
     elif args.shards > 1:
         from repro.shard.database import ShardedDatabase
 
         if args.expand_attributes:
             raise ValueError("sharded serving does not support --expand-attributes")
-        database = ShardedDatabase.from_file(args.corpus, args.shards)
-        source = ReloadSource("xml", args.corpus, shards=args.shards)
-        banner = f"corpus {args.corpus} ({args.shards} shards)"
+        database = ShardedDatabase.from_file(
+            args.corpus,
+            args.shards,
+            replicas=args.replicas,
+            fleet_config=fleet_config,
+        )
+        source = ReloadSource(
+            "xml",
+            args.corpus,
+            shards=args.shards,
+            replicas=args.replicas,
+            fleet_config=fleet_config,
+        )
+        banner = (
+            f"corpus {args.corpus} ({args.shards} shards"
+            f"{_replica_banner(args.replicas)})"
+        )
     else:
+        if args.replicas > 1:
+            raise ValueError("--replicas requires sharded serving (--shards > 1)")
         database = LotusXDatabase.from_file(
             args.corpus, expand_attributes=args.expand_attributes
         )
@@ -452,7 +572,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     holder = DatabaseHolder(database, source)
     print(f"loaded {banner} in {time.perf_counter() - started:.2f}s")
 
-    overrides = {}
+    overrides = {"degraded_policy": args.degraded_policy}
     if args.max_concurrency is not None:
         if args.max_concurrency < 1:
             raise ValueError("--max-concurrency must be at least 1")

@@ -838,6 +838,8 @@ def load_sharded_snapshot(
     eager: bool = False,
     executor_mode: str = "auto",
     max_workers: int | None = None,
+    replicas: int = 1,
+    fleet_config=None,
 ):
     """Load a sharded snapshot directory into a ``ShardedDatabase``.
 
@@ -866,6 +868,8 @@ def load_sharded_snapshot(
         max_workers=max_workers,
         scorer=scorer,
         synonyms=synonyms,
+        replicas=replicas,
+        fleet_config=fleet_config,
     )
     if eager:
         database.warm()

@@ -1,0 +1,488 @@
+"""The replica fleet: resilient routing of per-shard sub-requests.
+
+:class:`ReplicaFleet` gives every shard ``N`` replicas and routes each
+scatter-gather sub-request through a resilience pipeline:
+
+1. **Selection** — replicas are ranked by health (healthy → suspect →
+   dead), rotated round-robin within a rank, and gated by their
+   per-replica :class:`~repro.resilience.breaker.CircuitBreaker`; a
+   replica with an open breaker is *skipped* instead of timed out.
+2. **Retries** — a failed attempt moves to the next admitted replica
+   after a jittered exponential backoff that is budgeted against the
+   caller's :class:`~repro.resilience.deadline.Deadline` (see
+   :mod:`repro.resilience.retry`): retries never blow the wall clock.
+3. **Hedging** — when a primary attempt exceeds the hedge trigger (an
+   explicit ``hedge_ms`` or the replica's recent p95), the same task is
+   fired on a second replica; the first *success* wins and the loser is
+   cancelled cooperatively (not-yet-started legs are cancelled outright,
+   running legs finish and are discarded — they still feed health
+   accounting).
+4. **Health repair** — non-healthy replicas are probed off the request
+   path (a small probe pool), so a recovered replica returns to rotation
+   without risking live queries; passive health feeds off every routed
+   call.
+
+Every replica attempt fires the fault-injection site
+``fleet.replica.<shard>.<replica>`` first, which is how the fault
+harness makes crash / hang / slow / flap deterministically testable per
+replica.  When *every* replica of a group is down, the fleet raises
+:class:`~repro.resilience.errors.ShardsUnavailable` — callers degrade to
+partial, ``degraded``-flagged responses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.fleet.health import HealthPolicy
+from repro.fleet.replica import Replica
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.errors import DeadlineExceeded, ShardsUnavailable
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
+
+#: Extra wall time granted to collect a leg's salvaged partial result
+#: after the caller's own deadline has expired (the leg self-limits via
+#: its per-shard budget, so this only covers scheduling slack).
+SALVAGE_GRACE_S = 0.1
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tuning for the replica fleet's resilience pipeline.
+
+    ``hedge_ms`` selects the hedging trigger: a positive value is a fixed
+    trigger, ``None`` derives it per replica from recent latency
+    (``hedge_percentile`` over the window, floored at
+    ``hedge_floor_ms``), and ``0`` disables hedging entirely.
+    """
+
+    replicas: int = 2
+    retry: RetryPolicy = RetryPolicy()
+    hedge_ms: float | None = None
+    hedge_floor_ms: float = 25.0
+    hedge_percentile: float = 0.95
+    hedge_min_samples: int = 8
+    breaker_window: int = 16
+    breaker_failure_threshold: float = 0.5
+    breaker_min_calls: int = 4
+    breaker_cooldown_ms: float = 1000.0
+    breaker_half_open_probes: int = 1
+    suspect_after: int = 1
+    dead_after: int = 3
+    probe_interval_ms: float = 250.0
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if self.hedge_ms is not None and self.hedge_ms < 0:
+            raise ValueError("hedge_ms must be non-negative")
+        if not 0.0 < self.hedge_percentile < 1.0:
+            raise ValueError("hedge_percentile must be in (0, 1)")
+
+    @property
+    def hedging_enabled(self) -> bool:
+        return self.hedge_ms is None or self.hedge_ms > 0
+
+    def with_replicas(self, replicas: int) -> FleetConfig:
+        return dataclasses.replace(self, replicas=replicas)
+
+    def make_breaker(self, clock) -> CircuitBreaker:
+        return CircuitBreaker(
+            window=self.breaker_window,
+            failure_threshold=self.breaker_failure_threshold,
+            min_calls=self.breaker_min_calls,
+            cooldown_s=self.breaker_cooldown_ms / 1000.0,
+            half_open_probes=self.breaker_half_open_probes,
+            clock=clock,
+        )
+
+    def make_health_policy(self) -> HealthPolicy:
+        return HealthPolicy(
+            suspect_after=self.suspect_after,
+            dead_after=self.dead_after,
+            probe_interval_s=self.probe_interval_ms / 1000.0,
+        )
+
+
+class ReplicaGroup:
+    """The replicas serving one shard, with rotating ranked selection."""
+
+    def __init__(self, shard_index: int, replicas: list[Replica]) -> None:
+        if not replicas:
+            raise ValueError("a replica group needs at least one replica")
+        self.shard_index = shard_index
+        self.replicas = replicas
+        self._lock = threading.Lock()
+        self._rotation = 0
+
+    def pick(self, exclude: list[Replica] | tuple = ()) -> Replica | None:
+        """The best admitted replica not in ``exclude``, or ``None``.
+
+        Candidates are ranked healthy → suspect → dead, rotated
+        round-robin within equal rank so load spreads, then gated by
+        their breaker — ``allow()`` both filters open breakers and
+        reserves half-open probe slots.
+        """
+        with self._lock:
+            rotation = self._rotation
+            self._rotation += 1
+        size = len(self.replicas)
+        candidates = [r for r in self.replicas if r not in exclude]
+        candidates.sort(
+            key=lambda r: (r.health.rank(), (r.replica_index - rotation) % size)
+        )
+        for replica in candidates:
+            if replica.breaker.allow():
+                return replica
+        return None
+
+    def snapshot(self) -> dict:
+        return {
+            "shard": self.shard_index,
+            "replicas": [replica.snapshot() for replica in self.replicas],
+        }
+
+
+class ReplicaFleet:
+    """Replica groups for every shard plus the routing pipeline."""
+
+    def __init__(
+        self,
+        shard_databases: list,
+        config: FleetConfig | None = None,
+        clock=time.monotonic,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.config = config or FleetConfig()
+        self._clock = clock
+        self._rng = rng or random.Random()
+        health_policy = self.config.make_health_policy()
+        self.groups = [
+            ReplicaGroup(
+                shard_index,
+                [
+                    # Replicas of a read-only shard share the shard's
+                    # database object: identical data, independent
+                    # failure domains (site, health, breaker, latency).
+                    Replica(
+                        shard_index,
+                        replica_index,
+                        database,
+                        health_policy,
+                        self.config.make_breaker(clock),
+                        clock,
+                    )
+                    for replica_index in range(self.config.replicas)
+                ],
+            )
+            for shard_index, database in enumerate(shard_databases)
+        ]
+        self._lock = threading.Lock()
+        self._closed = False
+        self.counters: dict[str, int] = {
+            "calls": 0,
+            "failures": 0,
+            "retries": 0,
+            "hedged_requests": 0,
+            "hedge_wins": 0,
+            "hedges_cancelled": 0,
+            "probes": 0,
+            "breaker_skips": 0,
+            "groups_down": 0,
+        }
+        worker_cap = max(4, 2 * len(self.groups))
+        self._pool = ThreadPoolExecutor(
+            max_workers=worker_cap, thread_name_prefix="lotusx-fleet"
+        )
+        self._probe_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="lotusx-probe"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.groups)
+
+    def close(self) -> None:
+        """Shut down the hedge and probe pools (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._probe_pool.shutdown(wait=False, cancel_futures=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # The pipeline
+    # ------------------------------------------------------------------
+
+    def call(self, shard_index: int, task, deadline=None):
+        """Run ``task(database)`` on a replica of ``shard_index``.
+
+        Applies selection, retries, and hedging as configured.  Raises
+        :class:`ShardsUnavailable` when every replica is down or
+        rejected, and lets :class:`DeadlineExceeded` (budget exhaustion,
+        not replica failure) propagate for upstream salvage.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("fleet is closed")
+            self.counters["calls"] += 1
+        group = self.groups[shard_index]
+        self._schedule_probes(group)
+        if self.config.hedging_enabled and len(group.replicas) > 1:
+            return self._call_hedged(group, task, deadline)
+        return self._call_sequential(group, task, deadline)
+
+    def _call_sequential(self, group: ReplicaGroup, task, deadline):
+        tried: list[Replica] = []
+        attempt = 0
+        last_error = None
+        while True:
+            replica = group.pick(tried)
+            if replica is None:
+                if tried:
+                    # Some replica was tried and failed; the rest are
+                    # breaker-gated.  Count the skip for monitoring.
+                    self._bump("breaker_skips")
+                break
+            tried.append(replica)
+            attempt += 1
+            try:
+                return self._execute(replica, task, deadline)
+            except DeadlineExceeded:
+                raise
+            except Exception as exc:
+                last_error = exc
+            delay = self.config.retry.budgeted_delay_s(
+                attempt, deadline, self._rng
+            )
+            if delay is None:
+                break
+            self._bump("retries")
+            if delay > 0:
+                time.sleep(delay)
+        raise self._group_down(group, last_error)
+
+    def _call_hedged(self, group: ReplicaGroup, task, deadline):
+        tried: list[Replica] = []
+        attempt = 0
+        last_error = None
+        while True:
+            primary = group.pick(tried)
+            if primary is None:
+                if tried:
+                    self._bump("breaker_skips")
+                break
+            tried.append(primary)
+            attempt += 1
+            future = self._submit(primary, task, deadline)
+            trigger_s = self._hedge_trigger_s(primary)
+            remaining = deadline.remaining() if deadline is not None else None
+            if remaining is not None and remaining <= trigger_s:
+                # No budget left to hedge: the leg self-limits via its
+                # per-shard budget; wait it out (plus salvage grace).
+                try:
+                    return future.result(timeout=remaining + SALVAGE_GRACE_S)
+                except FutureTimeoutError:
+                    raise DeadlineExceeded(
+                        site="fleet.hedge", remaining_ms=0.0
+                    ) from None
+                except DeadlineExceeded:
+                    raise
+                except Exception as exc:
+                    last_error = exc
+                    break
+            try:
+                return future.result(timeout=trigger_s)
+            except FutureTimeoutError:
+                pass  # primary is slow: hedge below
+            except DeadlineExceeded:
+                raise
+            except Exception as exc:
+                # Fast failure: plain retry against the next replica.
+                last_error = exc
+                delay = self.config.retry.budgeted_delay_s(
+                    attempt, deadline, self._rng
+                )
+                if delay is None:
+                    break
+                self._bump("retries")
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            legs = {future: primary}
+            secondary = group.pick(tried)
+            if secondary is not None:
+                self._bump("hedged_requests")
+                tried.append(secondary)
+                attempt += 1
+                legs[self._submit(secondary, task, deadline)] = secondary
+            result, winner, error = self._first_success(legs, deadline)
+            if winner is not None:
+                if secondary is not None and winner is secondary:
+                    self._bump("hedge_wins")
+                return result
+            if isinstance(error, DeadlineExceeded):
+                raise error
+            last_error = error or last_error
+            delay = self.config.retry.budgeted_delay_s(
+                attempt, deadline, self._rng
+            )
+            if delay is None:
+                break
+            self._bump("retries")
+            if delay > 0:
+                time.sleep(delay)
+        raise self._group_down(group, last_error)
+
+    def _first_success(self, legs: dict, deadline):
+        """First-success-wins over hedge legs.
+
+        Returns ``(result, winning_replica, None)`` on success or
+        ``(None, None, last_error)`` when every leg failed.  Losing legs
+        are cancelled where possible; already-running legs finish in the
+        pool and record their own health outcome.
+        """
+        last_error = None
+        pending = set(legs)
+        while pending:
+            timeout = None
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    timeout = remaining + SALVAGE_GRACE_S
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Wall budget exhausted with legs still in flight.
+                return (
+                    None,
+                    None,
+                    DeadlineExceeded(site="fleet.hedge", remaining_ms=0.0),
+                )
+            for future in done:
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    last_error = exc
+                    continue
+                for loser in pending:
+                    if loser.cancel():
+                        self._bump("hedges_cancelled")
+                return result, legs[future], None
+        return None, None, last_error
+
+    def _submit(self, replica: Replica, task, deadline):
+        return self._pool.submit(self._execute, replica, task, deadline)
+
+    def _execute(self, replica: Replica, task, deadline):
+        """One attempt on one replica: fault site, task, bookkeeping."""
+        replica.note_call()
+        started = self._clock()
+        try:
+            fault_point(replica.site, deadline)
+            result = task(replica.database)
+        except DeadlineExceeded:
+            # The caller's budget ran out — not the replica's fault.
+            replica.breaker.abandon()
+            raise
+        except Exception:
+            replica.record_failure()
+            self._bump("failures")
+            raise
+        replica.record_success(self._clock() - started)
+        return result
+
+    def _hedge_trigger_s(self, replica: Replica) -> float:
+        config = self.config
+        if config.hedge_ms is not None:
+            return config.hedge_ms / 1000.0
+        floor = config.hedge_floor_ms / 1000.0
+        if len(replica.latency) < config.hedge_min_samples:
+            return floor
+        p = replica.latency.percentile(config.hedge_percentile)
+        return floor if p is None else max(p, floor)
+
+    def _group_down(self, group: ReplicaGroup, last_error) -> ShardsUnavailable:
+        self._bump("groups_down")
+        detail = f": {last_error}" if last_error is not None else ""
+        return ShardsUnavailable(
+            f"every replica of shard {group.shard_index} is unavailable{detail}",
+            down=(group.shard_index,),
+            site=f"fleet.group.{group.shard_index}",
+        )
+
+    # ------------------------------------------------------------------
+    # Active health probes (off the request path)
+    # ------------------------------------------------------------------
+
+    def _schedule_probes(self, group: ReplicaGroup) -> None:
+        for replica in group.replicas:
+            if replica.health.probe_due() and replica.try_claim_probe():
+                replica.health.note_probe()
+                try:
+                    self._probe_pool.submit(self._probe, replica)
+                except RuntimeError:  # closed mid-flight
+                    replica.release_probe()
+                    return
+
+    def _probe(self, replica: Replica) -> None:
+        """One active health check against a replica's failure domain.
+
+        Probes feed *health* only; the breaker recovers through its own
+        half-open admission on real traffic, so a single good probe can
+        re-rank a replica without instantly trusting it with load.
+        """
+        self._bump("probes")
+        try:
+            fault_point(replica.site, None)
+        except Exception:
+            replica.health.record_failure()
+        else:
+            replica.health.record_success()
+        finally:
+            replica.release_probe()
+
+    # ------------------------------------------------------------------
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            self.counters[counter] += 1
+
+    def stats(self) -> dict:
+        """Fleet state for ``/api/stats``: counters plus every replica's
+        health, breaker, latency, and call counts."""
+        with self._lock:
+            counters = dict(self.counters)
+        return {
+            "replicas_per_shard": self.config.replicas,
+            "hedge_ms": self.config.hedge_ms,
+            "hedging": self.config.hedging_enabled,
+            "counters": counters,
+            "groups": [group.snapshot() for group in self.groups],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaFleet(shards={len(self.groups)},"
+            f" replicas={self.config.replicas})"
+        )

@@ -1,0 +1,133 @@
+"""Per-replica health state: passive observation + active probe pacing.
+
+Health is tracked *passively* — every routed call reports success or
+failure — and repaired *actively*: once a replica leaves ``healthy``,
+:meth:`HealthTracker.probe_due` paces background probe calls (the fleet
+runs them off the request path) that can mark the replica healthy again
+without risking a real query on it.
+
+States:
+
+* ``healthy`` — last call succeeded; eligible for normal routing.
+* ``suspect`` — at least ``suspect_after`` consecutive failures; still
+  routable, but ranked behind healthy peers.
+* ``dead`` — ``dead_after`` consecutive failures; only probes touch it
+  (its circuit breaker is almost certainly open by now as well — health
+  ranks replicas, the breaker gates them).
+
+The tracker is thread-safe and takes an injectable clock so tests can
+step probe intervals without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+#: Ranking used by replica selection: lower sorts first.
+STATE_RANK = {HEALTHY: 0, SUSPECT: 1, DEAD: 2}
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds for passive marking and active probe pacing."""
+
+    suspect_after: int = 1
+    dead_after: int = 3
+    probe_interval_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.suspect_after < 1:
+            raise ValueError("suspect_after must be at least 1")
+        if self.dead_after < self.suspect_after:
+            raise ValueError("dead_after must be >= suspect_after")
+        if self.probe_interval_s < 0:
+            raise ValueError("probe_interval_s must be non-negative")
+
+
+class HealthTracker:
+    """Consecutive-failure health state for one replica."""
+
+    def __init__(
+        self, policy: HealthPolicy | None = None, clock=time.monotonic
+    ) -> None:
+        self.policy = policy or HealthPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._state = HEALTHY
+        self._last_probe_at: float | None = None
+        #: Counters (monitoring).
+        self.successes = 0
+        self.failures = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def rank(self) -> int:
+        """Selection rank (0 healthy, 1 suspect, 2 dead)."""
+        with self._lock:
+            return STATE_RANK[self._state]
+
+    # ------------------------------------------------------------------
+    # Passive observation
+    # ------------------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            self._state = HEALTHY
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.policy.dead_after:
+                self._state = DEAD
+            elif self._consecutive_failures >= self.policy.suspect_after:
+                self._state = SUSPECT
+
+    # ------------------------------------------------------------------
+    # Active probing
+    # ------------------------------------------------------------------
+
+    def probe_due(self) -> bool:
+        """Should an active probe run now?  True only for non-healthy
+        replicas whose last probe is at least one interval old."""
+        with self._lock:
+            if self._state == HEALTHY:
+                return False
+            if self._last_probe_at is None:
+                return True
+            elapsed = self._clock() - self._last_probe_at
+            return elapsed >= self.policy.probe_interval_s
+
+    def note_probe(self) -> None:
+        """Record that a probe was just launched (paces the next one)."""
+        with self._lock:
+            self.probes += 1
+            self._last_probe_at = self._clock()
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "successes": self.successes,
+                "failures": self.failures,
+                "probes": self.probes,
+            }
+
+    def __repr__(self) -> str:
+        return f"HealthTracker({self.state})"

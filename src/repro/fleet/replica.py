@@ -1,0 +1,131 @@
+"""One serving replica: a shard database plus its resilience state.
+
+A :class:`Replica` is the unit the fleet routes to.  For the in-process
+fleet, every replica of a shard *shares* the shard's immutable database
+object — replicas of a read-only snapshot are identical by construction,
+so what distinguishes them is their failure domain: each replica has its
+own fault-injection site (``fleet.replica.<shard>.<replica>``), health
+tracker, circuit breaker, latency window, and counters.  That is exactly
+the state a networked fleet would keep per remote endpoint, which keeps
+this layer transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.fleet.health import HealthPolicy, HealthTracker
+from repro.resilience.breaker import CircuitBreaker
+
+
+class LatencyWindow:
+    """A bounded window of recent call latencies with percentile reads.
+
+    Drives the hedging trigger: "fire a hedge when the primary has taken
+    longer than the replica's recent p95".  Kept deliberately small —
+    percentile reads sort the window, and 64 floats sort in microseconds.
+    """
+
+    def __init__(self, size: int = 64) -> None:
+        self._samples: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, fraction: float) -> float | None:
+        """The ``fraction`` percentile (0..1) or None when empty."""
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+class Replica:
+    """A shard database endpoint with independent resilience state."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        replica_index: int,
+        database,
+        health_policy: HealthPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.shard_index = shard_index
+        self.replica_index = replica_index
+        self.database = database
+        self.health = HealthTracker(health_policy, clock)
+        self.breaker = breaker or CircuitBreaker(clock=clock)
+        self.latency = LatencyWindow()
+        #: Fault-injection site for this replica's failure domain.
+        self.site = f"fleet.replica.{shard_index}.{replica_index}"
+        self._lock = threading.Lock()
+        #: True while an async health probe for this replica is running.
+        self.probe_in_flight = False
+        self.calls = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+
+    def note_call(self) -> None:
+        with self._lock:
+            self.calls += 1
+
+    def record_success(self, elapsed_s: float) -> None:
+        """Passive health: a routed call (or probe) came back fine."""
+        self.latency.record(elapsed_s)
+        self.health.record_success()
+        self.breaker.record_success()
+
+    def record_failure(self) -> None:
+        """Passive health: a routed call (or probe) failed."""
+        with self._lock:
+            self.failures += 1
+        self.health.record_failure()
+        self.breaker.record_failure()
+
+    def try_claim_probe(self) -> bool:
+        """Claim the single probe slot (False when one is in flight)."""
+        with self._lock:
+            if self.probe_in_flight:
+                return False
+            self.probe_in_flight = True
+            return True
+
+    def release_probe(self) -> None:
+        with self._lock:
+            self.probe_in_flight = False
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            calls, failures = self.calls, self.failures
+        p95 = self.latency.percentile(0.95)
+        return {
+            "shard": self.shard_index,
+            "replica": self.replica_index,
+            "site": self.site,
+            "calls": calls,
+            "failures": failures,
+            "p95_ms": None if p95 is None else round(p95 * 1000.0, 3),
+            "health": self.health.snapshot(),
+            "breaker": self.breaker.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Replica({self.shard_index}.{self.replica_index},"
+            f" {self.health.state}, breaker={self.breaker.state})"
+        )

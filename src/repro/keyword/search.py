@@ -58,6 +58,9 @@ class KeywordResponse:
     #: True when a deadline expired mid-search and ``hits`` only covers
     #: the answers found before the budget ran out.
     truncated: bool = False
+    #: Degradation tags (e.g. ``"shard-2-unavailable"``) when parts of a
+    #: sharded corpus could not answer; empty for complete responses.
+    degraded: tuple[str, ...] = ()
 
     def __iter__(self):
         return iter(self.hits)
@@ -71,6 +74,7 @@ class KeywordResponse:
             "semantics": self.semantics,
             "total_slcas": self.total_slcas,
             "truncated": self.truncated,
+            "degraded": list(self.degraded),
             "hits": [hit.as_dict() for hit in self.hits],
         }
 

@@ -14,24 +14,30 @@ harness the resilience test-suite drives all of this with.
 """
 
 from repro.resilience.admission import AdmissionGate
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.deadline import CLOCK_CHECK_INTERVAL, Deadline
 from repro.resilience.errors import (
     DeadlineExceeded,
     Overloaded,
     PayloadTooLarge,
     ResilienceError,
+    ShardsUnavailable,
 )
 from repro.resilience.faults import Fault, clear, fault_point, inject, injected
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "AdmissionGate",
     "CLOCK_CHECK_INTERVAL",
+    "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",
     "Fault",
     "Overloaded",
     "PayloadTooLarge",
     "ResilienceError",
+    "RetryPolicy",
+    "ShardsUnavailable",
     "clear",
     "fault_point",
     "inject",

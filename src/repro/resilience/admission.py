@@ -104,4 +104,9 @@ class AdmissionGate:
                 "waiting": self._waiting,
                 "max_queue": self.max_queue,
                 "shed": self.shed,
+                # Mirrors the ``retry_after_s``/``site`` fields of the 429
+                # body (resilience.errors.Overloaded) so monitoring and
+                # error payloads agree on names and units.
+                "retry_after_s": self.retry_after_s,
+                "site": "server.admission",
             }

@@ -1,0 +1,171 @@
+"""Per-dependency circuit breaking: closed → open → half-open.
+
+A :class:`CircuitBreaker` guards one downstream dependency (in LotusX: one
+shard replica).  Callers ask :meth:`CircuitBreaker.allow` before each call
+and report the outcome with :meth:`record_success` /
+:meth:`record_failure`; the breaker tracks a sliding window of recent
+outcomes and
+
+* **trips open** when the window's failure rate crosses
+  ``failure_threshold`` (once at least ``min_calls`` outcomes are in the
+  window), so a dead replica is *skipped* instead of timed out again and
+  again;
+* **rejects instantly** while open, until ``cooldown_s`` has passed;
+* then moves to **half-open** and admits at most ``half_open_probes``
+  concurrent probe calls: one success closes the breaker (and clears the
+  window), one failure re-opens it and restarts the cooldown.
+
+The clock is injectable so tests never sleep through a cooldown.  All
+methods are thread-safe; the breaker is shared by every thread routing to
+the same replica.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: Breaker states (plain strings: they go straight into ``/api/stats``).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """A failure-rate circuit breaker over a sliding outcome window."""
+
+    def __init__(
+        self,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_calls: int = 4,
+        cooldown_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if min_calls < 1:
+            raise ValueError("min_calls must be at least 1")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = CLOSED
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        #: Times the breaker tripped open (monitoring).
+        self.opened = 0
+        #: Calls rejected while open / probe-saturated (monitoring).
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` → ``half_open`` when the
+        cooldown has elapsed (observing the state is side-effect-free for
+        the outcome window, but does perform the timed transition)."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def allow(self) -> bool:
+        """May the caller issue a request through this breaker now?
+
+        While half-open, a ``True`` answer *reserves* one of the probe
+        slots: the caller must follow up with ``record_success`` or
+        ``record_failure`` to release it.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                self.rejected += 1
+                return False
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.rejected += 1
+            return False
+
+    def record_success(self) -> None:
+        """Report one successful call through the breaker."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # A healthy probe closes the breaker; start from a clean
+                # window so one stale failure can't immediately re-trip.
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._state = CLOSED
+                self._opened_at = None
+                self._outcomes.clear()
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Report one failed call through the breaker."""
+        with self._lock:
+            self._outcomes.append(False)
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip()
+                return
+            if self._state != CLOSED:
+                return
+            if len(self._outcomes) < self.min_calls:
+                return
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= self.failure_threshold:
+                self._trip()
+
+    def abandon(self) -> None:
+        """Release an :meth:`allow` reservation without an outcome.
+
+        Used when a call admitted through the breaker was cut short by
+        the *caller's* own deadline — that says nothing about the
+        replica's health, so neither success nor failure is recorded,
+        but a reserved half-open probe slot must not leak.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN and self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+
+    # ------------------------------------------------------------------
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self.opened += 1
+
+    def _advance(self) -> None:
+        """Open → half-open once the cooldown has elapsed (lock held)."""
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self._state = HALF_OPEN
+                self._probes_in_flight = 0
+
+    def snapshot(self) -> dict:
+        """Current breaker state and counters (monitoring)."""
+        with self._lock:
+            self._advance()
+            outcomes = list(self._outcomes)
+            failures = sum(1 for ok in outcomes if not ok)
+            return {
+                "state": self._state,
+                "window": len(outcomes),
+                "failures": failures,
+                "opened": self.opened,
+                "rejected": self.rejected,
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.state}, opened={self.opened})"

@@ -141,8 +141,12 @@ class Deadline:
 
     def _trip(self, site: str) -> None:
         self.tripped = True
+        remaining = self.remaining()
         raise DeadlineExceeded(
-            site=site, elapsed_ms=self.elapsed() * 1000.0, steps=self.steps
+            site=site,
+            elapsed_ms=self.elapsed() * 1000.0,
+            steps=self.steps,
+            remaining_ms=None if remaining is None else remaining * 1000.0,
         )
 
     def __repr__(self) -> str:

@@ -13,15 +13,22 @@ class ResilienceError(Exception):
     """Base class for resource-control errors.
 
     ``code`` is the stable JSON error code, ``http_status`` the HTTP
-    status the server maps the error to.
+    status the server maps the error to.  Every subclass carries a
+    ``site`` (which checkpoint / subsystem originated the error; may be
+    empty) that :meth:`payload` surfaces, so error bodies and the
+    ``/api/stats`` counters name failure locations the same way.
     """
 
     code = "internal"
     http_status = 500
+    site: str = ""
 
     def payload(self) -> dict:
         """The JSON body a server should return for this error."""
-        return {"error": str(self), "code": self.code}
+        body = {"error": str(self), "code": self.code}
+        if self.site:
+            body["site"] = self.site
+        return body
 
 
 class DeadlineExceeded(ResilienceError):
@@ -43,17 +50,30 @@ class DeadlineExceeded(ResilienceError):
         elapsed_ms: float | None = None,
         steps: int | None = None,
         partial: list | None = None,
+        remaining_ms: float | None = None,
     ) -> None:
         self.site = site
         self.elapsed_ms = elapsed_ms
         self.steps = steps
         self.partial = partial
+        self.remaining_ms = remaining_ms
         detail = message
         if site:
             detail += f" at {site!r}"
         if elapsed_ms is not None:
             detail += f" after {elapsed_ms:.1f} ms"
         super().__init__(detail)
+
+    def payload(self) -> dict:
+        body = super().payload()
+        if self.elapsed_ms is not None:
+            body["elapsed_ms"] = round(self.elapsed_ms, 3)
+        if self.steps is not None:
+            body["steps"] = self.steps
+        body["remaining_ms"] = (
+            round(self.remaining_ms, 3) if self.remaining_ms is not None else 0.0
+        )
+        return body
 
 
 class Overloaded(ResilienceError):
@@ -67,10 +87,55 @@ class Overloaded(ResilienceError):
     http_status = 429
 
     def __init__(
-        self, message: str = "server overloaded, retry later", retry_after: float = 1.0
+        self,
+        message: str = "server overloaded, retry later",
+        retry_after: float = 1.0,
+        site: str = "server.admission",
     ) -> None:
         self.retry_after = retry_after
+        self.site = site
         super().__init__(message)
+
+    def payload(self) -> dict:
+        body = super().payload()
+        body["retry_after_s"] = self.retry_after
+        return body
+
+
+class ShardsUnavailable(ResilienceError):
+    """Part of the serving fleet could not answer at all.
+
+    Raised by the sharded scatter-gather when every replica of at least
+    one dispatched shard group failed (crashed, tripped its breaker, or
+    was rejected as dead).  ``down`` lists the affected shard indices and
+    ``partial`` carries the merged answers from the shards that *did*
+    respond, so callers with degradation semantics (``search``,
+    ``keyword_search``) can salvage a ``degraded`` response instead of
+    failing the whole request.
+    """
+
+    code = "shards_unavailable"
+    http_status = 503
+
+    def __init__(
+        self,
+        message: str = "one or more shard groups are unavailable",
+        down: tuple[int, ...] | list[int] = (),
+        partial: list | None = None,
+        site: str = "fleet.scatter",
+    ) -> None:
+        self.down = tuple(down)
+        self.partial = partial
+        self.site = site
+        detail = message
+        if self.down:
+            detail += f" (shards {list(self.down)})"
+        super().__init__(detail)
+
+    def payload(self) -> dict:
+        body = super().payload()
+        body["down_shards"] = list(self.down)
+        return body
 
 
 class PayloadTooLarge(ResilienceError):

@@ -21,6 +21,7 @@ global-flag test — cheap enough to leave in hot loops.
 from __future__ import annotations
 
 import fnmatch
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -40,12 +41,16 @@ class Fault:
     ``site`` is an exact site name or an ``fnmatch`` pattern.  Hits are
     counted per fault: the first ``skip`` hits pass through untouched,
     then the fault strikes at most ``times`` times (``None`` = always).
+    ``exit_code`` hard-kills the *process* hosting the site with
+    ``os._exit`` — the only way to simulate a killed pool worker
+    deterministically; never use it at a site the parent process fires.
     """
 
     site: str
     latency_s: float = 0.0
     error: BaseException | type[BaseException] | None = None
     exhaust_deadline: bool = False
+    exit_code: int | None = None
     times: int | None = None
     skip: int = 0
     #: Bookkeeping, mutated under the registry lock.
@@ -131,6 +136,8 @@ def fire(site: str, deadline=None) -> None:
             time.sleep(fault.latency_s)
         if fault.exhaust_deadline and deadline is not None:
             deadline.exhaust()
+        if fault.exit_code is not None:
+            os._exit(fault.exit_code)
         if fault.error is not None:
             error = fault.error
             raise error() if isinstance(error, type) else error
@@ -138,3 +145,68 @@ def fire(site: str, deadline=None) -> None:
 
 #: Alias for call sites that read better as "this is a fault point".
 fault_point = fire
+
+
+# ----------------------------------------------------------------------
+# Declarative fault specs (CLI / CI hook)
+# ----------------------------------------------------------------------
+
+#: Environment variable holding a fault spec applied at server start.
+FAULT_SPEC_ENV = "LOTUSX_FAULT_SPEC"
+
+
+def parse_spec(spec: str) -> list[Fault]:
+    """Parse a declarative fault spec into (uninstalled) :class:`Fault`\\ s.
+
+    Grammar: faults separated by ``;``, each ``site:opt=value,opt=value``
+    with options ``error`` (message; raises ``RuntimeError``), ``latency``
+    (seconds), ``exhaust`` (``1``/``true``), ``exit`` (process exit
+    code), ``times`` and ``skip`` (ints).  Example::
+
+        fleet.replica.0.1:error=crash;fleet.replica.1.*:latency=0.05,times=3
+
+    This is the CI / operator surface for deterministic fault drills —
+    ``LOTUSX_FAULT_SPEC`` feeds :func:`install_from_env`.
+    """
+    faults = []
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        site, _, options = part.partition(":")
+        site = site.strip()
+        if not site:
+            raise ValueError(f"fault spec entry without a site: {part!r}")
+        kwargs: dict = {}
+        for option in filter(None, (o.strip() for o in options.split(","))):
+            key, _, value = option.partition("=")
+            key, value = key.strip(), value.strip()
+            if key == "error":
+                kwargs["error"] = RuntimeError(value or "injected fault")
+            elif key == "latency":
+                kwargs["latency_s"] = float(value)
+            elif key == "exhaust":
+                kwargs["exhaust_deadline"] = value.lower() in ("", "1", "true")
+            elif key == "exit":
+                kwargs["exit_code"] = int(value)
+            elif key in ("times", "skip"):
+                kwargs[key] = int(value)
+            else:
+                raise ValueError(f"unknown fault option {key!r} in {part!r}")
+        faults.append(Fault(site, **kwargs))
+    return faults
+
+
+def install_spec(spec: str) -> list[Fault]:
+    """Parse ``spec`` and install every fault; returns them."""
+    return [install(fault) for fault in parse_spec(spec)]
+
+
+def install_from_env(variable: str = FAULT_SPEC_ENV) -> list[Fault]:
+    """Install the faults declared in ``variable`` (no-op when unset).
+
+    Called by ``lotusx serve`` and the fault-matrix CI job so a whole
+    serving process can be started with deterministic injected faults.
+    """
+    spec = os.environ.get(variable, "")
+    return install_spec(spec) if spec else []

@@ -1,0 +1,93 @@
+"""Bounded retries with exponential backoff, jitter, and deadline budgets.
+
+A :class:`RetryPolicy` is a small immutable value describing *how* to
+retry; the caller owns the loop.  Two properties keep retries safe under
+load:
+
+* **Jittered exponential backoff** — delay ``base_delay_s *
+  multiplier**(attempt-1)``, capped at ``max_delay_s``, then scaled by a
+  random factor in ``[1 - jitter, 1]`` so synchronized clients don't
+  retry in lockstep.  The random source is injectable (tests pass a
+  seeded ``random.Random``).
+* **Deadline budgeting** — :meth:`budgeted_delay_s` refuses to schedule a
+  retry the caller's :class:`~repro.resilience.deadline.Deadline` cannot
+  afford: the returned delay never eats more than half the remaining
+  wall budget (the retried attempt itself still needs time to run), and
+  ``None`` means "stop retrying, the budget is gone".  Retries therefore
+  never blow the request's wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Below this much remaining wall budget (seconds) retrying is pointless:
+#: the retried attempt could not finish anyway.
+MIN_RETRY_BUDGET_S = 0.002
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry one logical call.
+
+    ``max_attempts`` counts every attempt including the first; a policy
+    with ``max_attempts=1`` never retries.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+
+    def delay_s(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError("attempt must be at least 1")
+        raw = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter and raw > 0:
+            uniform = (rng or random).random()
+            raw *= 1.0 - self.jitter + uniform * self.jitter
+        return raw
+
+    def budgeted_delay_s(
+        self, attempt: int, deadline=None, rng: random.Random | None = None
+    ) -> float | None:
+        """The backoff to sleep before retry ``attempt``, clipped to the
+        deadline's remaining budget — or ``None`` when no retry fits.
+
+        With no deadline (or an unlimited one) the plain jittered delay
+        comes back.  With a wall deadline, the delay is capped at half
+        the remaining budget, and once the residue drops under
+        :data:`MIN_RETRY_BUDGET_S` (or the deadline has already expired)
+        the answer is ``None``: give up instead of burning the caller's
+        last milliseconds on a doomed attempt.
+        """
+        if attempt >= self.max_attempts:
+            return None
+        delay = self.delay_s(attempt, rng)
+        if deadline is None:
+            return delay
+        if deadline.expired():
+            return None
+        remaining = deadline.remaining()
+        if remaining is None:
+            return delay
+        if remaining <= MIN_RETRY_BUDGET_S:
+            return None
+        return min(delay, remaining / 2.0)

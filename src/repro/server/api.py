@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.engine.database import LotusXDatabase
 from repro.resilience.deadline import Deadline
+from repro.resilience.errors import ShardsUnavailable
 from repro.summary.paths import format_path
 from repro.twig.parse import TwigSyntaxError, parse_twig
 from repro.twig.pattern import Axis, QueryNode, TwigPattern
@@ -123,11 +124,20 @@ def handle_complete(
 
 
 def handle_search(
-    database: LotusXDatabase, payload: dict, deadline: Deadline | None = None
+    database: LotusXDatabase,
+    payload: dict,
+    deadline: Deadline | None = None,
+    strict_shards: bool = False,
 ) -> dict:
     """Ranked search; payload: ``query``, ``k``, ``rewrite``,
     ``timeout_ms`` (optional work bound — expiry yields a partial
-    response with ``truncated: true``, not an error)."""
+    response with ``truncated: true``, not an error).
+
+    ``strict_shards`` selects the server's degraded-response policy:
+    ``False`` (salvage, the default) passes shard-loss degradation
+    through as a 200 with ``degraded`` tags, ``True`` rejects such
+    responses with 503 :class:`ShardsUnavailable`.
+    """
     query = payload.get("query")
     if not query:
         raise ApiError("missing 'query'")
@@ -141,14 +151,18 @@ def handle_search(
         )
     except TwigSyntaxError as exc:
         raise ApiError(f"bad twig query: {exc}") from exc
-    return response.as_dict()
+    return _enforce_shard_policy(response.as_dict(), strict_shards)
 
 
 def handle_keyword(
-    database: LotusXDatabase, payload: dict, deadline: Deadline | None = None
+    database: LotusXDatabase,
+    payload: dict,
+    deadline: Deadline | None = None,
+    strict_shards: bool = False,
 ) -> dict:
     """Keyword search; payload: ``query``, ``k``, ``semantics``,
-    ``timeout_ms`` (optional)."""
+    ``timeout_ms`` (optional).  ``strict_shards`` as in
+    :func:`handle_search`."""
     query = payload.get("query")
     if not query:
         raise ApiError("missing 'query'")
@@ -157,11 +171,42 @@ def handle_keyword(
     if deadline is None:
         deadline = resolve_deadline(payload)
     try:
-        return database.keyword_search(
+        result = database.keyword_search(
             str(query), k=k, semantics=semantics, deadline=deadline
         ).as_dict()
     except ValueError as exc:
         raise ApiError(str(exc)) from exc
+    return _enforce_shard_policy(result, strict_shards)
+
+
+def _shard_down_indices(result: dict) -> list[int]:
+    """Shard indices named by ``shard-<i>-unavailable`` degraded tags."""
+    down = []
+    for tag in result.get("degraded", ()):
+        parts = str(tag).split("-")
+        if len(parts) == 3 and parts[0] == "shard" and parts[2] == "unavailable":
+            try:
+                down.append(int(parts[1]))
+            except ValueError:
+                continue
+    return down
+
+
+def _enforce_shard_policy(result: dict, strict: bool) -> dict:
+    """Apply the server's degraded-response policy to a handler result.
+
+    Salvaged responses carry ``degraded`` shard tags; under the strict
+    policy those become a 503 instead of a silently partial 200.
+    """
+    if strict:
+        down = _shard_down_indices(result)
+        if down:
+            raise ShardsUnavailable(
+                "degraded response rejected by strict shard policy",
+                down=down,
+                site="server.policy",
+            )
+    return result
 
 
 def handle_explain(database: LotusXDatabase, payload: dict) -> dict:

@@ -82,6 +82,16 @@ class ServerConfig:
     complete_timeout_ms: int = 1_000
     #: Ceiling on client-requested ``timeout_ms`` overrides.
     max_timeout_ms: int = 60_000
+    #: What to do when a sharded response lost whole shard groups:
+    #: ``"salvage"`` serves the partial answer as a 200 with ``degraded``
+    #: tags; ``"strict"`` rejects it with 503 ``shards_unavailable``.
+    degraded_policy: str = "salvage"
+
+    def __post_init__(self) -> None:
+        if self.degraded_policy not in ("salvage", "strict"):
+            raise ValueError(
+                f"unknown degraded_policy: {self.degraded_policy!r}"
+            )
 
     def timeout_for(self, path: str) -> int:
         """The default deadline (ms) for requests to ``path``."""
@@ -157,6 +167,8 @@ def make_handler(
                 result = handler(current)
                 if handler is api.handle_stats:
                     result["generation"] = generation
+                    result["admission"] = gate.snapshot()
+                    result["degraded_policy"] = config.degraded_policy
                 return result
 
             self._run_guarded(run)
@@ -192,6 +204,13 @@ def make_handler(
                 current = holder.current
                 if handler is api.handle_explain:
                     return handler(current, payload)
+                if handler in (api.handle_search, api.handle_keyword):
+                    return handler(
+                        current,
+                        payload,
+                        deadline,
+                        strict_shards=config.degraded_policy == "strict",
+                    )
                 return handler(current, payload, deadline)
 
             self._run_guarded(run)

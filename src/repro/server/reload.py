@@ -51,19 +51,29 @@ class ReloadSource:
     path: str
     expand_attributes: bool = False
     shards: int = 1
+    #: Replicas per shard for sharded serving; the rebuilt generation
+    #: gets a *fresh* replica fleet (health, breakers, latency windows
+    #: all reset), swapped in with the database in one atomic step.
+    replicas: int = 1
+    #: Optional :class:`~repro.fleet.fleet.FleetConfig` tuning carried
+    #: across reloads (``None`` uses fleet defaults).
+    fleet_config: object | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("xml", "snapshot"):
             raise ValueError(f"unknown reload source kind: {self.kind!r}")
         if self.shards > 1 and self.expand_attributes:
             raise ValueError("sharded serving does not support expand_attributes")
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
 
     def build(self) -> LotusXDatabase:
         """Build a fresh, fully materialized database from the source.
 
         A sharded source yields the whole fleet as one object, so the
-        swap replaces every shard (and its caches, router counters, and
-        executor pools) in a single generation-consistent step.
+        swap replaces every shard (and its caches, router counters,
+        replica fleet, and executor pools) in a single
+        generation-consistent step.
         """
         if self.kind == "snapshot":
             from repro.engine.store import (
@@ -75,12 +85,22 @@ class ReloadSource:
             # Eager: the swapped-in generation must be query-ready, not
             # pay lazy inflation on the first production request.
             if is_sharded_snapshot(self.path):
-                return load_sharded_snapshot(self.path, eager=True)
+                return load_sharded_snapshot(
+                    self.path,
+                    eager=True,
+                    replicas=self.replicas,
+                    fleet_config=self.fleet_config,
+                )
             return load_snapshot(self.path, eager=True)
         if self.shards > 1:
             from repro.shard.database import ShardedDatabase
 
-            return ShardedDatabase.from_file(self.path, self.shards)
+            return ShardedDatabase.from_file(
+                self.path,
+                self.shards,
+                replicas=self.replicas,
+                fleet_config=self.fleet_config,
+            )
         return LotusXDatabase.from_file(
             self.path, expand_attributes=self.expand_attributes
         )

@@ -36,8 +36,9 @@ from repro.index.statistics import CorpusStatistics
 from repro.keyword.search import KeywordResponse, _score
 from repro.index.text import tokenize
 from repro.ranking.scorer import LotusXScorer
+from repro.fleet import FleetConfig, ReplicaFleet
 from repro.resilience.deadline import Deadline
-from repro.resilience.errors import DeadlineExceeded
+from repro.resilience.errors import DeadlineExceeded, ShardsUnavailable
 from repro.resilience.faults import fault_point
 from repro.rewrite.engine import QueryRewriter, RewriteCandidate
 from repro.rewrite.rules import default_rules
@@ -92,9 +93,13 @@ class ShardedDatabase:
         max_workers: int | None = None,
         scorer: LotusXScorer | None = None,
         synonyms: dict[str, tuple[str, ...]] | None = None,
+        replicas: int = 1,
+        fleet_config: FleetConfig | None = None,
     ) -> None:
         if len(databases) != len(specs) or not databases:
             raise ValueError("one spec per shard database is required")
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
         self.shards = list(databases)
         self.specs = tuple(specs)
         self.spine_tag = self.specs[0].spine_tag
@@ -102,7 +107,19 @@ class ShardedDatabase:
         self.expanded_attributes = False
         self.scorer = scorer or LotusXScorer()
         self._synonyms = synonyms
-        self.executor = ShardExecutor(self.shards, executor_mode, max_workers)
+        # A replica fleet is built when asked for more than one replica
+        # (or an explicit fleet config): every scatter sub-request then
+        # runs through health-ranked routing, retries, hedging, and
+        # per-replica circuit breakers.
+        self.fleet: ReplicaFleet | None = None
+        if replicas > 1 or fleet_config is not None:
+            config = fleet_config or FleetConfig()
+            if config.replicas != replicas and replicas > 1:
+                config = config.with_replicas(replicas)
+            self.fleet = ReplicaFleet(self.shards, config)
+        self.executor = ShardExecutor(
+            self.shards, executor_mode, max_workers, fleet=self.fleet
+        )
         self.router = ShardRouter(self.shards, self.spine_tag)
         self.guide = merge_guides(self.shards, self.spine_tag)
         self.completion_index = ShardedCompletionIndex(
@@ -233,8 +250,10 @@ class ShardedDatabase:
         return self
 
     def close(self) -> None:
-        """Shut down the scatter-gather pools."""
+        """Shut down the scatter-gather pools and the replica fleet."""
         self.executor.close()
+        if self.fleet is not None:
+            self.fleet.close()
 
     def __repr__(self) -> str:
         return (
@@ -310,7 +329,7 @@ class ShardedDatabase:
             counters = dict(self.counters)
             match_entries = len(self._match_cache)
             parse_entries = len(self._parse_cache)
-        return {
+        result = {
             "counters": counters,
             "match_cache_entries": match_entries,
             "parse_cache_entries": parse_entries,
@@ -321,6 +340,9 @@ class ShardedDatabase:
             "router": self.router.statistics(),
             "per_shard": [shard.cache_statistics() for shard in self.shards],
         }
+        if self.fleet is not None:
+            result["fleet"] = self.fleet.stats()
+        return result
 
     # ------------------------------------------------------------------
     # Autocompletion (entirely coordinator-side: the merged DataGuide and
@@ -366,18 +388,21 @@ class ShardedDatabase:
         stats: AlgorithmStats | None,
         prune_streams: bool,
         deadline: Deadline | None,
-    ) -> tuple[list[Match], bool]:
+    ) -> tuple[list[Match], bool, list[int]]:
         """Route, scatter, and merge one twig evaluation.
 
-        Returns the globally merged, document-ordered matches plus a flag
+        Returns the globally merged, document-ordered matches, a flag
         marking that at least one shard ran out of budget (its partial
-        answers are still merged in — partial-result salvage).
+        answers are still merged in — partial-result salvage), and the
+        indices of shards that *failed* outright (worker broke or every
+        replica of the group is down): their answers are missing from the
+        merge and the caller must degrade or reject the response.
         """
         dispatch = self.router.route_pattern(pattern)
         with self._lock:
             self.counters["scatter_evaluations"] += 1
         if not dispatch:
-            return [], False
+            return [], False, []
         payload = {
             "pattern": pattern,
             "algorithm": algorithm.value,
@@ -398,6 +423,7 @@ class ShardedDatabase:
                 outcome.payload["matches"],
             )
             for outcome in outcomes
+            if not outcome.failed
         ]
         merged = merge_match_lists(per_shard)
         if stats is not None:
@@ -412,7 +438,8 @@ class ShardedDatabase:
                     stats.notes[note] = stats.notes.get(note, 0) + value
             stats.notes["shards_dispatched"] = len(dispatch)
         tripped = any(outcome.tripped for outcome in outcomes)
-        return merged, tripped
+        down = [outcome.shard_index for outcome in outcomes if outcome.failed]
+        return merged, tripped, down
 
     def matches(
         self,
@@ -427,7 +454,10 @@ class ShardedDatabase:
         Same contract as ``LotusXDatabase.matches`` — including the LRU
         result cache (bypassed by stats- or deadline-carrying calls) and
         ``DeadlineExceeded.partial`` carrying the salvaged merged matches
-        when the budget runs out.
+        when the budget runs out.  When a whole shard group is down,
+        raises :class:`ShardsUnavailable` with the surviving shards'
+        merged answers in ``partial`` (never cached — a degraded answer
+        must not masquerade as a complete one once the group recovers).
         """
         pattern = self._as_pattern(query)
         if not spine_safe(pattern, self.spine_tag):
@@ -438,9 +468,11 @@ class ShardedDatabase:
                 pattern, algorithm, stats, prune_streams, deadline
             )
         if stats is not None or deadline is not None:
-            merged, tripped = self._scatter_matches(
+            merged, tripped, down = self._scatter_matches(
                 pattern, algorithm, stats, prune_streams, deadline
             )
+            if down:
+                raise ShardsUnavailable(down=down, partial=merged)
             if tripped:
                 raise DeadlineExceeded(
                     site="shard.scatter", partial=merged
@@ -454,9 +486,11 @@ class ShardedDatabase:
                 self.counters["match_cache_hits"] += 1
                 return list(cached)
             self.counters["match_cache_misses"] += 1
-        merged, _ = self._scatter_matches(
+        merged, _, down = self._scatter_matches(
             pattern, algorithm, None, prune_streams, None
         )
+        if down:
+            raise ShardsUnavailable(down=down, partial=merged)
         with self._lock:
             self._match_cache[key] = merged
             if len(self._match_cache) > self.MATCH_CACHE_SIZE:
@@ -500,13 +534,18 @@ class ShardedDatabase:
             )
         truncated = False
         degraded: list[str] = []
+        down_shards: set[int] = set()
 
         def evaluator(candidate_pattern: TwigPattern) -> list[Match]:
             if not spine_safe(candidate_pattern, self.spine_tag):
                 raise _UnsafeRewrite(candidate_pattern)
-            merged, tripped = self._scatter_matches(
+            merged, tripped, down = self._scatter_matches(
                 candidate_pattern, algorithm, None, False, deadline
             )
+            if down:
+                # Salvage: keep the surviving shards' answers and mark
+                # the response degraded instead of failing the search.
+                down_shards.update(down)
             if tripped:
                 raise DeadlineExceeded(site="shard.scatter", partial=merged)
             return merged
@@ -570,6 +609,12 @@ class ShardedDatabase:
             truncated = True
             if "deadline" not in degraded:
                 degraded.append("deadline")
+        if down_shards:
+            truncated = True
+            for index in sorted(down_shards):
+                tag = f"shard-{index}-unavailable"
+                if tag not in degraded:
+                    degraded.append(tag)
         return SearchResponse(
             query=str(pattern),
             results=results[:k],
@@ -685,10 +730,13 @@ class ShardedDatabase:
             else []
         )
         truncated = any(outcome.tripped for outcome in outcomes)
+        down = [outcome.shard_index for outcome in outcomes if outcome.failed]
         deep: list[tuple] = []  # (element, shard index)
         free_terms: set[str] = set()
         dispatched = set(dispatch)
         for outcome in outcomes:
+            if outcome.failed:
+                continue
             shard = self.shards[outcome.shard_index]
             for order in outcome.payload["orders"]:
                 if order == 0:
@@ -714,6 +762,11 @@ class ShardedDatabase:
             include_root = all_present and all(
                 term in free_terms for term in lowered
             )
+        if down:
+            # A down shard may hold unseen deep answers or witness bits;
+            # the root verdict is unprovable, and claiming it could turn
+            # an incomplete answer into a *wrong* one.  Leave it out.
+            include_root = False
         total = len(deep) + (1 if include_root else 0)
         hits = []
         for element, shard_index in deep:
@@ -742,8 +795,16 @@ class ShardedDatabase:
                 )
             )
         hits.sort(key=lambda hit: (-hit.score, hit.element.region.start))
+        degraded = tuple(
+            f"shard-{index}-unavailable" for index in sorted(set(down))
+        )
         return KeywordResponse(
-            terms, tuple(hits[:k]), total, semantics, truncated
+            terms,
+            tuple(hits[:k]),
+            total,
+            semantics,
+            truncated or bool(down),
+            degraded,
         )
 
     # ------------------------------------------------------------------

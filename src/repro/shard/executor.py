@@ -35,12 +35,14 @@ import os
 import threading
 import uuid
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.engine.database import LotusXDatabase
 from repro.keyword.elca import find_elcas
 from repro.keyword.slca import find_slcas
 from repro.resilience.deadline import Deadline
-from repro.resilience.errors import DeadlineExceeded
+from repro.resilience.errors import DeadlineExceeded, ShardsUnavailable
+from repro.resilience.faults import fault_point
 from repro.twig.algorithms.common import AlgorithmStats
 from repro.twig.pattern import TwigPattern
 from repro.twig.planner import Algorithm
@@ -51,23 +53,53 @@ _SHARD_REGISTRY: dict[str, list[LotusXDatabase]] = {}
 
 
 class ShardOutcome:
-    """One shard's answer to a scattered task."""
+    """One shard's answer to a scattered task.
 
-    __slots__ = ("shard_index", "payload", "tripped")
+    ``tripped`` marks budget exhaustion (partial answers salvaged);
+    ``failed`` marks a shard whose evaluation *broke* — the worker
+    raised, the pool worker died, or (with a replica fleet) every
+    replica of the group was down.  A failed shard contributes nothing
+    to the merge; the coordinator surfaces it as a degraded response
+    instead of failing the whole scatter.
+    """
 
-    def __init__(self, shard_index: int, payload: dict, tripped: bool) -> None:
+    __slots__ = ("shard_index", "payload", "tripped", "failed", "error")
+
+    def __init__(
+        self,
+        shard_index: int,
+        payload: dict,
+        tripped: bool,
+        failed: bool = False,
+        error: str = "",
+    ) -> None:
         self.shard_index = shard_index
         self.payload = payload
         self.tripped = tripped
+        self.failed = failed
+        self.error = error
 
 
 def _shard_deadline(budget_ms: float | None) -> Deadline | None:
     return None if budget_ms is None else Deadline.after_ms(budget_ms)
 
 
+def _worker_site(payload: dict) -> str:
+    """Per-shard fault site fired at worker-task entry (any mode)."""
+    return f"shard.worker.{payload.get('shard_index', '?')}"
+
+
+def _empty_payload(kind: str, tripped: bool = False) -> dict:
+    """A well-formed zero-answer wire result for ``kind``."""
+    if kind == "keyword":
+        return {"orders": [], "free": [], "truncated": tripped}
+    return {"matches": [], "tripped": tripped}
+
+
 def _matches_task(database: LotusXDatabase, payload: dict) -> dict:
     """Evaluate a twig pattern on one shard; compact wire result."""
     deadline = _shard_deadline(payload.get("budget_ms"))
+    fault_point(_worker_site(payload), deadline)
     pattern: TwigPattern = payload["pattern"]
     algorithm = Algorithm(payload["algorithm"])
     stats = AlgorithmStats() if payload.get("collect_stats") else None
@@ -104,6 +136,7 @@ def _keyword_task(database: LotusXDatabase, payload: dict) -> dict:
     corpus root is a global ELCA.
     """
     deadline = _shard_deadline(payload.get("budget_ms"))
+    fault_point(_worker_site(payload), deadline)
     terms = tuple(payload["terms"])
     semantics = payload["semantics"]
     labeled = database.labeled
@@ -201,6 +234,7 @@ class ShardExecutor:
         databases: list[LotusXDatabase],
         mode: str = "auto",
         max_workers: int | None = None,
+        fleet=None,
     ) -> None:
         if mode not in self.MODES:
             raise ValueError(f"unknown executor mode: {mode!r}")
@@ -216,16 +250,38 @@ class ShardExecutor:
         self._process_pool: ProcessPoolExecutor | None = None
         self._warm_signatures: set = set()
         self._closed = False
+        #: Optional :class:`~repro.fleet.fleet.ReplicaFleet` — when set,
+        #: every per-shard sub-request goes through its resilience
+        #: pipeline (replica selection, retries, hedging, breakers)
+        #: instead of hitting the shard database directly.  Fleet state
+        #: lives in this process, so fleet dispatch never uses the
+        #: process pool (``"process"``/cold-``"auto"`` fall back to
+        #: threads).
+        self._fleet = fleet
 
     @property
     def mode(self) -> str:
         return self._mode
 
+    @property
+    def fleet(self):
+        return self._fleet
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Shut down pools and drop the fleet from the fork registry."""
+        """Shut down pools and drop the fleet from the fork registry.
+
+        Idempotent and safe at any point — pools are torn down with
+        ``cancel_futures=True`` so a tripped or abandoned scatter-gather
+        cannot leak worker threads/processes, and any pool created
+        concurrently with the close is shut down rather than leaked
+        (``_ensure_*`` refuses to build pools once closed).
+        """
         with self._lock:
-            if self._closed:
-                return
+            already_closed = self._closed
             self._closed = True
             thread_pool, self._thread_pool = self._thread_pool, None
             process_pool, self._process_pool = self._process_pool, None
@@ -233,7 +289,8 @@ class ShardExecutor:
             thread_pool.shutdown(wait=False, cancel_futures=True)
         if process_pool is not None:
             process_pool.shutdown(wait=False, cancel_futures=True)
-        _SHARD_REGISTRY.pop(self._registry_key, None)
+        if not already_closed:
+            _SHARD_REGISTRY.pop(self._registry_key, None)
 
     def __del__(self) -> None:  # pragma: no cover - GC timing
         try:
@@ -259,38 +316,86 @@ class ShardExecutor:
         concurrently, so each may use the full residue — and outcomes
         come back in shard order.  ``signature`` (a pattern signature)
         feeds the cold/warm routing of ``"auto"`` mode.
+
+        Failure containment: a shard whose evaluation raises (worker
+        exception, killed pool worker) comes back as a *failed* outcome
+        with an empty payload rather than propagating — except
+        :class:`DeadlineExceeded`, which marks the shard tripped (an
+        answer, just truncated).  The coordinator decides whether failed
+        shards degrade or reject the response.
         """
-        task_payload = dict(payload)
+        if self._closed:
+            raise RuntimeError("ShardExecutor is closed")
+        budget_ms = None
         if deadline is not None:
             remaining = deadline.remaining()
             if remaining is not None:
-                task_payload["budget_ms"] = max(0.0, remaining * 1000.0)
+                budget_ms = max(0.0, remaining * 1000.0)
+        payloads = {}
+        for index in shard_indices:
+            shard_payload = dict(payload)
+            shard_payload["shard_index"] = index
+            if budget_ms is not None:
+                shard_payload["budget_ms"] = budget_ms
+            payloads[index] = shard_payload
+        if self._fleet is not None:
+            return [
+                self._fleet_call(index, kind, payloads[index], deadline)
+                for index in shard_indices
+            ]
         mode = self._resolve_mode(shard_indices, signature)
         if mode == "serial":
             return [
-                ShardOutcome(index, *self._run_local(index, kind, task_payload))
+                self._guarded_local(index, kind, payloads[index])
                 for index in shard_indices
             ]
         if mode == "thread":
             pool = self._ensure_thread_pool()
             futures = [
-                pool.submit(self._run_local, index, kind, task_payload)
+                pool.submit(self._guarded_local, index, kind, payloads[index])
                 for index in shard_indices
             ]
-            return [
-                ShardOutcome(index, *future.result())
-                for index, future in zip(shard_indices, futures)
-            ]
+            return [future.result() for future in futures]
+        return self._run_process(shard_indices, kind, payloads)
+
+    def _run_process(
+        self, shard_indices: list[int], kind: str, payloads: dict
+    ) -> list[ShardOutcome]:
         pool = self._ensure_process_pool()
         futures = [
             pool.submit(
-                _process_entry, self._registry_key, index, kind, task_payload
+                _process_entry, self._registry_key, index, kind, payloads[index]
             )
             for index in shard_indices
         ]
         outcomes = []
+        broken = False
         for index, future in zip(shard_indices, futures):
-            result = future.result()
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                broken = True
+                outcomes.append(
+                    ShardOutcome(
+                        index,
+                        _empty_payload(kind),
+                        tripped=False,
+                        failed=True,
+                        error=f"process pool broken: {exc}",
+                    )
+                )
+                continue
+            except Exception as exc:
+                outcomes.append(
+                    ShardOutcome(
+                        index,
+                        _empty_payload(kind),
+                        tripped=False,
+                        failed=True,
+                        error=str(exc) or type(exc).__name__,
+                    )
+                )
+                continue
             outcomes.append(
                 ShardOutcome(
                     index,
@@ -298,11 +403,77 @@ class ShardExecutor:
                     bool(result.get("tripped") or result.get("truncated")),
                 )
             )
+        if broken:
+            # A killed worker poisons the whole fork pool.  Drop it so
+            # the next run builds a fresh one (self-heal) instead of
+            # failing every future scatter.
+            with self._lock:
+                dead, self._process_pool = self._process_pool, None
+            if dead is not None:
+                dead.shutdown(wait=False, cancel_futures=True)
         return outcomes
 
-    def _run_local(self, shard_index: int, kind: str, payload: dict):
-        result = _TASKS[kind](self._databases[shard_index], payload)
-        return result, bool(result.get("tripped") or result.get("truncated"))
+    def _guarded_local(
+        self, shard_index: int, kind: str, payload: dict
+    ) -> ShardOutcome:
+        """Run one shard task inline, containing non-deadline failures."""
+        try:
+            result = _TASKS[kind](self._databases[shard_index], payload)
+        except DeadlineExceeded:
+            return ShardOutcome(
+                shard_index, _empty_payload(kind, tripped=True), tripped=True
+            )
+        except Exception as exc:
+            return ShardOutcome(
+                shard_index,
+                _empty_payload(kind),
+                tripped=False,
+                failed=True,
+                error=str(exc) or type(exc).__name__,
+            )
+        return ShardOutcome(
+            shard_index,
+            result,
+            bool(result.get("tripped") or result.get("truncated")),
+        )
+
+    def _fleet_call(
+        self, shard_index: int, kind: str, payload: dict, deadline: Deadline | None
+    ) -> ShardOutcome:
+        """Route one shard task through the replica fleet.
+
+        The task closure recomputes the shard budget from the *live*
+        deadline at execution time — a retry or hedge leg that starts
+        late must not inherit the budget computed when the scatter began.
+        """
+
+        def task(database: LotusXDatabase) -> dict:
+            shard_payload = dict(payload)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    shard_payload["budget_ms"] = max(0.0, remaining * 1000.0)
+            return _TASKS[kind](database, shard_payload)
+
+        try:
+            result = self._fleet.call(shard_index, task, deadline)
+        except ShardsUnavailable as exc:
+            return ShardOutcome(
+                shard_index,
+                _empty_payload(kind),
+                tripped=False,
+                failed=True,
+                error=str(exc),
+            )
+        except DeadlineExceeded:
+            return ShardOutcome(
+                shard_index, _empty_payload(kind, tripped=True), tripped=True
+            )
+        return ShardOutcome(
+            shard_index,
+            result,
+            bool(result.get("tripped") or result.get("truncated")),
+        )
 
     def _resolve_mode(self, shard_indices: list[int], signature) -> str:
         if self._mode == "serial" or len(shard_indices) <= 1:
@@ -323,6 +494,8 @@ class ShardExecutor:
 
     def _ensure_thread_pool(self) -> ThreadPoolExecutor:
         with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardExecutor is closed")
             if self._thread_pool is None:
                 self._thread_pool = ThreadPoolExecutor(
                     max_workers=self._max_workers,
@@ -332,6 +505,8 @@ class ShardExecutor:
 
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
         with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardExecutor is closed")
             if self._process_pool is None:
                 context = multiprocessing.get_context("fork")
                 self._process_pool = ProcessPoolExecutor(

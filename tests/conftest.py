@@ -30,10 +30,17 @@ SMALL_XML = """<dblp>
 
 @pytest.fixture(autouse=True)
 def _no_leaked_faults():
-    """Ensure no test leaves injected faults behind for its neighbors."""
-    yield
+    """Per-test fault hygiene, both directions.
+
+    Before: install whatever ``LOTUSX_FAULT_SPEC`` declares (no-op when
+    unset) — the CI fault-matrix job sets it to run drill modules with a
+    standing fault underneath every test.  After: clear everything so no
+    test leaves injected faults behind for its neighbors.
+    """
     from repro.resilience import faults
 
+    faults.install_from_env()
+    yield
     faults.clear()
 
 

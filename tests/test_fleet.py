@@ -1,0 +1,323 @@
+"""The replica fleet: health, selection, retries, hedging, breakers.
+
+These tests drive :class:`ReplicaFleet` directly with stub "databases"
+(the fleet never interprets them — tasks receive them verbatim), using
+the fault harness at the per-replica sites
+``fleet.replica.<shard>.<replica>`` exactly like production drills do.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.fleet import FleetConfig, HealthPolicy, HealthTracker, LatencyWindow
+from repro.fleet.fleet import ReplicaFleet
+from repro.fleet.health import DEAD, HEALTHY, SUSPECT
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import DeadlineExceeded, ShardsUnavailable
+from repro.resilience.retry import RetryPolicy
+
+#: Fast-retry config used throughout: no real backoff sleeps.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, max_delay_s=0.0)
+
+
+def make_fleet(shards=2, replicas=2, **config_kwargs) -> ReplicaFleet:
+    config_kwargs.setdefault("retry", FAST_RETRY)
+    config_kwargs.setdefault("hedge_ms", 0.0)  # hedging off unless asked
+    config = FleetConfig(replicas=replicas, **config_kwargs)
+    databases = [f"shard-{i}" for i in range(shards)]
+    return ReplicaFleet(databases, config, rng=random.Random(42))
+
+
+class TestHealthTracker:
+    def test_consecutive_failures_walk_the_states(self):
+        tracker = HealthTracker(HealthPolicy(suspect_after=1, dead_after=3))
+        assert tracker.state == HEALTHY
+        tracker.record_failure()
+        assert tracker.state == SUSPECT
+        tracker.record_failure()
+        tracker.record_failure()
+        assert tracker.state == DEAD
+
+    def test_one_success_resets(self):
+        tracker = HealthTracker(HealthPolicy(suspect_after=1, dead_after=2))
+        tracker.record_failure()
+        tracker.record_failure()
+        assert tracker.state == DEAD
+        tracker.record_success()
+        assert tracker.state == HEALTHY
+
+    def test_probe_pacing(self):
+        now = [0.0]
+        tracker = HealthTracker(
+            HealthPolicy(probe_interval_s=0.25), clock=lambda: now[0]
+        )
+        assert not tracker.probe_due()  # healthy: never probed
+        tracker.record_failure()
+        assert tracker.probe_due()  # non-healthy, never probed
+        tracker.note_probe()
+        assert not tracker.probe_due()  # paced
+        now[0] += 0.3
+        assert tracker.probe_due()
+
+
+class TestLatencyWindow:
+    def test_percentile_of_empty_window_is_none(self):
+        assert LatencyWindow().percentile(0.95) is None
+
+    def test_percentile_reads(self):
+        window = LatencyWindow(size=100)
+        for ms in range(1, 101):
+            window.record(ms / 1000.0)
+        assert window.percentile(0.95) == pytest.approx(0.096)
+        assert len(window) == 100
+
+    def test_bounded_size(self):
+        window = LatencyWindow(size=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            window.record(value)
+        assert len(window) == 4
+        assert window.percentile(0.0) == 2.0  # 1.0 aged out
+
+
+class TestRouting:
+    def test_plain_call_returns_task_result(self):
+        fleet = make_fleet()
+        try:
+            assert fleet.call(1, lambda db: db.upper()) == "SHARD-1"
+            assert fleet.counters["calls"] == 1
+        finally:
+            fleet.close()
+
+    def test_replicas_share_the_shard_database(self):
+        fleet = make_fleet(shards=1, replicas=3)
+        try:
+            group = fleet.groups[0]
+            assert len(group.replicas) == 3
+            assert len({id(r.database) for r in group.replicas}) == 1
+        finally:
+            fleet.close()
+
+    def test_failed_replica_is_retried_on_its_peer(self):
+        fleet = make_fleet(shards=1, replicas=2)
+        try:
+            faults.install_spec("fleet.replica.0.0:error=down")
+            assert fleet.call(0, lambda db: db) == "shard-0"
+            assert fleet.counters["retries"] >= 1
+            assert fleet.counters["failures"] >= 1
+        finally:
+            fleet.close()
+
+    def test_unhealthy_replica_ranked_behind_peer(self):
+        fleet = make_fleet(shards=1, replicas=2)
+        try:
+            faults.install_spec("fleet.replica.0.0:error=down,times=1")
+            fleet.call(0, lambda db: db)  # replica 0 fails, 1 salvages
+            faults.clear()
+            replica0, replica1 = fleet.groups[0].replicas
+            assert replica0.health.state != HEALTHY
+            # Ranked selection now prefers replica 1 regardless of the
+            # round-robin rotation.
+            for _ in range(4):
+                assert fleet.groups[0].pick() is replica1
+        finally:
+            fleet.close()
+
+    def test_group_down_raises_shards_unavailable(self):
+        fleet = make_fleet(shards=2, replicas=2)
+        try:
+            faults.install_spec(
+                "fleet.replica.1.0:error=down;fleet.replica.1.1:error=down"
+            )
+            with pytest.raises(ShardsUnavailable) as excinfo:
+                fleet.call(1, lambda db: db)
+            assert excinfo.value.down == (1,)
+            assert excinfo.value.site == "fleet.group.1"
+            assert fleet.counters["groups_down"] == 1
+            # The sibling shard still answers.
+            assert fleet.call(0, lambda db: db) == "shard-0"
+        finally:
+            fleet.close()
+
+    def test_deadline_exceeded_propagates_for_salvage(self):
+        fleet = make_fleet(shards=1, replicas=2)
+        try:
+            deadline = Deadline.none()
+            # The injected fault exhausts the budget at the replica site;
+            # the task notices at its own cooperative checkpoint, exactly
+            # like a real shard evaluation would.
+            faults.install_spec("fleet.replica.0.*:exhaust=1")
+
+            def task(db):
+                deadline.check("fleet.test.task")
+                return db
+
+            with pytest.raises(DeadlineExceeded):
+                fleet.call(0, task, deadline)
+            # Budget exhaustion is the caller's problem, not the
+            # replica's: no failure is charged to its health.
+            assert fleet.groups[0].replicas[0].health.state == HEALTHY
+        finally:
+            fleet.close()
+
+
+class TestBreakerIntegration:
+    def test_hammered_replica_trips_and_is_skipped(self):
+        # Health thresholds are set out of reach so ranked selection does
+        # not shield the failing replica — this isolates the breaker.
+        fleet = make_fleet(
+            shards=1,
+            replicas=2,
+            breaker_min_calls=2,
+            breaker_failure_threshold=0.5,
+            breaker_cooldown_ms=60_000.0,
+            suspect_after=50,
+            dead_after=50,
+        )
+        try:
+            faults.install_spec("fleet.replica.0.0:error=down")
+            for _ in range(4):
+                assert fleet.call(0, lambda db: db) == "shard-0"
+            replica0 = fleet.groups[0].replicas[0]
+            assert replica0.breaker.state == "open"
+            failures_when_tripped = replica0.failures
+            # Once open, replica 0 is skipped outright: no new failures.
+            for _ in range(4):
+                fleet.call(0, lambda db: db)
+            assert replica0.failures == failures_when_tripped
+        finally:
+            fleet.close()
+
+    def test_breaker_recovery_via_half_open_probe(self):
+        now = [0.0]
+        config = FleetConfig(
+            replicas=2,
+            retry=FAST_RETRY,
+            hedge_ms=0.0,
+            breaker_min_calls=1,
+            breaker_failure_threshold=0.1,
+            breaker_cooldown_ms=1_000.0,
+        )
+        fleet = ReplicaFleet(
+            ["shard-0"], config, clock=lambda: now[0], rng=random.Random(1)
+        )
+        try:
+            faults.install_spec("fleet.replica.0.0:error=down,times=1")
+            fleet.call(0, lambda db: db)
+            replica0 = fleet.groups[0].replicas[0]
+            assert replica0.breaker.state == "open"
+            now[0] += 1.5  # cooldown elapses -> half-open admits a probe
+            for _ in range(4):
+                fleet.call(0, lambda db: db)
+            assert replica0.breaker.state == "closed"
+        finally:
+            fleet.close()
+
+
+class TestHedging:
+    def test_slow_primary_is_hedged_and_secondary_wins(self):
+        fleet = make_fleet(shards=1, replicas=2, hedge_ms=20.0)
+        try:
+            faults.install_spec("fleet.replica.0.0:latency=0.25")
+            started = time.perf_counter()
+            assert fleet.call(0, lambda db: db) == "shard-0"
+            elapsed = time.perf_counter() - started
+            assert elapsed < 0.2  # did not wait out the slow primary
+            assert fleet.counters["hedged_requests"] == 1
+            assert fleet.counters["hedge_wins"] == 1
+        finally:
+            fleet.close()
+
+    def test_fast_primary_never_hedges(self):
+        fleet = make_fleet(shards=1, replicas=2, hedge_ms=200.0)
+        try:
+            for _ in range(5):
+                assert fleet.call(0, lambda db: db) == "shard-0"
+            assert fleet.counters["hedged_requests"] == 0
+        finally:
+            fleet.close()
+
+    def test_hedged_failure_still_answers_from_any_leg(self):
+        # The hedged-to replica is down; the slow primary still wins.
+        fleet = make_fleet(shards=1, replicas=2, hedge_ms=10.0)
+        try:
+            faults.install_spec(
+                "fleet.replica.0.0:latency=0.05;fleet.replica.0.1:error=down"
+            )
+            assert fleet.call(0, lambda db: db) == "shard-0"
+        finally:
+            fleet.close()
+
+    def test_both_legs_down_is_group_down(self):
+        fleet = make_fleet(shards=1, replicas=2, hedge_ms=5.0)
+        try:
+            faults.install_spec(
+                "fleet.replica.0.0:latency=0.02,error=down;"
+                "fleet.replica.0.1:error=down"
+            )
+            with pytest.raises(ShardsUnavailable):
+                fleet.call(0, lambda db: db)
+        finally:
+            fleet.close()
+
+
+class TestLifecycleAndStats:
+    def test_close_is_idempotent_and_rejects_calls(self):
+        fleet = make_fleet()
+        fleet.close()
+        fleet.close()
+        with pytest.raises(RuntimeError):
+            fleet.call(0, lambda db: db)
+
+    def test_stats_shape(self):
+        fleet = make_fleet(shards=2, replicas=2)
+        try:
+            fleet.call(0, lambda db: db)
+            stats = fleet.stats()
+            assert stats["replicas_per_shard"] == 2
+            assert stats["hedging"] is False
+            assert len(stats["groups"]) == 2
+            replica = stats["groups"][0]["replicas"][0]
+            assert replica["site"] == "fleet.replica.0.0"
+            assert {"health", "breaker", "calls", "p95_ms"} <= replica.keys()
+            for counter in (
+                "calls",
+                "failures",
+                "retries",
+                "hedged_requests",
+                "hedge_wins",
+                "breaker_skips",
+                "probes",
+                "groups_down",
+            ):
+                assert counter in stats["counters"]
+        finally:
+            fleet.close()
+
+    def test_probes_repair_health_off_the_request_path(self):
+        now = [0.0]
+        config = FleetConfig(
+            replicas=2,
+            retry=FAST_RETRY,
+            hedge_ms=0.0,
+            probe_interval_ms=0.0,
+        )
+        fleet = ReplicaFleet(["shard-0"], config, rng=random.Random(9))
+        try:
+            faults.install_spec("fleet.replica.0.0:error=down,times=1")
+            fleet.call(0, lambda db: db)
+            replica0 = fleet.groups[0].replicas[0]
+            assert replica0.health.state != HEALTHY
+            faults.clear()
+            # The next call schedules a probe; the probe (fault-free now)
+            # marks the replica healthy again without routing load to it.
+            fleet.call(0, lambda db: db)
+            for _ in range(50):
+                if replica0.health.state == HEALTHY:
+                    break
+                time.sleep(0.01)
+            assert replica0.health.state == HEALTHY
+        finally:
+            fleet.close()

@@ -1,0 +1,166 @@
+"""Circuit breaker state machine: trip, cooldown, half-open, recovery."""
+
+import threading
+
+import pytest
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(
+        window=8, failure_threshold=0.5, min_calls=4, cooldown_s=1.0, clock=clock
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults), clock
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_min_calls_never_trip(self):
+        breaker, _ = make_breaker(min_calls=4)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_trips_at_failure_threshold(self):
+        breaker, _ = make_breaker(min_calls=4, failure_threshold=0.5)
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()  # 2 failures / 4 outcomes = 0.5 >= 0.5
+        assert breaker.state == OPEN
+        assert breaker.opened == 1
+
+    def test_successes_age_out_of_window(self):
+        # A long-ago run of successes must not dilute recent failures.
+        breaker, _ = make_breaker(window=4, min_calls=4, failure_threshold=0.5)
+        for _ in range(10):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+
+class TestOpen:
+    def test_rejects_while_open(self):
+        breaker, _ = make_breaker(min_calls=1, failure_threshold=0.1)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.rejected == 1
+
+    def test_cooldown_moves_to_half_open(self):
+        breaker, clock = make_breaker(min_calls=1, failure_threshold=0.1)
+        breaker.record_failure()
+        clock.advance(0.5)
+        assert breaker.state == OPEN
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def tripped(self, **kwargs):
+        breaker, clock = make_breaker(
+            min_calls=1, failure_threshold=0.1, **kwargs
+        )
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.state == HALF_OPEN
+        return breaker, clock
+
+    def test_admits_limited_probes(self):
+        breaker, _ = self.tripped(half_open_probes=1)
+        assert breaker.allow()  # reserves the only probe slot
+        assert not breaker.allow()
+
+    def test_probe_success_closes_and_clears_window(self):
+        breaker, _ = self.tripped()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # The pre-trip failure must not linger: one fresh failure alone
+        # (below min_calls... use min_calls=1 so rate matters) —
+        # the window was cleared, so snapshot shows only the success.
+        snap = breaker.snapshot()
+        assert snap["window"] == 1
+        assert snap["failures"] == 0
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = self.tripped()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opened == 2
+        # ...and the new cooldown restarts from the re-trip.
+        clock.advance(1.1)
+        assert breaker.state == HALF_OPEN
+
+    def test_abandon_releases_probe_slot(self):
+        breaker, _ = self.tripped(half_open_probes=1)
+        assert breaker.allow()
+        breaker.abandon()  # caller's own deadline cut the call short
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # slot is free again
+
+    def test_abandon_records_no_outcome(self):
+        breaker, _ = self.tripped()
+        before = breaker.snapshot()["window"]
+        assert breaker.allow()
+        breaker.abandon()
+        assert breaker.snapshot()["window"] == before
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"min_calls": 0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class TestConcurrency:
+    def test_parallel_outcomes_never_corrupt_state(self):
+        breaker, _ = make_breaker(window=64, min_calls=64, failure_threshold=1.0)
+
+        def hammer():
+            for i in range(200):
+                if breaker.allow():
+                    if i % 2:
+                        breaker.record_success()
+                    else:
+                        breaker.record_failure()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["window"] == 64

@@ -112,3 +112,51 @@ class TestKinds:
         with faults.injected("my.loop", error=BoomError()):
             with pytest.raises(BoomError):
                 deadline.check("my.loop")
+
+
+class TestSpecParsing:
+    def test_single_error_entry(self):
+        (fault,) = faults.parse_spec("fleet.replica.0.1:error=crash")
+        assert fault.site == "fleet.replica.0.1"
+        assert isinstance(fault.error, RuntimeError)
+        assert str(fault.error) == "crash"
+
+    def test_multiple_entries_and_options(self):
+        parsed = faults.parse_spec(
+            "a:latency=0.05,times=3;b.*:error=x,skip=2;c:exhaust=1;d:exit=9"
+        )
+        assert [fault.site for fault in parsed] == ["a", "b.*", "c", "d"]
+        assert parsed[0].latency_s == 0.05
+        assert parsed[0].times == 3
+        assert parsed[1].skip == 2
+        assert parsed[2].exhaust_deadline is True
+        assert parsed[3].exit_code == 9
+
+    def test_empty_and_whitespace_entries_are_skipped(self):
+        assert faults.parse_spec("") == []
+        assert faults.parse_spec(" ; ;") == []
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError):
+            faults.parse_spec("site:frobnicate=1")
+
+    def test_missing_site_rejected(self):
+        with pytest.raises(ValueError):
+            faults.parse_spec(":error=x")
+
+    def test_install_spec_registers_and_strikes(self):
+        faults.install_spec("spec.site:error=boom,times=1")
+        with pytest.raises(RuntimeError, match="boom"):
+            faults.fire("spec.site")
+        faults.fire("spec.site")  # times=1 exhausted
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_SPEC_ENV, "env.site:error=zap")
+        installed = faults.install_from_env()
+        assert len(installed) == 1
+        with pytest.raises(RuntimeError, match="zap"):
+            faults.fire("env.site")
+
+    def test_install_from_env_unset_is_noop(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_SPEC_ENV, raising=False)
+        assert faults.install_from_env() == []

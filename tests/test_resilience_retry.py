@@ -1,0 +1,97 @@
+"""Retry policy: backoff shape, jitter bounds, and deadline budgeting."""
+
+import random
+
+import pytest
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import MIN_RETRY_BUDGET_S, RetryPolicy
+
+
+class TestBackoffShape:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, multiplier=2.0, max_delay_s=10.0, jitter=0.0
+        )
+        assert policy.delay_s(1) == pytest.approx(0.01)
+        assert policy.delay_s(2) == pytest.approx(0.02)
+        assert policy.delay_s(3) == pytest.approx(0.04)
+
+    def test_cap_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=10.0, max_delay_s=0.25, jitter=0.0
+        )
+        assert policy.delay_s(5) == pytest.approx(0.25)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5, max_delay_s=10.0)
+        rng = random.Random(7)
+        for _ in range(200):
+            delay = policy.delay_s(1, rng)
+            assert 0.05 <= delay <= 0.1
+
+    def test_seeded_rng_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.delay_s(2, random.Random(3)) == policy.delay_s(
+            2, random.Random(3)
+        )
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(0)
+
+
+class TestBudgeting:
+    def test_attempts_exhausted(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.budgeted_delay_s(3) is None
+        assert policy.budgeted_delay_s(2) is not None
+
+    def test_single_attempt_policy_never_retries(self):
+        assert RetryPolicy(max_attempts=1).budgeted_delay_s(1) is None
+
+    def test_no_deadline_returns_plain_delay(self):
+        policy = RetryPolicy(jitter=0.0)
+        assert policy.budgeted_delay_s(1) == pytest.approx(policy.delay_s(1))
+
+    def test_expired_deadline_stops_retrying(self):
+        policy = RetryPolicy()
+        deadline = Deadline.after_ms(0.0)
+        assert policy.budgeted_delay_s(1, deadline) is None
+
+    def test_tiny_residue_stops_retrying(self):
+        policy = RetryPolicy()
+        deadline = Deadline.after_ms(MIN_RETRY_BUDGET_S * 1000.0 / 2)
+        assert policy.budgeted_delay_s(1, deadline) is None
+
+    def test_delay_capped_at_half_the_residue(self):
+        policy = RetryPolicy(
+            base_delay_s=10.0, max_delay_s=10.0, jitter=0.0
+        )
+        deadline = Deadline.after_ms(200.0)
+        delay = policy.budgeted_delay_s(1, deadline)
+        assert delay is not None
+        assert delay <= 0.1  # half of the 200 ms budget
+
+    def test_step_only_deadline_does_not_cap(self):
+        policy = RetryPolicy(jitter=0.0)
+        deadline = Deadline(max_steps=10_000)
+        assert policy.budgeted_delay_s(1, deadline) == pytest.approx(
+            policy.delay_s(1)
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)

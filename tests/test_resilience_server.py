@@ -119,6 +119,8 @@ class TestAdmissionGate:
             "waiting": 0,
             "max_queue": 7,
             "shed": 0,
+            "site": "server.admission",
+            "retry_after_s": 1.0,
         }
 
     def test_validation(self):

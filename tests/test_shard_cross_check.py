@@ -168,3 +168,106 @@ def test_sharded_autocomplete_identical(corpus_pair):
 def test_sharded_statistics_identical(corpus_pair):
     mono, sharded = corpus_pair
     assert sharded.statistics().as_dict() == mono.statistics().as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Executor failure paths: broken workers must degrade, not corrupt
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorFailurePaths:
+    """Scattered evaluation under worker faults (``shard.worker.<i>``).
+
+    A failed shard is contained as a failed :class:`ShardOutcome`: its
+    answers are missing, the survivors' answers are merged bit-exact, and
+    the coordinator reports the loss (``ShardsUnavailable`` / degraded
+    tags) instead of raising a bare 500 or silently dropping data.
+    """
+
+    XML = generate_dblp_xml(90, 23)
+
+    def _pair(self, mode: str):
+        from repro.resilience import faults  # noqa: F401 (fixture clears)
+
+        mono = LotusXDatabase.from_string(self.XML)
+        sharded = ShardedDatabase.from_string(self.XML, 3, executor_mode=mode)
+        return mono, sharded
+
+    @pytest.mark.parametrize("mode", ["serial", "thread"])
+    def test_worker_raising_mid_task_salvages_survivors(self, mode):
+        from repro.resilience import faults
+        from repro.resilience.errors import ShardsUnavailable
+
+        mono, sharded = self._pair(mode)
+        try:
+            oracle = _canonical(mono.matches("//article/title"))
+            faults.install_spec("shard.worker.1:error=worker blew up")
+            with pytest.raises(ShardsUnavailable) as excinfo:
+                sharded.matches("//article/title")
+            assert excinfo.value.down == (1,)
+            salvaged = _canonical(excinfo.value.partial)
+            # The survivors' merge is a strict, order-preserving subset
+            # of the oracle: nothing invented, nothing reordered.
+            assert [m for m in oracle if m in salvaged] == salvaged
+            assert 0 < len(salvaged) < len(oracle)
+            # Search over the same corpus degrades instead of raising.
+            response = sharded.search("//article/title", k=10, rewrite=False)
+            assert "shard-1-unavailable" in response.degraded
+            faults.clear()
+            assert _canonical(sharded.matches("//article/title")) == oracle
+        finally:
+            sharded.close()
+
+    def test_killed_process_pool_worker_fails_shard_and_heals(self):
+        import multiprocessing
+
+        from repro.resilience import faults
+        from repro.resilience.errors import ShardsUnavailable
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        mono, sharded = self._pair("process")
+        try:
+            oracle = _canonical(mono.matches("//article/title"))
+            # os._exit in the forked worker: the pool breaks exactly like
+            # an OOM-killed worker in production.
+            faults.install_spec("shard.worker.2:exit=1")
+            with pytest.raises(ShardsUnavailable) as excinfo:
+                sharded.matches("//article/title")
+            assert 2 in excinfo.value.down
+            faults.clear()
+            # Self-heal: the broken pool was dropped; the next scatter
+            # builds a fresh one and answers completely.
+            assert _canonical(sharded.matches("//article/title")) == oracle
+        finally:
+            sharded.close()
+
+    def test_one_shard_slow_under_thread_mode_trips_and_salvages(self):
+        from repro.resilience import faults
+        from repro.resilience.deadline import Deadline
+        from repro.resilience.errors import DeadlineExceeded
+
+        mono, sharded = self._pair("thread")
+        try:
+            oracle = _canonical(mono.matches("//article/title"))
+            faults.install_spec("shard.worker.0:latency=0.5")
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                sharded.matches(
+                    "//article/title", deadline=Deadline.after_ms(80.0)
+                )
+            salvaged = _canonical(excinfo.value.partial or [])
+            # The slow shard burned its own budget; its peers' answers
+            # were salvaged and they merge as a subset of the oracle.
+            assert [m for m in oracle if m in salvaged] == salvaged
+            assert len(salvaged) < len(oracle)
+        finally:
+            sharded.close()
+
+    def test_run_after_close_is_rejected(self):
+        _, sharded = self._pair("serial")
+        executor = sharded.executor
+        sharded.close()
+        sharded.close()  # idempotent
+        assert executor.closed
+        with pytest.raises(RuntimeError):
+            executor.run([0], "matches", {}, None)
