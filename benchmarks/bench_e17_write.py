@@ -1,0 +1,203 @@
+"""E17 (Table): live write path — ingest throughput and read latency.
+
+Two claims about the WAL/delta-segment write path (`repro.write`):
+
+1. **Incremental ingest beats rebuild-per-batch.**  Inserting documents
+   one at a time into a writable database costs one small delta-segment
+   build (plus the occasional compaction) per insert, while the naive
+   alternative re-indexes the whole corpus after every mutation.  The
+   table records both modes' wall-clock and documents/second on the same
+   insert stream; the gate is a clear throughput win for the write path.
+
+2. **Reads stay live while writing.**  With the background writer
+   applying a steady insert stream, concurrent twig searches keep
+   answering from the atomically swapped views.  The table records the
+   read-latency distribution idle vs under write load, plus the write
+   throughput sustained meanwhile.
+
+Correctness rides along at every step: after ingest, the live database's
+answers must be byte-identical to a cold rebuild of the same logical
+document (the write path's core contract — see
+``tests/test_write_cross_check.py``).  Results are persisted via
+``record_bench`` (``BENCH_e17_write.json``) for the nightly artifact
+upload.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import threading
+import time
+
+from repro.bench.harness import print_table, record_bench
+from repro.engine.database import LotusXDatabase
+from repro.write.writer import open_writable_database
+from repro.xmlio.builder import parse_string
+from repro.xmlio.serializer import serialize
+
+from conftest import SMOKE, shape_check
+
+BASE_DOCS = 10 if SMOKE else 150
+INSERTS = 12 if SMOKE else 120
+READ_TRIALS = 15 if SMOKE else 80
+QUERY = "//article[./author]/title"
+
+_WORDS = [
+    "xml", "twig", "pattern", "matching", "keyword", "search", "index",
+    "label", "region", "stream", "join", "holistic", "ranking",
+]
+_AUTHORS = ["jiaheng lu", "chunbin lin", "tok wang ling", "bogdan cautis"]
+
+
+def _record_xml(rng: random.Random) -> str:
+    title = " ".join(rng.choice(_WORDS) for _ in range(rng.randint(2, 5)))
+    authors = "".join(
+        f"<author>{rng.choice(_AUTHORS)}</author>"
+        for _ in range(rng.randint(1, 3))
+    )
+    return (
+        f"<article key='k{rng.randint(0, 99999)}'><title>{title}</title>"
+        f"{authors}<year>{rng.randint(1999, 2012)}</year></article>"
+    )
+
+
+def _base_xml(rng: random.Random) -> str:
+    return "<dblp>" + "".join(_record_xml(rng) for _ in range(BASE_DOCS)) + "</dblp>"
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))] * 1000
+
+
+def test_e17_incremental_ingest_vs_rebuild(tmp_path, capsys):
+    rng = random.Random(17)
+    base_xml = _base_xml(rng)
+    inserts = [_record_xml(rng) for _ in range(INSERTS)]
+
+    # Mode A: the write path — one delta apply per insert.
+    database = open_writable_database(
+        LotusXDatabase.from_string(base_xml),
+        tmp_path / "e17.lxwal",
+        synchronous=True,
+    )
+    started = time.perf_counter()
+    for xml in inserts:
+        database.writer.insert_document(xml)
+    incremental_s = time.perf_counter() - started
+    writer_counters = dict(database.writer.counters)
+
+    # Correctness gate: byte-identical to the cold rebuild.
+    live = database.search(QUERY, k=10).as_dict()
+    cold_db = LotusXDatabase(database.writer._corpus.checkpoint_document())
+    cold = cold_db.search(QUERY, k=10).as_dict()
+    live.pop("elapsed_seconds"), cold.pop("elapsed_seconds")
+    assert live == cold
+    database.close()
+
+    # Mode B: re-index the whole corpus after every insert.
+    document = parse_string(base_xml)
+    started = time.perf_counter()
+    for xml in inserts:
+        document.root.children.append(parse_string(xml).root)
+        rebuilt = LotusXDatabase(parse_string(serialize(document)))
+        rebuilt.search(QUERY, k=10)  # the rebuilt index must actually serve
+    rebuild_s = time.perf_counter() - started
+
+    headers = ["mode", "base_docs", "inserts", "total_s", "docs_per_s"]
+    rows = [
+        ["incremental", BASE_DOCS, INSERTS, incremental_s, INSERTS / incremental_s],
+        ["rebuild-each", BASE_DOCS, INSERTS, rebuild_s, INSERTS / rebuild_s],
+    ]
+    with capsys.disabled():
+        print_table(
+            headers,
+            rows,
+            title="\nE17a: ingest throughput, write path vs rebuild-per-insert",
+        )
+    record_bench(
+        "e17_write",
+        headers,
+        rows,
+        meta={
+            "query": QUERY,
+            "writer_counters": writer_counters,
+            "speedup": rebuild_s / incremental_s,
+        },
+    )
+    shape_check(
+        incremental_s < rebuild_s,
+        f"write path ({incremental_s:.2f}s) should beat rebuild-per-insert"
+        f" ({rebuild_s:.2f}s)",
+    )
+
+
+def test_e17_read_latency_while_writing(tmp_path, capsys):
+    rng = random.Random(1717)
+    database = open_writable_database(
+        LotusXDatabase.from_string(_base_xml(rng)),
+        tmp_path / "e17rw.lxwal",
+    )  # background writer: reads and applies overlap
+    try:
+        def read_samples(trials: int) -> list[float]:
+            samples = []
+            for _ in range(trials):
+                started = time.perf_counter()
+                response = database.search(QUERY, k=10)
+                samples.append(time.perf_counter() - started)
+                assert response.total_matches > 0
+            return samples
+
+        idle = read_samples(READ_TRIALS)
+
+        stop = threading.Event()
+        applied = [0]
+
+        def write_load() -> None:
+            while not stop.is_set():
+                seqno = database.writer.insert_document(_record_xml(rng))
+                database.writer.wait_for(seqno, timeout=30)
+                applied[0] += 1
+
+        load = threading.Thread(target=write_load, daemon=True)
+        load_started = time.perf_counter()
+        load.start()
+        busy = read_samples(READ_TRIALS)
+        stop.set()
+        load.join(timeout=30)
+        load_s = time.perf_counter() - load_started
+        database.writer.flush(timeout=30)
+        assert not database.writer.wedged
+        assert applied[0] > 0, "the write load never applied a batch"
+
+        headers = ["reads", "trials", "p50_ms", "p95_ms", "writes_per_s"]
+        rows = [
+            ["idle", READ_TRIALS, _percentile(idle, 0.5), _percentile(idle, 0.95), 0.0],
+            [
+                "under-write-load",
+                READ_TRIALS,
+                _percentile(busy, 0.5),
+                _percentile(busy, 0.95),
+                applied[0] / load_s,
+            ],
+        ]
+        with capsys.disabled():
+            print_table(
+                headers,
+                rows,
+                title="\nE17b: read latency idle vs under live write load",
+            )
+        record_bench(
+            "e17_write_reads",
+            headers,
+            rows,
+            meta={
+                "query": QUERY,
+                "writes_applied": applied[0],
+                "median_idle_ms": statistics.median(idle) * 1000,
+                "median_busy_ms": statistics.median(busy) * 1000,
+            },
+        )
+    finally:
+        database.close()

@@ -81,6 +81,13 @@ class AutocompleteEngine:
             self._cache_hits += 1
             return list(cached)
 
+    def clear_cache(self) -> None:
+        """Drop every cached completion (generation advance: the corpus
+        behind the guide/completion index changed, so cached candidate
+        lists and counts may be stale)."""
+        with self._cache_lock:
+            self._cache.clear()
+
     def _cache_put(self, key, value: list[Candidate]) -> None:
         with self._cache_lock:
             self._cache[key] = value

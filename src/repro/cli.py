@@ -17,6 +17,7 @@ Subcommands::
     lotusx index dblp.xml ./dblp-shards --shards 4
     lotusx serve dblp.xml --port 8080
     lotusx serve dblp.xml --shards 4
+    lotusx serve dblp.xml --writable --wal dblp.lxwal
     lotusx serve --snapshot dblp.lxsnap --port 8080
     lotusx serve --snapshot ./dblp-shards --port 8080
 
@@ -215,6 +216,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="when whole shard groups are down: 'salvage' (default)"
         " returns partial results marked degraded; 'strict' rejects"
         " them with HTTP 503",
+    )
+    serve.add_argument(
+        "--writable",
+        action="store_true",
+        help="enable the live write path: POST /api/documents mutations"
+        " are WAL-logged, applied as delta segments, and become"
+        " queryable without a restart (monolithic serving only)",
+    )
+    serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="FILE",
+        help="write-ahead-log path for --writable (default:"
+        " <corpus>.lxwal next to the corpus or snapshot)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
@@ -505,6 +520,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     faults.install_from_env()
 
+    if args.writable:
+        if args.shards > 1:
+            raise ValueError("--writable requires monolithic serving (--shards 1)")
+        if args.replicas > 1:
+            raise ValueError("--writable is incompatible with --replicas")
+        if args.expand_attributes:
+            raise ValueError("--writable does not support --expand-attributes")
+        return _cmd_serve_writable(args)
+    if args.wal is not None:
+        raise ValueError("--wal requires --writable")
+
     fleet_config = _fleet_config(args)
 
     started = time.perf_counter()
@@ -587,6 +613,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve(holder, args.host, args.port, config)
     except KeyboardInterrupt:
         print("\nbye")
+    return 0
+
+
+def _cmd_serve_writable(args: argparse.Namespace) -> int:
+    """Serve a monolithic corpus with the live write path enabled.
+
+    The base index becomes segment 0 of a
+    :class:`~repro.write.segments.SegmentedCorpus`; mutations arriving at
+    ``POST /api/documents`` are WAL-logged and applied as delta
+    segments.  Writable serving has no reload source — the WAL *is* the
+    authority for post-start changes, so ``POST /api/reload`` answers
+    400 ``reload_unavailable``.
+    """
+    import time
+
+    from repro.server.app import ServerConfig, serve
+    from repro.server.reload import DatabaseHolder
+    from repro.write.writer import open_writable_database
+
+    started = time.perf_counter()
+    base_seqno = 0
+    if args.snapshot is not None:
+        from repro.engine.store import (
+            is_sharded_snapshot,
+            load_snapshot,
+            read_snapshot_info,
+        )
+
+        if is_sharded_snapshot(args.snapshot):
+            raise ValueError("--writable cannot serve a sharded snapshot")
+        info = read_snapshot_info(args.snapshot)
+        base_seqno, base_ids = info.seqno, info.document_ids
+        base = load_snapshot(args.snapshot)
+        source_path = args.snapshot
+        banner = f"snapshot {args.snapshot} (checkpoint seqno {base_seqno})"
+    else:
+        base = LotusXDatabase.from_file(args.corpus)
+        base_ids = None
+        source_path = args.corpus
+        banner = f"corpus {args.corpus}"
+    wal_path = args.wal if args.wal is not None else f"{source_path}.lxwal"
+
+    database = open_writable_database(
+        base, wal_path, base_seqno=base_seqno, document_ids=base_ids
+    )
+    holder = DatabaseHolder(database)
+    database.writer.attach_holder(holder)
+    writer_stats = database.writer.statistics()
+    print(
+        f"loaded {banner} in {time.perf_counter() - started:.2f}s"
+        f" (writable; wal {wal_path},"
+        f" {writer_stats['wal_records']} log records,"
+        f" last applied seqno {writer_stats['last_applied_seqno']})"
+    )
+
+    overrides = {"degraded_policy": args.degraded_policy}
+    if args.max_concurrency is not None:
+        if args.max_concurrency < 1:
+            raise ValueError("--max-concurrency must be at least 1")
+        overrides["max_concurrency"] = args.max_concurrency
+    if args.default_timeout_ms is not None:
+        if args.default_timeout_ms < 1:
+            raise ValueError("--default-timeout-ms must be positive")
+        overrides["default_timeout_ms"] = args.default_timeout_ms
+    config = ServerConfig(**overrides)
+    print(f"LotusX serving http://{args.host}:{args.port}/  (Ctrl-C to stop)")
+    try:
+        serve(holder, args.host, args.port, config)
+    except KeyboardInterrupt:
+        print("\nbye")
+    finally:
+        database.close()
     return 0
 
 

@@ -116,8 +116,9 @@ class LotusXDatabase:
         #: on concurrent threads, and unguarded ``+=`` drops updates.
         self._counter_lock = threading.Lock()
         #: Stamped by the serving layer (``DatabaseHolder``); 0 means
-        #: "not behind a holder".
-        self.serving_generation = 0
+        #: "not behind a holder".  Assigned directly — the property
+        #: setter's invalidation hooks have nothing to clear yet.
+        self._serving_generation = 0
         self.counters: dict[str, int] = {
             "match_cache_hits": 0,
             "match_cache_misses": 0,
@@ -128,6 +129,47 @@ class LotusXDatabase:
             "columnar_evaluations": 0,
             "fallback_evaluations": 0,
         }
+
+    @property
+    def serving_generation(self):
+        """The generation stamp of the serving layer.
+
+        Plan-cache keys include it; moving it additionally clears the
+        match cache, the stream-factory filtered-stream memo, and the
+        autocomplete completion cache.  Historically those only died
+        with the instance on hot reload (a swap installs a whole new
+        database), but the live write path advances generations while
+        *keeping* unchanged segment databases — a memoized columnar
+        stream or completion list built under the old generation (e.g.
+        holding the corpus root's old region width) must not survive
+        the advance.
+        """
+        return self._serving_generation
+
+    @serving_generation.setter
+    def serving_generation(self, value) -> None:
+        if value == self._serving_generation:
+            return
+        self._serving_generation = value
+        with self._counter_lock:
+            self._match_cache.clear()
+            # Old-generation plan keys are unreachable anyway (the key
+            # includes the generation); clearing frees their streams.
+            self._plan_cache.clear()
+        # Lazy-safe lookups, as in cache_statistics: components that a
+        # snapshot database has not inflated yet hold no stale state and
+        # must not be inflated just to be cleared.
+        factory = self.__dict__.get("streams")
+        engine = self.__dict__.get("autocomplete")
+        if factory is None or engine is None:
+            parts = self.__dict__.get("_parts")
+            if parts is not None:
+                factory = factory or parts.get("streams")
+                engine = engine or parts.get("autocomplete")
+        if factory is not None:
+            factory.clear_memo()
+        if engine is not None:
+            engine.clear_cache()
 
     def warm(self) -> LotusXDatabase:
         """Force full materialization; returns ``self``.

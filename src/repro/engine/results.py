@@ -52,7 +52,24 @@ def make_snippet(
     occurrence and every term occurrence inside the window is wrapped in
     ``**…**`` (terminal- and markdown-friendly).
     """
-    text = " ".join(" ".join(element.element.itertext()).split())
+    return snippet_from_text(
+        " ".join(element.element.itertext()), limit, highlight_terms
+    )
+
+
+def snippet_from_text(
+    raw_text: str,
+    limit: int = SNIPPET_LENGTH,
+    highlight_terms: tuple[str, ...] = (),
+) -> str:
+    """:func:`make_snippet` on pre-gathered subtree text.
+
+    Used where the logical subtree spans several physical elements (the
+    corpus root of a sharded or segmented database): the caller
+    concatenates the per-shard texts and gets the exact monolithic
+    snippet back.
+    """
+    text = " ".join(raw_text.split())
     if not highlight_terms:
         if len(text) > limit:
             text = text[: limit - 1].rstrip() + "…"

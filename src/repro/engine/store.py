@@ -129,6 +129,13 @@ class SnapshotInfo:
     expand_attributes: bool
     section_sizes: dict[str, int]
     sha256: str
+    #: Write-path checkpoint position (0 = plain indexed corpus); WAL
+    #: records with larger seqnos must be replayed on top of this file.
+    seqno: int = 0
+    #: Top-level document ids at checkpoint time (``None`` = plain
+    #: indexed corpus).  Recovery must adopt these so that replayed
+    #: update/delete records resolve against the same namespace.
+    document_ids: tuple[str, ...] | None = None
 
 
 # ----------------------------------------------------------------------
@@ -332,13 +339,23 @@ def _decode_completion(
 
 
 def save_snapshot(
-    database: LotusXDatabase, path: str | os.PathLike[str]
+    database: LotusXDatabase,
+    path: str | os.PathLike[str],
+    seqno: int = 0,
+    document_ids: tuple[str, ...] | list[str] | None = None,
 ) -> SnapshotInfo:
     """Write ``database`` to a single snapshot file at ``path``.
 
     The write is atomic (temp file + rename), so a crash never leaves a
     half-written snapshot where a valid one was expected.  Returns a
     :class:`SnapshotInfo` describing the file.
+
+    ``seqno`` stamps the write-path checkpoint position: the snapshot
+    contains every mutation up to and including that WAL sequence
+    number, so recovery replays only newer records.  The default 0 marks
+    a plain indexed corpus (replay everything in the WAL).
+    ``document_ids`` preserves the writer's top-level id namespace
+    across the checkpoint (WAL updates/deletes address documents by id).
     """
     database = database.warm()
     sections: list[tuple[str, bytes]] = [
@@ -372,6 +389,8 @@ def save_snapshot(
             else None
         ),
         "source_name": database.document.source_name,
+        "seqno": int(seqno),
+        "document_ids": list(document_ids) if document_ids is not None else None,
         "statistics": compute_statistics(
             database.labeled, database.term_index
         ).as_dict(),
@@ -419,6 +438,8 @@ def save_snapshot(
         expand_attributes=meta["expand_attributes"],
         section_sizes={entry["name"]: entry["length"] for entry in table},
         sha256=digest.hex(),
+        seqno=int(seqno),
+        document_ids=tuple(document_ids) if document_ids is not None else None,
     )
 
 
@@ -499,6 +520,12 @@ def read_snapshot_info(path: str | os.PathLike[str]) -> SnapshotInfo:
             entry["name"]: entry["length"] for entry in header["sections"]
         },
         sha256=data[-_DIGEST_SIZE:].hex(),
+        seqno=int(meta.get("seqno", 0)),
+        document_ids=(
+            tuple(meta["document_ids"])
+            if meta.get("document_ids") is not None
+            else None
+        ),
     )
 
 

@@ -175,6 +175,21 @@ class ColumnarIndex:
     def tags(self) -> set[str]:
         return set(self._by_tag)
 
+    def rewiden_root(self, root_tag: str, end: int) -> None:
+        """Patch the document root's region ``end`` in place.
+
+        The root opens the document, so it is row 0 of the all-elements
+        column and row 0 of its own tag column (streams are document
+        ordered and the root's start tick is minimal).  The live write
+        path calls this when the corpus root's region is re-widened; no
+        other row ever changes width in place.
+        """
+        if len(self._all):
+            self._all.ends[0] = end
+        stream = self._by_tag.get(root_tag)
+        if stream is not None and len(stream):
+            stream.ends[0] = end
+
     def __repr__(self) -> str:
         return (
             f"ColumnarIndex(tags={len(self._by_tag)},"

@@ -173,6 +173,32 @@ class StreamFactory:
 
     # ------------------------------------------------------------------
 
+    def clear_memo(self) -> None:
+        """Drop every memoized filtered stream.
+
+        Called on generation advance: historically the memo only died
+        with the factory instance on hot reload, but the live write path
+        advances generations while *keeping* unchanged segment databases
+        — and a memoized columnar stream holds copied region columns
+        (including the corpus root's patched width), so surviving
+        instances must shed their memos when the generation moves.
+        """
+        self._filtered_cache.clear()
+
+    def rewiden_root(self, end: int) -> None:
+        """Propagate a mutated root-region width into columnar columns.
+
+        The live write path re-widens the corpus root's region when the
+        corpus grows or shrinks; object streams read the (shared)
+        ``LabeledElement`` and see the change for free, but a built
+        columnar index holds the root's ``end`` as a raw integer and
+        must be patched in place.  A not-yet-built columnar index needs
+        nothing — it will read the patched region when first built.
+        """
+        if self._columnar is not None:
+            self._columnar.rewiden_root(self._labeled.document.root.tag, end)
+        self.clear_memo()
+
     def _memo_get(self, key):
         cached = self._filtered_cache.get(key)
         if cached is not None:

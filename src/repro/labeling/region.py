@@ -14,6 +14,14 @@ when it closes, from one shared counter.  The classical properties follow:
 
 These labels let every structural-join and holistic twig algorithm decide
 element relationships in O(1) without touching the tree.
+
+The module also hosts the **gap allocation** machinery the live write
+path builds on: :class:`RegionAllocator` manages disjoint tick blocks
+inside a (possibly bounded) tick space, and :func:`label_subtree_into_gap`
+labels a fresh subtree into an unused gap between existing labels.  An
+insert whose gap still has room gets valid labels without touching any
+existing region; only when a gap is exhausted (:class:`GapExhausted`)
+must the caller fall back to relabeling.
 """
 
 from __future__ import annotations
@@ -79,3 +87,188 @@ class Region:
 
     def __str__(self) -> str:
         return f"[{self.start},{self.end}]@{self.level}"
+
+
+# ----------------------------------------------------------------------
+# Gap allocation
+# ----------------------------------------------------------------------
+
+
+class GapExhausted(ValueError):
+    """A requested label allocation does not fit in the available gap.
+
+    The caller must fall back to relabeling (shifting every label after
+    the insertion point); until this is raised, gap allocation guarantees
+    that no existing region is ever touched.
+    """
+
+
+@dataclass
+class TickBlock:
+    """A contiguous run of label ticks owned by one allocation.
+
+    ``base`` is the first tick of the block and ``width`` the number of
+    ticks owned.  A subtree of ``n`` elements consumes exactly ``2 * n``
+    ticks (one ``start`` and one ``end`` per element), so block widths
+    are always even.
+    """
+
+    base: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"block base must be non-negative: {self}")
+        if self.width < 0 or self.width % 2:
+            raise ValueError(f"block width must be even and >= 0: {self}")
+
+    @property
+    def limit(self) -> int:
+        """One past the last tick of the block."""
+        return self.base + self.width
+
+
+class RegionAllocator:
+    """Tracks disjoint, ordered tick blocks inside an exclusive interval.
+
+    The allocator owns the open tick interval ``(lo, hi)`` — typically
+    the inside of a root element's region, ``lo = root.start`` and
+    ``hi = root.end`` — and hands out :class:`TickBlock` runs for
+    subtrees inserted into it.  ``hi=None`` leaves the tail unbounded
+    (an append-only allocator never exhausts).
+
+    Blocks never overlap and never move: an allocation either fits in a
+    gap as-is or raises :class:`GapExhausted`, so callers can rely on
+    existing labels staying valid until an explicit relabel.
+    """
+
+    def __init__(self, lo: int = 0, hi: int | None = None) -> None:
+        if hi is not None and hi <= lo:
+            raise ValueError(f"empty tick interval ({lo}, {hi})")
+        self.lo = lo
+        self.hi = hi
+        #: Allocated blocks, kept sorted by base.
+        self.blocks: list[TickBlock] = []
+
+    # -- capacity ------------------------------------------------------
+
+    @property
+    def high_water(self) -> int:
+        """One past the highest allocated tick (``lo + 1`` when empty)."""
+        return self.blocks[-1].limit if self.blocks else self.lo + 1
+
+    def gap_after(self, block: TickBlock | None) -> int:
+        """Free ticks between ``block`` (or the interval start) and the
+        next block (or the interval end); unbounded gaps report a huge
+        finite number."""
+        index = -1 if block is None else self._index_of(block)
+        left = self.lo + 1 if block is None else block.limit
+        if index + 1 < len(self.blocks):
+            right = self.blocks[index + 1].base
+        elif self.hi is not None:
+            right = self.hi
+        else:
+            return 1 << 62
+        return max(0, right - left)
+
+    # -- allocation ----------------------------------------------------
+
+    def allocate(self, width: int, after: TickBlock | None = None) -> TickBlock:
+        """Allocate ``width`` ticks in the gap following ``after``.
+
+        ``after=None`` means the gap before the first block when one
+        exists, otherwise the head of the interval.  With no ``after``
+        given and existing blocks, common callers want the tail — use
+        :meth:`allocate_tail`.  Raises :class:`GapExhausted` when the
+        gap cannot hold ``width`` ticks.
+        """
+        if width <= 0 or width % 2:
+            raise ValueError(f"allocation width must be even and > 0: {width}")
+        if self.gap_after(after) < width:
+            raise GapExhausted(
+                f"gap after {after} holds {self.gap_after(after)} ticks,"
+                f" need {width}"
+            )
+        base = self.lo + 1 if after is None else after.limit
+        block = TickBlock(base, width)
+        index = 0 if after is None else self._index_of(after) + 1
+        self.blocks.insert(index, block)
+        return block
+
+    def allocate_tail(self, width: int) -> TickBlock:
+        """Allocate ``width`` ticks after the last existing block."""
+        return self.allocate(width, self.blocks[-1] if self.blocks else None)
+
+    def release(self, block: TickBlock) -> None:
+        """Return ``block``'s ticks to the free space (they become gap)."""
+        self.blocks.pop(self._index_of(block))
+
+    def resize(self, block: TickBlock, width: int) -> TickBlock:
+        """Grow or shrink ``block`` in place.
+
+        Growth consumes the gap immediately after the block and raises
+        :class:`GapExhausted` when that gap is too small — existing
+        neighbors are never moved.  Returns the resized block.
+        """
+        if width <= 0 or width % 2:
+            raise ValueError(f"block width must be even and > 0: {width}")
+        grow = width - block.width
+        if grow > 0 and self.gap_after(block) < grow:
+            raise GapExhausted(
+                f"cannot grow {block} by {grow} ticks:"
+                f" only {self.gap_after(block)} free after it"
+            )
+        block.width = width
+        return block
+
+    def _index_of(self, block: TickBlock) -> int:
+        for index, candidate in enumerate(self.blocks):
+            if candidate is block:
+                return index
+        raise ValueError(f"{block} is not owned by this allocator")
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionAllocator(lo={self.lo}, hi={self.hi},"
+            f" blocks={len(self.blocks)})"
+        )
+
+
+def subtree_tick_width(element) -> int:
+    """Ticks a subtree needs: two per element."""
+    return 2 * sum(1 for _ in element.iter())
+
+
+def label_subtree_into_gap(
+    element, lo: int, hi: int | None, level: int
+) -> list[tuple[object, Region]]:
+    """Label ``element``'s subtree into the open tick interval ``(lo, hi)``.
+
+    Assigns dense region labels starting at ``lo + 1``, exactly as the
+    full labeler would if the subtree sat at that position, without
+    touching any label outside the gap.  Returns ``(element, region)``
+    pairs in preorder.  Raises :class:`GapExhausted` when the gap is too
+    small (it needs ``2 * n`` ticks for an ``n``-element subtree).
+    """
+    need = subtree_tick_width(element)
+    if hi is not None and hi - lo - 1 < need:
+        raise GapExhausted(
+            f"gap ({lo}, {hi}) holds {hi - lo - 1} ticks, need {need}"
+        )
+    labels: list[tuple[object, Region]] = []
+    counter = lo + 1
+
+    def walk(node, depth: int) -> None:
+        nonlocal counter
+        start = counter
+        counter += 1
+        slot = len(labels)
+        labels.append(None)  # type: ignore[arg-type]
+        for child in node.child_elements():
+            walk(child, depth + 1)
+        end = counter
+        counter += 1
+        labels[slot] = (node, Region(start, end, depth))
+
+    walk(element, level)
+    return labels

@@ -31,6 +31,39 @@ class ApiError(ValueError):
     http_status = 400
 
 
+class NotWritable(ApiError):
+    """The serving database has no write path (HTTP 501).
+
+    Read-only serving, sharded fleets, and attribute-expanded corpora
+    all reject mutations this way; the admission decision is made before
+    any work happens.
+    """
+
+    code = "not_writable"
+    http_status = 501
+
+
+class DocumentNotFound(ApiError):
+    """An update/delete named an unknown document id (HTTP 404)."""
+
+    code = "document_not_found"
+    http_status = 404
+
+
+class DocumentExists(ApiError):
+    """An insert named an id that is already live (HTTP 409)."""
+
+    code = "document_exists"
+    http_status = 409
+
+
+class WriterUnavailable(ApiError):
+    """The writer is wedged or closed (HTTP 503); restart to recover."""
+
+    code = "writer_unavailable"
+    http_status = 503
+
+
 def resolve_deadline(
     payload: dict,
     default_ms: int | None = None,
@@ -54,12 +87,20 @@ def handle_stats(database: LotusXDatabase) -> dict:
 
     When the serving database is a sharded fleet, ``caches`` carries the
     routing counters (``router``: queries routed, shards pruned,
-    fallbacks) and one counter block per shard (``per_shard``).
+    fallbacks) and one counter block per shard (``per_shard``).  A
+    writable database additionally reports a ``writer`` block (queue
+    depth, WAL size, applied seqno, compactions, wedged flag).
     """
-    return {
+    result = {
         "statistics": database.statistics().as_dict(),
         "caches": database.cache_statistics(),
     }
+    writer_statistics = getattr(database, "writer_statistics", None)
+    if callable(writer_statistics):
+        writer_block = writer_statistics()
+        if writer_block is not None:
+            result["writer"] = writer_block
+    return result
 
 
 def handle_dataguide(database: LotusXDatabase) -> dict:
@@ -177,6 +218,86 @@ def handle_keyword(
     except ValueError as exc:
         raise ApiError(str(exc)) from exc
     return _enforce_shard_policy(result, strict_shards)
+
+
+def handle_documents(
+    database: LotusXDatabase, payload: dict, deadline: Deadline | None = None
+) -> dict:
+    """Live mutations: insert / update / delete one top-level document.
+
+    Payload keys: ``action`` (``"insert"`` | ``"update"`` | ``"delete"``,
+    default insert), ``id`` (required for update/delete; optional for
+    insert — omitted ids are assigned), ``xml`` (the document subtree,
+    insert/update only), and ``wait`` (default true: block until the
+    mutation is queryable; false acknowledges at durability — the WAL
+    append — and returns immediately).
+
+    Requires a writable serving database (``lotusx serve --writable``);
+    anything else — read-only, sharded, attribute-expanded — is rejected
+    with 501 :class:`NotWritable` before any work happens.
+    """
+    from repro.write.writer import (
+        DuplicateDocument,
+        UnknownDocument,
+        WriterClosed,
+        WriterWedged,
+    )
+    from repro.xmlio.errors import XMLError
+
+    writer = getattr(database, "writer", None)
+    if writer is None:
+        raise NotWritable(
+            "this server is read-only; start with 'lotusx serve --writable'"
+            " to enable the write path"
+        )
+    action = str(payload.get("action", "insert"))
+    if action not in ("insert", "update", "delete"):
+        raise ApiError(f"unknown action {action!r}")
+    doc_id = payload.get("id")
+    if doc_id is not None:
+        doc_id = str(doc_id)
+    elif action != "insert":
+        raise ApiError(f"'{action}' requires 'id'")
+    xml = payload.get("xml")
+    if action != "delete":
+        if not isinstance(xml, str) or not xml.strip():
+            raise ApiError(f"'{action}' requires a non-empty 'xml' string")
+    else:
+        xml = None
+    wait = bool(payload.get("wait", True))
+    try:
+        seqno, doc_id = writer.submit(action, doc_id, xml)
+    except DuplicateDocument as exc:
+        raise DocumentExists(str(exc)) from exc
+    except UnknownDocument as exc:
+        raise DocumentNotFound(str(exc)) from exc
+    except (WriterClosed, WriterWedged) as exc:
+        raise WriterUnavailable(str(exc)) from exc
+    except XMLError as exc:
+        raise ApiError(f"bad document xml: {exc}") from exc
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+    applied = False
+    if wait:
+        timeout = None
+        if deadline is not None:
+            remaining = deadline.remaining()
+            if remaining is not None:
+                timeout = max(0.001, remaining)
+        try:
+            writer.wait_for(seqno, timeout if timeout is not None else 30.0)
+            applied = True
+        except WriterWedged as exc:
+            raise WriterUnavailable(str(exc)) from exc
+        except TimeoutError:
+            applied = False  # durable but not yet queryable
+    return {
+        "action": action,
+        "id": doc_id,
+        "seqno": seqno,
+        "applied": applied,
+        "last_applied_seqno": writer.last_applied_seqno,
+    }
 
 
 def _shard_down_indices(result: dict) -> list[int]:

@@ -16,6 +16,7 @@ path                     method  handler
 ``/api/complete``        POST    position-aware tag/value completion
 ``/api/search``          POST    ranked search with rewriting
 ``/api/explain``         POST    evaluation plan
+``/api/documents``       POST    live insert/update/delete (``--writable``)
 ``/api/reload``          POST    hot-swap rebuild from the serving source
 =======================  ======  ========================================
 
@@ -184,6 +185,7 @@ def make_handler(
                 "/api/search": api.handle_search,
                 "/api/keyword": api.handle_keyword,
                 "/api/explain": api.handle_explain,
+                "/api/documents": api.handle_documents,
             }
             handler = handlers.get(self.path)
             if handler is None:

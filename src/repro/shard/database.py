@@ -785,6 +785,13 @@ class ShardedDatabase:
         if include_root:
             root_element = self.shards[0].labeled.elements[0]
             scored = _score(root_element, terms, self._root_view, self._max_depth)
+            # Each shard's replica subtree carries only that shard's
+            # children (root-direct text rides on shard 0), so the
+            # monolithic root preview is the shard previews in order.
+            root_text = " ".join(
+                " ".join(shard.labeled.elements[0].element.itertext())
+                for shard in self.shards
+            )
             hits.append(
                 ShardKeywordHit(
                     scored.element,
@@ -792,6 +799,7 @@ class ShardedDatabase:
                     scored.text_score,
                     scored.specificity,
                     {},
+                    snippet_text=root_text,
                 )
             )
         hits.sort(key=lambda hit: (-hit.score, hit.element.region.start))

@@ -229,17 +229,27 @@ class ShardSearchResult(SearchResult):
 
 @dataclass(frozen=True, slots=True)
 class ShardKeywordHit(KeywordHit):
-    """A keyword hit whose xpath is corrected to global ordinals."""
+    """A keyword hit whose xpath is corrected to global ordinals.
+
+    ``snippet_text`` overrides the element-local preview: a hit on the
+    corpus root names a *replica* element whose subtree holds only one
+    shard's children, so the coordinator supplies the corpus-wide text.
+    """
 
     ordinal_offsets: dict[str, int] = field(default_factory=dict)
+    snippet_text: str | None = None
 
     def as_dict(self) -> dict:
-        from repro.engine.results import make_snippet
+        from repro.engine.results import make_snippet, snippet_from_text
 
         return {
             "xpath": element_xpath_sharded(self.element, self.ordinal_offsets),
             "tag": self.element.tag,
-            "snippet": make_snippet(self.element),
+            "snippet": (
+                make_snippet(self.element)
+                if self.snippet_text is None
+                else snippet_from_text(self.snippet_text)
+            ),
             "score": round(self.score, 4),
             "text_score": round(self.text_score, 4),
             "specificity": round(self.specificity, 4),

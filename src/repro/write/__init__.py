@@ -1,0 +1,45 @@
+"""The live write path: WAL-backed incremental updates over delta segments.
+
+``repro.write`` turns the (otherwise immutable) indexed corpus into a
+single-writer, many-reader live database:
+
+* :mod:`repro.write.wal` — a size- and checksum-framed write-ahead log;
+  every accepted mutation is durable in the WAL *before* it is applied,
+  and recovery replays the valid prefix of the log (truncating a torn
+  tail) to land back on exactly the pre-crash state.
+* :mod:`repro.write.segments` — :class:`~repro.write.segments.SegmentedCorpus`,
+  the LSM-flavoured delta-segment store.  Inserts flush into small tail
+  segments; updates rebuild only the owning segment (plus, when the
+  subtree size changes, the suffix whose labels must shift); background
+  compaction folds deltas back into the base.
+* :mod:`repro.write.writer` — :class:`~repro.write.writer.DocumentWriter`,
+  the single-writer mutation pipeline (validate → WAL append → queue →
+  apply batch → swap the serving view).
+
+The facade readers query is :class:`repro.engine.segmented.SegmentedDatabase`.
+"""
+
+from repro.write.wal import WalError, WalRecord, WriteAheadLog
+from repro.write.segments import Mutation, SegmentedCorpus
+from repro.write.writer import (
+    DocumentWriter,
+    DuplicateDocument,
+    UnknownDocument,
+    WriterClosed,
+    WriterWedged,
+    open_writable_database,
+)
+
+__all__ = [
+    "DocumentWriter",
+    "DuplicateDocument",
+    "Mutation",
+    "SegmentedCorpus",
+    "UnknownDocument",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "WriterClosed",
+    "WriterWedged",
+    "open_writable_database",
+]

@@ -171,3 +171,24 @@ class TestExplainAndSave:
         target = tmp_path / "store"
         assert main(["save", corpus, str(target)]) == 0
         assert (target / "manifest.json").exists()
+
+
+class TestServeWritableFlags:
+    """`serve --writable` flag validation fails fast, before binding."""
+
+    def test_wal_without_writable_is_error(self, corpus, capsys):
+        assert main(["serve", corpus, "--wal", "/tmp/x.lxwal"]) == 1
+        assert "--wal requires --writable" in capsys.readouterr().err
+
+    def test_writable_rejects_sharded_serving(self, corpus, capsys):
+        assert main(["serve", corpus, "--writable", "--shards", "2"]) == 1
+        assert "monolithic" in capsys.readouterr().err
+
+    def test_writable_rejects_replicas(self, corpus, capsys):
+        assert main(["serve", corpus, "--writable", "--replicas", "2"]) == 1
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_writable_rejects_expand_attributes(self, corpus, capsys):
+        code = main(["--expand-attributes", "serve", corpus, "--writable"])
+        assert code == 1
+        assert "--expand-attributes" in capsys.readouterr().err

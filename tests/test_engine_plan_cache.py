@@ -95,6 +95,34 @@ def test_generation_stamp_invalidates_plans(db):
     assert db.counters["plan_cache_misses"] == 2
 
 
+def test_generation_advance_clears_stream_memo_and_completions(db):
+    """Regression: stream-factory memo entries (and the completion
+    cache) used to die only with the instance on hot reload — a swap
+    installs a whole new database, so nothing ever went stale.  The
+    live write path instead advances ``serving_generation`` on the
+    *same* surviving instances (unchanged delta segments are kept), so
+    the stamp move itself must shed every memoized filtered stream and
+    cached completion list built under the old generation."""
+    factory = db.streams
+    factory.filtered_stream("article", lambda el: el.level == 1, key="drill")
+    assert len(factory._filtered_cache) == 1
+    db.complete_tag(prefix="a")
+    assert db.autocomplete.cache_info()["entries"] >= 1
+    db.matches("//article/title", stats=AlgorithmStats())
+    assert db._plan_cache and db._match_cache is not None
+    # A delta-segment apply restamps the generation without swapping
+    # the instance: everything memoized under the old stamp must go.
+    db.serving_generation = db.serving_generation + 1
+    assert len(factory._filtered_cache) == 0
+    assert not db._plan_cache
+    assert not db._match_cache
+    assert db.autocomplete.cache_info()["entries"] == 0
+    # Re-stamping with the *same* value is a no-op (no cache churn).
+    factory.filtered_stream("article", lambda el: el.level == 1, key="drill")
+    db.serving_generation = db.serving_generation
+    assert len(factory._filtered_cache) == 1
+
+
 def test_parse_cache_counts(db):
     db.matches("//article/title")
     db.matches("//article/title")

@@ -115,3 +115,119 @@ class TestSearchAndExplain:
     def test_explain_requires_query(self, small_db):
         with pytest.raises(ApiError):
             handle_explain(small_db, {})
+
+
+class TestDocuments:
+    """The live-mutation endpoint (``POST /api/documents``)."""
+
+    @pytest.fixture()
+    def writable_db(self, tmp_path):
+        from repro.engine.database import LotusXDatabase
+        from repro.write.writer import open_writable_database
+        from tests.conftest import SMALL_XML
+
+        database = open_writable_database(
+            LotusXDatabase.from_string(SMALL_XML),
+            tmp_path / "api.lxwal",
+            synchronous=True,
+        )
+        yield database
+        database.close()
+
+    def test_read_only_database_rejects_with_501(self, small_db):
+        from repro.server.api import NotWritable, handle_documents
+
+        with pytest.raises(NotWritable) as excinfo:
+            handle_documents(small_db, {"xml": "<article/>"})
+        assert excinfo.value.http_status == 501
+        assert excinfo.value.code == "not_writable"
+
+    def test_insert_update_delete_round_trip(self, writable_db):
+        from repro.server.api import handle_documents
+
+        result = handle_documents(
+            writable_db,
+            {"xml": "<article><title>endpoint drill</title></article>"},
+        )
+        assert result["action"] == "insert" and result["applied"]
+        assert result["seqno"] == 1
+        doc_id = result["id"]
+        snippets = [
+            hit["snippet"]
+            for hit in writable_db.search("//article/title", k=20).as_dict()["results"]
+        ]
+        assert any("endpoint drill" in snippet for snippet in snippets)
+
+        updated = handle_documents(
+            writable_db,
+            {
+                "action": "update",
+                "id": doc_id,
+                "xml": "<article><title>endpoint drill revised</title></article>",
+            },
+        )
+        assert updated["seqno"] == 2 and updated["id"] == doc_id
+        deleted = handle_documents(
+            writable_db, {"action": "delete", "id": doc_id}
+        )
+        assert deleted["seqno"] == 3
+        assert doc_id not in writable_db.document_ids()
+
+    def test_error_taxonomy(self, writable_db):
+        from repro.server.api import (
+            ApiError,
+            DocumentExists,
+            DocumentNotFound,
+            handle_documents,
+        )
+
+        inserted = handle_documents(writable_db, {"xml": "<article/>"})
+        cases = [
+            ({"action": "update", "id": "ghost", "xml": "<a/>"}, DocumentNotFound, 404),
+            ({"id": inserted["id"], "xml": "<a/>"}, DocumentExists, 409),
+            ({"action": "delete"}, ApiError, 400),  # missing id
+            ({"action": "update", "id": inserted["id"]}, ApiError, 400),  # missing xml
+            ({"xml": "<unclosed"}, ApiError, 400),
+            ({"action": "merge", "xml": "<a/>"}, ApiError, 400),
+        ]
+        for payload, expected, status in cases:
+            with pytest.raises(expected) as excinfo:
+                handle_documents(writable_db, payload)
+            assert excinfo.value.http_status == status, payload
+
+    def test_stats_carries_the_writer_block(self, writable_db, small_db):
+        data = handle_stats(writable_db)
+        assert data["writer"]["last_applied_seqno"] == 0
+        assert data["writer"]["wedged"] is False
+        assert "writer" not in handle_stats(small_db)
+
+    def test_documents_endpoint_over_http(self, writable_db):
+        import json
+        import threading
+        import urllib.request
+
+        from repro.server.app import make_server
+
+        server = make_server(writable_db, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            body = json.dumps(
+                {"xml": "<article><title>over http</title></article>"}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                f"http://{host}:{port}/api/documents",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                payload = json.loads(response.read())
+            assert payload["applied"] is True and payload["seqno"] == 1
+            with urllib.request.urlopen(f"http://{host}:{port}/api/stats") as response:
+                stats = json.loads(response.read())
+            assert stats["writer"]["last_applied_seqno"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,331 @@
+"""Crash matrix for the WAL-backed write path.
+
+Durability contract under test:
+
+* **Acknowledged means recoverable** — a mutation whose submission
+  returned is in the WAL; killing the process anywhere afterwards and
+  reopening the base + WAL lands on exactly the state that includes it.
+* **Torn tails are repaired, never served** — the log is cut at every
+  record boundary *and* mid-record; recovery always lands on the longest
+  intact record prefix, truncates the garbage, and keeps accepting
+  writes.
+* **Half-applied states are unreachable** — an injected crash between
+  WAL append and in-memory application (``write.apply``) wedges the
+  writer fail-stop: the old view keeps serving, the new document is
+  never partially visible, and a restart replays the durable record.
+* **Pre-durability failures leave no trace** — an injected crash at
+  ``write.wal.append`` rejects the submission without logging anything;
+  the writer stays healthy.
+
+Non-crash corruption (bad magic, a broken seqno chain) is *not*
+repairable silence — it must raise :class:`WalError` loudly.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+from repro.resilience import faults
+from repro.write.segments import Mutation, SegmentedCorpus
+from repro.write.wal import WAL_MAGIC, WalError, WalRecord, WriteAheadLog
+from repro.write.writer import WriterWedged, open_writable_database
+from repro.xmlio.builder import parse_string
+from repro.xmlio.serializer import serialize
+
+BASE_XML = (
+    "<dblp>"
+    "<article key='a1'><title>holistic twig joins</title>"
+    "<author>nicolas bruno</author></article>"
+    "<book key='b1'><title>xml data management</title></book>"
+    "</dblp>"
+)
+
+#: A fixed mutation schedule exercising all three verbs plus an update
+#: of a WAL-born document (ids must resolve through the replay).
+SCHEDULE = [
+    ("insert", "doc-1", "<article><title>stream kernels</title><year>2024</year></article>"),
+    ("insert", "doc-2", "<inproceedings><title>delta segments</title><author>jiaheng lu</author></inproceedings>"),
+    ("update", "base-1", "<article key='a1'><title>holistic twig joins revised</title></article>"),
+    ("delete", "base-2", None),
+    ("update", "doc-1", "<article><title>stream kernels redux</title><author>chunbin lin</author><year>2025</year></article>"),
+    ("insert", "doc-3", "<book><title>recovery handbook</title></book>"),
+    ("delete", "doc-2", None),
+]
+
+
+def _fresh_base() -> LotusXDatabase:
+    return LotusXDatabase.from_string(BASE_XML)
+
+
+def _build_wal(tmp_path):
+    """Run the fixed schedule; returns the closed WAL's path + records."""
+    wal_path = tmp_path / "full.lxwal"
+    database = open_writable_database(_fresh_base(), wal_path, synchronous=True)
+    try:
+        for op, doc_id, xml in SCHEDULE:
+            database.writer.submit(op, doc_id, xml)
+    finally:
+        database.close()
+    with WriteAheadLog(wal_path) as wal:
+        records = wal.records()
+    assert len(records) == len(SCHEDULE)
+    return wal_path, records
+
+
+def _frame_boundaries(records: list[WalRecord]) -> list[int]:
+    """Byte offset of each record boundary (offset 0 = after magic)."""
+    boundaries = [len(WAL_MAGIC)]
+    for record in records:
+        boundaries.append(boundaries[-1] + 8 + len(record.payload()))
+    return boundaries
+
+
+def _oracle_xml(records: list[WalRecord]) -> str:
+    """The document a cold replay of exactly ``records`` produces."""
+    corpus = SegmentedCorpus(_fresh_base())
+    if records:
+        corpus.apply(
+            [
+                Mutation(
+                    record.seqno,
+                    record.op,
+                    record.doc_id,
+                    parse_string(record.xml).root if record.xml is not None else None,
+                )
+                for record in records
+            ]
+        )
+    return serialize(corpus.checkpoint_document())
+
+
+def test_crash_at_every_record_boundary_and_mid_record(tmp_path):
+    """The full truncation matrix: each cut recovers the intact prefix."""
+    wal_path, records = _build_wal(tmp_path)
+    raw = wal_path.read_bytes()
+    boundaries = _frame_boundaries(records)
+    assert boundaries[-1] == len(raw)
+
+    cuts = []
+    for kept, offset in enumerate(boundaries):
+        cuts.append((kept, offset))  # clean cut at a record boundary
+        if offset < len(raw):
+            cuts.append((kept, offset + 3))  # torn: header fragment
+            cuts.append((kept, (offset + boundaries[kept + 1]) // 2))  # torn: mid-payload
+    for kept, cut in cuts:
+        crash_path = tmp_path / f"crash-{kept}-{cut}.lxwal"
+        crash_path.write_bytes(raw[:cut])
+        recovered = open_writable_database(
+            _fresh_base(), crash_path, synchronous=True
+        )
+        try:
+            writer = recovered.writer
+            assert writer.last_applied_seqno == kept, f"cut at byte {cut}"
+            assert not writer.wedged
+            stats = writer.statistics()
+            assert stats["wal_records"] == kept
+            # The torn tail was physically truncated by the repair.
+            assert crash_path.stat().st_size == boundaries[kept]
+            assert serialize(writer._corpus.checkpoint_document()) == _oracle_xml(
+                records[:kept]
+            ), f"cut at byte {cut}"
+            # Recovery must keep accepting writes (seqno chain continues).
+            seqno = writer.insert_document("<article><title>post crash</title></article>")
+            assert seqno == kept + 1
+        finally:
+            recovered.close()
+
+
+def test_unrepaired_open_refuses_torn_tail(tmp_path):
+    wal_path, records = _build_wal(tmp_path)
+    raw = wal_path.read_bytes()
+    torn = tmp_path / "torn.lxwal"
+    torn.write_bytes(raw[:-5])
+    with pytest.raises(WalError, match="torn"):
+        WriteAheadLog(torn, repair=False)
+    # The strict open must not have modified the file.
+    assert torn.read_bytes() == raw[:-5]
+
+
+def test_mid_file_corruption_discards_the_suffix(tmp_path):
+    """A flipped byte inside record 3's payload fails its CRC; recovery
+    keeps records 1-2 and drops everything from the damage onward."""
+    wal_path, records = _build_wal(tmp_path)
+    raw = bytearray(wal_path.read_bytes())
+    boundaries = _frame_boundaries(records)
+    victim = boundaries[2] + 8 + 4  # inside the third record's payload
+    raw[victim] ^= 0xFF
+    damaged = tmp_path / "damaged.lxwal"
+    damaged.write_bytes(bytes(raw))
+    recovered = open_writable_database(_fresh_base(), damaged, synchronous=True)
+    try:
+        assert recovered.writer.last_applied_seqno == 2
+        assert serialize(
+            recovered.writer._corpus.checkpoint_document()
+        ) == _oracle_xml(records[:2])
+    finally:
+        recovered.close()
+
+
+def test_bad_magic_is_not_repairable(tmp_path):
+    path = tmp_path / "not-a-wal.lxwal"
+    path.write_bytes(b"GARBAGE!" + b"\x00" * 32)
+    with pytest.raises(WalError, match="magic"):
+        WriteAheadLog(path)
+
+
+def test_broken_seqno_chain_is_not_repairable(tmp_path):
+    """A gap in the seqno chain means records were lost *mid-file* —
+    that is corruption, not a crash tail, and must fail loudly."""
+    frame = struct.Struct(">II")
+    blob = bytearray(WAL_MAGIC)
+    for seqno in (1, 3):  # seqno 2 is missing
+        payload = WalRecord(seqno, "insert", f"doc-{seqno}", "<a/>").payload()
+        blob += frame.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+        blob += payload
+    path = tmp_path / "gap.lxwal"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(WalError, match="seqno"):
+        WriteAheadLog(path)
+
+
+# ----------------------------------------------------------------------
+# Fault-injected crashes between durability and application
+# ----------------------------------------------------------------------
+
+
+def test_apply_crash_wedges_writer_and_replay_recovers(tmp_path):
+    """Durable-but-unapplied: the writer goes fail-stop, readers keep the
+    old view, and a restart replays the orphaned record."""
+    wal_path = tmp_path / "wedge.lxwal"
+    database = open_writable_database(_fresh_base(), wal_path, synchronous=True)
+    try:
+        writer = database.writer
+        writer.insert_document(
+            "<article><title>applied before crash</title></article>"
+        )
+        before = database.search("//article/title", k=10).as_dict()
+        generation = database.serving_generation
+        with faults.injected(
+            "write.apply", error=RuntimeError("injected apply crash")
+        ):
+            with pytest.raises(WriterWedged, match="injected apply crash"):
+                writer.insert_document(
+                    "<article><title>never half visible</title></article>"
+                )
+        assert writer.wedged
+        assert writer.statistics()["counters"]["apply_failures"] == 1
+        # The old view serves untouched — the doomed batch is invisible.
+        assert database.serving_generation == generation
+        after = database.search("//article/title", k=10).as_dict()
+        before.pop("elapsed_seconds"), after.pop("elapsed_seconds")
+        assert after == before
+        assert all(
+            "never half visible" not in hit["snippet"] for hit in after["results"]
+        )
+        # Every further verb is refused, loudly.
+        for call in (
+            lambda: writer.insert_document("<a><b>x</b></a>"),
+            lambda: writer.delete_document("base-1"),
+            lambda: writer.wait_for(2, timeout=0.1),
+            lambda: writer.checkpoint(tmp_path / "nope.lxsnap"),
+        ):
+            with pytest.raises(WriterWedged):
+                call()
+        durable = writer.statistics()["wal_records"]
+        assert durable == 2  # the doomed mutation IS in the log
+    finally:
+        database.close()
+
+    recovered = open_writable_database(_fresh_base(), wal_path, synchronous=True)
+    try:
+        assert recovered.writer.last_applied_seqno == 2
+        assert not recovered.writer.wedged
+        snippets = [
+            hit["snippet"]
+            for hit in recovered.search("//article/title", k=10).as_dict()["results"]
+        ]
+        assert any("never half visible" in snippet for snippet in snippets)
+    finally:
+        recovered.close()
+
+
+def test_background_apply_crash_wedges_via_wait_for(tmp_path):
+    """Same fail-stop contract through the background worker thread."""
+    wal_path = tmp_path / "bg.lxwal"
+    database = open_writable_database(_fresh_base(), wal_path)
+    faults.inject("write.apply", error=RuntimeError("injected bg crash"), times=1)
+    try:
+        seqno = database.writer.insert_document(
+            "<article><title>background casualty</title></article>"
+        )
+        with pytest.raises(WriterWedged, match="injected bg crash"):
+            database.writer.wait_for(seqno, timeout=5)
+        assert database.writer.wedged
+    finally:
+        database.close()
+    recovered = open_writable_database(_fresh_base(), wal_path, synchronous=True)
+    try:
+        assert recovered.writer.last_applied_seqno == seqno
+    finally:
+        recovered.close()
+
+
+def test_wal_append_crash_leaves_no_trace(tmp_path):
+    """Failing *before* durability rejects the mutation outright — no WAL
+    record, no projected id, writer healthy."""
+    wal_path = tmp_path / "reject.lxwal"
+    database = open_writable_database(_fresh_base(), wal_path, synchronous=True)
+    try:
+        writer = database.writer
+        with faults.injected(
+            "write.wal.append", error=RuntimeError("injected log crash")
+        ):
+            with pytest.raises(RuntimeError, match="injected log crash"):
+                writer.insert_document(
+                    "<article><title>rejected</title></article>", doc_id="doomed"
+                )
+        assert not writer.wedged
+        stats = writer.statistics()
+        assert stats["wal_records"] == 0
+        assert stats["last_enqueued_seqno"] == 0
+        # The id was never claimed: reusing it must succeed and take the
+        # seqno the failed attempt would have used.
+        seqno, doc_id = writer.submit(
+            "insert", "doomed", "<article><title>accepted</title></article>"
+        )
+        assert (seqno, doc_id) == (1, "doomed")
+        assert "doomed" in database.document_ids()
+    finally:
+        database.close()
+
+
+def test_compaction_crash_is_contained(tmp_path):
+    """A compaction failure that leaves the segment list untouched is
+    counted and survived — the batch that triggered it still applies."""
+    wal_path = tmp_path / "compact.lxwal"
+    database = open_writable_database(
+        _fresh_base(), wal_path, synchronous=True, compact_threshold=2
+    )
+    try:
+        writer = database.writer
+        with faults.injected(
+            "write.compact", error=RuntimeError("injected compaction crash")
+        ):
+            for index in range(4):
+                writer.insert_document(
+                    f"<article><title>survivor {index}</title></article>"
+                )
+        stats = writer.statistics()
+        assert not writer.wedged
+        assert stats["counters"]["compaction_failures"] > 0
+        assert stats["counters"]["compactions"] == 0
+        assert stats["last_applied_seqno"] == 4
+        # With the fault gone the next batch compacts normally.
+        writer.insert_document("<article><title>the straw</title></article>")
+        assert writer.statistics()["counters"]["compactions"] > 0
+    finally:
+        database.close()
