@@ -1,0 +1,240 @@
+"""E18 (Table): event-driven serving — sustained RPS and tail latency.
+
+Three serving claims about the async front end (`repro.server.aio`)
+versus the legacy thread-per-request stdlib transport, both driving the
+same request pipeline on the same corpus:
+
+1. **Hot repeated-query RPS.**  The paper's headline workload — many
+   users hammering the same autocomplete keystroke — is exactly where
+   keep-alive plus single-flight coalescing pays: the async transport
+   must sustain **>= 3x** the threaded baseline's requests/second
+   (the acceptance gate; `shape_check`, real mode only).
+
+2. **Ranked-search throughput.**  On a heavier hot `/api/search`
+   workload the engine evaluation dominates and coalescing helps both
+   transports equally, so the gap narrows — the async transport must
+   still win outright, and its p99 must not exhibit the threaded
+   server's thread-pile-up tail.
+
+3. **Coalescing under a slow handler.**  With a standing injected
+   latency on every evaluation (`server.request`), sustained identical
+   traffic must collapse into few flights: followers (evaluations
+   saved) must outnumber leaders.
+
+The threaded baseline client opens a fresh connection per request —
+that is how the legacy HTTP/1.0 transport actually behaves (it closes
+after every response) and how browsers without keep-alive would reach
+it.  Connection resets from its tiny stdlib accept backlog are retried
+and counted: the retries are part of the baseline's real cost.
+
+Results are persisted via ``record_bench`` (``BENCH_e18_async.json``)
+for the nightly artifact upload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+from repro.bench.harness import print_table, record_bench
+from repro.resilience import faults
+from repro.server.aio import make_async_server
+from repro.server.app import make_server
+
+from conftest import SMOKE, shape_check
+
+CLIENTS = 4 if SMOKE else 16
+HOT_COMPLETE_PER_CLIENT = 5 if SMOKE else 150
+HOT_SEARCH_PER_CLIENT = 3 if SMOKE else 40
+SLOW_PER_CLIENT = 3 if SMOKE else 25
+RETRIES = 5
+
+HEADERS = {"Content-Type": "application/json"}
+
+
+def _servers(db):
+    """Both transports serving ``db``, started on daemon threads."""
+    aio = make_async_server(db)
+    aio_thread = threading.Thread(target=aio.serve_forever, daemon=True)
+    aio_thread.start()
+    threaded = make_server(db)
+    threaded_thread = threading.Thread(
+        target=threaded.serve_forever, daemon=True
+    )
+    threaded_thread.start()
+    return aio, aio_thread, threaded, threaded_thread
+
+
+def _stop(aio, aio_thread, threaded, threaded_thread) -> None:
+    aio.shutdown()
+    aio_thread.join(timeout=10)
+    aio.server_close()
+    threaded.shutdown()
+    threaded.server_close()
+    threaded_thread.join(timeout=10)
+
+
+def _request_once(conn, path: str, body: bytes) -> int:
+    conn.request("POST", path, body, HEADERS)
+    response = conn.getresponse()
+    response.read()
+    return response.status
+
+
+def _drive(
+    address,
+    path: str,
+    body: bytes,
+    clients: int,
+    per_client: int,
+    keep_alive: bool,
+):
+    """Fire the workload; returns (rps, p50_ms, p99_ms, retries)."""
+    host, port = address
+    latencies: list[float] = []
+    retry_count = [0]
+    lock = threading.Lock()
+
+    def worker() -> None:
+        local: list[float] = []
+        conn = (
+            http.client.HTTPConnection(host, port, timeout=60)
+            if keep_alive
+            else None
+        )
+        for _ in range(per_client):
+            started = time.perf_counter()
+            for attempt in range(RETRIES):
+                try:
+                    if keep_alive:
+                        status = _request_once(conn, path, body)
+                    else:
+                        fresh = http.client.HTTPConnection(
+                            host, port, timeout=60
+                        )
+                        try:
+                            status = _request_once(fresh, path, body)
+                        finally:
+                            fresh.close()
+                    break
+                except (ConnectionError, http.client.HTTPException):
+                    with lock:
+                        retry_count[0] += 1
+                    if keep_alive:
+                        conn.close()
+                        conn = http.client.HTTPConnection(
+                            host, port, timeout=60
+                        )
+                    if attempt == RETRIES - 1:
+                        raise
+            assert status == 200, status
+            local.append(time.perf_counter() - started)
+        if conn is not None:
+            conn.close()
+        with lock:
+            latencies.extend(local)
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    total = clients * per_client
+    assert len(latencies) == total
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2] * 1000
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1000
+    return total / wall, p50, p99, retry_count[0]
+
+
+def _warmup(aio, threaded, path: str, body: bytes) -> None:
+    _drive(aio.server_address, path, body, 2, 3, keep_alive=True)
+    _drive(threaded.server_address[:2], path, body, 2, 3, keep_alive=False)
+
+
+def test_e18_async_vs_threaded(dblp_db, capsys):
+    aio, aio_thread, threaded, threaded_thread = _servers(dblp_db)
+    rows = []
+    meta = {}
+    try:
+        # ------------------------------------------------------ hot complete
+        body = json.dumps({"prefix": "a", "k": 10}).encode()
+        _warmup(aio, threaded, "/api/complete", body)
+        a_rps, a_p50, a_p99, _ = _drive(
+            aio.server_address, "/api/complete", body,
+            CLIENTS, HOT_COMPLETE_PER_CLIENT, keep_alive=True,
+        )
+        t_rps, t_p50, t_p99, t_retries = _drive(
+            threaded.server_address[:2], "/api/complete", body,
+            CLIENTS, HOT_COMPLETE_PER_CLIENT, keep_alive=False,
+        )
+        rows.append(["hot_complete", "async", round(a_rps), a_p50, a_p99])
+        rows.append(["hot_complete", "threaded", round(t_rps), t_p50, t_p99])
+        meta["hot_complete_speedup"] = round(a_rps / t_rps, 2)
+        meta["threaded_retries"] = t_retries
+        # The acceptance gate: keep-alive + single-flight sustains >= 3x
+        # the threaded baseline on the hot repeated-query workload.
+        shape_check(
+            a_rps >= 3.0 * t_rps,
+            f"hot-query RPS {a_rps:.0f} vs {t_rps:.0f} (< 3x)",
+        )
+        shape_check(a_p99 <= t_p99, "async p99 should not exceed threaded")
+
+        # ------------------------------------------------------- hot search
+        body = json.dumps(
+            {"query": "//article[./author]/title", "k": 10}
+        ).encode()
+        _warmup(aio, threaded, "/api/search", body)
+        a_rps, a_p50, a_p99, _ = _drive(
+            aio.server_address, "/api/search", body,
+            CLIENTS, HOT_SEARCH_PER_CLIENT, keep_alive=True,
+        )
+        t_rps, t_p50, t_p99, _ = _drive(
+            threaded.server_address[:2], "/api/search", body,
+            CLIENTS, HOT_SEARCH_PER_CLIENT, keep_alive=False,
+        )
+        rows.append(["hot_search", "async", round(a_rps), a_p50, a_p99])
+        rows.append(["hot_search", "threaded", round(t_rps), t_p50, t_p99])
+        meta["hot_search_speedup"] = round(a_rps / t_rps, 2)
+        shape_check(a_rps > t_rps, "async must win on ranked search too")
+
+        # ------------------------------------------------ slow-handler drill
+        flights_before = aio.pipeline.flights.snapshot()
+        with faults.injected("server.request", latency_s=0.01):
+            a_rps, a_p50, a_p99, _ = _drive(
+                aio.server_address, "/api/search", body,
+                CLIENTS, SLOW_PER_CLIENT, keep_alive=True,
+            )
+        snap = aio.pipeline.flights.snapshot()
+        new_flights = snap["flights"] - flights_before["flights"]
+        new_followers = snap["followers"] - flights_before["followers"]
+        rows.append(["slow_handler", "async", round(a_rps), a_p50, a_p99])
+        meta["slow_handler_flights"] = new_flights
+        meta["slow_handler_followers"] = new_followers
+        # Sustained identical traffic must collapse into few flights.
+        shape_check(
+            new_followers > new_flights,
+            f"coalescing saved too little: {new_flights} flights,"
+            f" {new_followers} followers",
+        )
+    finally:
+        _stop(aio, aio_thread, threaded, threaded_thread)
+
+    with capsys.disabled():
+        print_table(
+            ["workload", "transport", "rps", "p50_ms", "p99_ms"],
+            rows,
+            title="E18: event-driven serving vs threaded baseline",
+        )
+        print(f"  meta: {meta}")
+    record_bench(
+        "e18_async",
+        ["workload", "transport", "rps", "p50_ms", "p99_ms"],
+        rows,
+        meta=meta,
+    )

@@ -20,6 +20,7 @@ Subcommands::
     lotusx serve dblp.xml --writable --wal dblp.lxwal
     lotusx serve --snapshot dblp.lxsnap --port 8080
     lotusx serve --snapshot ./dblp-shards --port 8080
+    lotusx serve dblp.xml --legacy-threaded
 
 Global flag: ``--expand-attributes`` indexes attributes as queryable
 ``@name`` nodes for every corpus-reading subcommand.
@@ -249,6 +250,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline in milliseconds (default"
         " 10000; /api/complete uses a tighter 1000); expiring requests"
         " return partial results marked truncated",
+    )
+    serve.add_argument(
+        "--legacy-threaded",
+        action="store_true",
+        help="serve with the legacy thread-per-request stdlib server"
+        " instead of the event-driven front end (no keep-alive,"
+        " coalescing, keystroke batching, or streamed responses)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="event-driven transport: concurrent connections accepted"
+        " before new ones are refused with HTTP 429 (default 256)",
+    )
+    serve.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="event-driven transport: drop a connection idle (or"
+        " dribbling a partial request) longer than S seconds"
+        " (default 30)",
     )
 
     return parser
@@ -499,10 +524,53 @@ def _replica_banner(replicas: int) -> str:
     return f", {replicas} replicas each" if replicas > 1 else ""
 
 
+def _server_config(args: argparse.Namespace):
+    """A ServerConfig from the serve flags (shared by both transports)."""
+    from repro.server.pipeline import ServerConfig
+
+    overrides = {"degraded_policy": args.degraded_policy}
+    if args.max_concurrency is not None:
+        if args.max_concurrency < 1:
+            raise ValueError("--max-concurrency must be at least 1")
+        overrides["max_concurrency"] = args.max_concurrency
+    if args.default_timeout_ms is not None:
+        if args.default_timeout_ms < 1:
+            raise ValueError("--default-timeout-ms must be positive")
+        overrides["default_timeout_ms"] = args.default_timeout_ms
+    if args.max_connections is not None:
+        if args.max_connections < 1:
+            raise ValueError("--max-connections must be at least 1")
+        overrides["max_connections"] = args.max_connections
+    if args.idle_timeout_s is not None:
+        if args.idle_timeout_s <= 0:
+            raise ValueError("--idle-timeout-s must be positive")
+        overrides["idle_timeout_s"] = args.idle_timeout_s
+    return ServerConfig(**overrides)
+
+
+def _serve(args: argparse.Namespace, holder, config) -> None:
+    """Run the selected transport until Ctrl-C."""
+    transport = "threaded (legacy)" if args.legacy_threaded else "event-driven"
+    print(
+        f"LotusX serving http://{args.host}:{args.port}/"
+        f"  [{transport}]  (Ctrl-C to stop)"
+    )
+    try:
+        if args.legacy_threaded:
+            from repro.server.app import serve
+
+            serve(holder, args.host, args.port, config)
+        else:
+            from repro.server.aio import serve_async
+
+            serve_async(holder, args.host, args.port, config)
+    except KeyboardInterrupt:
+        print("\nbye")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.server.app import ServerConfig, serve
     from repro.server.reload import DatabaseHolder, ReloadSource
 
     if (args.corpus is None) == (args.snapshot is None):
@@ -598,21 +666,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     holder = DatabaseHolder(database, source)
     print(f"loaded {banner} in {time.perf_counter() - started:.2f}s")
 
-    overrides = {"degraded_policy": args.degraded_policy}
-    if args.max_concurrency is not None:
-        if args.max_concurrency < 1:
-            raise ValueError("--max-concurrency must be at least 1")
-        overrides["max_concurrency"] = args.max_concurrency
-    if args.default_timeout_ms is not None:
-        if args.default_timeout_ms < 1:
-            raise ValueError("--default-timeout-ms must be positive")
-        overrides["default_timeout_ms"] = args.default_timeout_ms
-    config = ServerConfig(**overrides) if overrides else None
-    print(f"LotusX serving http://{args.host}:{args.port}/  (Ctrl-C to stop)")
-    try:
-        serve(holder, args.host, args.port, config)
-    except KeyboardInterrupt:
-        print("\nbye")
+    _serve(args, holder, _server_config(args))
     return 0
 
 
@@ -628,7 +682,6 @@ def _cmd_serve_writable(args: argparse.Namespace) -> int:
     """
     import time
 
-    from repro.server.app import ServerConfig, serve
     from repro.server.reload import DatabaseHolder
     from repro.write.writer import open_writable_database
 
@@ -668,21 +721,8 @@ def _cmd_serve_writable(args: argparse.Namespace) -> int:
         f" last applied seqno {writer_stats['last_applied_seqno']})"
     )
 
-    overrides = {"degraded_policy": args.degraded_policy}
-    if args.max_concurrency is not None:
-        if args.max_concurrency < 1:
-            raise ValueError("--max-concurrency must be at least 1")
-        overrides["max_concurrency"] = args.max_concurrency
-    if args.default_timeout_ms is not None:
-        if args.default_timeout_ms < 1:
-            raise ValueError("--default-timeout-ms must be positive")
-        overrides["default_timeout_ms"] = args.default_timeout_ms
-    config = ServerConfig(**overrides)
-    print(f"LotusX serving http://{args.host}:{args.port}/  (Ctrl-C to stop)")
     try:
-        serve(holder, args.host, args.port, config)
-    except KeyboardInterrupt:
-        print("\nbye")
+        _serve(args, holder, _server_config(args))
     finally:
         database.close()
     return 0

@@ -13,7 +13,7 @@ server sheds excess load through an :class:`AdmissionGate` with HTTP
 harness the resilience test-suite drives all of this with.
 """
 
-from repro.resilience.admission import AdmissionGate
+from repro.resilience.admission import AdmissionGate, ConnectionGate
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.deadline import CLOCK_CHECK_INTERVAL, Deadline
 from repro.resilience.errors import (
@@ -30,6 +30,7 @@ __all__ = [
     "AdmissionGate",
     "CLOCK_CHECK_INTERVAL",
     "CircuitBreaker",
+    "ConnectionGate",
     "Deadline",
     "DeadlineExceeded",
     "Fault",

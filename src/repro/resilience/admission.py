@@ -110,3 +110,60 @@ class AdmissionGate:
                 "retry_after_s": self.retry_after_s,
                 "site": "server.admission",
             }
+
+
+class ConnectionGate:
+    """Admission control one layer down: concurrent *connections*.
+
+    The event-driven transport holds a connection open across many
+    requests (keep-alive), so the request gate alone no longer bounds
+    resource use — a crowd of idle sockets is its own overload shape.
+    This gate counts live connections; once ``capacity`` are open,
+    further accepts are turned away immediately (the server answers 429
+    + ``Retry-After`` and closes).  Unlike :class:`AdmissionGate` there
+    is no wait queue: a connection is either accepted or refused, and
+    refusal is cheap enough to do at accept time on the loop thread.
+    """
+
+    def __init__(self, capacity: int = 256, retry_after_s: float = 1.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._active = 0
+        #: Connections refused at the cap (monitoring).
+        self.refused = 0
+        #: Connections dropped by the idle/slow-loris timeout.
+        self.idle_dropped = 0
+
+    def try_acquire(self) -> bool:
+        """Claim a connection slot; False (and counted) at capacity."""
+        with self._lock:
+            if self._active >= self.capacity:
+                self.refused += 1
+                return False
+            self._active += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active <= 0:
+                raise RuntimeError("release() without a matching try_acquire()")
+            self._active -= 1
+
+    def count_idle_drop(self) -> None:
+        """Record a connection dropped by the idle timeout."""
+        with self._lock:
+            self.idle_dropped += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "active": self._active,
+                "refused": self.refused,
+                "idle_dropped": self.idle_dropped,
+                "retry_after_s": self.retry_after_s,
+                "site": "server.connections",
+            }

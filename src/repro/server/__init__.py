@@ -1,6 +1,16 @@
 """GUI substitute: a JSON HTTP API plus an embedded single-page twig
-builder (see the substitution table in DESIGN.md)."""
+builder (see the substitution table in DESIGN.md).
 
+Two transports drive one transport-agnostic request pipeline:
+
+* :mod:`repro.server.aio` — the event-driven default (keep-alive,
+  connection limits, single-flight coalescing, keystroke batching,
+  chunked streaming);
+* :mod:`repro.server.app` — the legacy thread-per-request fallback
+  (``lotusx serve --legacy-threaded``).
+"""
+
+from repro.server.aio import make_async_server, serve_async
 from repro.server.api import (
     ApiError,
     handle_complete,
@@ -12,9 +22,17 @@ from repro.server.api import (
     handle_stats,
 )
 from repro.server.app import make_handler, make_server, serve
+from repro.server.pipeline import (
+    PipelineResponse,
+    RequestPipeline,
+    ServerConfig,
+)
 
 __all__ = [
     "ApiError",
+    "PipelineResponse",
+    "RequestPipeline",
+    "ServerConfig",
     "handle_complete",
     "handle_dataguide",
     "handle_examples",
@@ -22,7 +40,9 @@ __all__ = [
     "handle_keyword",
     "handle_search",
     "handle_stats",
+    "make_async_server",
     "make_handler",
     "make_server",
     "serve",
+    "serve_async",
 ]

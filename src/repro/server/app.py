@@ -1,4 +1,4 @@
-"""Stdlib HTTP server wrapping the JSON API and the embedded GUI.
+"""Legacy thread-per-request HTTP transport (``lotusx serve --legacy-threaded``).
 
 Run with::
 
@@ -20,293 +20,133 @@ path                     method  handler
 ``/api/reload``          POST    hot-swap rebuild from the serving source
 =======================  ======  ========================================
 
-Every API request runs behind the resilience layer:
+Request semantics — admission control (429 + ``Retry-After``),
+per-endpoint deadlines, the structured error taxonomy, hot-reload
+generations, and single-flight coalescing — live in the
+transport-agnostic :class:`~repro.server.pipeline.RequestPipeline`; this
+module merely adapts it to the stdlib ``ThreadingHTTPServer``.  The
+event-driven default transport (:mod:`repro.server.aio`) drives the
+*same* pipeline, so the two produce byte-identical responses; this one
+stays for bisecting serving regressions and as the conservative
+fallback.
 
-* **Admission control** — at most :attr:`ServerConfig.max_concurrency`
-  requests execute at once; a small bounded queue absorbs bursts, and
-  anything beyond it is shed with HTTP 429 + ``Retry-After``.
-* **Deadlines** — each endpoint gets a default per-request deadline
-  (tight for ``/api/complete``, looser for ``/api/search``), overridable
-  per request via a ``timeout_ms`` payload key (capped at
-  :attr:`ServerConfig.max_timeout_ms`).  Handlers degrade gracefully:
-  expiry yields a 200 with ``"truncated": true``, not an error.
-* **A structured error taxonomy** — client errors are 400 with a stable
-  ``code``; oversized bodies are 413; overload is 429; unexpected
-  failures are logged server-side and answered with a *generic* 500
-  (internals never leak to clients).
+One pipeline (gate, counters, flight table) is shared by every request
+to a server: ``make_handler`` binds the handler class to a single
+pipeline instance, and ``make_server``/``serve`` expose it as
+``server.pipeline``.  Two servers never share state unless you pass the
+same gate/pipeline explicitly.
 
-The serving database sits behind a :class:`DatabaseHolder`: handlers
-bind ``holder.current`` once per request, and ``POST /api/reload``
-builds a replacement from the configured source and swaps it in
-atomically — in-flight requests finish against the generation they
-started with (see :mod:`repro.server.reload`).  The reload itself runs
-*outside* the admission gate so a rebuild never consumes query capacity.
+Streamed search (``"stream": true``) is answered here as a complete
+``application/x-ndjson`` body (both lines, Content-Length framing)
+rather than chunked transfer — the stdlib transport speaks HTTP/1.0, so
+early flushing is the async transport's job; the payload bytes are the
+same.
 """
 
 from __future__ import annotations
 
-import json
 import logging
-import math
-from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine.database import LotusXDatabase
 from repro.resilience.admission import AdmissionGate
-from repro.resilience.errors import Overloaded, PayloadTooLarge, ResilienceError
-from repro.resilience.faults import fault_point
-from repro.server import api
-from repro.server.reload import DatabaseHolder, ReloadInProgress, ReloadUnavailable
-from repro.server.ui import INDEX_HTML
+from repro.server.pipeline import (
+    PipelineResponse,
+    RequestPipeline,
+    ServerConfig,
+)
+from repro.server.reload import DatabaseHolder
+
+__all__ = [
+    "ServerConfig",
+    "make_handler",
+    "make_server",
+    "serve",
+]
 
 log = logging.getLogger("repro.server")
-
-
-@dataclass(frozen=True)
-class ServerConfig:
-    """Operational limits for the HTTP server."""
-
-    #: Requests allowed to execute concurrently.
-    max_concurrency: int = 8
-    #: Requests allowed to wait for a slot before shedding starts.
-    max_queue: int = 16
-    #: How long a queued request waits for a slot before giving up.
-    queue_timeout_s: float = 0.5
-    #: Suggested client back-off when shedding (``Retry-After``).
-    retry_after_s: float = 1.0
-    #: Largest accepted request body.
-    max_body_bytes: int = 1 << 20
-    #: Default deadline for most endpoints.
-    default_timeout_ms: int = 10_000
-    #: Default deadline for ``/api/complete`` — completion must feel
-    #: instant, so its budget is much tighter.
-    complete_timeout_ms: int = 1_000
-    #: Ceiling on client-requested ``timeout_ms`` overrides.
-    max_timeout_ms: int = 60_000
-    #: What to do when a sharded response lost whole shard groups:
-    #: ``"salvage"`` serves the partial answer as a 200 with ``degraded``
-    #: tags; ``"strict"`` rejects it with 503 ``shards_unavailable``.
-    degraded_policy: str = "salvage"
-
-    def __post_init__(self) -> None:
-        if self.degraded_policy not in ("salvage", "strict"):
-            raise ValueError(
-                f"unknown degraded_policy: {self.degraded_policy!r}"
-            )
-
-    def timeout_for(self, path: str) -> int:
-        """The default deadline (ms) for requests to ``path``."""
-        if path == "/api/complete":
-            return self.complete_timeout_ms
-        return self.default_timeout_ms
-
-    def make_gate(self) -> AdmissionGate:
-        """A fresh admission gate with this config's limits."""
-        return AdmissionGate(
-            capacity=self.max_concurrency,
-            max_queue=self.max_queue,
-            queue_timeout_s=self.queue_timeout_s,
-            retry_after_s=self.retry_after_s,
-        )
 
 
 def make_handler(
     database: LotusXDatabase | DatabaseHolder,
     config: ServerConfig | None = None,
     gate: AdmissionGate | None = None,
+    pipeline: RequestPipeline | None = None,
 ) -> type[BaseHTTPRequestHandler]:
-    """Build a request-handler class bound to ``database``.
+    """Build a request-handler class bound to one request pipeline.
 
     ``database`` may be a bare :class:`LotusXDatabase` or a
     :class:`DatabaseHolder` (which additionally enables
-    ``POST /api/reload``).  All requests to the same server share one
-    admission ``gate`` (pass one explicitly to share it across servers
-    or observe it in tests).
+    ``POST /api/reload``).  All requests to the same server share the
+    pipeline's admission ``gate`` and counters (pass a gate or a whole
+    pipeline explicitly to share it across servers or observe it in
+    tests).
     """
-    config = config if config is not None else ServerConfig()
-    gate = gate if gate is not None else config.make_gate()
-    holder = (
-        database
-        if isinstance(database, DatabaseHolder)
-        else DatabaseHolder(database)
-    )
+    if pipeline is None:
+        pipeline = RequestPipeline(database, config, gate)
 
     class LotusXHandler(BaseHTTPRequestHandler):
         server_version = "LotusX/0.1"
 
-        #: Exposed for tests/monitoring.
-        server_config = config
-        admission_gate = gate
-        database_holder = holder
+        #: Exposed for tests/monitoring.  These are views onto the one
+        #: per-server pipeline — never per-handler-class copies.
+        request_pipeline = pipeline
+        server_config = pipeline.config
+        admission_gate = pipeline.gate
+        database_holder = pipeline.holder
 
         # ------------------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-            if self.path in ("/", "/index.html"):
-                # The GUI shell is static — serve it outside the gate so
-                # the page stays reachable even under API overload.
-                self._send(200, INDEX_HTML.encode("utf-8"), "text/html")
-                return
-            handlers = {
-                "/api/stats": api.handle_stats,
-                "/api/dataguide": api.handle_dataguide,
-                "/api/examples": api.handle_examples,
-            }
-            handler = handlers.get(self.path)
-            if handler is None:
-                self._send_json(
-                    404,
-                    {"error": f"no such path: {self.path}", "code": "not_found"},
-                )
-                return
-
-            def run() -> dict:
-                fault_point("server.request")
-                # Bind one generation for the whole request; a concurrent
-                # reload swap never changes the database mid-handler.
-                current, generation = holder.snapshot()
-                result = handler(current)
-                if handler is api.handle_stats:
-                    result["generation"] = generation
-                    result["admission"] = gate.snapshot()
-                    result["degraded_policy"] = config.degraded_policy
-                return result
-
-            self._run_guarded(run)
+            self._dispatch("GET")
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-            if self.path == "/api/reload":
-                # Outside the admission gate: a rebuild must not occupy
-                # (or wait for) a query slot.
-                self._handle_reload()
-                return
-            handlers = {
-                "/api/complete": api.handle_complete,
-                "/api/search": api.handle_search,
-                "/api/keyword": api.handle_keyword,
-                "/api/explain": api.handle_explain,
-                "/api/documents": api.handle_documents,
-            }
-            handler = handlers.get(self.path)
-            if handler is None:
-                self._send_json(
-                    404,
-                    {"error": f"no such path: {self.path}", "code": "not_found"},
-                )
-                return
+            self._dispatch("POST")
 
-            def run() -> dict:
-                payload = self._read_json()
-                deadline = api.resolve_deadline(
-                    payload,
-                    default_ms=config.timeout_for(self.path),
-                    max_ms=config.max_timeout_ms,
-                )
-                fault_point("server.request", deadline)
-                current = holder.current
-                if handler is api.handle_explain:
-                    return handler(current, payload)
-                if handler in (api.handle_search, api.handle_keyword):
-                    return handler(
-                        current,
-                        payload,
-                        deadline,
-                        strict_shards=config.degraded_policy == "strict",
-                    )
-                return handler(current, payload, deadline)
-
-            self._run_guarded(run)
-
-        def _handle_reload(self) -> None:
-            """Rebuild from the configured source and swap atomically.
-
-            Reloads only re-read the source the server was started with
-            — clients cannot point the server at other files.
-            """
+        def _dispatch(self, method: str) -> None:
             try:
-                result = self.database_holder.reload()
-                status, payload = 200, result
-            except ReloadUnavailable as exc:
-                status = 400
-                payload = {"error": str(exc), "code": "reload_unavailable"}
-            except ReloadInProgress as exc:
-                status = 409
-                payload = {"error": str(exc), "code": "reload_in_progress"}
-            except Exception:
-                # A failed build leaves the old generation serving; log
-                # the cause server-side, answer with a generic error.
-                log.exception("reload failed; still serving old generation")
-                status = 500
-                payload = {"error": "reload failed", "code": "reload_failed"}
-            self._send_json(status, payload)
+                length = int(self.headers.get("Content-Length", 0) or 0)
+            except ValueError:
+                length = 0
+            if method == "POST" and length > pipeline.config.max_body_bytes:
+                # Leave the oversized body unread; the pipeline answers
+                # 413 from the declared length alone.
+                body: bytes | None = None
+            elif method == "POST" and length:
+                body = self.rfile.read(length)
+            else:
+                body = b""
+            if pipeline.wants_stream(method, self.path, body):
+                self._stream(body, length)
+                return
+            self._send(pipeline.handle(method, self.path, body, length))
+
+        def _stream(self, body: bytes | None, length: int) -> None:
+            # HTTP/1.0 transport: collect the ndjson lines and answer
+            # them as one Content-Length body (same bytes, no chunking).
+            chunks: list[bytes] = []
+            fallback = pipeline.run_search_stream(body, length, chunks.append)
+            if fallback is not None:
+                self._send(fallback)
+                return
+            self._send(
+                PipelineResponse(
+                    200, b"".join(chunks), "application/x-ndjson"
+                )
+            )
 
         # ------------------------------------------------------------------
 
-        def _run_guarded(self, produce) -> None:
-            """Run ``produce`` behind the admission gate, mapping the
-            error taxonomy to HTTP; the slot is released before the
-            response is written so slow clients can't hold capacity."""
-            headers: dict[str, str] = {}
-            try:
-                with gate.slot():
-                    status, payload = 200, produce()
-            except Overloaded as exc:
-                headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
-                status, payload = exc.http_status, exc.payload()
-            except api.ApiError as exc:
-                status = exc.http_status
-                payload = {"error": str(exc), "code": exc.code}
-            except ResilienceError as exc:
-                # DeadlineExceeded that no layer degraded, PayloadTooLarge…
-                status, payload = exc.http_status, exc.payload()
-            except Exception:
-                # Log the traceback server-side; never leak it to clients.
-                log.exception("unhandled error serving %s", self.path)
-                status = 500
-                payload = {"error": "internal error", "code": "internal"}
-            self._send_json(status, payload, headers)
-
-        def _read_json(self) -> dict:
-            length = int(self.headers.get("Content-Length", 0))
-            if length > config.max_body_bytes:
-                raise PayloadTooLarge(
-                    f"request body of {length} bytes exceeds the"
-                    f" {config.max_body_bytes}-byte limit",
-                    limit=config.max_body_bytes,
-                )
-            body = self.rfile.read(length) if length else b"{}"
-            try:
-                payload = json.loads(body or b"{}")
-            except json.JSONDecodeError as exc:
-                raise api.ApiError(f"bad JSON body: {exc}") from exc
-            if not isinstance(payload, dict):
-                raise api.ApiError("JSON body must be an object")
-            return payload
-
-        def _send_json(
-            self, status: int, payload: dict, headers: dict[str, str] | None = None
-        ) -> None:
-            self._send(
-                status,
-                json.dumps(payload).encode("utf-8"),
-                "application/json",
-                headers,
+        def _send(self, response: PipelineResponse) -> None:
+            self.send_response(response.status)
+            self.send_header(
+                "Content-Type", f"{response.content_type}; charset=utf-8"
             )
-
-        def _send(
-            self,
-            status: int,
-            body: bytes,
-            content_type: str,
-            headers: dict[str, str] | None = None,
-        ) -> None:
-            self.send_response(status)
-            self.send_header("Content-Type", f"{content_type}; charset=utf-8")
-            self.send_header("Content-Length", str(len(body)))
-            for name, value in (headers or {}).items():
+            self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers:
                 self.send_header(name, value)
             self.end_headers()
-            self.wfile.write(body)
+            self.wfile.write(response.body)
 
         def log_message(self, fmt: str, *args) -> None:
             # Quiet by default; the CLI prints the serving banner.
@@ -322,7 +162,7 @@ def serve(
     config: ServerConfig | None = None,
 ) -> None:
     """Serve ``database`` until interrupted (blocking)."""
-    server = ThreadingHTTPServer((host, port), make_handler(database, config))
+    server = make_server(database, host, port, config)
     try:
         server.serve_forever()
     finally:
@@ -337,6 +177,10 @@ def make_server(
 ) -> ThreadingHTTPServer:
     """Create (but don't start) a server — port 0 picks a free port.
 
-    Used by tests and by callers that manage the serving thread.
+    Used by tests and by callers that manage the serving thread.  The
+    per-server pipeline is exposed as ``server.pipeline``.
     """
-    return ThreadingHTTPServer((host, port), make_handler(database, config))
+    handler = make_handler(database, config)
+    server = ThreadingHTTPServer((host, port), handler)
+    server.pipeline = handler.request_pipeline
+    return server

@@ -138,14 +138,19 @@ class TestOverload:
         barrier = threading.Barrier(4)
         results = []
 
-        def hammer():
+        def hammer(k):
             barrier.wait()
+            # Distinct k per thread: identical requests would coalesce
+            # into one flight instead of contending for the gate.
             results.append(
-                post(base_url, "/api/search", {"query": "//article/author"})
+                post(base_url, "/api/search", {"query": "//article/author", "k": k})
             )
 
         with faults.injected("server.request", latency_s=0.15):
-            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            threads = [
+                threading.Thread(target=hammer, args=(k,))
+                for k in range(1, 5)
+            ]
             for thread in threads:
                 thread.start()
             for thread in threads:
@@ -166,16 +171,23 @@ class TestOverload:
         results = []
         lock = threading.Lock()
 
-        def hammer():
-            for _ in range(5):
+        def hammer(worker):
+            for attempt in range(5):
+                # Distinct per request so single-flight can't collapse
+                # the load this test exists to apply.
                 outcome = post(
-                    base_url, "/api/search", {"query": "//article/author", "k": 2}
+                    base_url,
+                    "/api/search",
+                    {"query": "//article/author", "k": 1 + worker * 5 + attempt},
                 )
                 with lock:
                     results.append(outcome)
 
         with faults.injected("server.request", latency_s=0.02):
-            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            threads = [
+                threading.Thread(target=hammer, args=(worker,))
+                for worker in range(8)
+            ]
             for thread in threads:
                 thread.start()
             for thread in threads:

@@ -1,0 +1,423 @@
+"""Protocol-level tests of the event-driven transport, on raw sockets.
+
+Everything here speaks bytes to the server — no ``urllib`` — because the
+subjects are the HTTP mechanics themselves: keep-alive sequencing,
+``Connection: close``, malformed requests answered (not hung), oversized
+bodies refused without being read, slow-loris connections dropped
+without leaking tasks, autocomplete keystroke batching, and the
+connection cap.  Per-server state sharing under both transports rides
+along at the bottom.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import weakref
+
+import pytest
+
+from repro.server.aio import make_async_server
+from repro.server.app import make_server
+from repro.server.pipeline import ServerConfig
+
+
+@pytest.fixture
+def async_server(small_db):
+    """A factory for running async servers with custom configs."""
+    started = []
+
+    def start(config: ServerConfig | None = None):
+        server = make_async_server(small_db, config=config)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((server, thread))
+        return server
+
+    yield start
+    for server, thread in started:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.server_close()
+        assert not thread.is_alive()
+
+
+def connect(server) -> socket.socket:
+    sock = socket.create_connection(server.server_address, timeout=5)
+    sock.settimeout(5)
+    return sock
+
+
+def raw_post(path: str, payload: dict, extra_headers: str = "") -> bytes:
+    body = json.dumps(payload).encode()
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: test\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extra_headers}"
+        f"\r\n"
+    ).encode() + body
+
+
+#: Bytes received past the end of a parsed response, per socket —
+#: pipelined responses often share a TCP segment, so a recv for one
+#: response may pull in the start (or all) of the next.
+_pending: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def read_response(sock: socket.socket) -> tuple[int, dict[str, str], bytes]:
+    """Read exactly one Content-Length-framed response off the socket."""
+    buffer = _pending.pop(sock, b"")
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        assert chunk, f"connection closed mid-response: {buffer!r}"
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.lower()] = value.strip()
+    length = int(headers["content-length"])
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        assert chunk, "connection closed mid-body"
+        rest += chunk
+    _pending[sock] = rest[length:]
+    return status, headers, rest[:length]
+
+
+def assert_closed(sock: socket.socket) -> None:
+    """The peer must close: recv yields EOF, not a hang or data."""
+    assert _pending.pop(sock, b"") == b""
+    assert sock.recv(1024) == b""
+
+
+class TestKeepAlive:
+    def test_request_sequence_on_one_socket(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            for k in (1, 2, 3):
+                sock.sendall(
+                    raw_post("/api/search", {"query": "//article/author", "k": k})
+                )
+                status, headers, body = read_response(sock)
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                assert len(json.loads(body)["results"]) == min(k, 3)
+        finally:
+            sock.close()
+
+    def test_mixed_get_and_post_interleave(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(b"GET /api/stats HTTP/1.1\r\nHost: test\r\n\r\n")
+            status, _, body = read_response(sock)
+            assert status == 200 and b"coalescing" in body
+            sock.sendall(raw_post("/api/keyword", {"query": "twig"}))
+            status, _, _ = read_response(sock)
+            assert status == 200
+        finally:
+            sock.close()
+
+    def test_connection_close_honored(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(
+                raw_post(
+                    "/api/keyword",
+                    {"query": "twig"},
+                    extra_headers="Connection: close\r\n",
+                )
+            )
+            status, headers, _ = read_response(sock)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert_closed(sock)
+        finally:
+            sock.close()
+
+    def test_http10_defaults_to_close(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(b"GET /api/examples HTTP/1.0\r\nHost: test\r\n\r\n")
+            status, headers, _ = read_response(sock)
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert_closed(sock)
+        finally:
+            sock.close()
+
+
+class TestMalformedRequests:
+    def test_malformed_request_line_is_400_not_hung(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(b"NOT A VALID REQUEST LINE AT ALL\r\n\r\n")
+            status, _, body = read_response(sock)
+            assert status == 400
+            assert json.loads(body)["code"] == "bad_request"
+            assert_closed(sock)
+        finally:
+            sock.close()
+
+    def test_malformed_header_is_400(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(
+                b"GET /api/stats HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"this header has no colon\r\n\r\n"
+            )
+            status, _, body = read_response(sock)
+            assert status == 400
+            assert json.loads(body)["code"] == "bad_request"
+            assert_closed(sock)
+        finally:
+            sock.close()
+
+    def test_bad_content_length_is_400(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(
+                b"POST /api/search HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            status, _, body = read_response(sock)
+            assert status == 400
+            assert_closed(sock)
+        finally:
+            sock.close()
+
+    def test_unknown_method_is_405(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(b"DELETE /api/stats HTTP/1.1\r\nHost: test\r\n\r\n")
+            status, _, body = read_response(sock)
+            assert status == 405
+            assert json.loads(body)["code"] == "method_not_allowed"
+        finally:
+            sock.close()
+
+
+class TestBodyLimits:
+    def test_oversized_body_is_413_without_reading_it(self, async_server):
+        server = async_server(ServerConfig(max_body_bytes=2048))
+        sock = connect(server)
+        try:
+            # Declare a huge body but never send it: the 413 must come
+            # back from the declared length alone.
+            sock.sendall(
+                b"POST /api/search HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 10000000\r\n\r\n"
+            )
+            status, _, body = read_response(sock)
+            assert status == 413
+            assert json.loads(body)["code"] == "payload_too_large"
+            assert_closed(sock)  # body unread, stream unsyncable
+        finally:
+            sock.close()
+
+    def test_header_section_cap(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            sock.sendall(
+                b"GET /api/stats HTTP/1.1\r\n"
+                + b"X-Padding: " + b"x" * 40_000 + b"\r\n"
+            )
+            status, _, _ = read_response(sock)
+            assert status == 431
+            assert_closed(sock)
+        finally:
+            sock.close()
+
+
+class TestSlowLoris:
+    def test_partial_header_hits_idle_timeout_without_leaking(
+        self, async_server
+    ):
+        server = async_server(ServerConfig(idle_timeout_s=0.2))
+        sock = connect(server)
+        try:
+            # Dribble a partial request line and then stall.
+            sock.sendall(b"GET /api/sta")
+            deadline = time.monotonic() + 5
+            dropped = b"pending"
+            while time.monotonic() < deadline:
+                try:
+                    dropped = sock.recv(1024)
+                    break
+                except TimeoutError:
+                    break
+            assert dropped == b""  # dropped outright, no response bytes
+        finally:
+            sock.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and server.open_connections:
+            time.sleep(0.01)
+        assert server.open_connections == 0  # no leaked task
+        assert server.connections.snapshot()["idle_dropped"] == 1
+        assert server.connections.snapshot()["active"] == 0
+
+    def test_idle_keep_alive_connection_is_dropped(self, async_server):
+        server = async_server(ServerConfig(idle_timeout_s=0.2))
+        sock = connect(server)
+        try:
+            sock.sendall(b"GET /api/examples HTTP/1.1\r\nHost: test\r\n\r\n")
+            status, _, _ = read_response(sock)
+            assert status == 200
+            assert_closed(sock)  # idle timeout closes it, no 4xx noise
+        finally:
+            sock.close()
+
+
+class TestConnectionLimit:
+    def test_excess_connections_get_429_and_close(self, async_server):
+        server = async_server(ServerConfig(max_connections=2))
+        first, second = connect(server), connect(server)
+        try:
+            # Make sure both are accepted and counted before the third.
+            for sock in (first, second):
+                sock.sendall(b"GET /api/examples HTTP/1.1\r\nHost: t\r\n\r\n")
+                status, _, _ = read_response(sock)
+                assert status == 200
+            third = connect(server)
+            try:
+                status, headers, body = read_response(third)
+                assert status == 429
+                assert json.loads(body)["code"] == "overloaded"
+                assert int(headers["retry-after"]) >= 1
+                assert_closed(third)
+            finally:
+                third.close()
+            assert server.connections.snapshot()["refused"] == 1
+        finally:
+            first.close()
+            second.close()
+
+
+class TestKeystrokeBatching:
+    def test_older_buffered_keystrokes_are_superseded(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            # Three keystrokes of a typist racing ahead of the server,
+            # pipelined into one TCP segment: "t", "tw", "twi".
+            burst = b"".join(
+                raw_post("/api/complete", {"prefix": prefix, "k": 5})
+                for prefix in ("a", "au", "aut")
+            )
+            sock.sendall(burst)
+            answers = [read_response(sock) for _ in range(3)]
+            payloads = [json.loads(body) for _, _, body in answers]
+            assert payloads[0].get("superseded") is True
+            assert payloads[1].get("superseded") is True
+            assert payloads[0]["candidates"] == []
+            # Only the newest keystroke ran against the engine.
+            assert "superseded" not in payloads[2]
+            assert [c["text"] for c in payloads[2]["candidates"]] == ["author"]
+        finally:
+            sock.close()
+        assert server.pipeline.superseded_keystrokes == 2
+        assert server.pipeline.stats_block()["superseded_keystrokes"] == 2
+
+    def test_sequential_keystrokes_all_answered(self, async_server):
+        server = async_server()
+        sock = connect(server)
+        try:
+            for prefix in ("t", "tw"):
+                sock.sendall(raw_post("/api/complete", {"prefix": prefix}))
+                _, _, body = read_response(sock)
+                assert "superseded" not in json.loads(body)
+        finally:
+            sock.close()
+        assert server.pipeline.superseded_keystrokes == 0
+
+
+class TestPerServerState:
+    """Regression for the gate-sharing fix: admission gate, flight
+    table, and counters are per *server* (one pipeline each), never
+    per handler class or process-global — under both transports."""
+
+    def test_threaded_handler_class_shares_server_pipeline(self, small_db):
+        server = make_server(small_db)
+        try:
+            handler_class = server.RequestHandlerClass
+            assert handler_class.request_pipeline is server.pipeline
+            assert handler_class.admission_gate is server.pipeline.gate
+            assert handler_class.database_holder is server.pipeline.holder
+        finally:
+            server.server_close()
+
+    def test_two_threaded_servers_do_not_share_state(self, small_db):
+        one, two = make_server(small_db), make_server(small_db)
+        try:
+            assert one.pipeline is not two.pipeline
+            assert one.pipeline.gate is not two.pipeline.gate
+            assert one.pipeline.flights is not two.pipeline.flights
+        finally:
+            one.server_close()
+            two.server_close()
+
+    def test_counters_accrue_per_server_under_both_transports(
+        self, small_db, async_server
+    ):
+        aio_one = async_server()
+        aio_two = async_server()
+        threaded = make_server(small_db)
+        thread = threading.Thread(target=threaded.serve_forever, daemon=True)
+        thread.start()
+        try:
+            servers = {
+                "aio_one": aio_one,
+                "aio_two": aio_two,
+                "threaded": threaded,
+            }
+            # One coalesced-path request to exactly one server:
+            sock = connect(aio_one)
+            try:
+                sock.sendall(raw_post("/api/keyword", {"query": "twig"}))
+                status, _, _ = read_response(sock)
+                assert status == 200
+            finally:
+                sock.close()
+            flights = {
+                name: server.pipeline.flights.flights
+                for name, server in servers.items()
+            }
+            assert flights == {"aio_one": 1, "aio_two": 0, "threaded": 0}
+            # And the same isolation the other way, via the threaded one:
+            sock = connect(threaded)
+            try:
+                sock.sendall(
+                    raw_post(
+                        "/api/keyword",
+                        {"query": "twig"},
+                        extra_headers="Connection: close\r\n",
+                    )
+                )
+                status, _, _ = read_response(sock)
+                assert status == 200
+            finally:
+                sock.close()
+            assert threaded.pipeline.flights.flights == 1
+            assert aio_one.pipeline.flights.flights == 1  # unchanged
+            assert aio_two.pipeline.flights.flights == 0
+        finally:
+            threaded.shutdown()
+            threaded.server_close()
+            thread.join(timeout=5)
