@@ -1,0 +1,199 @@
+"""E19: zero-copy snapshots — mmap warm start vs the v2 inflate path.
+
+A v2 warm start zlib-inflates and unpickles every section into heap
+objects before the server can take traffic; a v3 ``mmap`` warm start
+verifies the header, maps the file, and serves the hot sections (label
+columns, term postings, packed completion tries) as ``memoryview``
+slices of the mapping — O(header) work, no byte copies, and co-hosted
+processes share one set of physical pages.
+
+This experiment records, per corpus:
+
+* the v2 warm start (load + full inflate, what serving did before),
+* the v3 copying warm start (load + full inflate of the raw layout),
+* the v3 mmap warm start (map + hot sections only) and its speedup over
+  v2 — gated at ≥5x,
+* per-replica process RSS: a fresh subprocess per mode loads the
+  snapshot, warms, runs probe queries, and reports its private
+  (``RssAnon``) and shared mapped (``RssFile``) resident memory — the
+  private number is what a fleet operator multiplies by replica count;
+  the mapped pages exist once regardless of fleet size.
+
+Correctness at every scale: all three loads answer the probe queries
+identically.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+
+from repro.bench.harness import print_table, record_bench
+from repro.datasets import generate_dblp, generate_treebank
+from repro.engine.database import LotusXDatabase
+from repro.engine.store import is_mmap_backed, load_snapshot, save_snapshot
+
+from conftest import DBLP_SIZES, shape_check
+
+_CHILD_SCRIPT = """
+import json, sys, time
+from repro.engine.store import load_snapshot
+
+def rss():
+    fields = {}
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith(("VmRSS:", "RssAnon:", "RssFile:")):
+                fields[line.split(":")[0]] = int(line.split()[1])
+    return fields
+
+path, mode, probes = sys.argv[1], sys.argv[2], json.loads(sys.argv[3])
+started = time.perf_counter()
+if mode == "mmap":
+    db = load_snapshot(path, mmap="require").warm_hot()
+else:
+    db = load_snapshot(path).warm()
+warm_s = time.perf_counter() - started
+for probe in probes:
+    assert db.matches(probe), probe
+fields = rss()
+print(json.dumps({
+    # RssAnon is the replica's private heap — the number that multiplies
+    # across co-hosted replicas.  RssFile counts mapped snapshot pages,
+    # which the fleet shares (one physical copy, any replica count).
+    "anon_kb": fields["RssAnon"],
+    "file_kb": fields["RssFile"],
+    "total_kb": fields["VmRSS"],
+    "warm_s": warm_s,
+}))
+"""
+
+
+def _replica_rss(path, mode: str, probes: list[str]) -> dict:
+    """Load ``path`` in a fresh serving process and report its RSS (KiB)."""
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(path), mode, json.dumps(probes)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def _best_of(fn, repeats: int = 3):
+    """Best-of-N wall time for ``fn`` plus its last result.
+
+    Warm starts are measured steady-state: the first call pays one-time
+    interpreter costs (module imports, allocator growth) that are not
+    part of the format's story, so the minimum is the honest number.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _corpora():
+    yield (
+        f"dblp-{DBLP_SIZES[-1]}",
+        generate_dblp(publications=DBLP_SIZES[-1], seed=42),
+        ["//article[./title]/author", "//inproceedings//author"],
+    )
+    yield (
+        f"treebank-{DBLP_SIZES[-2]}",
+        generate_treebank(sentences=DBLP_SIZES[-2], seed=17),
+        ["//NP[./DT]/NN", "//VP//NP"],
+    )
+
+
+def test_e19_mmap_warm_start(tmp_path, benchmark, capsys):
+    rows = []
+    speedups = []
+    for name, document, probes in _corpora():
+        db = LotusXDatabase(document)
+        oracle = {probe: db.matches(probe) for probe in probes}
+
+        v2_path = tmp_path / f"{name}-v2.lxsnap"
+        v3_path = tmp_path / f"{name}-v3.lxsnap"
+        save_snapshot(db, v2_path, version=2)
+        info = save_snapshot(db, v3_path)
+
+        v2_s, v2_db = _best_of(lambda: load_snapshot(v2_path).warm())
+        v3_copy_s, v3_copy_db = _best_of(lambda: load_snapshot(v3_path).warm())
+        v3_mmap_s, v3_mmap_db = _best_of(
+            lambda: load_snapshot(v3_path, mmap="require").warm_hot()
+        )
+        assert is_mmap_backed(v3_mmap_db)
+
+        # Correctness at every scale: all paths answer identically.
+        for probe, expected in oracle.items():
+            assert v2_db.matches(probe) == expected, probe
+            assert v3_copy_db.matches(probe) == expected, probe
+            assert v3_mmap_db.matches(probe) == expected, probe
+
+        # Per-replica RSS: what each co-hosted serving process costs.
+        v2_replica = _replica_rss(v2_path, "inflate", probes)
+        v3_replica = _replica_rss(v3_path, "mmap", probes)
+
+        speedup = v2_s / max(v3_mmap_s, 1e-9)
+        speedups.append(speedup)
+        rows.append(
+            [
+                name,
+                info.element_count,
+                round(info.size_bytes / 1e6, 2),
+                round(v2_s * 1000, 1),
+                round(v3_copy_s * 1000, 1),
+                round(v3_mmap_s * 1000, 2),
+                round(speedup, 1),
+                v2_replica["anon_kb"],
+                v3_replica["anon_kb"],
+                v3_replica["file_kb"],
+            ]
+        )
+
+    headers = [
+        "corpus",
+        "elements",
+        "snapshot_mb",
+        "v2_warm_ms",
+        "v3_copy_warm_ms",
+        "v3_mmap_warm_ms",
+        "speedup",
+        "v2_replica_anon_kb",
+        "v3_replica_anon_kb",
+        "v3_replica_shared_kb",
+    ]
+    # pytest-benchmark timing: the mmap warm-start path on DBLP.
+    dblp_v3 = tmp_path / f"dblp-{DBLP_SIZES[-1]}-v3.lxsnap"
+    benchmark(lambda: load_snapshot(dblp_v3, mmap="require").warm_hot())
+
+    with capsys.disabled():
+        print_table(
+            headers, rows, title="\nE19: mmap warm start vs v2 inflate"
+        )
+    record_bench(
+        "e19_mmap",
+        headers,
+        rows,
+        meta={"gate": "v2_warm / v3_mmap_warm >= 5x"},
+    )
+
+    # The acceptance bar: a v3 mmap warm start beats the v2 inflate
+    # warm start by at least 5x (it is O(header), not O(corpus)).
+    shape_check(
+        min(speedups) >= 5.0,
+        f"mmap warm-start speedups {speedups} fell below 5x",
+    )
+    # Replica economics: a zero-copy replica must cost less private
+    # (anonymous) memory than an inflating one on every measured corpus;
+    # its mapped file pages are shared across the fleet.
+    shape_check(
+        all(row[-2] < row[-3] for row in rows),
+        f"mmap replica private RSS not below v2 replica RSS: {rows}",
+    )

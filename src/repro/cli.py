@@ -159,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
         " instead of indexing an XML corpus",
     )
     serve.add_argument(
+        "--mmap",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve snapshot hot sections zero-copy from an mmap of the"
+        " file (v3 snapshots; older snapshot versions automatically fall"
+        " back to the copying loader). --no-mmap forces the copying"
+        " loader. Ignored without --snapshot",
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -604,6 +613,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     if args.snapshot is not None:
         from repro.engine.store import (
+            is_mmap_backed,
             is_sharded_snapshot,
             load_sharded_snapshot,
             load_snapshot,
@@ -614,24 +624,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.snapshot,
                 replicas=args.replicas,
                 fleet_config=fleet_config,
+                mmap=args.mmap,
             )
             banner = (
                 f"sharded snapshot {args.snapshot}"
                 f" ({database.shard_count} shards"
-                f"{_replica_banner(args.replicas)})"
+                f"{_replica_banner(args.replicas)}"
+                f"{', mmap' if is_mmap_backed(database) else ''})"
             )
         else:
             if args.replicas > 1:
                 raise ValueError(
                     "--replicas requires a sharded snapshot directory"
                 )
-            database = load_snapshot(args.snapshot)
-            banner = f"snapshot {args.snapshot}"
+            database = load_snapshot(args.snapshot, mmap=args.mmap)
+            banner = f"snapshot {args.snapshot}" + (
+                " (mmap)" if is_mmap_backed(database) else ""
+            )
         source = ReloadSource(
             "snapshot",
             args.snapshot,
             replicas=args.replicas,
             fleet_config=fleet_config,
+            mmap=args.mmap,
         )
     elif args.shards > 1:
         from repro.shard.database import ShardedDatabase
@@ -698,7 +713,9 @@ def _cmd_serve_writable(args: argparse.Namespace) -> int:
             raise ValueError("--writable cannot serve a sharded snapshot")
         info = read_snapshot_info(args.snapshot)
         base_seqno, base_ids = info.seqno, info.document_ids
-        base = load_snapshot(args.snapshot)
+        # The write path only ever patches columns copy-on-write, so an
+        # mmap-backed base segment is safe under live mutations.
+        base = load_snapshot(args.snapshot, mmap=args.mmap)
         source_path = args.snapshot
         banner = f"snapshot {args.snapshot} (checkpoint seqno {base_seqno})"
     else:

@@ -13,25 +13,45 @@ each index the first time a query touches it (or all at once via
 nothing is re-derived — loading skips XML parsing and index construction
 entirely.
 
-Snapshot file layout (all integers big-endian)::
+Snapshot file layout, format version 3 (framing integers big-endian)::
 
     6 bytes   magic  b"LXSNAP"
     2 bytes   format version
     2 bytes   flags (reserved, 0)
-    4 bytes   header length H
-    H bytes   header JSON: sections table (name/offset/length/sha256,
-              offsets relative to the data area) + meta (counts,
-              expand_attributes, synonyms, statistics)
-    ...       section blobs, each zlib-compressed pickle of
-              plain-container payloads
+    4 bytes   header length H (space-padded so the data area is 8-aligned)
+    H bytes   header JSON: sections table (name/offset/length/sha256/
+              encoding, offsets relative to the data area) + meta
+              (counts, expand_attributes, synonyms, statistics,
+              raw_layout)
+    32 bytes  header digest: SHA-256 over every preceding byte
+    ...       data area — *raw* sections first (uncompressed int64/byte
+              buffers, each 8-byte-aligned with zero padding), then the
+              ``zpickle`` sections (zlib-compressed pickles of
+              plain-container payloads)
     32 bytes  SHA-256 over every preceding byte
 
-Integrity is checked in a fixed order — magic, trailing digest, version,
-header — so corruption anywhere in the file (including the version field)
-surfaces as :class:`SnapshotIntegrityError`, a genuinely different
-version as :class:`SnapshotVersionError`, and a non-snapshot file as
-:class:`SnapshotFormatError`.  Section pickles are decoded by a
-restricted unpickler that only resolves ``repro.*`` classes.
+The hot sections — columnar label columns (``columnar.raw``), term
+postings (``terms.raw``), completion arrays (``completion.raw`` /
+``completion.keys``) — are raw so that :func:`load_snapshot` with
+``mmap=True`` can serve them as ``memoryview`` slices of one shared
+mapping: warm start is O(header), nothing is inflated, and forked shard
+workers plus co-hosted replicas share the OS page cache.  Cold object
+sections (the document tree, the label store / DataGuide) keep the
+zlib-pickle path.  Versions 1 and 2 (all-zpickle, no header digest, no
+alignment) still load byte-identically through the copying reader.
+
+Integrity: full-file loads check magic → trailing digest → version →
+header, exactly as before.  Mapped loads cannot afford an O(file) hash
+at open, so they check magic → version → *header digest* → header, and
+then verify each section's recorded SHA-256 once, lazily, when it is
+first read (full-file loads verify sections the same way, for one
+corruption taxonomy).  Corruption surfaces as
+:class:`SnapshotIntegrityError`, a genuinely different version as
+:class:`SnapshotVersionError`, a non-snapshot file as
+:class:`SnapshotFormatError`, and an mmap request a file cannot satisfy
+(with ``mmap="require"``) as :class:`SnapshotMmapError`.  Section
+pickles are decoded by a restricted unpickler that only resolves
+``repro.*`` classes.
 
 **Store directories** (the legacy verified-rebuild path) — a directory of
 document XML + JSON summaries; loading re-runs the index build and
@@ -43,19 +63,28 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import mmap
 import os
 import pickle
 import struct
+import sys
 import threading
 import zlib
+from array import array
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.autocomplete.engine import AutocompleteEngine
 from repro.engine.database import LotusXDatabase
-from repro.index.columnar import decode_columnar, encode_columnar
+from repro.index.columnar import (
+    decode_columnar,
+    decode_columnar_raw,
+    encode_columnar,
+    encode_columnar_raw,
+)
 from repro.index.completion_index import CompletionIndex
 from repro.index.element_index import StreamFactory
+from repro.index.packed import PackedTrie, pack_items, rmq_table_length
 from repro.index.statistics import compute_statistics
 from repro.index.term_index import TermIndex, _PostingList
 from repro.labeling.assign import LabeledDocument, LabeledElement
@@ -88,17 +117,31 @@ class StoreError(RuntimeError):
 
 SNAPSHOT_MAGIC = b"LXSNAP"
 #: Version written by :func:`save_snapshot`.  Version 2 added the
-#: optional ``columnar`` section (per-tag label arrays).
-SNAPSHOT_VERSION = 2
+#: optional ``columnar`` section (per-tag label arrays); version 3 moved
+#: the hot sections to raw, 8-byte-aligned, uncompressed byte ranges
+#: (mmap-able through ``memoryview``) and added the header digest.
+SNAPSHOT_VERSION = 3
 #: Versions :func:`load_snapshot` accepts.  Version 1 snapshots load
 #: fine — they simply have no columnar section, so the database falls
 #: back to object streams (and the factory is told not to build columnar
-#: views it was never saved with).
-SUPPORTED_SNAPSHOT_VERSIONS = frozenset({1, 2})
+#: views it was never saved with).  Version 2 snapshots load through the
+#: copying reader exactly as before (``mmap=True`` falls back).
+SUPPORTED_SNAPSHOT_VERSIONS = frozenset({1, 2, 3})
 
 #: magic(6) + version(2) + flags(2) + header length(4)
 _PREFIX = struct.Struct(">6sHHI")
 _DIGEST_SIZE = hashlib.sha256().digest_size
+#: Alignment of the data area and of every raw section inside it.
+_SECTION_ALIGN = 8
+#: int64 column typecode / width shared by every raw codec.
+_I64 = "q"
+_I64_SIZE = array(_I64).itemsize
+#: Chunk size for streamed trailer verification.
+_STREAM_CHUNK = 1 << 20
+
+#: Format tags inside the v3 raw-section directories.
+TERMS_RAW_FORMAT = 1
+COMPLETION_RAW_FORMAT = 1
 
 
 class SnapshotError(StoreError):
@@ -115,6 +158,11 @@ class SnapshotVersionError(SnapshotError):
 
 class SnapshotIntegrityError(SnapshotError):
     """The snapshot is truncated or corrupted (checksum mismatch)."""
+
+
+class SnapshotMmapError(SnapshotError):
+    """``mmap="require"`` was asked of a snapshot that cannot be served
+    zero-copy (pre-v3 format, or a foreign byte layout)."""
 
 
 @dataclass(frozen=True)
@@ -334,52 +382,217 @@ def _decode_completion(
 
 
 # ----------------------------------------------------------------------
+# Raw (v3) hot-section codecs
+#
+# Each hot section splits into a small pickled *directory* (dict of
+# names → int64 offsets/counts into the raw blob) and one contiguous
+# uncompressed blob the snapshot stores 8-byte-aligned.  Decoding under
+# mmap slices ``memoryview('q')`` columns straight out of the mapping —
+# zero copies, zero per-entry Python objects beyond the dict itself.  A
+# foreign byte order degrades to copying + byteswap; a foreign int
+# layout (itemsize) returns ``None`` and the caller rebuilds from the
+# labels.
+# ----------------------------------------------------------------------
+
+
+def _raw_columns(directory: dict, raw):
+    """Column accessor over ``raw`` honoring the directory's byte order."""
+    base = raw if isinstance(raw, memoryview) else memoryview(raw)
+    if directory.get("byteorder") == sys.byteorder:
+        cells = base.cast(_I64)
+
+        def column(offset: int, count: int):
+            return cells[offset : offset + count]
+
+    else:
+
+        def column(offset: int, count: int):
+            copied = array(_I64)
+            copied.frombytes(
+                base[offset * _I64_SIZE : (offset + count) * _I64_SIZE]
+            )
+            copied.byteswap()
+            return copied
+
+    return column
+
+
+def _encode_terms_raw(index: TermIndex, byteorder: str) -> tuple[dict, bytearray]:
+    raw = bytearray()
+    swap = byteorder != sys.byteorder
+
+    def put(values) -> int:
+        cells = array(_I64, values)
+        if swap:
+            cells.byteswap()
+        offset = len(raw) // _I64_SIZE
+        raw.extend(cells.tobytes())
+        return offset
+
+    postings: dict[str, tuple[int, int]] = {}
+    for term, plist in index._postings.items():
+        # orders then tfs, adjacent: tfs start at offset + n.
+        offset = put(plist.orders)
+        put(plist.tfs)
+        postings[term] = (offset, len(plist.orders))
+    values = {
+        value: (put(orders), len(orders))
+        for value, orders in index._value_postings.items()
+    }
+    subtree = (put(index._subtree_end), len(index._subtree_end))
+    directory = {
+        "format": TERMS_RAW_FORMAT,
+        "itemsize": _I64_SIZE,
+        "byteorder": byteorder,
+        "postings": postings,
+        "values": values,
+        "subtree_end": subtree,
+        "numeric": index._numeric,
+        "token_counts": index._token_counts,
+        "total_tokens": index._total_tokens,
+    }
+    return directory, raw
+
+
+def _decode_terms_raw(directory: dict, raw) -> TermIndex | None:
+    if (
+        not isinstance(directory, dict)
+        or directory.get("format") != TERMS_RAW_FORMAT
+        or directory.get("itemsize") != _I64_SIZE
+    ):
+        return None
+    column = _raw_columns(directory, raw)
+    index = object.__new__(TermIndex)
+    index._labeled = None  # only the from-scratch build reads it
+    postings: dict[str, _PostingList] = {}
+    for term, (offset, count) in directory["postings"].items():
+        plist = object.__new__(_PostingList)
+        plist.orders = column(offset, count)
+        plist.tfs = column(offset + count, count)
+        postings[term] = plist
+    index._postings = postings
+    index._value_postings = {
+        value: column(offset, count)
+        for value, (offset, count) in directory["values"].items()
+    }
+    offset, count = directory["subtree_end"]
+    index._subtree_end = column(offset, count)
+    index._numeric = directory["numeric"]
+    index._token_counts = directory["token_counts"]
+    index._total_tokens = directory["total_tokens"]
+    return index
+
+
+def _encode_completion_raw(
+    index: CompletionIndex, byteorder: str
+) -> tuple[dict, bytearray, bytearray]:
+    """Pack every completion trie; returns ``(directory, ints, keys)``.
+
+    ``ints`` holds the int64 arrays (offsets / weights / RMQ sparse
+    table) of every trie concatenated; ``keys`` holds the UTF-8 key
+    blobs.  Keeping the byte blob in its own section means every int64
+    raw section is endian-uniform, so cross-endian tooling (and the
+    foreign-layout tests) can treat ``*.raw`` sections as pure int64.
+    """
+    ints = bytearray()
+    keys = bytearray()
+    swap = byteorder != sys.byteorder
+
+    def put(cells: array) -> int:
+        if swap:
+            cells = array(_I64, cells)
+            cells.byteswap()
+        offset = len(ints) // _I64_SIZE
+        ints.extend(cells.tobytes())
+        return offset
+
+    def put_trie(trie) -> dict:
+        blob, offsets, weights, rmq = pack_items(trie.items())
+        record = {
+            "n": len(weights),
+            "keys": (len(keys), len(blob)),
+            "offsets": put(offsets),
+            "weights": put(weights),
+            "rmq": put(rmq),
+        }
+        keys.extend(blob)
+        return record
+
+    directory = {
+        "format": COMPLETION_RAW_FORMAT,
+        "itemsize": _I64_SIZE,
+        "byteorder": byteorder,
+        "tag": put_trie(index.tag_trie),
+        "global_token": put_trie(index.global_token_trie),
+        "global_value": put_trie(index.global_value_trie),
+        "path_token": {
+            pid: put_trie(trie)
+            for pid, trie in index._path_token_tries.items()
+        },
+        "path_value": {
+            pid: put_trie(trie)
+            for pid, trie in index._path_value_tries.items()
+        },
+    }
+    return directory, ints, keys
+
+
+def _decode_completion_raw(
+    directory: dict, ints_raw, keys_raw
+) -> CompletionIndex | None:
+    if (
+        not isinstance(directory, dict)
+        or directory.get("format") != COMPLETION_RAW_FORMAT
+        or directory.get("itemsize") != _I64_SIZE
+    ):
+        return None
+    column = _raw_columns(directory, ints_raw)
+    keys = keys_raw if isinstance(keys_raw, memoryview) else memoryview(keys_raw)
+
+    def trie(record: dict) -> PackedTrie:
+        count = record["n"]
+        key_offset, key_length = record["keys"]
+        return PackedTrie(
+            keys[key_offset : key_offset + key_length],
+            column(record["offsets"], count + 1),
+            column(record["weights"], count),
+            column(record["rmq"], rmq_table_length(count)),
+        )
+
+    index = object.__new__(CompletionIndex)
+    index._labeled = None  # only the from-scratch build reads these
+    index._term_index = None
+    index.tag_trie = trie(directory["tag"])
+    index.global_token_trie = trie(directory["global_token"])
+    index.global_value_trie = trie(directory["global_value"])
+    index._path_token_tries = {
+        pid: trie(record) for pid, record in directory["path_token"].items()
+    }
+    index._path_value_tries = {
+        pid: trie(record) for pid, record in directory["path_value"].items()
+    }
+    return index
+
+
+def _raw_layout_native(meta: dict) -> bool:
+    """Whether the snapshot's raw sections use this platform's int layout
+    (recorded once in the header meta, so the check is O(1) at load)."""
+    layout = meta.get("raw_layout") or {}
+    return (
+        layout.get("typecode") == _I64
+        and layout.get("itemsize") == _I64_SIZE
+        and layout.get("byteorder") == sys.byteorder
+    )
+
+
+# ----------------------------------------------------------------------
 # Writing
 # ----------------------------------------------------------------------
 
 
-def save_snapshot(
-    database: LotusXDatabase,
-    path: str | os.PathLike[str],
-    seqno: int = 0,
-    document_ids: tuple[str, ...] | list[str] | None = None,
-) -> SnapshotInfo:
-    """Write ``database`` to a single snapshot file at ``path``.
-
-    The write is atomic (temp file + rename), so a crash never leaves a
-    half-written snapshot where a valid one was expected.  Returns a
-    :class:`SnapshotInfo` describing the file.
-
-    ``seqno`` stamps the write-path checkpoint position: the snapshot
-    contains every mutation up to and including that WAL sequence
-    number, so recovery replays only newer records.  The default 0 marks
-    a plain indexed corpus (replay everything in the WAL).
-    ``document_ids`` preserves the writer's top-level id namespace
-    across the checkpoint (WAL updates/deletes address documents by id).
-    """
-    database = database.warm()
-    sections: list[tuple[str, bytes]] = [
-        ("document", _dumps_section(database.document))
-    ]
-    if database.labeled.document is not database.document:
-        # expand_attributes indexes a shadow tree; persist both so the
-        # load restores the pristine/indexed split exactly.
-        sections.append(
-            ("indexed_document", _dumps_section(database.labeled.document))
-        )
-    sections.append(("labels", _dumps_section(_encode_labels(database.labeled))))
-    sections.append(("terms", _dumps_section(_encode_terms(database.term_index))))
-    sections.append(
-        ("completion", _dumps_section(_encode_completion(database.completion_index)))
-    )
-    columnar = database.streams.columnar
-    if columnar is not None:
-        # Raw per-tag array bytes: loads are a memcpy per column instead
-        # of rebuilding the columns from every labeled element.
-        sections.append(("columnar", _dumps_section(encode_columnar(columnar))))
-
+def _snapshot_meta(database: LotusXDatabase, seqno: int, document_ids) -> dict:
     synonyms = database._synonyms
-    meta = {
+    return {
         "element_count": len(database.labeled),
         "path_count": len(database.labeled.guide),
         "expand_attributes": database.expanded_attributes,
@@ -395,6 +608,183 @@ def save_snapshot(
             database.labeled, database.term_index
         ).as_dict(),
     }
+
+
+def _write_atomic(path: str | os.PathLike[str], buffer: bytearray) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(target.name + ".tmp")
+    try:
+        temp.write_bytes(bytes(buffer))
+        os.replace(temp, target)
+    finally:
+        temp.unlink(missing_ok=True)
+    return target
+
+
+def save_snapshot(
+    database: LotusXDatabase,
+    path: str | os.PathLike[str],
+    seqno: int = 0,
+    document_ids: tuple[str, ...] | list[str] | None = None,
+    *,
+    version: int = SNAPSHOT_VERSION,
+    _force_byteorder: str | None = None,
+) -> SnapshotInfo:
+    """Write ``database`` to a single snapshot file at ``path``.
+
+    The write is atomic (temp file + rename), so a crash never leaves a
+    half-written snapshot where a valid one was expected.  Returns a
+    :class:`SnapshotInfo` describing the file.
+
+    ``seqno`` stamps the write-path checkpoint position: the snapshot
+    contains every mutation up to and including that WAL sequence
+    number, so recovery replays only newer records.  The default 0 marks
+    a plain indexed corpus (replay everything in the WAL).
+    ``document_ids`` preserves the writer's top-level id namespace
+    across the checkpoint (WAL updates/deletes address documents by id).
+
+    ``version=2`` writes the previous all-zpickle format (compatibility
+    fixtures and A/B benchmarks); the default v3 lays the hot sections
+    out as raw aligned buffers so ``mmap=True`` loads are zero-copy.
+    ``_force_byteorder`` fabricates a foreign-endian v3 file (tests
+    only).
+    """
+    if version == 2:
+        return _save_snapshot_v2(database, path, seqno, document_ids)
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"cannot write snapshot version {version!r}")
+
+    database = database.warm()
+    byteorder = _force_byteorder or sys.byteorder
+
+    zpickled: list[tuple[str, bytes]] = [
+        ("document", _dumps_section(database.document))
+    ]
+    if database.labeled.document is not database.document:
+        # expand_attributes indexes a shadow tree; persist both so the
+        # load restores the pristine/indexed split exactly.
+        zpickled.append(
+            ("indexed_document", _dumps_section(database.labeled.document))
+        )
+    zpickled.append(("labels", _dumps_section(_encode_labels(database.labeled))))
+
+    raw_sections: list[tuple[str, bytearray]] = []
+    terms_dir, terms_raw = _encode_terms_raw(database.term_index, byteorder)
+    zpickled.append(("terms", _dumps_section(terms_dir)))
+    raw_sections.append(("terms.raw", terms_raw))
+    completion_dir, completion_ints, completion_keys = _encode_completion_raw(
+        database.completion_index, byteorder
+    )
+    zpickled.append(("completion", _dumps_section(completion_dir)))
+    raw_sections.append(("completion.raw", completion_ints))
+    raw_sections.append(("completion.keys", completion_keys))
+    columnar = database.streams.columnar
+    if columnar is not None:
+        columnar_dir, columnar_raw = encode_columnar_raw(columnar, byteorder)
+        zpickled.append(("columnar", _dumps_section(columnar_dir)))
+        raw_sections.append(("columnar.raw", columnar_raw))
+
+    meta = _snapshot_meta(database, seqno, document_ids)
+    meta["raw_layout"] = {
+        "typecode": _I64,
+        "itemsize": _I64_SIZE,
+        "byteorder": byteorder,
+    }
+
+    # Data area: raw sections first, each 8-aligned (the data area
+    # itself is 8-aligned, see the header padding below), then the
+    # pickled object sections, which need no alignment.
+    table: list[dict] = []
+    chunks: list[bytes] = []
+    cursor = 0
+    for name, blob in raw_sections:
+        pad = (-cursor) % _SECTION_ALIGN
+        if pad:
+            chunks.append(b"\0" * pad)
+            cursor += pad
+        table.append(
+            {
+                "name": name,
+                "offset": cursor,
+                "length": len(blob),
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "encoding": "raw",
+            }
+        )
+        chunks.append(bytes(blob))
+        cursor += len(blob)
+    for name, blob in zpickled:
+        table.append(
+            {
+                "name": name,
+                "offset": cursor,
+                "length": len(blob),
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "encoding": "zpickle",
+            }
+        )
+        chunks.append(blob)
+        cursor += len(blob)
+
+    header = json.dumps(
+        {"sections": table, "meta": meta}, sort_keys=True
+    ).encode("utf-8")
+    # Space-pad the header (JSON tolerates trailing whitespace) so the
+    # data area starts 8-aligned: prefix + header + header digest ≡ 0.
+    header += b" " * (
+        (-(_PREFIX.size + len(header) + _DIGEST_SIZE)) % _SECTION_ALIGN
+    )
+
+    buffer = bytearray()
+    buffer += _PREFIX.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0, len(header))
+    buffer += header
+    buffer += hashlib.sha256(buffer).digest()
+    for chunk in chunks:
+        buffer += chunk
+    digest = hashlib.sha256(buffer).digest()
+    buffer += digest
+
+    target = _write_atomic(path, buffer)
+    return SnapshotInfo(
+        path=str(target),
+        version=SNAPSHOT_VERSION,
+        size_bytes=len(buffer),
+        element_count=meta["element_count"],
+        path_count=meta["path_count"],
+        expand_attributes=meta["expand_attributes"],
+        section_sizes={entry["name"]: entry["length"] for entry in table},
+        sha256=digest.hex(),
+        seqno=int(seqno),
+        document_ids=tuple(document_ids) if document_ids is not None else None,
+    )
+
+
+def _save_snapshot_v2(
+    database: LotusXDatabase,
+    path: str | os.PathLike[str],
+    seqno: int = 0,
+    document_ids: tuple[str, ...] | list[str] | None = None,
+) -> SnapshotInfo:
+    """The format-2 writer (all sections zlib-pickled, no alignment)."""
+    database = database.warm()
+    sections: list[tuple[str, bytes]] = [
+        ("document", _dumps_section(database.document))
+    ]
+    if database.labeled.document is not database.document:
+        sections.append(
+            ("indexed_document", _dumps_section(database.labeled.document))
+        )
+    sections.append(("labels", _dumps_section(_encode_labels(database.labeled))))
+    sections.append(("terms", _dumps_section(_encode_terms(database.term_index))))
+    sections.append(
+        ("completion", _dumps_section(_encode_completion(database.completion_index)))
+    )
+    columnar = database.streams.columnar
+    if columnar is not None:
+        sections.append(("columnar", _dumps_section(encode_columnar(columnar))))
+
+    meta = _snapshot_meta(database, seqno, document_ids)
 
     table = []
     offset = 0
@@ -413,25 +803,17 @@ def save_snapshot(
     ).encode("utf-8")
 
     buffer = bytearray()
-    buffer += _PREFIX.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, 0, len(header))
+    buffer += _PREFIX.pack(SNAPSHOT_MAGIC, 2, 0, len(header))
     buffer += header
     for _, blob in sections:
         buffer += blob
-    digest = hashlib.sha256(bytes(buffer)).digest()
+    digest = hashlib.sha256(buffer).digest()
     buffer += digest
 
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    temp = target.with_name(target.name + ".tmp")
-    try:
-        temp.write_bytes(bytes(buffer))
-        os.replace(temp, target)
-    finally:
-        temp.unlink(missing_ok=True)
-
+    target = _write_atomic(path, buffer)
     return SnapshotInfo(
         path=str(target),
-        version=SNAPSHOT_VERSION,
+        version=2,
         size_bytes=len(buffer),
         element_count=meta["element_count"],
         path_count=meta["path_count"],
@@ -448,38 +830,19 @@ def save_snapshot(
 # ----------------------------------------------------------------------
 
 
-def _verify_snapshot_bytes(data: bytes, source: str) -> tuple[dict, int, int]:
-    """Run the fixed check order (magic → digest → version → header) and
-    return ``(header, data_area_offset, version)``."""
-    if not data.startswith(SNAPSHOT_MAGIC):
-        raise SnapshotFormatError(f"{source}: not a LotusX snapshot file")
-    if len(data) < _PREFIX.size + _DIGEST_SIZE:
-        raise SnapshotIntegrityError(f"{source}: snapshot is truncated")
-    digest = hashlib.sha256(data[:-_DIGEST_SIZE]).digest()
-    if digest != data[-_DIGEST_SIZE:]:
-        raise SnapshotIntegrityError(
-            f"{source}: checksum mismatch — the snapshot is truncated or corrupt"
-        )
-    _, version, _flags, header_length = _PREFIX.unpack_from(data)
-    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
-        supported = ", ".join(
-            str(v) for v in sorted(SUPPORTED_SNAPSHOT_VERSIONS)
-        )
-        raise SnapshotVersionError(
-            f"{source}: unsupported snapshot version {version} "
-            f"(this build reads versions {supported})"
-        )
-    header_start = _PREFIX.size
-    data_start = header_start + header_length
-    if data_start > len(data) - _DIGEST_SIZE:
-        raise SnapshotFormatError(f"{source}: header overruns the file")
+def _parse_header(blob, source: str) -> dict:
     try:
-        header = json.loads(data[header_start:data_start].decode("utf-8"))
-        sections = header["sections"]
+        header = json.loads(bytes(blob).decode("utf-8"))
+        header["sections"]
         header["meta"]
     except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
         raise SnapshotFormatError(f"{source}: malformed snapshot header: {exc}") from exc
-    data_end = len(data) - _DIGEST_SIZE
+    return header
+
+
+def _validate_sections(
+    sections, data_start: int, data_end: int, source: str
+) -> None:
     for entry in sections:
         try:
             start = data_start + entry["offset"]
@@ -493,6 +856,50 @@ def _verify_snapshot_bytes(data: bytes, source: str) -> tuple[dict, int, int]:
             raise SnapshotFormatError(
                 f"{source}: section {entry['name']!r} overruns the file"
             )
+
+
+def _check_version(version: int, source: str) -> None:
+    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
+        supported = ", ".join(
+            str(v) for v in sorted(SUPPORTED_SNAPSHOT_VERSIONS)
+        )
+        raise SnapshotVersionError(
+            f"{source}: unsupported snapshot version {version} "
+            f"(this build reads versions {supported})"
+        )
+
+
+def _data_start(version: int, header_length: int) -> int:
+    # v3 inserts a header digest between the header and the data area.
+    start = _PREFIX.size + header_length
+    if version >= 3:
+        start += _DIGEST_SIZE
+    return start
+
+
+def _verify_snapshot_bytes(data, source: str) -> tuple[dict, int, int]:
+    """Run the fixed check order (magic → digest → version → header) and
+    return ``(header, data_area_offset, version)``."""
+    if not bytes(data[: len(SNAPSHOT_MAGIC)]).startswith(SNAPSHOT_MAGIC):
+        raise SnapshotFormatError(f"{source}: not a LotusX snapshot file")
+    if len(data) < _PREFIX.size + _DIGEST_SIZE:
+        raise SnapshotIntegrityError(f"{source}: snapshot is truncated")
+    digest = hashlib.sha256(data[:-_DIGEST_SIZE]).digest()
+    if digest != bytes(data[-_DIGEST_SIZE:]):
+        raise SnapshotIntegrityError(
+            f"{source}: checksum mismatch — the snapshot is truncated or corrupt"
+        )
+    _, version, _flags, header_length = _PREFIX.unpack_from(data)
+    _check_version(version, source)
+    header_start = _PREFIX.size
+    header_end = header_start + header_length
+    data_start = _data_start(version, header_length)
+    if data_start > len(data) - _DIGEST_SIZE:
+        raise SnapshotFormatError(f"{source}: header overruns the file")
+    header = _parse_header(data[header_start:header_end], source)
+    _validate_sections(
+        header["sections"], data_start, len(data) - _DIGEST_SIZE, source
+    )
     return header, data_start, version
 
 
@@ -503,23 +910,79 @@ def _read_snapshot_file(path: str | os.PathLike[str]) -> bytes:
         raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
 
 
+def _stream_verify_snapshot(
+    path: str | os.PathLike[str],
+) -> tuple[dict, int, int, bytes]:
+    """Verify the snapshot at ``path`` in streamed chunks and return
+    ``(header, version, size_bytes, trailer_digest)``.
+
+    Peak memory is one ~1 MiB chunk plus the header — never the whole
+    file — so ``read_snapshot_info`` stays O(header) in space even for
+    multi-gigabyte snapshots.
+    """
+    source = str(path)
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(_PREFIX.size)
+            if not prefix.startswith(SNAPSHOT_MAGIC):
+                raise SnapshotFormatError(f"{source}: not a LotusX snapshot file")
+            size = os.fstat(handle.fileno()).st_size
+            if size < _PREFIX.size + _DIGEST_SIZE:
+                raise SnapshotIntegrityError(f"{source}: snapshot is truncated")
+            _, version, _flags, header_length = _PREFIX.unpack_from(prefix)
+            hasher = hashlib.sha256(prefix)
+            hashed = size - _DIGEST_SIZE - _PREFIX.size
+            header_parts: list[bytes] = []
+            header_seen = 0
+            while hashed > 0:
+                chunk = handle.read(min(_STREAM_CHUNK, hashed))
+                if not chunk:
+                    raise SnapshotIntegrityError(
+                        f"{source}: snapshot is truncated"
+                    )
+                hasher.update(chunk)
+                hashed -= len(chunk)
+                if header_seen < header_length:
+                    take = chunk[: header_length - header_seen]
+                    header_parts.append(take)
+                    header_seen += len(take)
+            trailer = handle.read(_DIGEST_SIZE)
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if hasher.digest() != trailer:
+        raise SnapshotIntegrityError(
+            f"{source}: checksum mismatch — the snapshot is truncated or corrupt"
+        )
+    _check_version(version, source)
+    if header_seen < header_length:
+        raise SnapshotFormatError(f"{source}: header overruns the file")
+    header = _parse_header(b"".join(header_parts), source)
+    _validate_sections(
+        header["sections"],
+        _data_start(version, header_length),
+        size - _DIGEST_SIZE,
+        source,
+    )
+    return header, version, size, trailer
+
+
 def read_snapshot_info(path: str | os.PathLike[str]) -> SnapshotInfo:
     """Verify ``path`` and return its metadata without materializing
-    any sections."""
-    data = _read_snapshot_file(path)
-    header, _, version = _verify_snapshot_bytes(data, str(path))
+    any sections.  The checksum is verified in streamed chunks; only
+    the header is ever held in memory."""
+    header, version, size, trailer = _stream_verify_snapshot(path)
     meta = header["meta"]
     return SnapshotInfo(
         path=str(path),
         version=version,
-        size_bytes=len(data),
+        size_bytes=size,
         element_count=meta["element_count"],
         path_count=meta["path_count"],
         expand_attributes=bool(meta["expand_attributes"]),
         section_sizes={
             entry["name"]: entry["length"] for entry in header["sections"]
         },
-        sha256=data[-_DIGEST_SIZE:].hex(),
+        sha256=trailer.hex(),
         seqno=int(meta.get("seqno", 0)),
         document_ids=(
             tuple(meta["document_ids"])
@@ -529,30 +992,217 @@ def read_snapshot_info(path: str | os.PathLike[str]) -> SnapshotInfo:
     )
 
 
-class _SnapshotReader:
-    """Verified snapshot bytes plus the parsed section table."""
+class MappedSnapshot:
+    """A refcounted ``mmap`` of one snapshot file.
 
-    def __init__(self, data: bytes, source: str) -> None:
-        header, data_start, version = _verify_snapshot_bytes(data, source)
-        self._data = data
+    Every :class:`_SnapshotDatabase` served from the mapping holds one
+    reference; the mapping is released when the last one drops
+    (:meth:`decref`).  If query results still hold exported
+    ``memoryview`` slices at that point, ``mmap.close()`` raises
+    ``BufferError`` — we then *defer*: the master view is released, and
+    the OS unmaps the region when Python's refcounting collects the last
+    exported view.  Either way no live view is ever invalidated, which
+    is what makes hot reload safe (the old generation's buffers outlive
+    every in-flight request that touches them).
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = str(path)
+        try:
+            with open(path, "rb") as handle:
+                self._mmap = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except OSError as exc:
+            raise SnapshotError(f"cannot map snapshot {path}: {exc}") from exc
+        except ValueError as exc:
+            # Zero-length file: not mappable, certainly not a snapshot.
+            raise SnapshotFormatError(
+                f"{path}: not a LotusX snapshot file"
+            ) from exc
+        self._view: memoryview | None = memoryview(self._mmap)
+        self._lock = threading.Lock()
+        self._refs = 1
+        self._released = False
+        self._closed = False
+
+    def view(self) -> memoryview:
+        if self._view is None:
+            raise SnapshotError(f"{self.path}: snapshot mapping was released")
+        return self._view
+
+    def __len__(self) -> int:
+        return len(self._mmap)
+
+    @property
+    def references(self) -> int:
+        with self._lock:
+            return self._refs
+
+    @property
+    def mapped(self) -> bool:
+        """True while the OS mapping is still in place (possibly only
+        because exported views pin it)."""
+        return not self._closed
+
+    def incref(self) -> MappedSnapshot:
+        with self._lock:
+            if self._released:
+                raise SnapshotError(
+                    f"{self.path}: snapshot mapping was released"
+                )
+            self._refs += 1
+        return self
+
+    def decref(self) -> None:
+        with self._lock:
+            if self._released:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            self._released = True
+            self._view = None
+            self._try_close_locked()
+
+    def try_close(self) -> bool:
+        """Retry a deferred close; True once the mapping is closed."""
+        with self._lock:
+            if not self._released:
+                return False
+            self._try_close_locked()
+            return self._closed
+
+    def _try_close_locked(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._mmap.close()
+        except BufferError:
+            # Exported views still pin the buffer; refcounting will
+            # unmap when the last one dies.
+            return
+        self._closed = True
+
+
+def _verify_mapped_snapshot(buf: memoryview, source: str):
+    """Header-only verification for a mapped v3 snapshot.
+
+    Returns ``(header, data_start, version)`` for a v3+ file, or
+    ``None`` for an older version (the caller falls back to the
+    byte-reading path, which applies the full v1/v2 check order).
+    Unlike :func:`_verify_snapshot_bytes` this never touches the data
+    area — that is the whole point of the mapped mode — so integrity of
+    the hot sections is enforced lazily, per section, on first access.
+    """
+    if bytes(buf[: len(SNAPSHOT_MAGIC)]) != SNAPSHOT_MAGIC:
+        raise SnapshotFormatError(f"{source}: not a LotusX snapshot file")
+    if len(buf) < _PREFIX.size + _DIGEST_SIZE:
+        raise SnapshotIntegrityError(f"{source}: snapshot is truncated")
+    _, version, _flags, header_length = _PREFIX.unpack_from(buf)
+    if version < 3:
+        return None
+    _check_version(version, source)
+    header_end = _PREFIX.size + header_length
+    data_start = header_end + _DIGEST_SIZE
+    if data_start > len(buf) - _DIGEST_SIZE:
+        raise SnapshotFormatError(f"{source}: header overruns the file")
+    digest = hashlib.sha256(buf[:header_end]).digest()
+    if digest != bytes(buf[header_end:data_start]):
+        raise SnapshotIntegrityError(
+            f"{source}: header checksum mismatch — the snapshot is corrupt"
+        )
+    header = _parse_header(buf[_PREFIX.size : header_end], source)
+    _validate_sections(
+        header["sections"], data_start, len(buf) - _DIGEST_SIZE, source
+    )
+    return header, data_start, version
+
+
+class _SnapshotReader:
+    """A verified snapshot buffer plus the parsed section table.
+
+    ``buf`` is either the whole file as ``bytes`` (copying loads, fully
+    digest-verified up front) or a ``memoryview`` of a
+    :class:`MappedSnapshot` (zero-copy loads, header verified up front).
+    In both modes each section's SHA-256 is checked once, on first
+    access — for mapped snapshots that is the *only* data-area
+    integrity check, so it must not be skipped.
+    """
+
+    def __init__(
+        self,
+        header: dict,
+        data_start: int,
+        version: int,
+        buf,
+        source: str,
+        mapping: MappedSnapshot | None = None,
+    ) -> None:
+        self._buf = buf
         self._source = source
         self._data_start = data_start
         self._sections = {entry["name"]: entry for entry in header["sections"]}
+        self._verified: set[str] = set()
+        self._verify_lock = threading.Lock()
         self.meta = header["meta"]
         self.version = version
+        self.mapping = mapping
+
+    @classmethod
+    def from_bytes(cls, data: bytes, source: str) -> _SnapshotReader:
+        header, data_start, version = _verify_snapshot_bytes(data, source)
+        return cls(header, data_start, version, data, source)
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: MappedSnapshot, source: str
+    ) -> _SnapshotReader | None:
+        verified = _verify_mapped_snapshot(mapping.view(), source)
+        if verified is None:
+            return None
+        header, data_start, version = verified
+        return cls(
+            header, data_start, version, mapping.view(), source, mapping
+        )
 
     def has(self, name: str) -> bool:
         return name in self._sections
 
-    def payload(self, name: str):
+    def _section(self, name: str):
         entry = self._sections.get(name)
         if entry is None:
             raise SnapshotFormatError(
                 f"{self._source}: snapshot has no {name!r} section"
             )
         start = self._data_start + entry["offset"]
-        blob = self._data[start : start + entry["length"]]
-        return _loads_section(blob, name)
+        blob = self._buf[start : start + entry["length"]]
+        if name not in self._verified:
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != entry["sha256"]:
+                raise SnapshotIntegrityError(
+                    f"{self._source}: section {name!r} is corrupt "
+                    "(checksum mismatch)"
+                )
+            with self._verify_lock:
+                self._verified.add(name)
+        return blob
+
+    def payload(self, name: str):
+        """Decode a zlib-pickled object section."""
+        return _loads_section(self._section(name), name)
+
+    def raw(self, name: str) -> memoryview:
+        """A verified raw section as a ``memoryview`` (no copy when the
+        underlying buffer is a mapping)."""
+        blob = self._section(name)
+        return blob if isinstance(blob, memoryview) else memoryview(blob)
+
+
+# Columnar sentinels: the snapshot has no columnar section at all (v1)
+# vs. it has one this platform's array layout cannot decode (rebuild).
+_ABSENT = object()
+_REBUILD = object()
 
 
 class _SnapshotDatabase(LotusXDatabase):
@@ -574,6 +1224,7 @@ class _SnapshotDatabase(LotusXDatabase):
         self._reader = reader
         self._parts: dict[str, object] = {}
         self._inflate_lock = threading.RLock()
+        self._closed = False
         self.expanded_attributes = expand_attributes
         self.scorer = scorer or LotusXScorer()
         self._synonyms = synonyms
@@ -609,44 +1260,94 @@ class _SnapshotDatabase(LotusXDatabase):
 
     @property
     def term_index(self) -> TermIndex:
-        return self._part(
-            "term_index",
-            lambda: _decode_terms(self._reader.payload("terms"), self.labeled),
-        )
+        return self._part("term_index", self._build_term_index)
+
+    def _build_term_index(self) -> TermIndex:
+        if self._reader.has("terms.raw"):
+            try:
+                index = _decode_terms_raw(
+                    self._reader.payload("terms"), self._reader.raw("terms.raw")
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SnapshotFormatError(
+                    f"snapshot terms section is inconsistent: {exc}"
+                ) from exc
+            if index is not None:
+                return index
+            # Foreign array layout with no carried arrays we can adopt
+            # cheaply in full: rebuild from the labels.
+            return TermIndex(self.labeled)
+        return _decode_terms(self._reader.payload("terms"), self.labeled)
 
     @property
     def completion_index(self) -> CompletionIndex:
-        return self._part(
-            "completion_index",
-            lambda: _decode_completion(
-                self._reader.payload("completion"), self.labeled, self.term_index
-            ),
+        return self._part("completion_index", self._build_completion_index)
+
+    def _build_completion_index(self) -> CompletionIndex:
+        if self._reader.has("completion.raw"):
+            try:
+                index = _decode_completion_raw(
+                    self._reader.payload("completion"),
+                    self._reader.raw("completion.raw"),
+                    self._reader.raw("completion.keys"),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SnapshotFormatError(
+                    f"snapshot completion section is inconsistent: {exc}"
+                ) from exc
+            if index is not None:
+                return index
+            return CompletionIndex(self.labeled, self.term_index)
+        return _decode_completion(
+            self._reader.payload("completion"), self.labeled, self.term_index
         )
 
     @property
     def streams(self) -> StreamFactory:
         return self._part("streams", self._build_streams)
 
-    def _build_streams(self) -> StreamFactory:
-        if self._reader.has("columnar"):
-            try:
-                columnar = decode_columnar(
+    def _columnar_part(self):
+        return self._part("columnar", self._build_columnar)
+
+    def _columnar_elements(self, tag):
+        """Element-object resolver for :class:`LazyElements` — only
+        called if a query path actually needs element objects."""
+        labeled = self.labeled
+        return labeled.elements if tag is None else labeled.stream(tag)
+
+    def _build_columnar(self):
+        try:
+            if self._reader.has("columnar.raw"):
+                index = decode_columnar_raw(
+                    self._reader.payload("columnar"),
+                    self._reader.raw("columnar.raw"),
+                    self._columnar_elements,
+                )
+                return index if index is not None else _REBUILD
+            if self._reader.has("columnar"):
+                index = decode_columnar(
                     self._reader.payload("columnar"), self.labeled
                 )
-            except ValueError as exc:
-                raise SnapshotFormatError(
-                    f"snapshot columnar section is inconsistent: {exc}"
-                ) from exc
-            if columnar is not None:
-                return StreamFactory(
-                    self.labeled, self.term_index, columnar=columnar
-                )
+                return index if index is not None else _REBUILD
+        except ValueError as exc:
+            raise SnapshotFormatError(
+                f"snapshot columnar section is inconsistent: {exc}"
+            ) from exc
+        return _ABSENT
+
+    def _build_streams(self) -> StreamFactory:
+        columnar = self._columnar_part()
+        if columnar is _ABSENT:
+            # Pre-columnar (v1) snapshot: serve object streams only,
+            # exactly what the snapshot was saved with.
+            return StreamFactory(
+                self.labeled, self.term_index, build_columnar=False
+            )
+        if columnar is _REBUILD:
             # The writing platform's array layout doesn't map onto this
             # one: rebuild the columns from the labels instead.
             return StreamFactory(self.labeled, self.term_index)
-        # Pre-columnar (v1) snapshot: serve object streams only, exactly
-        # what the snapshot was saved with.
-        return StreamFactory(self.labeled, self.term_index, build_columnar=False)
+        return StreamFactory(self.labeled, self.term_index, columnar=columnar)
 
     @property
     def autocomplete(self) -> AutocompleteEngine:
@@ -675,35 +1376,44 @@ class _SnapshotDatabase(LotusXDatabase):
         self.rewriter
         return self
 
+    def warm_hot(self) -> LotusXDatabase:
+        """Materialize only the *hot* query-path sections (term postings,
+        completion tries, columnar streams).  On an mmap-backed v3
+        snapshot this is O(header) work — no document tree, no label
+        store, no byte copies — which is the whole zero-copy warm-start
+        story."""
+        self.term_index
+        self.completion_index
+        self._columnar_part()
+        return self
+
+    def close(self) -> None:
+        """Drop this database's reference on the snapshot mapping (if
+        any).  Idempotent; a database loaded from bytes is a no-op."""
+        if self._closed:
+            return
+        self._closed = True
+        mapping = self._reader.mapping
+        if mapping is not None:
+            mapping.decref()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def __repr__(self) -> str:
         if "labeled" not in self._parts:
             return "LotusXDatabase(snapshot, lazy)"
         return super().__repr__()
 
 
-def load_snapshot(
-    path: str | os.PathLike[str],
-    scorer: LotusXScorer | None = None,
-    eager: bool = False,
+def _database_from_reader(
+    reader: _SnapshotReader,
+    scorer: LotusXScorer | None,
+    eager: bool,
 ) -> LotusXDatabase:
-    """Load a snapshot written by :func:`save_snapshot`.
-
-    The whole file is read and its checksum verified before anything is
-    decoded; sections then materialize lazily on first use (pass
-    ``eager=True`` — or call :meth:`LotusXDatabase.warm` — to inflate
-    everything immediately, e.g. before putting a server into rotation).
-
-    Raises
-    ------
-    SnapshotFormatError
-        Not a snapshot file, or its structure cannot be parsed.
-    SnapshotIntegrityError
-        Truncated or corrupted file (checksum mismatch).
-    SnapshotVersionError
-        A format version this build does not support.
-    """
-    data = _read_snapshot_file(path)
-    reader = _SnapshotReader(data, str(path))
     meta = reader.meta
     raw_synonyms = meta.get("synonyms")
     synonyms = (
@@ -717,6 +1427,77 @@ def load_snapshot(
     if eager:
         database.warm()
     return database
+
+
+def load_snapshot(
+    path: str | os.PathLike[str],
+    scorer: LotusXScorer | None = None,
+    eager: bool = False,
+    mmap: bool | str = False,
+) -> LotusXDatabase:
+    """Load a snapshot written by :func:`save_snapshot`.
+
+    With ``mmap=False`` (the default) the whole file is read and its
+    checksum verified before anything is decoded; sections then
+    materialize lazily on first use (pass ``eager=True`` — or call
+    :meth:`LotusXDatabase.warm` — to inflate everything immediately,
+    e.g. before putting a server into rotation).
+
+    With ``mmap=True`` a v3 snapshot is mapped instead of read: only the
+    header is verified up front (each section's SHA-256 is checked the
+    first time it is touched), and the hot sections are served as
+    ``memoryview`` slices of the mapping — zero copies, and forked
+    workers or co-hosted processes share one set of physical pages.
+    When the file cannot be served zero-copy (a pre-v3 version, or hot
+    sections written with a foreign byte layout) the call silently falls
+    back to the copying loader; pass ``mmap="require"`` to get a
+    :class:`SnapshotMmapError` instead of the fallback.
+
+    Raises
+    ------
+    SnapshotFormatError
+        Not a snapshot file, or its structure cannot be parsed.
+    SnapshotIntegrityError
+        Truncated or corrupted file (checksum mismatch).
+    SnapshotVersionError
+        A format version this build does not support.
+    SnapshotMmapError
+        ``mmap="require"`` and the file cannot be served zero-copy.
+    """
+    source = str(path)
+    if mmap:
+        mapping = MappedSnapshot(path)
+        try:
+            reader = _SnapshotReader.from_mapping(mapping, source)
+            reason = None
+            if reader is None:
+                reason = "snapshot version predates the mmap layout (v3)"
+            elif not _raw_layout_native(reader.meta):
+                reader = None
+                reason = "hot sections use a foreign byte layout"
+            if reader is None and mmap == "require":
+                raise SnapshotMmapError(
+                    f"{source}: cannot serve zero-copy — {reason}"
+                )
+        except BaseException:
+            mapping.decref()
+            raise
+        if reader is not None:
+            return _database_from_reader(reader, scorer, eager)
+        mapping.decref()
+    data = _read_snapshot_file(path)
+    reader = _SnapshotReader.from_bytes(data, source)
+    return _database_from_reader(reader, scorer, eager)
+
+
+def is_mmap_backed(database) -> bool:
+    """True if ``database`` (or, for a sharded database, every shard)
+    serves its hot sections from a snapshot mapping."""
+    shards = getattr(database, "shards", None)
+    if shards is not None:
+        return bool(shards) and all(is_mmap_backed(s) for s in shards)
+    reader = getattr(database, "_reader", None)
+    return reader is not None and reader.mapping is not None
 
 
 # ======================================================================
@@ -867,6 +1648,7 @@ def load_sharded_snapshot(
     max_workers: int | None = None,
     replicas: int = 1,
     fleet_config=None,
+    mmap: bool | str = False,
 ):
     """Load a sharded snapshot directory into a ``ShardedDatabase``.
 
@@ -874,7 +1656,10 @@ def load_sharded_snapshot(
     :func:`load_snapshot`; heavy sections still inflate lazily per shard
     (the facade's merged guide and term statistics touch the labels and
     terms sections at construction, but completion tries and columnar
-    streams wait for the first query, or ``eager=True``).
+    streams wait for the first query, or ``eager=True``).  ``mmap`` is
+    forwarded to each shard's :func:`load_snapshot` — with forked
+    scatter-gather workers the shard mappings are inherited across the
+    fork, so every worker shares one set of physical pages.
     """
     from repro.shard.database import ShardedDatabase
     from repro.shard.partitioner import ShardSpec
@@ -884,7 +1669,9 @@ def load_sharded_snapshot(
     databases = []
     specs = []
     for entry in entries:
-        databases.append(load_snapshot(target / entry["file"], scorer, eager))
+        databases.append(
+            load_snapshot(target / entry["file"], scorer, eager, mmap=mmap)
+        )
         specs.append(ShardSpec.from_dict(entry["spec"]))
     synonyms = databases[0]._synonyms if databases else None
     database = ShardedDatabase(

@@ -25,7 +25,13 @@ element starting at or after X".
 
 The whole index serializes to flat bytes (``array.tobytes``), giving
 snapshots a C-speed load path; see :func:`encode_columnar` /
-:func:`decode_columnar`.
+:func:`decode_columnar`.  Snapshot format v3 goes further: the columns
+are stored as one raw, 8-byte-aligned section and served back as
+``memoryview`` slices of the snapshot's mmap — no copy at all — via
+:func:`encode_columnar_raw` / :func:`decode_columnar_raw`.  A
+view-backed stream is read-only; the single in-place mutation the write
+path performs (:meth:`ColumnarIndex.rewiden_root`) copies the affected
+``ends`` column into a mutable ``array`` first (copy-on-write).
 """
 
 from __future__ import annotations
@@ -45,17 +51,66 @@ INF_INT = 1 << 62
 #: container version).
 COLUMNAR_FORMAT = 1
 
+#: Version tag inside the v3 raw payload directory.
+COLUMNAR_RAW_FORMAT = 1
+
 _TYPECODE = "q"
+
+
+class LazyElements(Sequence):
+    """Parallel object column resolved on first element access.
+
+    Zero-copy loads serve the int columns straight from the snapshot but
+    must not inflate the label store just to hold the parallel
+    ``elements`` list — only queries that materialize final matches need
+    the objects.  ``resolve`` is called once, on the first subscript or
+    iteration; its result must have exactly ``count`` rows (the deferred
+    version of the row-count consistency check the eager decoder runs).
+    ``len()`` never resolves, so stream-length probes stay free.
+    """
+
+    __slots__ = ("_resolve", "_count", "_items")
+
+    def __init__(
+        self, resolve: Callable[[], Sequence[LabeledElement]], count: int
+    ) -> None:
+        self._resolve = resolve
+        self._count = count
+        self._items: Sequence[LabeledElement] | None = None
+
+    def _materialize(self) -> Sequence[LabeledElement]:
+        items = self._items
+        if items is None:
+            items = self._resolve()
+            if len(items) != self._count:
+                raise ValueError(
+                    f"columnar section has {self._count} rows,"
+                    f" label store has {len(items)}"
+                )
+            self._items = items
+        return items
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
 
 
 class ColumnarStream:
     """Parallel positional columns over one document-ordered stream.
 
-    ``starts`` / ``ends`` / ``levels`` / ``path_ids`` are ``array('q')``
-    columns indexed by stream position; ``elements`` is the parallel
-    object list used only to materialize final matches.  ``starts`` is
-    strictly increasing (document order + unique region starts), which
-    :meth:`seek_ge` exploits.
+    ``starts`` / ``ends`` / ``levels`` / ``path_ids`` are int64 columns
+    indexed by stream position — ``array('q')`` when built or copied,
+    read-only ``memoryview('q')`` slices when served zero-copy from a
+    mapped snapshot (both support indexing, slicing, and ``bisect``).
+    ``elements`` is the parallel object list used only to materialize
+    final matches (possibly a :class:`LazyElements` that defers label
+    inflation).  ``starts`` is strictly increasing (document order +
+    unique region starts), which :meth:`seek_ge` exploits.
     """
 
     __slots__ = ("starts", "ends", "levels", "path_ids", "elements")
@@ -183,12 +238,17 @@ class ColumnarIndex:
         ordered and the root's start tick is minimal).  The live write
         path calls this when the corpus root's region is re-widened; no
         other row ever changes width in place.
+
+        Streams served zero-copy from a snapshot hold their columns as
+        read-only views; the patch copies the affected ``ends`` column
+        into a mutable ``array`` first (copy-on-write escape hatch — the
+        other columns stay mapped).
         """
         if len(self._all):
-            self._all.ends[0] = end
+            _patch_end(self._all, end)
         stream = self._by_tag.get(root_tag)
         if stream is not None and len(stream):
-            stream.ends[0] = end
+            _patch_end(stream, end)
 
     def __repr__(self) -> str:
         return (
@@ -200,6 +260,12 @@ class ColumnarIndex:
 _EMPTY = ColumnarStream(
     array(_TYPECODE), array(_TYPECODE), array(_TYPECODE), array(_TYPECODE), []
 )
+
+
+def _patch_end(stream: ColumnarStream, end: int) -> None:
+    if not isinstance(stream.ends, array):
+        stream.ends = array(_TYPECODE, stream.ends)
+    stream.ends[0] = end
 
 
 # ----------------------------------------------------------------------
@@ -289,4 +355,125 @@ def decode_columnar(payload: dict, labeled: LabeledDocument) -> ColumnarIndex | 
         for tag, blobs in tags_payload.items()
     }
     all_stream = _unpack(payload["all"], labeled.elements, swap, "wildcard")
+    return ColumnarIndex(by_tag, all_stream)
+
+
+# ----------------------------------------------------------------------
+# Raw (v3 / zero-copy) serialization
+#
+# The v2 codec above stores one bytes object per column inside a pickled
+# payload — loading still allocates a fresh array per column.  The v3
+# codec splits the index into a tiny pickled *directory* (per-stream row
+# counts and int64 offsets) and one contiguous raw byte blob that the
+# snapshot writes 8-byte-aligned and uncompressed, so a mapped load can
+# serve every column as a memoryview slice without touching the bytes.
+# ----------------------------------------------------------------------
+
+
+def encode_columnar_raw(
+    index: ColumnarIndex, byteorder: str = sys.byteorder
+) -> tuple[dict, bytearray]:
+    """Split ``index`` into a ``(directory, raw_bytes)`` pair.
+
+    Offsets in the directory are in int64 units from the start of the
+    raw blob.  ``byteorder`` other than native byteswaps the written
+    columns (used by tests to fabricate foreign-endian snapshots).
+    """
+    raw = bytearray()
+    swap = byteorder != sys.byteorder
+
+    def put(column) -> int:
+        cells = array(_TYPECODE, column) if swap else column
+        if swap:
+            cells.byteswap()
+        offset = len(raw) // 8
+        raw.extend(cells.tobytes())
+        return offset
+
+    def pack(stream: ColumnarStream) -> dict:
+        return {
+            "n": len(stream),
+            "starts": put(stream.starts),
+            "ends": put(stream.ends),
+            "levels": put(stream.levels),
+            "path_ids": put(stream.path_ids),
+        }
+
+    directory = {
+        "format": COLUMNAR_RAW_FORMAT,
+        "typecode": _TYPECODE,
+        "itemsize": array(_TYPECODE).itemsize,
+        "byteorder": byteorder,
+        "tags": {tag: pack(stream) for tag, stream in index._by_tag.items()},
+        "all": pack(index._all),
+    }
+    return directory, raw
+
+
+def decode_columnar_raw(
+    directory: dict,
+    raw,
+    elements_for: Callable[[str | None], Sequence[LabeledElement]],
+) -> ColumnarIndex | None:
+    """Rebuild a :class:`ColumnarIndex` over ``raw`` without copying.
+
+    ``raw`` is the snapshot's raw section — a ``memoryview`` of the mmap
+    (zero-copy) or of the loaded bytes.  ``elements_for(tag)`` resolves
+    the parallel object stream lazily (``None`` = wildcard); it is only
+    called if a query materializes elements, and the row-count
+    consistency check runs at that point.
+
+    Returns ``None`` when the writing platform's int layout cannot be
+    mapped onto this one (caller rebuilds from the labels).  A foreign
+    *byte order* alone degrades to the copying decoder — every column is
+    copied into a byteswapped ``array`` — rather than failing.
+
+    Raises
+    ------
+    ValueError
+        If the directory is malformed.
+    """
+    if not isinstance(directory, dict):
+        raise ValueError("columnar directory is not a mapping")
+    if directory.get("format") != COLUMNAR_RAW_FORMAT:
+        return None
+    itemsize = array(_TYPECODE).itemsize
+    if (
+        directory.get("typecode") != _TYPECODE
+        or directory.get("itemsize") != itemsize
+    ):
+        return None
+    base = raw if isinstance(raw, memoryview) else memoryview(raw)
+    if directory.get("byteorder") == sys.byteorder:
+        cells = base.cast(_TYPECODE)
+
+        def column(offset: int, count: int):
+            return cells[offset : offset + count]
+
+    else:
+
+        def column(offset: int, count: int):
+            copied = array(_TYPECODE)
+            copied.frombytes(base[offset * itemsize : (offset + count) * itemsize])
+            copied.byteswap()
+            return copied
+
+    def unpack(record: dict, tag: str | None) -> ColumnarStream:
+        count = record["n"]
+        return ColumnarStream(
+            column(record["starts"], count),
+            column(record["ends"], count),
+            column(record["levels"], count),
+            column(record["path_ids"], count),
+            LazyElements(lambda t=tag: elements_for(t), count),
+        )
+
+    try:
+        by_tag = {
+            tag: unpack(record, tag)
+            for tag, record in directory["tags"].items()
+        }
+        all_stream = unpack(directory["all"], None)
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ValueError(f"malformed columnar directory: {exc}") from exc
     return ColumnarIndex(by_tag, all_stream)

@@ -1,0 +1,252 @@
+"""Packed, array-backed completion tries for zero-copy snapshots.
+
+The pickled list-node :class:`~repro.index.trie.Trie` deserializes fast,
+but it still *materializes* — every node becomes heap objects at load
+time, which is exactly what the mmap snapshot path must avoid.  A
+:class:`PackedTrie` is the same weighted top-k dictionary flattened into
+four flat buffers that can live directly inside a mapped snapshot:
+
+``keys``
+    the UTF-8 bytes of every key, concatenated in lexicographic order;
+``offsets``
+    ``n + 1`` int64 byte offsets into ``keys`` (key *i* is
+    ``keys[offsets[i]:offsets[i+1]]``);
+``weights``
+    ``n`` int64 key weights;
+``rmq``
+    a sparse table of range-maximum argmax positions over ``weights``
+    (levels ``j >= 1`` concatenated; level 0 — single positions — is
+    implicit), precomputed at *save* time so load does no work at all.
+
+Because UTF-8 compares bytewise exactly like code points, the sorted key
+blob supports prefix lookup by binary search, and a prefix's matches are
+one contiguous index range ``[lo, hi)``.  :meth:`PackedTrie.complete`
+then runs a best-first search over *segments* of that range: a max-heap
+entry carries a segment and its argmax (found in O(1) via the sparse
+table); popping it emits the argmax key and splits the segment in two.
+Ordering is ``(-weight, index)`` and index order is lexicographic order,
+so the output is element-for-element identical to ``Trie.complete`` —
+top-k by descending weight, ties broken alphabetically.
+
+All four buffers may be ``array('q')`` / ``bytes`` (heap-backed loads)
+or ``memoryview`` slices of an mmap (zero-copy loads); the structure
+never writes to them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from array import array
+from collections.abc import Iterable, Iterator
+
+_TYPECODE = "q"
+
+
+def rmq_table_length(n: int) -> int:
+    """Number of int64 entries in the sparse table for ``n`` weights."""
+    total = 0
+    j = 1
+    while (1 << j) <= n:
+        total += n - (1 << j) + 1
+        j += 1
+    return total
+
+
+def build_rmq(weights) -> array:
+    """Sparse argmax table over ``weights`` (levels ``j >= 1``, concatenated).
+
+    Entry ``i`` of level ``j`` is the index of the maximum weight in
+    ``weights[i : i + 2**j]``, leftmost on ties.
+    """
+    n = len(weights)
+    table = array(_TYPECODE)
+    previous = list(range(n))
+    j = 1
+    while (1 << j) <= n:
+        half = 1 << (j - 1)
+        count = n - (1 << j) + 1
+        current = [0] * count
+        for i in range(count):
+            a = previous[i]
+            b = previous[i + half]
+            current[i] = a if weights[a] >= weights[b] else b
+        table.extend(current)
+        previous = current
+        j += 1
+    return table
+
+
+def pack_items(
+    items: Iterable[tuple[str, int]],
+) -> tuple[bytes, array, array, array]:
+    """Flatten lexicographically ordered ``(key, weight)`` pairs.
+
+    Returns ``(keys_blob, offsets, weights, rmq)`` — the four buffers a
+    :class:`PackedTrie` is built from.  Keys must be strictly increasing
+    (the order :meth:`Trie.items` yields).
+    """
+    blob = bytearray()
+    offsets = array(_TYPECODE, [0])
+    weights = array(_TYPECODE)
+    previous: bytes | None = None
+    for key, weight in items:
+        encoded = key.encode("utf-8")
+        if previous is not None and encoded <= previous:
+            raise ValueError(
+                f"trie keys are not strictly increasing at {key!r}"
+            )
+        previous = encoded
+        blob += encoded
+        offsets.append(len(blob))
+        weights.append(weight)
+    return bytes(blob), offsets, weights, build_rmq(weights)
+
+
+class PackedTrie:
+    """Read-only weighted dictionary over packed (possibly mapped) buffers.
+
+    API-compatible with the query surface of
+    :class:`~repro.index.trie.Trie` (``complete`` / ``iter_prefix`` /
+    ``items`` / ``weight`` / ``in`` / ``len``) — everything except
+    ``add``, which loaded completion indexes never call.
+    """
+
+    __slots__ = ("_keys", "_offsets", "_weights", "_rmq", "_n", "_level_starts")
+
+    def __init__(self, keys, offsets, weights, rmq) -> None:
+        self._keys = keys
+        self._offsets = offsets
+        self._weights = weights
+        self._rmq = rmq
+        self._n = len(weights)
+        starts = [0]
+        j = 1
+        while (1 << j) <= self._n:
+            starts.append(starts[-1] + self._n - (1 << j) + 1)
+            j += 1
+        #: Start of level ``j`` (1-based) at ``_level_starts[j - 1]``.
+        self._level_starts = starts
+
+    @classmethod
+    def from_trie(cls, trie) -> PackedTrie:
+        """Pack any object with a lexicographic ``items()`` iterator."""
+        return cls(*pack_items(trie.items()))
+
+    # ------------------------------------------------------------------
+    # Key access
+    # ------------------------------------------------------------------
+
+    def _key_bytes(self, index: int) -> bytes:
+        chunk = self._keys[self._offsets[index] : self._offsets[index + 1]]
+        return chunk.tobytes() if isinstance(chunk, memoryview) else chunk
+
+    def _key_str(self, index: int) -> str:
+        return self._key_bytes(index).decode("utf-8")
+
+    def __len__(self) -> int:
+        return self._n
+
+    def weight(self, key: str) -> int:
+        encoded = key.encode("utf-8")
+        index = self._bisect_left(encoded)
+        if index < self._n and self._key_bytes(index) == encoded:
+            return self._weights[index]
+        return 0
+
+    def __contains__(self, key: str) -> bool:
+        return self.weight(key) > 0
+
+    # ------------------------------------------------------------------
+    # Range machinery
+    # ------------------------------------------------------------------
+
+    def _bisect_left(self, encoded: bytes) -> int:
+        lo, hi = 0, self._n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._key_bytes(mid) < encoded:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _range(self, prefix: str) -> tuple[int, int]:
+        """Index range ``[lo, hi)`` of keys starting with ``prefix``."""
+        encoded = prefix.encode("utf-8")
+        lo = self._bisect_left(encoded)
+        width = len(encoded)
+        a, hi = lo, self._n
+        while a < hi:
+            mid = (a + hi) // 2
+            if self._key_bytes(mid)[:width] <= encoded:
+                a = mid + 1
+            else:
+                hi = mid
+        return lo, hi
+
+    def _argmax(self, lo: int, hi: int) -> int:
+        """Index of the max weight in ``[lo, hi)`` (leftmost on ties)."""
+        span = hi - lo
+        if span == 1:
+            return lo
+        level = span.bit_length() - 1
+        start = self._level_starts[level - 1]
+        a = self._rmq[start + lo]
+        b = self._rmq[start + hi - (1 << level)]
+        return a if self._weights[a] >= self._weights[b] else b
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def complete(self, prefix: str, k: int = 10) -> list[tuple[str, int]]:
+        """Top-``k`` keys with ``prefix`` by ``(-weight, key)`` — exactly
+        :meth:`Trie.complete`'s contract."""
+        if k <= 0:
+            return []
+        lo, hi = self._range(prefix)
+        if lo >= hi:
+            return []
+        weights = self._weights
+        counter = itertools.count()
+        results: list[tuple[str, int]] = []
+        # Heap entries: (-weight, index, tiebreak, lo, hi).  A segment
+        # entry (lo < hi) is keyed by its argmax; popping it emits a key
+        # entry (lo == hi == -1) for that argmax and the two sub-segments
+        # around it.  A popped key entry is final: every remaining entry
+        # keys >= it under (-weight, index), and index order is key order.
+        heap: list[tuple[int, int, int, int, int]] = []
+
+        def push_segment(a: int, b: int) -> None:
+            if a < b:
+                best = self._argmax(a, b)
+                heapq.heappush(
+                    heap, (-weights[best], best, next(counter), a, b)
+                )
+
+        push_segment(lo, hi)
+        while heap and len(results) < k:
+            negative_weight, index, _, a, b = heapq.heappop(heap)
+            if a < 0:
+                results.append((self._key_str(index), -negative_weight))
+                continue
+            heapq.heappush(
+                heap, (negative_weight, index, next(counter), -1, -1)
+            )
+            push_segment(a, index)
+            push_segment(index + 1, b)
+        return results
+
+    def iter_prefix(self, prefix: str) -> Iterator[tuple[str, int]]:
+        """All keys with ``prefix`` (lexicographic order), with weights."""
+        lo, hi = self._range(prefix)
+        for index in range(lo, hi):
+            yield self._key_str(index), self._weights[index]
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        """All keys with weights, lexicographic order."""
+        return self.iter_prefix("")
+
+    def __repr__(self) -> str:
+        return f"PackedTrie(keys={self._n})"

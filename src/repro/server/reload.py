@@ -58,6 +58,12 @@ class ReloadSource:
     #: Optional :class:`~repro.fleet.fleet.FleetConfig` tuning carried
     #: across reloads (``None`` uses fleet defaults).
     fleet_config: object | None = None
+    #: Serve snapshot hot sections zero-copy from an ``mmap`` of the
+    #: file (v3 snapshots; older versions fall back to the copying
+    #: loader).  Hot reload is unmap-safe: the old generation holds a
+    #: reference on its mapping, and the mapping outlives every
+    #: in-flight request that still touches its buffers.
+    mmap: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("xml", "snapshot"):
@@ -90,7 +96,22 @@ class ReloadSource:
                     eager=True,
                     replicas=self.replicas,
                     fleet_config=self.fleet_config,
+                    mmap=self.mmap,
                 )
+            if self.mmap:
+                from repro.engine.store import is_mmap_backed
+
+                database = load_snapshot(self.path, mmap=True)
+                if is_mmap_backed(database):
+                    # Zero-copy generation: warm only the hot sections —
+                    # the document tree and label store stay on disk
+                    # until a query path actually needs them.
+                    database.warm_hot()
+                else:
+                    # Pre-v3 / foreign-layout file fell back to the
+                    # copying loader; warm it fully like any other.
+                    database.warm()
+                return database
             return load_snapshot(self.path, eager=True)
         if self.shards > 1:
             from repro.shard.database import ShardedDatabase

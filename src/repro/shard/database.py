@@ -249,11 +249,29 @@ class ShardedDatabase:
             shard.warm()
         return self
 
+    def warm_hot(self) -> ShardedDatabase:
+        """Materialize only the hot query-path sections of every shard
+        (snapshot-backed shards skip the document tree and label store —
+        the mmap warm-start path); falls back to a full warm for shards
+        without the distinction."""
+        for shard in self.shards:
+            hot = getattr(shard, "warm_hot", None)
+            if hot is not None:
+                hot()
+            else:
+                shard.warm()
+        return self
+
     def close(self) -> None:
-        """Shut down the scatter-gather pools and the replica fleet."""
+        """Shut down the scatter-gather pools, the replica fleet, and
+        each shard that holds closeable resources (snapshot mappings)."""
         self.executor.close()
         if self.fleet is not None:
             self.fleet.close()
+        for shard in self.shards:
+            closer = getattr(shard, "close", None)
+            if closer is not None:
+                closer()
 
     def __repr__(self) -> str:
         return (

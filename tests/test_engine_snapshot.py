@@ -171,8 +171,12 @@ def test_read_snapshot_info(built_db, snapshot_path):
         "document",
         "labels",
         "terms",
+        "terms.raw",
         "completion",
+        "completion.raw",
+        "completion.keys",
         "columnar",
+        "columnar.raw",
     }
     assert info.size_bytes == snapshot_path.stat().st_size
 
@@ -253,16 +257,18 @@ def test_missing_file(tmp_path):
 
 def test_corrupt_section_with_valid_outer_digest(snapshot_path, tmp_path):
     """Craft a file whose outer checksum verifies but whose section blob
-    is garbage: decoding must fail as a typed format error, not leak a
-    half-built database."""
+    is garbage: decoding must fail as a typed integrity error (the lazy
+    per-section checksum), not leak a half-built database."""
     data = bytearray(snapshot_path.read_bytes())
-    _, _, _, header_length = _PREFIX.unpack_from(data)
+    _, version, _, header_length = _PREFIX.unpack_from(data)
     first_section_byte = _PREFIX.size + header_length
+    if version >= 3:
+        first_section_byte += _DIGEST_SIZE
     data[first_section_byte] ^= 0xFF
     bad = tmp_path / "inner.lxsnap"
     bad.write_bytes(_rewrite_digest(bytes(data)))
     db = load_snapshot(bad)  # verification passes; decode is lazy
-    with pytest.raises(SnapshotFormatError):
+    with pytest.raises(SnapshotIntegrityError):
         db.warm()
 
 
@@ -282,9 +288,10 @@ def test_header_overrun_rejected(snapshot_path, tmp_path):
 
 def _header(data: bytes) -> tuple[dict, int]:
     """(parsed JSON header, data-area start offset)."""
-    _, _, _, header_length = _PREFIX.unpack_from(data)
-    start = _PREFIX.size + header_length
-    return json.loads(data[_PREFIX.size : start]), start
+    _, version, _, header_length = _PREFIX.unpack_from(data)
+    header_end = _PREFIX.size + header_length
+    start = header_end + (_DIGEST_SIZE if version >= 3 else 0)
+    return json.loads(data[_PREFIX.size : header_end]), start
 
 
 def _strip_columnar_to_v1(data: bytes) -> bytes:
@@ -333,11 +340,11 @@ def test_columnar_section_round_trips(built_db, loaded_db):
     assert stats.notes["columnar"] == 1
 
 
-def test_v1_snapshot_falls_back_to_object_streams(
-    built_db, snapshot_path, tmp_path
-):
+def test_v1_snapshot_falls_back_to_object_streams(built_db, tmp_path):
+    v2_path = tmp_path / "v2.lxsnap"
+    save_snapshot(built_db, v2_path, version=2)
     v1_path = tmp_path / "v1.lxsnap"
-    v1_path.write_bytes(_strip_columnar_to_v1(snapshot_path.read_bytes()))
+    v1_path.write_bytes(_strip_columnar_to_v1(v2_path.read_bytes()))
     info = read_snapshot_info(v1_path)
     assert info.version == 1
     assert "columnar" not in info.section_sizes
@@ -372,7 +379,7 @@ def test_corrupt_columnar_section_fails_typed(snapshot_path, tmp_path):
     bad = tmp_path / "badcol.lxsnap"
     bad.write_bytes(_rewrite_digest(bytes(data)))
     db = load_snapshot(bad)  # outer digest was resealed; decode is lazy
-    with pytest.raises(SnapshotFormatError):
+    with pytest.raises(SnapshotIntegrityError):
         db.streams
 
 
