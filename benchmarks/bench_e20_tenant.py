@@ -1,0 +1,212 @@
+"""E20 (Table): multi-tenant serving — quota isolation under a noisy
+neighbor.
+
+The serving claim behind ``/api/t/<tenant>/``: per-tenant admission
+slices turn one tenant's overload into *that tenant's* 429s, not every
+tenant's latency.  The drill replays the same two recorded sessions in
+two topologies and compares only what changed:
+
+1. **Dedicated baseline.**  The quiet tenant (wide-flat corpus, mixed
+   replayed session) on its own server, while the noisy tenant (skewed
+   corpus, search-only session, driven far past budget by an open-loop
+   replay) runs against a *separate* server constrained to the same
+   1-slot budget its quota grants later.  Both workloads run — this
+   process hosts servers and clients alike, so the baseline must carry
+   the same background CPU load as the contended phase; a GIL-bound
+   interpreter cannot isolate tenants from each other's raw compute,
+   and that is not what admission slices claim.
+
+2. **Shared server.**  Both tenants on one server; the noisy tenant is
+   pinned to a 1-slot quota.  The only variable versus phase 1 is the
+   *shared* admission gate, coalescer, and event loop.
+
+Acceptance gates:
+
+* the quiet tenant's shared-server p99 stays within **2x** its
+  dedicated baseline (``shape_check``, real mode only — toy corpora
+  don't amortize);
+* every 429 body observed in the shared phase names the noisy tenant,
+  and the quiet tenant is never shed in either phase (plain asserts —
+  correctness at every scale);
+* the noisy tenant actually sheds on the shared server
+  (``shape_check``), proving the drill drove it past quota rather than
+  under it.
+
+Workloads come from the replay harness (`repro.bench.replay`) over the
+stress-shape generators (`repro.bench.generators`); results are
+persisted via ``record_bench`` (``BENCH_e20_tenant.json``) for the
+nightly artifact upload.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.bench.generators import (
+    generate_skewed_xml,
+    generate_wide_flat_xml,
+)
+from repro.bench.harness import print_table, record_bench
+from repro.bench.replay import (
+    REPORT_HEADERS,
+    HttpClient,
+    replay,
+    replay_many,
+    synthesize_session,
+)
+from repro.engine.database import LotusXDatabase
+from repro.server.aio import make_async_server
+from repro.server.pipeline import ServerConfig
+from repro.tenant.registry import TenantRegistry
+
+from conftest import SMOKE, shape_check
+
+#: Corpus scale.  The quiet tenant serves the wide-flat shape (cheap
+#: queries, pacing honored); the noisy tenant serves the skewed shape
+#: and overloads its quota by *rate*, not by per-query weight.
+NOISY_RECORDS = 40 if SMOKE else 100
+QUIET_RECORDS = 40 if SMOKE else 300
+
+#: Session shape: the noisy tenant offers several times more work than
+#: its 1-slot budget can serve; the quiet tenant idles along.
+NOISY_EVENTS = 60 if SMOKE else 900
+QUIET_EVENTS = 15 if SMOKE else 300
+NOISY_QPS = 60.0 if SMOKE else 120.0
+QUIET_QPS = 10.0 if SMOKE else 30.0
+NOISY_CONCURRENCY = 10
+QUIET_CONCURRENCY = 3
+
+#: Shared-server limits: the noisy slice (quota=1, queue share 2)
+#: saturates quickly while the fair-share quiet slice stays roomy.
+CONFIG = ServerConfig(max_concurrency=8, max_queue=4)
+
+#: The noisy tenant's dedicated baseline server mirrors the budget its
+#: quota grants on the shared server — same 1 slot, same queue depth —
+#: so both phases carry identical background engine load.
+NOISY_SOLO_CONFIG = ServerConfig(max_concurrency=1, max_queue=2)
+
+
+def _start(registry: TenantRegistry, config: ServerConfig):
+    server = make_async_server(registry, config=config)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _stop(server, thread) -> None:
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+
+
+def test_e20_tenant_isolation(capsys):
+    # Servers and replay clients share this interpreter; the default 5ms
+    # GIL switch interval lets an unlucky quiet request stall behind
+    # several full quanta of noisy engine work, which widens the p99
+    # tail in *both* phases and makes their ratio noisy.  A finer
+    # interval tightens the tail symmetrically for the measurement.
+    previous_switch = sys.getswitchinterval()
+    sys.setswitchinterval(0.001)
+    try:
+        _run_isolation_drill(capsys)
+    finally:
+        sys.setswitchinterval(previous_switch)
+
+
+def _run_isolation_drill(capsys):
+    noisy_db = LotusXDatabase.from_string(
+        generate_skewed_xml(records=NOISY_RECORDS, seed=11)
+    )
+    quiet_db = LotusXDatabase.from_string(
+        generate_wide_flat_xml(records=QUIET_RECORDS, seed=12)
+    )
+    noisy_session = synthesize_session(
+        noisy_db, seed=21, events=NOISY_EVENTS, mix={"search": 1.0}
+    )
+    quiet_session = synthesize_session(quiet_db, seed=22, events=QUIET_EVENTS)
+
+    rows = []
+    meta = {
+        "noisy_quota": 1,
+        "config": {"max_concurrency": 8, "max_queue": 4},
+        "smoke": SMOKE,
+    }
+    plans = lambda noisy_client, quiet_client: [  # noqa: E731
+        ("noisy", noisy_client, noisy_session, NOISY_QPS, NOISY_CONCURRENCY),
+        ("quiet", quiet_client, quiet_session, QUIET_QPS, QUIET_CONCURRENCY),
+    ]
+
+    # -------------------------------------------------- dedicated baseline
+    quiet_registry = TenantRegistry()
+    quiet_registry.add("quiet", quiet_db)
+    noisy_registry = TenantRegistry()
+    noisy_registry.add("noisy", noisy_db)
+    quiet_server, quiet_thread = _start(quiet_registry, CONFIG)
+    noisy_server, noisy_thread = _start(noisy_registry, NOISY_SOLO_CONFIG)
+    try:
+        quiet_client = HttpClient(*quiet_server.server_address, tenant="quiet")
+        noisy_client = HttpClient(*noisy_server.server_address, tenant="noisy")
+        replay(quiet_client, quiet_session[:5], qps=50.0, name="warmup")
+        baseline = replay_many(plans(noisy_client, quiet_client))
+    finally:
+        _stop(quiet_server, quiet_thread)
+        _stop(noisy_server, noisy_thread)
+    solo = baseline["quiet"]
+    assert solo.errors == 0 and baseline["noisy"].errors == 0
+    assert solo.shed() == 0, dict(solo.status_counts)
+    rows.append(["dedicated", *baseline["noisy"].as_row()])
+    rows.append(["dedicated", *solo.as_row()])
+
+    # ------------------------------------------------------ noisy neighbor
+    registry = TenantRegistry()
+    registry.add("noisy", noisy_db, quota=1)
+    registry.add("quiet", quiet_db)
+    server, thread = _start(registry, CONFIG)
+    try:
+        noisy_client = HttpClient(*server.server_address, tenant="noisy")
+        quiet_client = HttpClient(*server.server_address, tenant="quiet")
+        replay(quiet_client, quiet_session[:5], qps=50.0, name="warmup")
+        reports = replay_many(plans(noisy_client, quiet_client))
+    finally:
+        _stop(server, thread)
+    noisy, quiet = reports["noisy"], reports["quiet"]
+    assert noisy.errors == 0 and quiet.errors == 0
+    rows.append(["shared", *noisy.as_row()])
+    rows.append(["shared", *quiet.as_row()])
+
+    # Attribution: every 429 observed on the shared server must blame the
+    # noisy tenant; the quiet tenant is never shed.  These are
+    # correctness claims — they hold at toy scale too.
+    blamed = dict(noisy.shed_tenants + quiet.shed_tenants)
+    assert set(blamed) <= {"noisy"}, blamed
+    assert quiet.shed() == 0, dict(quiet.status_counts)
+
+    # The drill must actually overload the noisy slice...
+    shape_check(
+        noisy.shed() > 0,
+        f"noisy tenant never shed ({dict(noisy.status_counts)})",
+    )
+    # ...while the quiet tenant's tail stays within 2x its dedicated
+    # baseline.
+    p99_solo = solo.percentile_ms(0.99)
+    p99_multi = quiet.percentile_ms(0.99)
+    meta["p99_solo_ms"] = round(p99_solo, 2)
+    meta["p99_multi_ms"] = round(p99_multi, 2)
+    meta["isolation_ratio"] = (
+        round(p99_multi / p99_solo, 2) if p99_solo > 0 else None
+    )
+    meta["shed_blame"] = blamed
+    shape_check(
+        p99_multi <= 2.0 * p99_solo,
+        f"quiet p99 {p99_multi:.1f}ms vs solo {p99_solo:.1f}ms (> 2x)",
+    )
+
+    with capsys.disabled():
+        print_table(
+            ["phase", *REPORT_HEADERS],
+            rows,
+            title="E20: noisy-neighbor quota isolation",
+        )
+        print(f"  meta: {meta}")
+    record_bench("e20_tenant", ["phase", *REPORT_HEADERS], rows, meta=meta)

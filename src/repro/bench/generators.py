@@ -1,0 +1,173 @@
+"""Stress-shape corpus and query generators for soak benches.
+
+The scaling benches use the realistic DBLP/XMark generators; this module
+adds the *pathological* shapes a serving soak needs — corpora that hit a
+specific structural extreme, each paired with a canned query mix that
+exercises it:
+
+* :func:`generate_deep_recursive` — long self-nested ``section`` chains
+  (recursion depth stresses ancestor-descendant joins and the dataguide).
+* :func:`generate_wide_flat` — one root with a huge flat fanout of small
+  records (stresses sibling scans and completion frequency counts).
+* :func:`generate_skewed` — a Zipf-skewed tag and term distribution (a
+  few tags/terms dominate; stresses selectivity estimation and the hot
+  end of every cache).
+
+Everything is deterministic in ``(size, seed)``; each generator has a
+``*_xml`` text twin and a ``*_QUERIES`` workload tuple reusing
+:class:`~repro.bench.workloads.WorkloadQuery`, so benches can mix these
+shapes the same way they mix the DBLP/XMark workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.workloads import WorkloadQuery
+from repro.xmlio.tree import Document, Element
+
+_WORDS = (
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+    "theta", "kappa", "sigma", "omega",
+)
+
+
+# ----------------------------------------------------------------------
+# Deep-recursive: nested section chains
+# ----------------------------------------------------------------------
+
+def generate_deep_recursive(
+    chains: int = 20, depth: int = 12, seed: int = 42
+) -> Document:
+    """``chains`` independent ``section`` chains, each ``depth`` deep.
+
+    Every level holds a ``head`` child, and the innermost a ``leaf`` —
+    so ``//section//leaf`` traverses the full recursion while
+    ``/doc/section/head`` stays shallow.
+    """
+    if chains < 0 or depth < 1:
+        raise ValueError("chains must be >= 0 and depth >= 1")
+    rng = random.Random(seed)
+    root = Element("doc")
+    for chain in range(chains):
+        node = root
+        chain_depth = max(1, depth - rng.randrange(0, max(1, depth // 3)))
+        for level in range(chain_depth):
+            node = node.make_child("section", {"level": str(level)})
+            node.make_child("head").append_text(
+                f"{rng.choice(_WORDS)} {chain}-{level}"
+            )
+        node.make_child("leaf").append_text(rng.choice(_WORDS))
+    return Document(root, source_name=f"deep-recursive-{chains}x{depth}-{seed}")
+
+
+def generate_deep_recursive_xml(
+    chains: int = 20, depth: int = 12, seed: int = 42
+) -> str:
+    from repro.xmlio.serializer import serialize
+
+    return serialize(generate_deep_recursive(chains, depth, seed))
+
+
+DEEP_RECURSIVE_QUERIES: tuple[WorkloadQuery, ...] = (
+    WorkloadQuery("R-P1", "/doc/section/head", "path"),
+    WorkloadQuery("R-P2", "//section//leaf", "path"),
+    WorkloadQuery("R-T1", "//section[./head]//leaf", "deep-twig"),
+    WorkloadQuery("R-T2", "//section[.//section[./leaf]]/head", "deep-twig"),
+)
+
+
+# ----------------------------------------------------------------------
+# Wide-flat: huge fanout under one root
+# ----------------------------------------------------------------------
+
+def generate_wide_flat(records: int = 500, seed: int = 42) -> Document:
+    """One flat ``catalog`` of ``records`` small ``entry`` rows."""
+    if records < 0:
+        raise ValueError("records must be non-negative")
+    rng = random.Random(seed)
+    root = Element("catalog")
+    for index in range(records):
+        entry = root.make_child("entry", {"id": str(index)})
+        entry.make_child("code").append_text(f"c{index % 97}")
+        entry.make_child("label").append_text(rng.choice(_WORDS))
+        if rng.random() < 0.5:
+            entry.make_child("note").append_text(
+                f"{rng.choice(_WORDS)} {rng.choice(_WORDS)}"
+            )
+    return Document(root, source_name=f"wide-flat-{records}-{seed}")
+
+
+def generate_wide_flat_xml(records: int = 500, seed: int = 42) -> str:
+    from repro.xmlio.serializer import serialize
+
+    return serialize(generate_wide_flat(records, seed))
+
+
+WIDE_FLAT_QUERIES: tuple[WorkloadQuery, ...] = (
+    WorkloadQuery("W-P1", "/catalog/entry/label", "path"),
+    WorkloadQuery("W-P2", "//entry/code", "path"),
+    WorkloadQuery("W-T1", "//entry[./note]/label", "flat-twig"),
+    WorkloadQuery("W-T2", "//entry[./code][./label]", "flat-twig"),
+)
+
+
+# ----------------------------------------------------------------------
+# Skewed: Zipf-ish tag and term distribution
+# ----------------------------------------------------------------------
+
+def _zipf_choice(rng: random.Random, items: tuple[str, ...]) -> str:
+    """Pick with probability proportional to ``1/(rank+1)``."""
+    weights = [1.0 / (rank + 1) for rank in range(len(items))]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+_SKEW_TAGS = ("record", "event", "audit", "trace", "anomaly")
+
+
+def generate_skewed(records: int = 400, seed: int = 42) -> Document:
+    """A Zipf-skewed log: the head tag/term dominates, the tail is rare.
+
+    ``record`` rows outnumber ``anomaly`` rows roughly 5:1 and the term
+    ``alpha`` similarly dominates values, so the same query mix hits
+    both a very hot and a very cold end of every index.
+    """
+    if records < 0:
+        raise ValueError("records must be non-negative")
+    rng = random.Random(seed)
+    root = Element("log")
+    for index in range(records):
+        tag = _zipf_choice(rng, _SKEW_TAGS)
+        row = root.make_child(tag, {"seq": str(index)})
+        row.make_child("source").append_text(_zipf_choice(rng, _WORDS))
+        row.make_child("message").append_text(
+            f"{_zipf_choice(rng, _WORDS)} {_zipf_choice(rng, _WORDS)}"
+        )
+        if tag in ("audit", "anomaly"):
+            row.make_child("severity").append_text(
+                str(rng.randint(1, 5))
+            )
+    return Document(root, source_name=f"skewed-{records}-{seed}")
+
+
+def generate_skewed_xml(records: int = 400, seed: int = 42) -> str:
+    from repro.xmlio.serializer import serialize
+
+    return serialize(generate_skewed(records, seed))
+
+
+SKEWED_QUERIES: tuple[WorkloadQuery, ...] = (
+    WorkloadQuery("S-P1", "//record/message", "path"),       # hot head
+    WorkloadQuery("S-P2", "//anomaly/severity", "path"),      # cold tail
+    WorkloadQuery("S-T1", '//record[./source~"alpha"]/message', "flat-twig"),
+    WorkloadQuery("S-T2", "//audit[./severity]/source", "flat-twig"),
+    WorkloadQuery("S-D1", "//log//audit[./severity]/source", "deep-twig"),
+)
+
+
+#: Every stress shape in one place: ``(name, corpus_xml_fn, queries)``.
+STRESS_SHAPES: tuple[tuple[str, object, tuple[WorkloadQuery, ...]], ...] = (
+    ("deep-recursive", generate_deep_recursive_xml, DEEP_RECURSIVE_QUERIES),
+    ("wide-flat", generate_wide_flat_xml, WIDE_FLAT_QUERIES),
+    ("skewed", generate_skewed_xml, SKEWED_QUERIES),
+)

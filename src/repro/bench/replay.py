@@ -1,0 +1,391 @@
+"""Workload replay: record mixed query sessions, replay them at a
+controlled rate, report per-tenant latency percentiles.
+
+The soak harness for multi-tenant serving.  A *session* is an ordered
+list of :class:`ReplayEvent` — twig searches, keyword searches, and
+autocomplete keystrokes — synthesized deterministically from a corpus
+(:func:`synthesize_session`) or loaded from a JSONL recording
+(:func:`load_events` / :func:`save_events`).
+
+:func:`replay` fires a session at a target QPS with **open-loop
+pacing**: event *i* is due at ``start + i/qps`` regardless of how long
+earlier events took, so a slow server builds queue depth instead of
+silently slowing the offered load — which is exactly what a noisy-
+neighbor drill needs (a closed loop would let the server throttle its
+own attacker).  Each event records latency and status; the
+:class:`ReplayReport` aggregates percentiles, achieved QPS, status
+counts, and — for 429s — which tenant the server blamed, so quota
+isolation is checkable from the client side alone.
+
+:func:`replay_many` runs several plans concurrently (one per tenant) and
+returns each tenant's report; ``benchmarks/bench_e20_tenant.py`` uses it
+to drive a noisy tenant past its quota while a quiet tenant's p99 is
+gated against its solo baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ReplayEvent",
+    "ReplayReport",
+    "PipelineClient",
+    "HttpClient",
+    "synthesize_session",
+    "save_events",
+    "load_events",
+    "replay",
+    "replay_many",
+]
+
+
+@dataclass(frozen=True)
+class ReplayEvent:
+    """One recorded request: a base API path plus its JSON payload.
+
+    Paths are stored *unscoped* (``/api/search``); the client prefixes
+    ``/api/t/<tenant>/`` at send time, so one recording replays against
+    any tenant (or a single-tenant server verbatim).
+    """
+
+    path: str
+    payload: dict
+
+    def body(self) -> bytes:
+        return json.dumps(self.payload, sort_keys=True).encode("utf-8")
+
+
+#: Default event mix: mostly searches, a keyword minority, and bursts of
+#: autocomplete keystrokes (the interactive paper workload).
+DEFAULT_MIX = {"search": 0.5, "keyword": 0.2, "complete": 0.3}
+
+
+def synthesize_session(
+    database,
+    seed: int = 42,
+    events: int = 100,
+    mix: dict[str, float] | None = None,
+    max_nodes: int = 4,
+) -> list[ReplayEvent]:
+    """A deterministic mixed session against ``database``.
+
+    Twig queries come from the satisfiable-workload sampler, keyword
+    queries from the corpus vocabulary, and completion keystrokes from
+    tag-name prefixes — so every replayed request is *answerable*, and
+    latency measures work, not error paths.
+    """
+    import random
+
+    from repro.twig.sample import sample_workload
+
+    if events < 0:
+        raise ValueError("events must be non-negative")
+    weights = dict(DEFAULT_MIX if mix is None else mix)
+    kinds = sorted(weights)
+    rng = random.Random(seed)
+    patterns = sample_workload(
+        database.labeled, seed, max(1, events // 2), max_nodes=max_nodes
+    )
+    vocabulary = sorted(database.term_index.vocabulary())
+    tags = sorted(
+        {labeled.tag for labeled in database.labeled.elements if labeled.tag}
+    ) or ["a"]
+    session: list[ReplayEvent] = []
+    for _ in range(events):
+        kind = rng.choices(kinds, weights=[weights[k] for k in kinds], k=1)[0]
+        if kind == "search":
+            pattern = rng.choice(patterns)
+            session.append(
+                ReplayEvent("/api/search", {"query": str(pattern), "k": 10})
+            )
+        elif kind == "keyword":
+            terms = rng.sample(vocabulary, k=min(2, len(vocabulary))) or ["x"]
+            session.append(
+                ReplayEvent("/api/keyword", {"query": " ".join(terms), "k": 5})
+            )
+        else:
+            # A keystroke burst: successive prefixes of one tag, the way
+            # a typist reaches a completion.
+            tag = rng.choice(tags)
+            for end in range(1, min(len(tag), 3) + 1):
+                session.append(
+                    ReplayEvent(
+                        "/api/complete",
+                        {"kind": "tag", "prefix": tag[:end], "k": 8},
+                    )
+                )
+    return session
+
+
+def save_events(events: list[ReplayEvent], path: str) -> None:
+    """Write a session as JSONL (one event per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(
+                json.dumps(
+                    {"path": event.path, "payload": event.payload},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+
+def load_events(path: str) -> list[ReplayEvent]:
+    """Read a session written by :func:`save_events`."""
+    events: list[ReplayEvent] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            events.append(ReplayEvent(record["path"], record["payload"]))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Clients
+# ----------------------------------------------------------------------
+
+
+def _scope(path: str, tenant: str | None) -> str:
+    if tenant is None:
+        return path
+    return f"/api/t/{tenant}/{path[len('/api/'):]}"
+
+
+class PipelineClient:
+    """Replay directly into a :class:`RequestPipeline` (no sockets).
+
+    The fastest way to soak the engine+pipeline layers; used by tests
+    and in-process drills.  Thread-safe (the pipeline is).
+    """
+
+    def __init__(self, pipeline, tenant: str | None = None) -> None:
+        self.pipeline = pipeline
+        self.tenant = tenant
+
+    def send(self, event: ReplayEvent) -> tuple[int, bytes]:
+        body = event.body()
+        response = self.pipeline.handle(
+            "POST", _scope(event.path, self.tenant), body, len(body)
+        )
+        return response.status, response.body
+
+
+class HttpClient:
+    """Replay over HTTP with per-thread keep-alive connections."""
+
+    def __init__(
+        self, host: str, port: int, tenant: str | None = None
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self._local = threading.local()
+
+    def _connection(self):
+        import http.client
+
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=30
+            )
+            self._local.connection = connection
+        return connection
+
+    def close(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def send(self, event: ReplayEvent) -> tuple[int, bytes]:
+        import http.client
+
+        body = event.body()
+        for attempt in (1, 2):
+            connection = self._connection()
+            try:
+                connection.request(
+                    "POST",
+                    _scope(event.path, self.tenant),
+                    body,
+                    {"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                return response.status, response.read()
+            except (OSError, http.client.HTTPException):
+                # A dropped keep-alive connection (server idle timeout)
+                # is retried once on a fresh socket; anything persistent
+                # propagates.
+                self.close()
+                if attempt == 2:
+                    raise
+        raise AssertionError("unreachable")
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ReplayReport:
+    """What one replayed session observed."""
+
+    name: str
+    sent: int = 0
+    #: Per-event latencies, seconds (successful sends only).
+    latencies_s: list = field(default_factory=list)
+    status_counts: Counter = field(default_factory=Counter)
+    #: ``tenant`` fields seen in 429 bodies — quota attribution.
+    shed_tenants: Counter = field(default_factory=Counter)
+    elapsed_s: float = 0.0
+    errors: int = 0
+
+    def percentile_ms(self, quantile: float) -> float:
+        """Latency percentile in milliseconds (0 with no samples)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1, max(0, round(quantile * (len(ordered) - 1)))
+        )
+        return ordered[index] * 1000.0
+
+    @property
+    def achieved_qps(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.sent / self.elapsed_s
+
+    def ok(self) -> int:
+        return self.status_counts.get(200, 0)
+
+    def shed(self) -> int:
+        return self.status_counts.get(429, 0)
+
+    def as_row(self) -> list:
+        return [
+            self.name,
+            self.sent,
+            round(self.achieved_qps, 1),
+            round(self.percentile_ms(0.50), 2),
+            round(self.percentile_ms(0.95), 2),
+            round(self.percentile_ms(0.99), 2),
+            self.ok(),
+            self.shed(),
+        ]
+
+
+#: Table headers matching :meth:`ReplayReport.as_row`.
+REPORT_HEADERS = (
+    "session", "sent", "qps", "p50_ms", "p95_ms", "p99_ms", "ok", "shed",
+)
+
+
+def replay(
+    client,
+    events: list[ReplayEvent],
+    qps: float,
+    name: str = "replay",
+    concurrency: int = 4,
+) -> ReplayReport:
+    """Fire ``events`` at ``qps`` (open loop); returns the report.
+
+    ``concurrency`` worker threads share the paced schedule: event *i*
+    is due at ``start + i/qps``, a worker sleeps until its next event is
+    due, sends it, and records the outcome.  If the server falls behind,
+    events fire back-to-back (the open-loop property) rather than
+    thinning the offered load.
+    """
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    report = ReplayReport(name=name)
+    lock = threading.Lock()
+    cursor = {"next": 0}
+    start = time.perf_counter()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(events):
+                    return
+                cursor["next"] = index + 1
+            due = start + index / qps
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            event = events[index]
+            sent_at = time.perf_counter()
+            try:
+                status, body = client.send(event)
+            except Exception:
+                with lock:
+                    report.errors += 1
+                continue
+            latency = time.perf_counter() - sent_at
+            with lock:
+                report.sent += 1
+                report.latencies_s.append(latency)
+                report.status_counts[status] += 1
+                if status == 429:
+                    try:
+                        blamed = json.loads(body).get("tenant")
+                    except ValueError:
+                        blamed = None
+                    report.shed_tenants[blamed] += 1
+
+    threads = [
+        threading.Thread(target=worker, name=f"replay-{name}-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def replay_many(
+    plans: list[tuple], concurrency: int = 4
+) -> dict[str, ReplayReport]:
+    """Run several replays concurrently (one per tenant session).
+
+    ``plans`` is ``[(name, client, events, qps[, concurrency]), ...]``;
+    every plan starts at the same instant and runs to completion.  The
+    optional fifth element overrides the shared ``concurrency`` — a
+    noisy-neighbor drill needs many workers on the noisy plan without
+    also multiplying the quiet plan's own parallelism.  Returns
+    ``{name: report}``.
+    """
+    reports: dict[str, ReplayReport] = {}
+    lock = threading.Lock()
+
+    def run(plan: tuple) -> None:
+        name, client, events, qps = plan[:4]
+        workers = plan[4] if len(plan) > 4 else concurrency
+        result = replay(client, events, qps, name=name, concurrency=workers)
+        with lock:
+            reports[name] = result
+
+    threads = [
+        threading.Thread(target=run, args=(plan,), name=f"plan-{plan[0]}")
+        for plan in plans
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return reports

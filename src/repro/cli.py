@@ -21,6 +21,11 @@ Subcommands::
     lotusx serve --snapshot dblp.lxsnap --port 8080
     lotusx serve --snapshot ./dblp-shards --port 8080
     lotusx serve dblp.xml --legacy-threaded
+    lotusx serve --corpus dblp=dblp.xml --corpus mark=xmark.lxsnap
+    lotusx serve --corpus a=a.xml,quota=2 --corpus b=b.xml,quota=4
+    lotusx tenant list --url http://127.0.0.1:8080
+    lotusx tenant add books books.xml --url http://127.0.0.1:8080
+    lotusx tenant reload dblp --url http://127.0.0.1:8080
 
 Global flag: ``--expand-attributes`` indexes attributes as queryable
 ``@name`` nodes for every corpus-reading subcommand.
@@ -159,6 +164,32 @@ def build_parser() -> argparse.ArgumentParser:
         " instead of indexing an XML corpus",
     )
     serve.add_argument(
+        "--corpus",
+        action="append",
+        default=None,
+        dest="corpora",
+        metavar="NAME=PATH[,OPT=VAL...]",
+        help="serve a named corpus as a tenant at /api/t/NAME/"
+        " (repeatable; multi-tenant serving). PATH is an XML file, a"
+        " .lxsnap snapshot, or a sharded snapshot directory"
+        " (auto-detected). Options: quota=N (concurrency slice),"
+        " shards=N (XML only), writable=1, wal=FILE. The first --corpus"
+        " is the default tenant bare /api/ paths route to",
+    )
+    serve.add_argument(
+        "--default-tenant",
+        default=None,
+        metavar="NAME",
+        help="which --corpus tenant bare /api/ paths route to"
+        " (default: the first --corpus)",
+    )
+    serve.add_argument(
+        "--tenant-admin",
+        action="store_true",
+        help="allow POST /api/tenants to load new corpora at runtime"
+        " (default: the tenant set is fixed at startup)",
+    )
+    serve.add_argument(
         "--mmap",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -285,6 +316,39 @@ def build_parser() -> argparse.ArgumentParser:
         " (default 30)",
     )
 
+    tenant = sub.add_parser(
+        "tenant", help="inspect/administer a running multi-tenant server"
+    )
+    tenant_sub = tenant.add_subparsers(dest="tenant_command", required=True)
+    tenant_list = tenant_sub.add_parser(
+        "list", help="list the server's tenants"
+    )
+    tenant_add = tenant_sub.add_parser(
+        "add", help="load a new corpus into a --tenant-admin server"
+    )
+    tenant_add.add_argument("name", help="tenant name ([a-z0-9_-]{1,64})")
+    tenant_add.add_argument(
+        "path", help="server-side corpus path (XML or snapshot)"
+    )
+    tenant_add.add_argument(
+        "--quota", type=int, default=None, metavar="N",
+        help="concurrency slice for the new tenant",
+    )
+    tenant_add.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition an XML corpus into N shards",
+    )
+    tenant_reload = tenant_sub.add_parser(
+        "reload", help="hot-reload one tenant from its configured source"
+    )
+    tenant_reload.add_argument("name", help="tenant to reload")
+    for tenant_cmd in (tenant_list, tenant_add, tenant_reload):
+        tenant_cmd.add_argument(
+            "--url",
+            default="http://127.0.0.1:8080",
+            help="base URL of the running server",
+        )
+
     return parser
 
 
@@ -306,6 +370,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_index(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "tenant":
+        return _cmd_tenant(args)
     database = LotusXDatabase.from_file(
         args.corpus, expand_attributes=args.expand_attributes
     )
@@ -582,6 +648,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server.reload import DatabaseHolder, ReloadSource
 
+    if args.corpora:
+        if args.corpus is not None or args.snapshot is not None:
+            raise ValueError(
+                "--corpus (multi-tenant) cannot be combined with a"
+                " positional corpus or --snapshot"
+            )
+        if args.writable or args.wal is not None:
+            raise ValueError(
+                "use --corpus NAME=PATH,writable=1[,wal=FILE] for"
+                " writable tenants"
+            )
+        return _cmd_serve_tenants(args)
+    if args.default_tenant is not None or args.tenant_admin:
+        raise ValueError("--default-tenant/--tenant-admin require --corpus")
+
     if (args.corpus is None) == (args.snapshot is None):
         raise ValueError("serve needs exactly one of: a corpus file, or --snapshot")
 
@@ -683,6 +764,187 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     _serve(args, holder, _server_config(args))
     return 0
+
+
+def _parse_corpus_spec(spec: str) -> tuple[str, str, dict]:
+    """Decode one ``--corpus NAME=PATH[,OPT=VAL...]`` value."""
+    name, sep, rest = spec.partition("=")
+    if not sep or not name or not rest:
+        raise ValueError(
+            f"--corpus needs NAME=PATH[,OPT=VAL...], got {spec!r}"
+        )
+    parts = rest.split(",")
+    path = parts[0]
+    options: dict = {"quota": None, "shards": 1, "writable": False, "wal": None}
+    for part in parts[1:]:
+        key, sep, value = part.partition("=")
+        if not sep or key not in options:
+            raise ValueError(
+                f"--corpus {name}: unknown option {part!r}"
+                " (expected quota=N, shards=N, writable=1, or wal=FILE)"
+            )
+        if key in ("quota", "shards"):
+            options[key] = int(value)
+        elif key == "writable":
+            options[key] = value not in ("0", "false", "")
+        else:
+            options[key] = value
+    if options["quota"] is not None and options["quota"] < 1:
+        raise ValueError(f"--corpus {name}: quota must be at least 1")
+    if options["shards"] < 1:
+        raise ValueError(f"--corpus {name}: shards must be at least 1")
+    if options["writable"] and options["shards"] > 1:
+        raise ValueError(f"--corpus {name}: writable tenants cannot shard")
+    return name, path, options
+
+
+def _build_tenant_holder(name: str, path: str, options: dict, mmap: bool):
+    """Load one named corpus into a labeled DatabaseHolder."""
+    from repro.server.pipeline import _detect_source_kind
+    from repro.server.reload import DatabaseHolder, ReloadSource
+
+    if options["writable"]:
+        from repro.write.writer import open_writable_database
+
+        base = LotusXDatabase.from_file(path)
+        wal_path = options["wal"] or f"{path}.lxwal"
+        database = open_writable_database(base, wal_path)
+        holder = DatabaseHolder(database, label=name)
+        database.writer.attach_holder(holder)
+        return holder
+    if options["wal"]:
+        raise ValueError(f"--corpus {name}: wal= requires writable=1")
+    kind = _detect_source_kind(path)
+    source = ReloadSource(
+        kind,
+        path,
+        shards=options["shards"] if kind == "xml" else 1,
+        mmap=mmap if kind == "snapshot" else False,
+    )
+    return DatabaseHolder(source.build(), source, label=name)
+
+
+def _cmd_serve_tenants(args: argparse.Namespace) -> int:
+    """``lotusx serve --corpus a=a.xml --corpus b=b.xml ...``"""
+    import time
+
+    from repro.server.reload import serving_element_count
+    from repro.tenant.registry import TenantRegistry
+
+    registry = TenantRegistry()
+    registry.admin_enabled = args.tenant_admin
+    for spec in args.corpora:
+        name, path, options = _parse_corpus_spec(spec)
+        started = time.perf_counter()
+        holder = _build_tenant_holder(name, path, options, args.mmap)
+        tenant = registry.add(
+            name,
+            holder=holder,
+            quota=options["quota"],
+            default=name == args.default_tenant,
+        )
+        quota_note = (
+            f", quota {options['quota']}" if options["quota"] else ""
+        )
+        print(
+            f"loaded tenant {name} from {path}"
+            f" ({serving_element_count(holder.current)} elements"
+            f"{quota_note}) in {time.perf_counter() - started:.2f}s"
+        )
+        del tenant
+    if args.default_tenant is not None and (
+        registry.default_name != args.default_tenant
+    ):
+        raise ValueError(
+            f"--default-tenant {args.default_tenant!r} is not a --corpus"
+        )
+    print(
+        f"serving {len(registry)} tenants"
+        f" (default: {registry.default_name};"
+        f" tenant admin {'on' if args.tenant_admin else 'off'})"
+    )
+    _serve(args, registry, _server_config(args))
+    return 0
+
+
+def _http_json(method: str, url: str, payload: dict | None = None):
+    """One JSON request to a running server; ``(status, body_dict)``."""
+    import urllib.error
+    import urllib.request
+
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        url, data=data, method=method, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read())
+        except ValueError:
+            body = {"error": str(exc)}
+        return exc.code, body
+
+
+def _cmd_tenant(args: argparse.Namespace) -> int:
+    """``lotusx tenant list|add|reload`` against a running server."""
+    base = args.url.rstrip("/")
+    if args.tenant_command == "list":
+        status, body = _http_json("GET", f"{base}/api/tenants")
+        if status != 200:
+            print(f"error: {body.get('error', status)}", file=sys.stderr)
+            return 1
+        header = (
+            f"{'name':20} {'gen':>4} {'elements':>9} {'requests':>9}"
+            f" {'quota':>6}  source"
+        )
+        print(header)
+        print("-" * len(header))
+        for row in body["tenants"]:
+            marker = "*" if row["name"] == body["default"] else " "
+            quota = row["quota"] if row["quota"] is not None else "-"
+            print(
+                f"{marker}{row['name']:19} {row['generation']:>4}"
+                f" {row['elements']:>9} {row['requests']:>9}"
+                f" {quota:>6}  {row['source'] or '-'}"
+            )
+        print(f"(* = default; admin {'on' if body['admin_enabled'] else 'off'})")
+        return 0
+    if args.tenant_command == "add":
+        payload: dict = {"name": args.name, "path": args.path}
+        if args.quota is not None:
+            payload["quota"] = args.quota
+        if args.shards > 1:
+            payload["shards"] = args.shards
+        status, body = _http_json("POST", f"{base}/api/tenants", payload)
+        if status != 200:
+            print(f"error: {body.get('error', status)}", file=sys.stderr)
+            return 1
+        print(
+            f"added tenant {body['tenant']}"
+            f" (tenants now: {', '.join(body['tenants'])})"
+        )
+        return 0
+    if args.tenant_command == "reload":
+        status, body = _http_json(
+            "POST", f"{base}/api/t/{args.name}/reload", {}
+        )
+        if status != 200:
+            print(f"error: {body.get('error', status)}", file=sys.stderr)
+            return 1
+        print(
+            f"reloaded tenant {body.get('tenant', args.name)}:"
+            f" generation {body['generation']},"
+            f" {body['elements']} elements,"
+            f" {body['elapsed_seconds']}s"
+        )
+        return 0
+    raise AssertionError(f"unhandled tenant command {args.tenant_command!r}")
 
 
 def _cmd_serve_writable(args: argparse.Namespace) -> int:

@@ -54,6 +54,14 @@ from repro.xmlio.tree import Document, Element
 class LotusXDatabase:
     """One indexed XML document plus every query-time component."""
 
+    #: Tenant name when this instance serves a named corpus in a
+    #: multi-tenant registry (stamped by the serving layer's
+    #: ``DatabaseHolder``); ``None`` for standalone databases.  Caches
+    #: never need tenant partitioning beyond this: every tenant owns a
+    #: whole database instance, so plan/match/stream/completion caches
+    #: are partitioned by construction and die with the instance.
+    tenant_label: str | None = None
+
     def __init__(
         self,
         document: Document,
@@ -698,7 +706,7 @@ class LotusXDatabase:
             match_entries = len(self._match_cache)
             plan_entries = len(self._plan_cache)
             parse_entries = len(self._parse_cache)
-        return {
+        result = {
             "counters": counters,
             "match_cache_entries": match_entries,
             "plan_cache_entries": plan_entries,
@@ -711,6 +719,9 @@ class LotusXDatabase:
                 engine.cache_info() if engine is not None else None
             ),
         }
+        if self.tenant_label is not None:
+            result["tenant"] = self.tenant_label
+        return result
 
     def _as_pattern(self, query: str | TwigPattern) -> TwigPattern:
         """Parse ``query`` (memoized by text) or pass a pattern through.

@@ -26,6 +26,7 @@ class AdmissionGate:
         queue_timeout_s: float = 0.5,
         retry_after_s: float = 1.0,
         clock=time.monotonic,
+        site: str = "server.admission",
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
@@ -35,6 +36,11 @@ class AdmissionGate:
         self.max_queue = max_queue
         self.queue_timeout_s = queue_timeout_s
         self.retry_after_s = retry_after_s
+        #: Where this gate sits (``Overloaded.site`` in 429 bodies and
+        #: the ``site`` field of :meth:`snapshot`) — per-tenant slice
+        #: gates use ``tenant.<name>.admission`` so shed requests are
+        #: attributable to the tenant that exhausted its quota.
+        self.site = site
         self._clock = clock
         self._cond = threading.Condition()
         self._active = 0
@@ -60,7 +66,9 @@ class AdmissionGate:
             if self._waiting >= self.max_queue:
                 self.shed += 1
                 raise Overloaded(
-                    "admission queue full", retry_after=self.retry_after_s
+                    "admission queue full",
+                    retry_after=self.retry_after_s,
+                    site=self.site,
                 )
             self._waiting += 1
             give_up_at = self._clock() + self.queue_timeout_s
@@ -73,6 +81,7 @@ class AdmissionGate:
                             raise Overloaded(
                                 "timed out waiting for a server slot",
                                 retry_after=self.retry_after_s,
+                                site=self.site,
                             )
                 self._active += 1
             finally:
@@ -95,6 +104,25 @@ class AdmissionGate:
         finally:
             self.release()
 
+    def resize(self, capacity: int, max_queue: int | None = None) -> None:
+        """Change the gate's limits in place, keeping its counters.
+
+        Used by the tenant registry: when tenants are added, every
+        default-quota slice shrinks so the slices still partition the
+        global capacity.  Requests already holding slots keep them —
+        shrinking only affects future admissions — and any waiters that
+        a capacity *increase* could now admit are woken.
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        with self._cond:
+            self.capacity = capacity
+            if max_queue is not None:
+                self.max_queue = max_queue
+            self._cond.notify_all()
+
     def snapshot(self) -> dict:
         """Current gate state (monitoring / tests)."""
         with self._cond:
@@ -108,7 +136,7 @@ class AdmissionGate:
                 # body (resilience.errors.Overloaded) so monitoring and
                 # error payloads agree on names and units.
                 "retry_after_s": self.retry_after_s,
-                "site": "server.admission",
+                "site": self.site,
             }
 
 

@@ -48,8 +48,10 @@ from repro.server.pipeline import (
     PipelineResponse,
     RequestPipeline,
     ServerConfig,
+    split_tenant,
 )
 from repro.server.reload import DatabaseHolder
+from repro.tenant.registry import TenantRegistry
 
 #: Hard cap on the request head (request line + headers).
 MAX_HEADER_BYTES = 32_768
@@ -180,7 +182,7 @@ class AsyncLotusXServer:
 
     def __init__(
         self,
-        database: LotusXDatabase | DatabaseHolder,
+        database: LotusXDatabase | DatabaseHolder | TenantRegistry,
         host: str = "127.0.0.1",
         port: int = 0,
         config: ServerConfig | None = None,
@@ -336,6 +338,9 @@ class AsyncLotusXServer:
             del buffer[:consumed]
             # Keystroke batching: of several autocomplete requests
             # already queued on this connection, only the newest runs.
+            # Batches never span request paths — two tenants' keystrokes
+            # (different ``/api/t/<name>/complete`` paths) are separate
+            # typing sessions and must not supersede each other.
             batch = [request]
             if self._is_keystroke(request):
                 while True:
@@ -345,7 +350,11 @@ class AsyncLotusXServer:
                         )
                     except ProtocolError:
                         break  # leave for the main loop to report
-                    if queued is None or not self._is_keystroke(queued):
+                    if (
+                        queued is None
+                        or not self._is_keystroke(queued)
+                        or queued.path != request.path
+                    ):
                         break
                     del buffer[:consumed]
                     batch.append(queued)
@@ -362,7 +371,7 @@ class AsyncLotusXServer:
     def _is_keystroke(request: ParsedRequest) -> bool:
         return (
             request.method == "POST"
-            and request.path == "/api/complete"
+            and split_tenant(request.path)[1] == "/api/complete"
             and request.body is not None
         )
 
@@ -445,6 +454,7 @@ class AsyncLotusXServer:
 
         fallback = await self._run(
             self.pipeline.run_search_stream,
+            request.path,
             request.body,
             request.declared_length,
             emit,
@@ -475,7 +485,7 @@ def _frame(response: PipelineResponse, keep_alive: bool) -> bytes:
 
 
 def make_async_server(
-    database: LotusXDatabase | DatabaseHolder,
+    database: LotusXDatabase | DatabaseHolder | TenantRegistry,
     host: str = "127.0.0.1",
     port: int = 0,
     config: ServerConfig | None = None,
@@ -487,7 +497,7 @@ def make_async_server(
 
 
 def serve_async(
-    database: LotusXDatabase | DatabaseHolder,
+    database: LotusXDatabase | DatabaseHolder | TenantRegistry,
     host: str = "127.0.0.1",
     port: int = 8080,
     config: ServerConfig | None = None,

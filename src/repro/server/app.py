@@ -18,6 +18,9 @@ path                     method  handler
 ``/api/explain``         POST    evaluation plan
 ``/api/documents``       POST    live insert/update/delete (``--writable``)
 ``/api/reload``          POST    hot-swap rebuild from the serving source
+``/api/tenants``         GET     named-corpus listing (multi-tenant)
+``/api/tenants``         POST    load a new corpus (``--tenant-admin``)
+``/api/t/<name>/...``    both    any endpoint above, scoped to a tenant
 =======================  ======  ========================================
 
 Request semantics — admission control (429 + ``Retry-After``),
@@ -56,6 +59,7 @@ from repro.server.pipeline import (
     ServerConfig,
 )
 from repro.server.reload import DatabaseHolder
+from repro.tenant.registry import TenantRegistry
 
 __all__ = [
     "ServerConfig",
@@ -68,7 +72,7 @@ log = logging.getLogger("repro.server")
 
 
 def make_handler(
-    database: LotusXDatabase | DatabaseHolder,
+    database: LotusXDatabase | DatabaseHolder | TenantRegistry,
     config: ServerConfig | None = None,
     gate: AdmissionGate | None = None,
     pipeline: RequestPipeline | None = None,
@@ -125,7 +129,9 @@ def make_handler(
             # HTTP/1.0 transport: collect the ndjson lines and answer
             # them as one Content-Length body (same bytes, no chunking).
             chunks: list[bytes] = []
-            fallback = pipeline.run_search_stream(body, length, chunks.append)
+            fallback = pipeline.run_search_stream(
+                self.path, body, length, chunks.append
+            )
             if fallback is not None:
                 self._send(fallback)
                 return
@@ -156,7 +162,7 @@ def make_handler(
 
 
 def serve(
-    database: LotusXDatabase | DatabaseHolder,
+    database: LotusXDatabase | DatabaseHolder | TenantRegistry,
     host: str = "127.0.0.1",
     port: int = 8080,
     config: ServerConfig | None = None,
@@ -170,7 +176,7 @@ def serve(
 
 
 def make_server(
-    database: LotusXDatabase | DatabaseHolder,
+    database: LotusXDatabase | DatabaseHolder | TenantRegistry,
     host: str = "127.0.0.1",
     port: int = 0,
     config: ServerConfig | None = None,

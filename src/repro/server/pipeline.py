@@ -23,10 +23,11 @@ becomes the flight's *leader* and runs the normal guarded path; requests
 arriving with the same key while the flight is open become *followers*
 that subscribe to the leader's finished response — the very same
 serialized bytes, so all members of a flight are byte-identical by
-construction.  The key is ``(path, canonical payload JSON, serving
-generation)``: a hot-reload generation bump therefore *splits* the
-flight — requests against the new generation never receive a stale
-generation's answer.  Followers do not occupy admission-gate slots (the
+construction.  The key is ``(tenant, path, canonical payload JSON,
+serving generation)``: a hot-reload generation bump therefore *splits*
+the flight — requests against the new generation never receive a stale
+generation's answer — and two tenants can never share a flight, however
+identical their payloads.  Followers do not occupy admission-gate slots (the
 leader holds exactly one), which is what turns a thundering herd of
 identical hot queries into one evaluation plus N cheap subscriptions.
 
@@ -40,6 +41,16 @@ produces an ``application/x-ndjson`` body of two lines: a preliminary
 line with the first top-k answers in document order (flushed before
 ranking starts) and the final fully ranked response.  Transports frame
 the lines with chunked transfer encoding; see :meth:`run_search_stream`.
+
+**Multi-tenant routing.**  A pipeline may serve several named corpora
+(*tenants*, :mod:`repro.tenant`).  ``/api/t/<tenant>/<endpoint>``
+addresses one explicitly; every bare ``/api/<endpoint>`` request routes
+to the registry's *default* tenant, so a single-corpus server is the
+degenerate case and its responses stay byte-identical.  Tenant-scoped
+requests are admitted through the tenant's quota slice before the global
+gate — a 429 from the slice names the tenant it throttled — and the
+single-flight key carries the tenant name, so coalescing is partitioned
+per tenant just like every per-database cache.
 """
 
 from __future__ import annotations
@@ -62,9 +73,17 @@ from repro.server import api
 from repro.server.reload import (
     DatabaseHolder,
     ReloadInProgress,
+    ReloadSource,
     ReloadUnavailable,
 )
 from repro.server.ui import INDEX_HTML
+from repro.tenant.registry import (
+    Tenant,
+    TenantAdminDisabled,
+    TenantError,
+    TenantRegistry,
+    validate_tenant_name,
+)
 
 log = logging.getLogger("repro.server")
 
@@ -72,6 +91,24 @@ log = logging.getLogger("repro.server")
 COALESCED_PATHS = frozenset(
     {"/api/search", "/api/keyword", "/api/complete"}
 )
+
+#: Tenant-scoped requests: ``/api/t/<tenant>/<endpoint>``.
+TENANT_PREFIX = "/api/t/"
+
+
+def split_tenant(path: str) -> tuple[str | None, str]:
+    """``(tenant_name, base_path)`` for a request path.
+
+    ``/api/t/acme/search`` → ``("acme", "/api/search")``; any path
+    without the tenant prefix routes to the default tenant unchanged
+    (``(None, path)``).  The name is *not* validated here — the registry
+    does that, so malformed names get the structured 400.
+    """
+    if not path.startswith(TENANT_PREFIX):
+        return None, path
+    rest = path[len(TENANT_PREFIX):]
+    name, _, tail = rest.partition("/")
+    return name, "/api/" + tail
 
 _GET_HANDLERS = {
     "/api/stats": api.handle_stats,
@@ -259,17 +296,23 @@ class RequestPipeline:
 
     def __init__(
         self,
-        database: LotusXDatabase | DatabaseHolder,
+        database: LotusXDatabase | DatabaseHolder | TenantRegistry,
         config: ServerConfig | None = None,
         gate: AdmissionGate | None = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         self.gate = gate if gate is not None else self.config.make_gate()
-        self.holder = (
-            database
-            if isinstance(database, DatabaseHolder)
-            else DatabaseHolder(database)
-        )
+        if isinstance(database, TenantRegistry):
+            self.tenants = database
+        elif isinstance(database, DatabaseHolder):
+            self.tenants = TenantRegistry.single(database)
+        else:
+            self.tenants = TenantRegistry.single(DatabaseHolder(database))
+        # Size the per-tenant quota slices against this server's limits.
+        self.tenants.attach(self.config)
+        #: The default tenant's holder — the single-corpus alias every
+        #: pre-tenant caller (transports, tests) still reaches for.
+        self.holder = self.tenants.default.holder
         self.flights = SingleFlight()
         self._counter_lock = threading.Lock()
         #: Autocomplete keystrokes answered as superseded (batching).
@@ -316,6 +359,30 @@ class RequestPipeline:
             self.flights.finish(key, flight, response)
 
     # ------------------------------------------------------------------
+    # Tenant routing
+    # ------------------------------------------------------------------
+
+    def resolve(self, path: str) -> tuple[Tenant, str, bool]:
+        """Route ``path`` to ``(tenant, base_path, scoped)``.
+
+        ``scoped`` is True for ``/api/t/<name>/...`` requests; bare
+        paths land on the default tenant with ``base_path == path``.
+        Raises :class:`~repro.tenant.registry.TenantError` for invalid
+        or unknown tenant names — callers map it with
+        :meth:`tenant_error_response`.
+        """
+        name, base = split_tenant(path)
+        if name is None:
+            return self.tenants.default, path, False
+        return self.tenants.get(name), base, True
+
+    def tenant_error_response(self, exc: TenantError) -> PipelineResponse:
+        """The structured 400/404/… body for a tenant-addressing error."""
+        payload = {"error": str(exc), "code": exc.code}
+        payload.update(exc.fields())
+        return self._json(exc.http_status, payload)
+
+    # ------------------------------------------------------------------
     # Decomposed pieces (event-loop transport)
     # ------------------------------------------------------------------
 
@@ -327,9 +394,18 @@ class RequestPipeline:
         Only the read-only query endpoints coalesce; anything whose body
         is not a canonicalizable JSON object (it will 400 anyway) and
         streamed requests (their responses are not a single byte string)
-        take the normal path.
+        take the normal path.  The key leads with the tenant name, so
+        two tenants' identical payloads can never share a flight (or a
+        response byte); the tenant's own serving generation follows for
+        the same reason across reloads.
         """
-        if method != "POST" or path not in COALESCED_PATHS:
+        if method != "POST":
+            return None
+        try:
+            tenant, base, _ = self.resolve(path)
+        except TenantError:
+            return None  # execute() will produce the structured error
+        if base not in COALESCED_PATHS:
             return None
         if body is None:
             return None
@@ -340,11 +416,13 @@ class RequestPipeline:
         if not isinstance(payload, dict) or payload.get("stream"):
             return None
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return (path, canonical, self.holder.generation)
+        return (tenant.name, base, canonical, tenant.holder.generation)
 
     def wants_stream(self, method: str, path: str, body: bytes | None) -> bool:
         """True when this request asked for a chunked ndjson response."""
-        if method != "POST" or path != "/api/search" or not body:
+        if method != "POST" or not body:
+            return False
+        if split_tenant(path)[1] != "/api/search":
             return False
         try:
             payload = json.loads(body)
@@ -360,10 +438,17 @@ class RequestPipeline:
         declared_length: int | None = None,
     ) -> PipelineResponse:
         """One uncoalesced request: admission gate, dispatch, serialize."""
+        try:
+            tenant, base, scoped = self.resolve(path)
+        except TenantError as exc:
+            return self.tenant_error_response(exc)
+        tenant.count_request()
         if method == "GET":
-            return self._execute_get(path)
+            return self._execute_get(path, base, tenant, scoped)
         if method == "POST":
-            return self._execute_post(path, body, declared_length)
+            return self._execute_post(
+                path, base, tenant, scoped, body, declared_length
+            )
         return self._json(
             405,
             {"error": f"method {method} not allowed", "code": "method_not_allowed"},
@@ -376,14 +461,23 @@ class RequestPipeline:
 
     # ------------------------------------------------------------------
 
-    def _execute_get(self, path: str) -> PipelineResponse:
+    def _execute_get(
+        self, path: str, base: str, tenant: Tenant, scoped: bool
+    ) -> PipelineResponse:
         if path in ("/", "/index.html"):
             # The GUI shell is static — served outside the gate so the
             # page stays reachable even under API overload.
             return PipelineResponse(
                 200, INDEX_HTML.encode("utf-8"), "text/html"
             )
-        handler = _GET_HANDLERS.get(path)
+        if base == "/api/tenants" and not scoped:
+            # Global listing — not a tenant-scoped endpoint.
+            def listing() -> dict:
+                fault_point("server.request")
+                return self.tenants.listing()
+
+            return self._run_guarded(path, listing, None, False)
+        handler = _GET_HANDLERS.get(base)
         if handler is None:
             return self._not_found(path)
 
@@ -391,7 +485,7 @@ class RequestPipeline:
             fault_point("server.request")
             # Bind one generation for the whole request; a concurrent
             # reload swap never changes the database mid-handler.
-            current, generation = self.holder.snapshot()
+            current, generation = tenant.holder.snapshot()
             result = handler(current)
             if handler is api.handle_stats:
                 result["generation"] = generation
@@ -400,18 +494,31 @@ class RequestPipeline:
                 result["coalescing"] = self.stats_block()
                 if self.connection_stats is not None:
                     result["connections"] = self.connection_stats()
+                result["tenants"] = self.tenants.stats_block()
+                if scoped:
+                    result["tenant"] = tenant.name
             return result
 
-        return self._run_guarded(path, run)
+        return self._run_guarded(path, run, tenant, scoped)
 
     def _execute_post(
-        self, path: str, body: bytes | None, declared_length: int | None
+        self,
+        path: str,
+        base: str,
+        tenant: Tenant,
+        scoped: bool,
+        body: bytes | None,
+        declared_length: int | None,
     ) -> PipelineResponse:
-        if path == "/api/reload":
+        if base == "/api/reload":
             # Outside the admission gate: a rebuild must not occupy
             # (or wait for) a query slot.
-            return self._handle_reload()
-        handler = _POST_HANDLERS.get(path)
+            return self._handle_reload(tenant)
+        if base == "/api/tenants" and not scoped:
+            # Admin add — also outside the gate: the corpus build must
+            # not occupy (or wait for) a query slot.
+            return self._handle_tenant_add(body, declared_length)
+        handler = _POST_HANDLERS.get(base)
         if handler is None:
             return self._not_found(path)
 
@@ -419,11 +526,11 @@ class RequestPipeline:
             payload = self._read_json(body, declared_length)
             deadline = api.resolve_deadline(
                 payload,
-                default_ms=self.config.timeout_for(path),
+                default_ms=self.config.timeout_for(base),
                 max_ms=self.config.max_timeout_ms,
             )
             fault_point("server.request", deadline)
-            current = self.holder.current
+            current = tenant.holder.current
             if handler is api.handle_explain:
                 return handler(current, payload)
             if handler in (api.handle_search, api.handle_keyword):
@@ -435,16 +542,19 @@ class RequestPipeline:
                 )
             return handler(current, payload, deadline)
 
-        return self._run_guarded(path, run)
+        return self._run_guarded(path, run, tenant, scoped)
 
-    def _handle_reload(self) -> PipelineResponse:
-        """Rebuild from the configured source and swap atomically.
+    def _handle_reload(self, tenant: Tenant) -> PipelineResponse:
+        """Rebuild one tenant from its configured source and swap
+        atomically.
 
-        Reloads only re-read the source the server was started with —
-        clients cannot point the server at other files.
+        Reloads only re-read the source the tenant was started with —
+        clients cannot point the server at other files.  Each tenant
+        reloads independently: its generation bumps, every other
+        tenant's serving database is untouched.
         """
         try:
-            result = self.holder.reload()
+            result = tenant.holder.reload()
             status, payload = 200, result
         except ReloadUnavailable as exc:
             status = 400
@@ -460,12 +570,79 @@ class RequestPipeline:
             payload = {"error": "reload failed", "code": "reload_failed"}
         return self._json(status, payload)
 
+    def _handle_tenant_add(
+        self, body: bytes | None, declared_length: int | None
+    ) -> PipelineResponse:
+        """``POST /api/tenants``: load a new corpus into the registry.
+
+        Gated behind ``admin_enabled`` (the ``--tenant-admin`` serve
+        flag): by default a running server's tenant set is fixed at
+        startup and this endpoint answers 403.
+        """
+        try:
+            if not self.tenants.admin_enabled:
+                raise TenantAdminDisabled(
+                    "tenant administration is disabled on this server"
+                )
+            payload = self._read_json(body, declared_length)
+            name = payload.get("name")
+            if not isinstance(name, str) or not name:
+                raise api.ApiError("missing 'name'")
+            # Validate the name before any corpus I/O so a bad name is
+            # reported as such, not as a load failure.
+            validate_tenant_name(name)
+            corpus = payload.get("path")
+            if not isinstance(corpus, str) or not corpus:
+                raise api.ApiError("missing 'path'")
+            quota = payload.get("quota")
+            if quota is not None:
+                quota = api._int(quota, "quota", minimum=1, maximum=1 << 16)
+            shards = api._int(
+                payload.get("shards", 1), "shards", minimum=1, maximum=64
+            )
+            kind = payload.get("kind")
+            if kind is None:
+                kind = _detect_source_kind(corpus)
+            source = ReloadSource(kind=str(kind), path=corpus, shards=shards)
+            try:
+                database = source.build()
+            except (OSError, ValueError) as exc:
+                raise api.ApiError(f"could not load corpus: {exc}") from exc
+            added = self.tenants.add(
+                name, database, source=source, quota=quota
+            )
+            result = {
+                "tenant": added.name,
+                "generation": added.holder.generation,
+                "source": source.kind,
+                "tenants": self.tenants.names(),
+                "default": self.tenants.default_name,
+            }
+            return self._json(200, result)
+        except TenantError as exc:
+            return self.tenant_error_response(exc)
+        except api.ApiError as exc:
+            return self._json(
+                exc.http_status, {"error": str(exc), "code": exc.code}
+            )
+        except ResilienceError as exc:
+            return self._json(exc.http_status, exc.payload())
+        except Exception:
+            log.exception("tenant add failed")
+            return self._json(
+                500, {"error": "internal error", "code": "internal"}
+            )
+
     # ------------------------------------------------------------------
     # Streamed search
     # ------------------------------------------------------------------
 
     def run_search_stream(
-        self, body: bytes | None, declared_length: int | None, emit
+        self,
+        path: str,
+        body: bytes | None,
+        declared_length: int | None,
+        emit,
     ) -> PipelineResponse | None:
         """Streamed ``/api/search``: flush first answers before ranking.
 
@@ -479,12 +656,18 @@ class RequestPipeline:
         :class:`PipelineResponse` instead, so the transport can fall
         back to a plain response; nothing has been emitted in that case.
 
-        The whole stream runs under one admission-gate slot: it is one
+        The whole stream runs under one admission-gate slot (the
+        addressed tenant's quota slice, then the global gate): it is one
         request's engine work, however many chunks it flushes.
         """
+        try:
+            tenant, _, scoped = self.resolve(path)
+        except TenantError as exc:
+            return self.tenant_error_response(exc)
+        tenant.count_request()
         headers: dict[str, str] = {}
         try:
-            with self.gate.slot():
+            with tenant.admission(self.gate):
                 try:
                     payload = self._read_json(body, declared_length)
                     deadline = api.resolve_deadline(
@@ -493,7 +676,7 @@ class RequestPipeline:
                         max_ms=self.config.max_timeout_ms,
                     )
                     fault_point("server.request", deadline)
-                    current = self.holder.current
+                    current = tenant.holder.current
                     first = self._first_answers(current, payload)
                 except api.ApiError as exc:
                     return self._json(
@@ -521,7 +704,10 @@ class RequestPipeline:
                 return None
         except Overloaded as exc:
             headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
-            return self._json(exc.http_status, exc.payload(), headers)
+            payload = exc.payload()
+            if scoped or tenant.slice_gate is not None:
+                payload["tenant"] = tenant.name
+            return self._json(exc.http_status, payload, headers)
         except ResilienceError as exc:
             return self._json(exc.http_status, exc.payload())
         except Exception:
@@ -585,16 +771,34 @@ class RequestPipeline:
     # Guarded execution & serialization
     # ------------------------------------------------------------------
 
-    def _run_guarded(self, path: str, produce) -> PipelineResponse:
+    def _run_guarded(
+        self,
+        path: str,
+        produce,
+        tenant: Tenant | None = None,
+        scoped: bool = False,
+    ) -> PipelineResponse:
         """Run ``produce`` behind the admission gate, mapping the error
-        taxonomy to HTTP."""
+        taxonomy to HTTP.
+
+        With a ``tenant``, admission goes through the tenant's quota
+        slice first, then the global gate; a 429 then names the tenant
+        in its body (whenever the request was tenant-scoped or the
+        tenant actually has a slice), so shed traffic is attributable.
+        """
         headers: dict[str, str] = {}
         try:
-            with self.gate.slot():
+            if tenant is None:
+                gate_ctx = self.gate.slot()
+            else:
+                gate_ctx = tenant.admission(self.gate)
+            with gate_ctx:
                 status, payload = 200, produce()
         except Overloaded as exc:
             headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after)))
             status, payload = exc.http_status, exc.payload()
+            if tenant is not None and (scoped or tenant.slice_gate is not None):
+                payload["tenant"] = tenant.name
         except api.ApiError as exc:
             status = exc.http_status
             payload = {"error": str(exc), "code": exc.code}
@@ -649,3 +853,19 @@ class RequestPipeline:
 
 def _ndjson(payload: dict) -> bytes:
     return json.dumps(payload).encode("utf-8") + b"\n"
+
+
+def _detect_source_kind(path: str) -> str:
+    """``"snapshot"`` for ``.lxsnap`` files and sharded snapshot
+    directories, ``"xml"`` otherwise — the same convention the CLI's
+    ``--corpus`` flag uses."""
+    if path.endswith(".lxsnap"):
+        return "snapshot"
+    try:
+        from repro.engine.store import is_sharded_snapshot
+
+        if is_sharded_snapshot(path):
+            return "snapshot"
+    except Exception:  # pragma: no cover - detection must never raise
+        pass
+    return "xml"

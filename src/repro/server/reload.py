@@ -147,6 +147,7 @@ class DatabaseHolder:
         self,
         database: LotusXDatabase,
         source: ReloadSource | None = None,
+        label: str | None = None,
     ) -> None:
         self._lock = threading.Lock()
         #: Serializes reloads; held for the whole build so concurrent
@@ -156,6 +157,12 @@ class DatabaseHolder:
         self._generation = 1
         database.serving_generation = 1
         self.source = source
+        #: Tenant name when this holder serves a named corpus (multi-
+        #: tenant serving); stamped onto every installed generation so
+        #: per-instance cache statistics are attributable.
+        self.label = label
+        if label is not None:
+            database.tenant_label = label
 
     @property
     def current(self) -> LotusXDatabase:
@@ -182,6 +189,8 @@ class DatabaseHolder:
             # Stamp the generation onto the instance so its plan cache
             # keys can never collide with a previous generation's.
             database.serving_generation = self._generation
+            if self.label is not None:
+                database.tenant_label = self.label
             return self._generation
 
     def reload(self) -> dict:
@@ -205,11 +214,14 @@ class DatabaseHolder:
             started = time.perf_counter()
             database = self.source.build()
             generation = self.swap(database)
-            return {
+            result = {
                 "generation": generation,
                 "elements": serving_element_count(database),
                 "source": self.source.kind,
                 "elapsed_seconds": round(time.perf_counter() - started, 3),
             }
+            if self.label is not None:
+                result["tenant"] = self.label
+            return result
         finally:
             self._reload_lock.release()

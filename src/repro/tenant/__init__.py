@@ -1,0 +1,25 @@
+"""Multi-tenant serving: named corpora behind one server process."""
+
+from repro.tenant.registry import (
+    DEFAULT_TENANT,
+    DuplicateTenant,
+    InvalidTenantName,
+    Tenant,
+    TenantAdminDisabled,
+    TenantError,
+    TenantRegistry,
+    UnknownTenant,
+    validate_tenant_name,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "DuplicateTenant",
+    "InvalidTenantName",
+    "Tenant",
+    "TenantAdminDisabled",
+    "TenantError",
+    "TenantRegistry",
+    "UnknownTenant",
+    "validate_tenant_name",
+]

@@ -1,0 +1,273 @@
+"""The workload-replay soak harness and the stress-shape generators.
+
+Determinism (same seed, same session, same corpus), JSONL round-trips,
+client scoping, open-loop pacing, the report arithmetic the noisy-
+neighbor bench gates on, and the generators' contract: every canned
+query is satisfiable on its own corpus shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.generators import (
+    DEEP_RECURSIVE_QUERIES,
+    SKEWED_QUERIES,
+    STRESS_SHAPES,
+    WIDE_FLAT_QUERIES,
+    generate_deep_recursive,
+    generate_deep_recursive_xml,
+    generate_skewed_xml,
+    generate_wide_flat_xml,
+)
+from repro.bench.replay import (
+    ReplayEvent,
+    ReplayReport,
+    PipelineClient,
+    load_events,
+    replay,
+    replay_many,
+    save_events,
+    synthesize_session,
+)
+from repro.engine.database import LotusXDatabase
+from repro.server.pipeline import RequestPipeline
+from repro.xmlio.serializer import serialize
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+class TestGenerators:
+    def test_deterministic_in_seed(self):
+        assert generate_deep_recursive_xml(8, 6, seed=3) == (
+            generate_deep_recursive_xml(8, 6, seed=3)
+        )
+        assert generate_wide_flat_xml(40, seed=3) == (
+            generate_wide_flat_xml(40, seed=3)
+        )
+        assert generate_skewed_xml(50, seed=3) != (
+            generate_skewed_xml(50, seed=4)
+        )
+
+    def test_deep_recursive_actually_recurses(self):
+        document = generate_deep_recursive(chains=4, depth=10, seed=1)
+        xml = serialize(document)
+        assert xml.count("<section") >= 4 * 7  # depth jitter floors at 2/3
+        database = LotusXDatabase.from_string(xml)
+        deep = database.matches(database.parse_query("//section//leaf"))
+        assert deep  # the recursion axis is exercised
+
+    def test_skewed_head_dominates_tail(self):
+        xml = generate_skewed_xml(records=200, seed=7)
+        assert xml.count("<record") > 3 * xml.count("<anomaly")
+
+    @pytest.mark.parametrize(
+        "name,xml_fn,queries",
+        STRESS_SHAPES,
+        ids=[shape[0] for shape in STRESS_SHAPES],
+    )
+    def test_every_canned_query_is_satisfiable(self, name, xml_fn, queries):
+        database = LotusXDatabase.from_string(xml_fn(seed=42))
+        for query in queries:
+            matches = database.matches(database.parse_query(query.text))
+            assert matches, f"{name}: {query.name} found nothing"
+
+    def test_query_tuples_match_their_shapes(self):
+        assert {q.name[0] for q in DEEP_RECURSIVE_QUERIES} == {"R"}
+        assert {q.name[0] for q in WIDE_FLAT_QUERIES} == {"W"}
+        assert {q.name[0] for q in SKEWED_QUERIES} == {"S"}
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            generate_deep_recursive(chains=-1)
+        with pytest.raises(ValueError):
+            generate_deep_recursive(chains=1, depth=0)
+
+
+# ----------------------------------------------------------------------
+# Sessions
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def wide_db() -> LotusXDatabase:
+    return LotusXDatabase.from_string(generate_wide_flat_xml(40, seed=9))
+
+
+class TestSynthesize:
+    def test_deterministic_in_seed(self, wide_db):
+        first = synthesize_session(wide_db, seed=5, events=30)
+        second = synthesize_session(wide_db, seed=5, events=30)
+        assert first == second
+        assert first != synthesize_session(wide_db, seed=6, events=30)
+
+    def test_mix_controls_the_kinds(self, wide_db):
+        searches = synthesize_session(
+            wide_db, seed=5, events=20, mix={"search": 1.0}
+        )
+        assert {event.path for event in searches} == {"/api/search"}
+        mixed = synthesize_session(wide_db, seed=5, events=60)
+        paths = {event.path for event in mixed}
+        assert paths == {"/api/search", "/api/keyword", "/api/complete"}
+
+    def test_keystroke_bursts_grow_prefixes(self, wide_db):
+        session = synthesize_session(
+            wide_db, seed=1, events=20, mix={"complete": 1.0}
+        )
+        prefixes = [event.payload["prefix"] for event in session]
+        # Bursts: each tag contributes successive prefixes "e", "en", …
+        assert any(
+            len(b) == len(a) + 1 and b.startswith(a)
+            for a, b in zip(prefixes, prefixes[1:])
+        )
+
+    def test_every_event_is_answerable(self, wide_db):
+        pipeline = RequestPipeline(wide_db)
+        client = PipelineClient(pipeline)
+        for event in synthesize_session(wide_db, seed=3, events=40):
+            status, _ = client.send(event)
+            assert status == 200, event
+
+    def test_round_trip_through_jsonl(self, wide_db, tmp_path):
+        session = synthesize_session(wide_db, seed=2, events=25)
+        path = tmp_path / "session.jsonl"
+        save_events(session, str(path))
+        assert load_events(str(path)) == session
+        # One event per line, every line parseable on its own.
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == len(session)
+        assert all(json.loads(line)["path"] for line in lines)
+
+    def test_negative_events_rejected(self, wide_db):
+        with pytest.raises(ValueError):
+            synthesize_session(wide_db, events=-1)
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+class _ScriptedClient:
+    """A client answering from a canned script, for report arithmetic."""
+
+    def __init__(self, script):
+        import threading
+
+        self._script = list(script)
+        self._lock = threading.Lock()
+
+    def send(self, event: ReplayEvent):
+        with self._lock:
+            status, body = self._script.pop(0)
+        if isinstance(status, Exception):
+            raise status
+        return status, body
+
+
+class TestReplay:
+    def test_replays_everything_in_process(self, wide_db):
+        pipeline = RequestPipeline(wide_db)
+        session = synthesize_session(wide_db, seed=4, events=20)
+        report = replay(
+            PipelineClient(pipeline), session, qps=500.0, concurrency=2
+        )
+        assert report.sent == len(session)
+        assert report.errors == 0
+        assert report.ok() == len(session)
+        assert len(report.latencies_s) == len(session)
+
+    def test_tenant_scoping_reaches_the_tenant(self, wide_db):
+        from repro.tenant.registry import TenantRegistry
+
+        registry = TenantRegistry()
+        registry.add("w", wide_db)
+        pipeline = RequestPipeline(registry)
+        client = PipelineClient(pipeline, tenant="w")
+        status, _ = client.send(
+            ReplayEvent("/api/search", {"query": "//entry/code", "k": 2})
+        )
+        assert status == 200
+        assert registry.get("w").requests == 1
+        # An unknown tenant surfaces the structured 404, not an error.
+        status, body = PipelineClient(pipeline, tenant="nope").send(
+            ReplayEvent("/api/search", {"query": "//entry", "k": 1})
+        )
+        assert status == 404
+        assert json.loads(body)["code"] == "unknown_tenant"
+
+    def test_open_loop_pacing_holds_the_offered_rate(self, wide_db):
+        import time
+
+        pipeline = RequestPipeline(wide_db)
+        session = synthesize_session(
+            wide_db, seed=4, events=10, mix={"complete": 1.0}
+        )[:10]
+        started = time.perf_counter()
+        report = replay(PipelineClient(pipeline), session, qps=40.0)
+        elapsed = time.perf_counter() - started
+        # Event i is due at i/qps: the last is due at 9/40 = 0.225s, so
+        # the run cannot finish much faster than the schedule…
+        assert elapsed >= (len(session) - 1) / 40.0 - 0.01
+        assert report.sent == len(session)
+        # …and achieved_qps reflects the pacing, not raw engine speed.
+        assert report.achieved_qps < 100.0
+
+    def test_report_percentiles_and_shed_blame(self):
+        shed_body = json.dumps({"error": "x", "tenant": "noisy"}).encode()
+        script = [(200, b"{}")] * 8 + [
+            (429, shed_body),
+            (429, b"not json"),
+        ]
+        report = replay(
+            _ScriptedClient(script),
+            [ReplayEvent("/api/search", {"q": i}) for i in range(10)],
+            qps=10_000.0,
+            concurrency=1,
+        )
+        assert report.ok() == 8
+        assert report.shed() == 2
+        assert dict(report.shed_tenants) == {"noisy": 1, None: 1}
+        assert report.percentile_ms(0.5) >= 0.0
+        assert report.percentile_ms(0.99) >= report.percentile_ms(0.5)
+
+    def test_client_exceptions_are_counted_not_raised(self):
+        script = [(200, b"{}"), (RuntimeError("boom"), None), (200, b"{}")]
+        report = replay(
+            _ScriptedClient(script),
+            [ReplayEvent("/api/search", {"q": i}) for i in range(3)],
+            qps=10_000.0,
+            concurrency=1,
+        )
+        assert report.errors == 1
+        assert report.sent == 2
+
+    def test_empty_percentile_is_zero(self):
+        assert ReplayReport(name="x").percentile_ms(0.99) == 0.0
+        assert ReplayReport(name="x").achieved_qps == 0.0
+
+    def test_validation(self, wide_db):
+        client = PipelineClient(RequestPipeline(wide_db))
+        with pytest.raises(ValueError):
+            replay(client, [], qps=0.0)
+        with pytest.raises(ValueError):
+            replay(client, [], qps=1.0, concurrency=0)
+
+    def test_replay_many_runs_plans_concurrently(self, wide_db):
+        pipeline = RequestPipeline(wide_db)
+        session = synthesize_session(wide_db, seed=4, events=10)
+        reports = replay_many(
+            [
+                ("one", PipelineClient(pipeline), session, 400.0),
+                ("two", PipelineClient(pipeline), session, 400.0, 2),
+            ]
+        )
+        assert sorted(reports) == ["one", "two"]
+        assert reports["one"].sent == len(session)
+        assert reports["two"].sent == len(session)
+        assert reports["one"].name == "one"

@@ -192,3 +192,148 @@ class TestServeWritableFlags:
         code = main(["--expand-attributes", "serve", corpus, "--writable"])
         assert code == 1
         assert "--expand-attributes" in capsys.readouterr().err
+
+
+class TestCorpusSpec:
+    """`--corpus NAME=PATH[,OPT=VAL...]` decoding."""
+
+    def test_bare_spec(self):
+        from repro.cli import _parse_corpus_spec
+
+        name, path, options = _parse_corpus_spec("dblp=data/dblp.xml")
+        assert (name, path) == ("dblp", "data/dblp.xml")
+        assert options == {
+            "quota": None, "shards": 1, "writable": False, "wal": None
+        }
+
+    def test_all_options(self):
+        from repro.cli import _parse_corpus_spec
+
+        _, path, options = _parse_corpus_spec(
+            "a=a.xml,quota=2,shards=3"
+        )
+        assert path == "a.xml"
+        assert options["quota"] == 2
+        assert options["shards"] == 3
+
+    def test_writable_and_wal(self):
+        from repro.cli import _parse_corpus_spec
+
+        _, _, options = _parse_corpus_spec("a=a.xml,writable=1,wal=w.lxwal")
+        assert options["writable"] is True
+        assert options["wal"] == "w.lxwal"
+        _, _, options = _parse_corpus_spec("a=a.xml,writable=0")
+        assert options["writable"] is False
+
+    @pytest.mark.parametrize(
+        "spec,fragment",
+        [
+            ("nopath", "NAME=PATH"),
+            ("=x.xml", "NAME=PATH"),
+            ("a=", "NAME=PATH"),
+            ("a=a.xml,color=red", "unknown option"),
+            ("a=a.xml,quota=0", "quota must be at least 1"),
+            ("a=a.xml,shards=0", "shards must be at least 1"),
+            ("a=a.xml,writable=1,shards=2", "cannot shard"),
+        ],
+    )
+    def test_bad_specs_are_rejected(self, spec, fragment):
+        from repro.cli import _parse_corpus_spec
+
+        with pytest.raises(ValueError, match=fragment):
+            _parse_corpus_spec(spec)
+
+
+class TestServeTenantFlags:
+    """Multi-tenant serve flag validation fails fast, before loading."""
+
+    def test_default_tenant_requires_corpus(self, corpus, capsys):
+        code = main(["serve", corpus, "--default-tenant", "a"])
+        assert code == 1
+        assert "require --corpus" in capsys.readouterr().err
+
+    def test_tenant_admin_requires_corpus(self, corpus, capsys):
+        assert main(["serve", corpus, "--tenant-admin"]) == 1
+        assert "require --corpus" in capsys.readouterr().err
+
+    def test_corpus_excludes_positional(self, corpus, capsys):
+        code = main(["serve", corpus, "--corpus", f"a={corpus}"])
+        assert code == 1
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_corpus_excludes_snapshot(self, corpus, capsys):
+        code = main(
+            ["serve", "--corpus", f"a={corpus}", "--snapshot", "/tmp/s"]
+        )
+        assert code == 1
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_corpus_excludes_top_level_writable(self, corpus, capsys):
+        code = main(["serve", "--corpus", f"a={corpus}", "--writable"])
+        assert code == 1
+        assert "writable=1" in capsys.readouterr().err
+
+    def test_default_tenant_must_name_a_corpus(self, corpus, capsys):
+        code = main(
+            [
+                "serve",
+                "--corpus",
+                f"a={corpus}",
+                "--default-tenant",
+                "missing",
+            ]
+        )
+        assert code == 1
+        assert "not a --corpus" in capsys.readouterr().err
+
+
+class TestTenantSubcommand:
+    """`lotusx tenant ...` against a live multi-tenant server."""
+
+    @pytest.fixture()
+    def live_server(self, corpus):
+        import threading
+
+        from repro.server.aio import make_async_server
+        from repro.server.reload import DatabaseHolder, ReloadSource
+        from repro.tenant.registry import TenantRegistry
+
+        registry = TenantRegistry()
+        source = ReloadSource("xml", corpus)
+        registry.add(
+            "dblp", holder=DatabaseHolder(source.build(), source, label="dblp")
+        )
+        server = make_async_server(registry)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
+
+    def test_list_prints_the_table(self, live_server, capsys):
+        assert main(["tenant", "list", "--url", live_server]) == 0
+        out = capsys.readouterr().out
+        assert "*dblp" in out  # the default marker hugs the name column
+        assert "(* = default; admin off)" in out
+
+    def test_reload_reports_the_new_generation(self, live_server, capsys):
+        code = main(["tenant", "reload", "dblp", "--url", live_server])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reloaded tenant dblp: generation 2" in out
+
+    def test_add_against_admin_off_server_fails(
+        self, live_server, corpus, capsys
+    ):
+        code = main(["tenant", "add", "extra", corpus, "--url", live_server])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_reload_unknown_tenant_fails(self, live_server, capsys):
+        code = main(["tenant", "reload", "ghost", "--url", live_server])
+        assert code == 1
+        assert "unknown_tenant" in capsys.readouterr().err

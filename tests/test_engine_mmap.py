@@ -395,7 +395,9 @@ def test_reload_swap_keeps_old_mapping_alive_for_inflight_stream(
 
     body = json.dumps({"query": QUERIES[0], "stream": True}).encode()
     worker = threading.Thread(
-        target=lambda: pipeline.run_search_stream(body, len(body), emit)
+        target=lambda: pipeline.run_search_stream(
+            "/api/search", body, len(body), emit
+        )
     )
     worker.start()
     assert first_chunk.wait(timeout=10)

@@ -1,0 +1,162 @@
+"""Differential check: a 2-tenant server vs dedicated servers.
+
+The multi-tenant claim is that co-hosting is *invisible* in the bytes: a
+request scoped to tenant X on a shared server answers exactly what the
+same request answers on a dedicated single-tenant server for X's corpus.
+This harness extends the seeded case-matrix idiom of
+``test_twig_cross_check`` to the serving layer — the same
+``HARNESS_BATCHES x HARNESS_CASES_PER_BATCH`` seed-addressed matrix, the
+seed in every assertion message, each seed deriving one request
+(satisfiable twig search, keyword query, autocomplete keystroke, or a
+deliberately malformed payload — even the 400s must match byte-for-byte)
+and the tenant it addresses.
+
+Only ``elapsed_seconds`` (the one wall-clock field, search responses
+only) is normalized out, exactly as the transport soak does.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+from repro.server.pipeline import RequestPipeline
+from repro.tenant.registry import TenantRegistry
+from repro.twig.sample import sample_workload
+
+from tests.test_twig_cross_check import (
+    HARNESS_BATCHES,
+    HARNESS_CASES_PER_BATCH,
+    _harness_document,
+)
+
+#: Corpus seeds: two structurally different harness documents, one per
+#: tenant.  Chosen so both corpora are non-trivial (a few dozen nodes).
+CORPUS_SEEDS = {"alpha": 29, "beta": 38}
+
+
+def _build_databases() -> dict[str, LotusXDatabase]:
+    return {
+        name: LotusXDatabase(_harness_document(seed))
+        for name, seed in CORPUS_SEEDS.items()
+    }
+
+
+def _harness_request(seed: int, database: LotusXDatabase) -> tuple[str, dict]:
+    """The request case ``seed`` fires: ``(base_path, payload)``.
+
+    Mostly well-formed (satisfiable searches, vocabulary keywords, tag
+    keystrokes), with a deliberate error-shape minority — missing
+    fields, bad twig syntax, bad types — because error bytes must match
+    across topologies just as answer bytes do.
+    """
+    rng = random.Random(seed)
+    roll = rng.random()
+    if roll < 0.10:  # error shapes
+        return rng.choice(
+            [
+                ("/api/search", {}),  # missing query
+                ("/api/search", {"query": "//a[["}),  # syntax error
+                ("/api/search", {"query": "//a", "k": 0}),  # bad k
+                ("/api/keyword", {"query": ""}),
+                ("/api/complete", {"k": "many"}),
+            ]
+        )
+    if roll < 0.55:
+        pattern = sample_workload(database.labeled, seed, 1, max_nodes=3)[0]
+        return (
+            "/api/search",
+            {"query": str(pattern), "k": rng.randint(1, 8)},
+        )
+    if roll < 0.80:
+        vocabulary = sorted(database.term_index.vocabulary())
+        terms = rng.sample(vocabulary, k=min(2, len(vocabulary)))
+        if rng.random() < 0.2:
+            terms.append("nosuchterm")
+        return ("/api/keyword", {"query": " ".join(terms), "k": 5})
+    tags = sorted(
+        {element.tag for element in database.labeled.elements if element.tag}
+    )
+    prefix = rng.choice(tags)[: rng.randint(1, 2)] if tags else "a"
+    return ("/api/complete", {"prefix": prefix, "k": 8})
+
+
+def _normalize(status: int, body: bytes) -> str:
+    payload = json.loads(body)
+    if status == 200:
+        payload.pop("elapsed_seconds", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestTenantDifferentialHarness:
+    @pytest.fixture(scope="class")
+    def topologies(self):
+        """One shared 2-tenant pipeline plus a dedicated pipeline per
+        tenant, all serving the same database objects."""
+        databases = _build_databases()
+        registry = TenantRegistry()
+        for name, database in databases.items():
+            registry.add(name, database)
+        shared = RequestPipeline(registry)
+        dedicated = {
+            name: RequestPipeline(database)
+            for name, database in databases.items()
+        }
+        return databases, shared, dedicated
+
+    @pytest.mark.parametrize("batch", range(HARNESS_BATCHES))
+    def test_shared_serving_is_byte_invisible(self, topologies, batch):
+        databases, shared, dedicated = topologies
+        names = sorted(databases)
+        for case in range(HARNESS_CASES_PER_BATCH):
+            seed = batch * HARNESS_CASES_PER_BATCH + case
+            tenant = names[seed % len(names)]
+            base, payload = _harness_request(seed, databases[tenant])
+            body = json.dumps(payload, sort_keys=True).encode()
+
+            scoped_path = f"/api/t/{tenant}{base[len('/api'):]}"
+            shared_response = shared.handle(
+                "POST", scoped_path, body, len(body)
+            )
+            dedicated_response = dedicated[tenant].handle(
+                "POST", base, body, len(body)
+            )
+
+            context = (
+                f"seed={seed} tenant={tenant} path={base}"
+                f" payload={payload!r}"
+            )
+            assert shared_response.status == dedicated_response.status, (
+                f"status diverged ({shared_response.status} vs"
+                f" {dedicated_response.status}): {context}"
+            )
+            assert _normalize(
+                shared_response.status, shared_response.body
+            ) == _normalize(
+                dedicated_response.status, dedicated_response.body
+            ), f"body diverged: {context}"
+
+    def test_harness_covers_every_shape(self):
+        """The seed matrix actually exercises all four request kinds and
+        both tenants — exact counts, same idiom as the twig harness's
+        coverage floor."""
+        databases = _build_databases()
+        names = sorted(databases)
+        counts: dict[str, int] = {}
+        total = HARNESS_BATCHES * HARNESS_CASES_PER_BATCH
+        for seed in range(total):
+            tenant = names[seed % len(names)]
+            base, payload = _harness_request(seed, databases[tenant])
+            counts[base] = counts.get(base, 0) + 1
+            counts[tenant] = counts.get(tenant, 0) + 1
+            if "query" not in payload and base == "/api/search":
+                counts["error_shape"] = counts.get("error_shape", 0) + 1
+        assert counts["/api/search"] >= 150, counts
+        assert counts["/api/keyword"] >= 60, counts
+        assert counts["/api/complete"] >= 60, counts
+        assert counts["alpha"] == total // 2, counts
+        assert counts["beta"] == total // 2, counts
+        assert counts.get("error_shape", 0) >= 5, counts

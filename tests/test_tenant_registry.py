@@ -1,0 +1,278 @@
+"""The tenant registry: names, quotas, slices, and rebalancing.
+
+Pure registry-level tests — no transports, no sockets.  The routing and
+HTTP behavior of multi-tenant serving lives in ``test_tenant_server``;
+here the subjects are the name rules, the default-tenant bookkeeping,
+the quota-slice arithmetic (explicit quotas honored verbatim, fair
+shares recomputed on every membership change), and the
+slice-then-global admission order that makes one tenant's overload shed
+*its own* traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import LotusXDatabase
+from repro.resilience.errors import Overloaded
+from repro.server.pipeline import ServerConfig
+from repro.server.reload import DatabaseHolder
+from repro.tenant.registry import (
+    DEFAULT_TENANT,
+    DuplicateTenant,
+    InvalidTenantName,
+    Tenant,
+    TenantRegistry,
+    UnknownTenant,
+    validate_tenant_name,
+)
+
+XML_A = "<a><x>alpha</x></a>"
+XML_B = "<b><y>beta</y></b>"
+
+
+def db(xml: str) -> LotusXDatabase:
+    return LotusXDatabase.from_string(xml)
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name", ["a", "acme", "a-b_c", "0", "x" * 64, "tenant-2"]
+    )
+    def test_legal_names_pass(self, name):
+        assert validate_tenant_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "ACME", "a b", "a/b", "x" * 65, "ünïcode", "a.b", None, 7],
+    )
+    def test_illegal_names_raise_400(self, name):
+        with pytest.raises(InvalidTenantName) as info:
+            validate_tenant_name(name)
+        assert info.value.http_status == 400
+        assert info.value.code == "invalid_tenant"
+
+    def test_registry_get_validates_before_lookup(self):
+        registry = TenantRegistry()
+        registry.add("a", db(XML_A))
+        with pytest.raises(InvalidTenantName):
+            registry.get("NOT-LEGAL")
+
+    def test_unknown_tenant_names_the_known_set(self):
+        registry = TenantRegistry()
+        registry.add("b", db(XML_B))
+        registry.add("a", db(XML_A))
+        with pytest.raises(UnknownTenant) as info:
+            registry.get("zzz")
+        assert info.value.http_status == 404
+        assert info.value.code == "unknown_tenant"
+        assert info.value.fields() == {"tenant": "zzz", "known": ["a", "b"]}
+
+
+class TestMembership:
+    def test_first_added_becomes_default(self):
+        registry = TenantRegistry()
+        registry.add("first", db(XML_A))
+        registry.add("second", db(XML_B))
+        assert registry.default_name == "first"
+        assert registry.default.name == "first"
+
+    def test_explicit_default_wins(self):
+        registry = TenantRegistry()
+        registry.add("first", db(XML_A))
+        registry.add("second", db(XML_B), default=True)
+        assert registry.default_name == "second"
+
+    def test_duplicate_add_is_409(self):
+        registry = TenantRegistry()
+        registry.add("a", db(XML_A))
+        with pytest.raises(DuplicateTenant) as info:
+            registry.add("a", db(XML_B))
+        assert info.value.http_status == 409
+
+    def test_iteration_and_names_are_sorted(self):
+        registry = TenantRegistry()
+        registry.add("zeta", db(XML_A))
+        registry.add("alpha", db(XML_B))
+        assert registry.names() == ["alpha", "zeta"]
+        assert [tenant.name for tenant in registry] == ["alpha", "zeta"]
+        assert len(registry) == 2
+        assert registry.is_multi
+
+    def test_single_wraps_a_holder_as_default(self, small_db):
+        holder = DatabaseHolder(small_db)
+        registry = TenantRegistry.single(holder)
+        assert registry.default_name == DEFAULT_TENANT
+        assert registry.default.holder is holder
+        assert not registry.is_multi
+
+    def test_quota_must_be_positive(self):
+        registry = TenantRegistry()
+        with pytest.raises(ValueError):
+            registry.add("a", db(XML_A), quota=0)
+
+
+class TestSlices:
+    CONFIG = ServerConfig(max_concurrency=8, max_queue=4)
+
+    def test_single_tenant_without_quota_has_no_slice(self, small_db):
+        registry = TenantRegistry.single(DatabaseHolder(small_db))
+        registry.attach(self.CONFIG)
+        assert registry.default.slice_gate is None
+
+    def test_single_tenant_with_explicit_quota_gets_a_slice(self):
+        registry = TenantRegistry()
+        registry.add("only", db(XML_A), quota=3)
+        registry.attach(self.CONFIG)
+        gate = registry.get("only").slice_gate
+        assert gate is not None
+        assert gate.capacity == 3
+
+    def test_fair_shares_partition_the_capacity(self):
+        registry = TenantRegistry()
+        registry.add("a", db(XML_A))
+        registry.add("b", db(XML_B))
+        registry.attach(self.CONFIG)
+        for name in ("a", "b"):
+            gate = registry.get(name).slice_gate
+            assert gate.capacity == 4  # 8 // 2
+            assert gate.max_queue == 2  # 4 // 2
+
+    def test_explicit_quota_is_honored_verbatim(self):
+        registry = TenantRegistry()
+        registry.add("pinned", db(XML_A), quota=1)
+        registry.add("other", db(XML_B))
+        registry.attach(self.CONFIG)
+        assert registry.get("pinned").slice_gate.capacity == 1
+        assert registry.get("other").slice_gate.capacity == 4
+
+    def test_membership_change_resizes_existing_slices(self):
+        registry = TenantRegistry()
+        registry.add("a", db(XML_A))
+        registry.add("b", db(XML_B))
+        registry.attach(self.CONFIG)
+        gate_a = registry.get("a").slice_gate
+        assert gate_a.capacity == 4
+        registry.add("c", db(XML_A))
+        registry.add("d", db(XML_B))
+        # Same gate object, shrunk in place: 8 // 4 tenants.
+        assert registry.get("a").slice_gate is gate_a
+        assert gate_a.capacity == 2
+        assert gate_a.max_queue == 1
+
+    def test_shares_floor_at_one_slot(self):
+        registry = TenantRegistry()
+        for index in range(4):
+            registry.add(f"t{index}", db(XML_A))
+        registry.attach(ServerConfig(max_concurrency=2, max_queue=0))
+        for tenant in registry:
+            assert tenant.slice_gate.capacity == 1
+
+    def test_slice_site_names_the_tenant(self):
+        registry = TenantRegistry()
+        registry.add("acme", db(XML_A), quota=1)
+        registry.add("other", db(XML_B))
+        registry.attach(self.CONFIG)
+        gate = registry.get("acme").slice_gate
+        assert gate.site == "tenant.acme.admission"
+        assert gate.snapshot()["site"] == "tenant.acme.admission"
+
+
+class TestAdmission:
+    def test_slice_sheds_before_the_global_gate(self):
+        """A saturated slice raises with the tenant's site while the
+        global gate still has room — the noisy tenant sheds itself."""
+        config = ServerConfig(
+            max_concurrency=8, max_queue=0, queue_timeout_s=0.05
+        )
+        registry = TenantRegistry()
+        registry.add("noisy", db(XML_A), quota=1)
+        registry.add("quiet", db(XML_B))
+        registry.attach(config)
+        noisy = registry.get("noisy")
+        quiet = registry.get("quiet")
+        global_gate = config.make_gate()
+        with noisy.admission(global_gate):
+            with pytest.raises(Overloaded) as info:
+                with noisy.admission(global_gate):
+                    pass  # pragma: no cover
+            assert info.value.site == "tenant.noisy.admission"
+            # The other tenant is untouched by the noisy slice.
+            with quiet.admission(global_gate):
+                assert global_gate.snapshot()["active"] == 2
+
+    def test_slice_slot_is_released_on_exit(self):
+        registry = TenantRegistry()
+        registry.add("a", db(XML_A), quota=1)
+        registry.add("b", db(XML_B))
+        registry.attach(ServerConfig(max_concurrency=4, max_queue=0))
+        tenant = registry.get("a")
+        gate = ServerConfig(max_concurrency=4).make_gate()
+        for _ in range(3):  # no slot leak across admissions
+            with tenant.admission(gate):
+                pass
+        assert tenant.slice_gate.snapshot()["active"] == 0
+        assert gate.snapshot()["active"] == 0
+
+    def test_no_slice_means_global_gate_only(self, small_db):
+        registry = TenantRegistry.single(DatabaseHolder(small_db))
+        registry.attach(ServerConfig(max_concurrency=1, max_queue=0))
+        tenant = registry.default
+        gate = ServerConfig(
+            max_concurrency=1, max_queue=0, queue_timeout_s=0.05
+        ).make_gate()
+        with tenant.admission(gate):
+            with pytest.raises(Overloaded) as info:
+                with tenant.admission(gate):
+                    pass  # pragma: no cover
+        assert info.value.site == "server.admission"
+
+
+class TestMonitoring:
+    def test_stats_block_shape(self):
+        registry = TenantRegistry()
+        registry.add("a", db(XML_A), quota=2)
+        registry.add("b", db(XML_B))
+        registry.attach(ServerConfig(max_concurrency=8, max_queue=4))
+        registry.get("a").count_request()
+        block = registry.stats_block()
+        assert block["default"] == "a"
+        assert block["count"] == 2
+        entry = block["by_name"]["a"]
+        assert entry["generation"] == 1
+        assert entry["requests"] == 1
+        assert entry["quota"] == 2
+        assert entry["elements"] > 0
+        assert entry["admission"]["site"] == "tenant.a.admission"
+        assert block["by_name"]["b"]["quota"] is None
+
+    def test_listing_flattens_for_the_cli(self):
+        registry = TenantRegistry()
+        registry.add("a", db(XML_A))
+        listing = registry.listing()
+        assert listing["default"] == "a"
+        assert listing["admin_enabled"] is False
+        assert [row["name"] for row in listing["tenants"]] == ["a"]
+
+    def test_holder_is_labeled_with_the_tenant(self):
+        registry = TenantRegistry()
+        tenant = registry.add("acme", db(XML_A))
+        assert tenant.holder.label == "acme"
+        assert tenant.holder.current.tenant_label == "acme"
+
+
+class TestTenantObject:
+    def test_request_counter_is_thread_safe_enough(self):
+        tenant = Tenant("t", DatabaseHolder(db(XML_A)))
+        import threading
+
+        def bump():
+            for _ in range(200):
+                tenant.count_request()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tenant.requests == 800

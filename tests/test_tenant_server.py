@@ -1,0 +1,546 @@
+"""Multi-tenant serving through the request pipeline and both transports.
+
+Routing (``/api/t/<tenant>/...`` plus the bare-path default fallback),
+the structured 400/404 tenant error bodies, per-tenant single-flight
+partitioning, quota-slice 429 attribution, per-tenant hot reload, the
+``/api/tenants`` listing/admin endpoints, per-tenant keystroke batching,
+and scoped streamed search.
+
+Byte-compatibility is load-bearing: a single-tenant server must answer
+bare paths exactly as the pre-tenant code did (no slice gate, no
+``tenant`` field in 429s), and scoped requests to the default tenant
+must produce the same bytes as bare ones.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.resilience import faults
+from repro.server.aio import make_async_server
+from repro.server.app import make_server
+from repro.server.pipeline import RequestPipeline, ServerConfig
+from repro.tenant.registry import TenantRegistry
+
+XML_A = (
+    "<lib><book><title>alpha twig</title><author>ada</author></book>"
+    "<book><title>beta xml</title><author>bo</author></book></lib>"
+)
+XML_B = (
+    "<shop><item><name>gamma</name><price>3</price></item>"
+    "<item><name>delta</name><price>4</price></item></shop>"
+)
+
+
+def build_registry(**quotas) -> TenantRegistry:
+    from repro.engine.database import LotusXDatabase
+
+    registry = TenantRegistry()
+    registry.add(
+        "alpha", LotusXDatabase.from_string(XML_A), quota=quotas.get("alpha")
+    )
+    registry.add(
+        "beta", LotusXDatabase.from_string(XML_B), quota=quotas.get("beta")
+    )
+    return registry
+
+
+@pytest.fixture()
+def pipeline() -> RequestPipeline:
+    return RequestPipeline(build_registry())
+
+
+def post(pipeline, path, payload):
+    body = json.dumps(payload).encode()
+    return pipeline.handle("POST", path, body, len(body))
+
+
+def normalized(body: bytes) -> str:
+    """Response bytes with the one wall-clock field removed, for
+    byte-identity assertions (same normalization as the soak suite)."""
+    payload = json.loads(body)
+    payload.pop("elapsed_seconds", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestRouting:
+    def test_scoped_paths_reach_their_tenant(self, pipeline):
+        alpha = post(pipeline, "/api/t/alpha/search", {"query": "//book/title"})
+        beta = post(pipeline, "/api/t/beta/search", {"query": "//item/name"})
+        assert alpha.status == 200 and beta.status == 200
+        assert b"alpha twig" in alpha.body
+        assert b"gamma" in beta.body
+
+    def test_bare_paths_fall_back_to_the_default_tenant(self, pipeline):
+        bare = post(pipeline, "/api/search", {"query": "//book/author"})
+        scoped = post(
+            pipeline, "/api/t/alpha/search", {"query": "//book/author"}
+        )
+        assert bare.status == 200
+        assert normalized(bare.body) == normalized(scoped.body)
+
+    def test_scoped_get_endpoints_route_too(self, pipeline):
+        stats = pipeline.handle("GET", "/api/t/beta/stats")
+        payload = json.loads(stats.body)
+        assert payload["tenant"] == "beta"
+        guide = pipeline.handle("GET", "/api/t/beta/dataguide")
+        assert guide.status == 200
+        assert b"shop" in guide.body
+
+    def test_stats_carries_the_tenants_block(self, pipeline):
+        payload = json.loads(pipeline.handle("GET", "/api/stats").body)
+        tenants = payload["tenants"]
+        assert tenants["default"] == "alpha"
+        assert sorted(tenants["by_name"]) == ["alpha", "beta"]
+        # A bare-path request is not scoped: no `tenant` field.
+        assert "tenant" not in payload
+
+    def test_unknown_endpoint_under_tenant_prefix_is_404(self, pipeline):
+        response = post(pipeline, "/api/t/alpha/nonsense", {})
+        assert response.status == 404
+        assert json.loads(response.body)["code"] == "not_found"
+
+
+class TestTenantErrors:
+    def test_unknown_tenant_is_a_structured_404(self, pipeline):
+        response = post(pipeline, "/api/t/zzz/search", {"query": "//a"})
+        assert response.status == 404
+        assert json.loads(response.body) == {
+            "error": "unknown_tenant",
+            "code": "unknown_tenant",
+            "tenant": "zzz",
+            "known": ["alpha", "beta"],
+        }
+
+    @pytest.mark.parametrize("name", ["UPPER", "a b", "x" * 65, "a.b"])
+    def test_invalid_tenant_name_is_a_structured_400(self, pipeline, name):
+        response = post(pipeline, f"/api/t/{name}/search", {"query": "//a"})
+        assert response.status == 400
+        payload = json.loads(response.body)
+        assert payload["code"] == "invalid_tenant"
+        assert payload["tenant"] == name
+
+    def test_get_requests_get_the_same_treatment(self, pipeline):
+        response = pipeline.handle("GET", "/api/t/zzz/stats")
+        assert response.status == 404
+        assert json.loads(response.body)["code"] == "unknown_tenant"
+
+    def test_streamed_search_maps_tenant_errors_too(self, pipeline):
+        chunks: list[bytes] = []
+        body = json.dumps({"query": "//a", "stream": True}).encode()
+        response = pipeline.run_search_stream(
+            "/api/t/zzz/search", body, len(body), chunks.append
+        )
+        assert response is not None and response.status == 404
+        assert chunks == []  # nothing was emitted before the error
+
+    def test_both_transports_serve_the_same_error_bytes(self):
+        """The structured 404 is pipeline-made, so the async and the
+        threaded transport cannot disagree on it."""
+        servers = []
+        try:
+            for make in (make_async_server, make_server):
+                server = make(build_registry())
+                thread = threading.Thread(
+                    target=server.serve_forever, daemon=True
+                )
+                thread.start()
+                servers.append((server, thread, make is make_server))
+            bodies = []
+            for server, _, threaded in servers:
+                address = server.server_address[:2]
+                status, body = _http_post(
+                    address, "/api/t/zzz/search", {"query": "//a"}
+                )
+                assert status == 404
+                bodies.append(body)
+            assert bodies[0] == bodies[1]
+        finally:
+            for server, thread, threaded in servers:
+                server.shutdown()
+                if threaded:
+                    server.server_close()
+                    thread.join(timeout=5)
+                else:
+                    thread.join(timeout=5)
+                    server.server_close()
+
+
+class TestCoalescePartitioning:
+    def test_two_tenants_never_share_a_flight(self):
+        """Identical payloads, identical corpora, different tenants: two
+        leader evaluations (the fault's hit counter is ground truth) and
+        two flights — a tenant can never receive another tenant's bytes."""
+        from repro.engine.database import LotusXDatabase
+
+        registry = TenantRegistry()
+        registry.add("a", LotusXDatabase.from_string(XML_A))
+        registry.add("b", LotusXDatabase.from_string(XML_A))
+        pipeline = RequestPipeline(
+            registry, config=ServerConfig(max_concurrency=8, max_queue=32)
+        )
+        payload = {"query": "//book/title", "k": 3}
+        results: dict[str, bytes] = {}
+        lock = threading.Lock()
+
+        def fire(tenant: str) -> None:
+            response = post(pipeline, f"/api/t/{tenant}/search", payload)
+            with lock:
+                results[tenant] = response.body
+
+        with faults.injected("server.request", latency_s=0.3) as fault:
+            threads = [
+                threading.Thread(target=fire, args=(tenant,))
+                for tenant in ("a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=20)
+            assert fault.hits == 2  # one evaluation per tenant
+        snap = pipeline.flights.snapshot()
+        assert snap["flights"] == 2
+        assert snap["followers"] == 0
+        # Same corpus, same answer — equality (modulo the wall-clock
+        # field) proves the split was by key, not by divergent content.
+        assert normalized(results["a"]) == normalized(results["b"])
+
+    def test_same_tenant_still_coalesces(self, pipeline):
+        payload = {"query": "//book/title", "k": 3}
+        results: list[bytes] = []
+        lock = threading.Lock()
+
+        def fire() -> None:
+            response = post(pipeline, "/api/t/alpha/search", payload)
+            with lock:
+                results.append(response.body)
+
+        with faults.injected("server.request", latency_s=0.3) as fault:
+            leader = threading.Thread(target=fire)
+            leader.start()
+            import time
+
+            time.sleep(0.1)
+            followers = [threading.Thread(target=fire) for _ in range(3)]
+            for thread in followers:
+                thread.start()
+            for thread in [leader, *followers]:
+                thread.join(timeout=20)
+            assert fault.hits == 1
+        assert len(set(results)) == 1
+        assert pipeline.flights.snapshot()["followers"] == 3
+
+    def test_key_leads_with_the_tenant_name(self, pipeline):
+        body = json.dumps({"query": "//book", "k": 1}).encode()
+        bare = pipeline.coalesce_key("POST", "/api/search", body)
+        scoped = pipeline.coalesce_key("POST", "/api/t/alpha/search", body)
+        other = pipeline.coalesce_key("POST", "/api/t/beta/search", body)
+        assert bare == scoped  # default fallback shares the flight space
+        assert other != scoped
+        assert scoped[0] == "alpha" and other[0] == "beta"
+
+    def test_unknown_tenant_never_opens_a_flight(self, pipeline):
+        body = json.dumps({"query": "//book"}).encode()
+        assert (
+            pipeline.coalesce_key("POST", "/api/t/zzz/search", body) is None
+        )
+
+
+class TestQuotaShedding:
+    CONFIG = ServerConfig(
+        max_concurrency=8, max_queue=0, queue_timeout_s=0.05
+    )
+
+    @staticmethod
+    def _shed_while_busy(pipeline, busy_path: str, probe_path: str):
+        """Hold one slow request on ``busy_path``; return the response
+        ``probe_path`` gets while that slot is occupied.  The fault
+        latency fires only for the slot-holder (``times=1``) — the probe
+        either sheds at the gate (never reaching the fault) or runs
+        clean."""
+        import time
+
+        with faults.injected("server.request", latency_s=0.8, times=1):
+            holder_thread = threading.Thread(
+                target=pipeline.handle, args=("GET", busy_path)
+            )
+            holder_thread.start()
+            time.sleep(0.25)  # the holder owns its slice's only slot now
+            try:
+                return pipeline.handle("GET", probe_path)
+            finally:
+                holder_thread.join(timeout=5)
+
+    def test_429_names_the_tenant_that_overflowed(self):
+        pipeline = RequestPipeline(
+            build_registry(alpha=1), config=self.CONFIG
+        )
+        shed = self._shed_while_busy(
+            pipeline, "/api/t/alpha/stats", "/api/t/alpha/stats"
+        )
+        assert shed.status == 429
+        payload = json.loads(shed.body)
+        assert payload["tenant"] == "alpha"
+        assert payload["site"] == "tenant.alpha.admission"
+        assert dict(shed.headers).get("Retry-After")
+
+    def test_other_tenants_slice_is_untouched(self):
+        pipeline = RequestPipeline(
+            build_registry(alpha=1), config=self.CONFIG
+        )
+        ok = self._shed_while_busy(
+            pipeline, "/api/t/alpha/stats", "/api/t/beta/stats"
+        )
+        assert ok.status == 200
+
+    def test_single_tenant_429_stays_byte_compatible(self, small_db):
+        """No registry, no quotas: the shed body has no ``tenant`` field
+        — exactly the pre-tenant bytes."""
+        pipeline = RequestPipeline(
+            small_db,
+            config=ServerConfig(
+                max_concurrency=1, max_queue=0, queue_timeout_s=0.05
+            ),
+        )
+        shed = self._shed_while_busy(pipeline, "/api/stats", "/api/stats")
+        assert shed.status == 429
+        payload = json.loads(shed.body)
+        assert "tenant" not in payload
+        assert payload["site"] == "server.admission"
+
+
+class TestPerTenantReload:
+    def test_reload_bumps_only_the_addressed_tenant(self, tmp_path):
+        from repro.server.reload import DatabaseHolder, ReloadSource
+
+        path_a = tmp_path / "a.xml"
+        path_b = tmp_path / "b.xml"
+        path_a.write_text(XML_A)
+        path_b.write_text(XML_B)
+        registry = TenantRegistry()
+        for name, path in (("alpha", path_a), ("beta", path_b)):
+            source = ReloadSource("xml", str(path))
+            registry.add(
+                name, holder=DatabaseHolder(source.build(), source)
+            )
+        pipeline = RequestPipeline(registry)
+
+        path_a.write_text(XML_A.replace("ada", "grace"))
+        response = post(pipeline, "/api/t/alpha/reload", {})
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["generation"] == 2
+        assert payload["tenant"] == "alpha"
+        stats = json.loads(pipeline.handle("GET", "/api/stats").body)
+        by_name = stats["tenants"]["by_name"]
+        assert by_name["alpha"]["generation"] == 2
+        assert by_name["beta"]["generation"] == 1
+        # The new corpus is actually served.
+        searched = post(
+            pipeline, "/api/t/alpha/search", {"query": "//book/author"}
+        )
+        assert b"grace" in searched.body
+
+    def test_reload_without_a_source_is_400(self, pipeline):
+        response = post(pipeline, "/api/t/alpha/reload", {})
+        assert response.status == 400
+        assert json.loads(response.body)["code"] == "reload_unavailable"
+
+
+class TestTenantAdmin:
+    def test_listing_is_open(self, pipeline):
+        response = pipeline.handle("GET", "/api/tenants")
+        payload = json.loads(response.body)
+        assert payload["default"] == "alpha"
+        assert [row["name"] for row in payload["tenants"]] == [
+            "alpha", "beta",
+        ]
+
+    def test_add_is_403_unless_enabled(self, pipeline, tmp_path):
+        corpus = tmp_path / "c.xml"
+        corpus.write_text(XML_A)
+        response = post(
+            pipeline, "/api/tenants", {"name": "c", "path": str(corpus)}
+        )
+        assert response.status == 403
+        assert json.loads(response.body)["code"] == "tenant_admin_disabled"
+
+    def test_add_loads_and_serves_the_new_tenant(self, tmp_path):
+        registry = build_registry()
+        registry.admin_enabled = True
+        pipeline = RequestPipeline(registry)
+        corpus = tmp_path / "c.xml"
+        corpus.write_text("<c><z>omega</z></c>")
+        response = post(
+            pipeline,
+            "/api/tenants",
+            {"name": "gamma", "path": str(corpus), "quota": 2},
+        )
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["tenant"] == "gamma"
+        assert payload["tenants"] == ["alpha", "beta", "gamma"]
+        assert payload["default"] == "alpha"
+        served = post(pipeline, "/api/t/gamma/search", {"query": "//c/z"})
+        assert served.status == 200 and b"omega" in served.body
+        assert registry.get("gamma").slice_gate.capacity == 2
+
+    def test_add_duplicate_is_409(self, tmp_path):
+        registry = build_registry()
+        registry.admin_enabled = True
+        pipeline = RequestPipeline(registry)
+        corpus = tmp_path / "c.xml"
+        corpus.write_text(XML_A)
+        response = post(
+            pipeline, "/api/tenants", {"name": "alpha", "path": str(corpus)}
+        )
+        assert response.status == 409
+        assert json.loads(response.body)["code"] == "tenant_exists"
+
+    def test_add_validates_name_and_path(self, tmp_path):
+        registry = build_registry()
+        registry.admin_enabled = True
+        pipeline = RequestPipeline(registry)
+        bad_name = post(
+            pipeline, "/api/tenants", {"name": "NOPE", "path": "x.xml"}
+        )
+        assert bad_name.status == 400
+        assert json.loads(bad_name.body)["code"] == "invalid_tenant"
+        missing = post(
+            pipeline,
+            "/api/tenants",
+            {"name": "ok", "path": str(tmp_path / "missing.xml")},
+        )
+        assert missing.status == 400
+
+
+class TestTransportIntegration:
+    def test_async_keystroke_batching_is_per_tenant(self):
+        """Pipelined keystrokes supersede only within one tenant's path:
+        a burst interleaving two tenants answers each tenant's newest
+        keystroke for real."""
+        server = make_async_server(build_registry())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            sock = socket.create_connection(server.server_address, timeout=5)
+            sock.settimeout(5)
+            try:
+                burst = b"".join(
+                    _raw_post(path, {"prefix": "", "kind": "tag", "k": 8})
+                    for path in (
+                        "/api/t/alpha/complete",
+                        "/api/t/alpha/complete",
+                        "/api/t/beta/complete",
+                    )
+                )
+                sock.sendall(burst)
+                payloads = [
+                    json.loads(_read_body(sock)) for _ in range(3)
+                ]
+            finally:
+                sock.close()
+            # alpha's older keystroke superseded by its newer one…
+            assert payloads[0].get("superseded") is True
+            assert "superseded" not in payloads[1]
+            # …but beta's keystroke is a different tenant: answered.
+            assert "superseded" not in payloads[2]
+            alpha_tags = {c["text"] for c in payloads[1]["candidates"]}
+            beta_tags = {c["text"] for c in payloads[2]["candidates"]}
+            assert "book" in alpha_tags
+            assert "item" in beta_tags
+            assert server.pipeline.superseded_keystrokes == 1
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
+
+    def test_scoped_streamed_search_over_http(self):
+        server = make_async_server(build_registry())
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            import urllib.request
+
+            host, port = server.server_address
+            request = urllib.request.Request(
+                f"http://{host}:{port}/api/t/beta/search",
+                data=json.dumps(
+                    {"query": "//item/name", "stream": True}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=15) as response:
+                assert response.status == 200
+                assert "ndjson" in response.headers.get("Content-Type", "")
+                lines = response.read().decode().strip().split("\n")
+            assert len(lines) == 2
+            first, final = (json.loads(line) for line in lines)
+            assert first["partial"] is True
+            assert final["results"]
+            assert server.pipeline.streamed_responses == 1
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# Raw-socket / HTTP helpers
+# ----------------------------------------------------------------------
+
+
+def _raw_post(path: str, payload: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    return (
+        f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+_socket_buffers: dict[int, bytes] = {}
+
+
+def _read_body(sock: socket.socket) -> bytes:
+    """One Content-Length-framed response body off a pipelined socket."""
+    buffer = _socket_buffers.pop(id(sock), b"")
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(65536)
+        assert chunk, "connection closed mid-response"
+        buffer += chunk
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.decode("latin-1").split("\r\n")[1:]:
+        name, _, value = line.partition(":")
+        if name.lower() == "content-length":
+            length = int(value)
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        assert chunk, "connection closed mid-body"
+        rest += chunk
+    _socket_buffers[id(sock)] = rest[length:]
+    return rest[:length]
+
+
+def _http_post(address, path: str, payload: dict) -> tuple[int, bytes]:
+    import urllib.error
+    import urllib.request
+
+    host, port = address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=15) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
